@@ -1,0 +1,27 @@
+.PHONY: all build test bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+bench:
+	dune exec bench/main.exe
+
+# Paper-scale Fig. 3 protocol (100 runs per device size)
+bench-full:
+	BENCH_RUNS=100 dune exec bench/main.exe -- fig3
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/motion_detection.exe
+	dune exec examples/custom_architecture.exe
+	dune exec examples/sdf_pipeline.exe
+	dune exec examples/heterogeneous_soc.exe
+	dune exec examples/video_phone.exe
+
+clean:
+	dune clean

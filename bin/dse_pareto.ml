@@ -1,0 +1,57 @@
+(* Cost vs. performance frontier over a catalogue of FPGA sizes: the
+   designer-facing output of the paper's "minimize system cost subject
+   to the performance constraint" story.
+
+     dse-pareto --sizes 100,200,400,800,2000,5000
+*)
+
+open Cmdliner
+module Md = Repro_workloads.Motion_detection
+module Explorer = Repro_dse.Explorer
+module Table = Repro_util.Table
+
+let run sizes iterations seed =
+  let app = Md.app () in
+  let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
+  let catalogue = List.map (fun n_clb -> Md.platform ~n_clb ()) sizes in
+  let frontier =
+    Explorer.cost_performance_frontier ~seed ~iterations app catalogue
+  in
+  Printf.printf
+    "Pareto-dominant platforms for motion detection (%d candidate(s), %d kept)\n\n"
+    (List.length catalogue) (List.length frontier);
+  let table =
+    Table.create
+      [ ("CLBs", Table.Right); ("platform cost", Table.Right);
+        ("makespan ms", Table.Right); ("contexts", Table.Right);
+        ("40 ms", Table.Left) ]
+  in
+  List.iter
+    (fun { Explorer.platform; eval; cost; meets } ->
+      Table.add_row table
+        [
+          Table.cell_int (Repro_arch.Platform.n_clb platform);
+          Table.cell_float cost;
+          Table.cell_float eval.Repro_sched.Searchgraph.makespan;
+          Table.cell_int eval.Repro_sched.Searchgraph.n_contexts;
+          (if meets then "met" else "missed");
+        ])
+    frontier;
+  print_string (Table.render table)
+
+let sizes_arg =
+  Arg.(value & opt (list int) [] & info [ "sizes" ]
+       ~doc:"Comma-separated CLB sizes (default: the paper's Fig. 3 sweep)")
+
+let iters_arg =
+  Arg.(value & opt int 20_000 & info [ "iters" ]
+       ~doc:"Iterations per platform")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+
+let cmd =
+  let doc = "cost/performance Pareto frontier over a device catalogue" in
+  Cmd.v (Cmd.info "dse-pareto" ~doc)
+    Term.(const run $ sizes_arg $ iters_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

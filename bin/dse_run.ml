@@ -1,0 +1,183 @@
+(* Run one exploration of a workload and report the solution.
+
+     dse-run --app motion_detection --clbs 2000 --iters 50000 --seed 7
+     dse-run --app-file my_design.tg --gantt --dot mapping.dot
+*)
+
+open Cmdliner
+module Explorer = Repro_dse.Explorer
+module Solution = Repro_dse.Solution
+module Annealer = Repro_anneal.Annealer
+module Schedule = Repro_anneal.Schedule
+module App = Repro_taskgraph.App
+
+let schedule_of_name name quality =
+  match name with
+  | "lam" -> Schedule.lam ~quality ()
+  | "swartz" -> Schedule.swartz ()
+  | "geometric" -> Schedule.geometric ()
+  | "infinite" -> Schedule.infinite ()
+  | other -> invalid_arg (Printf.sprintf "unknown schedule %S" other)
+
+let app_of_name name =
+  match List.assoc_opt name Repro_workloads.Suite.named with
+  | Some make -> make ()
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown application %S (try: %s)" name
+         (String.concat ", " (List.map fst Repro_workloads.Suite.named)))
+
+let run app_name app_file platform_file clbs iters warmup seed schedule
+    lam_quality serialized trace_path gantt dot_path save_app =
+  let app =
+    match app_file with
+    | Some path ->
+      (match Repro_taskgraph.App_io.load path with
+       | Ok app -> app
+       | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+    | None -> app_of_name app_name
+  in
+  let platform =
+    match platform_file with
+    | Some path ->
+      (match Repro_arch.Platform_io.load path with
+       | Ok platform -> platform
+       | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+    | None ->
+      if app_file = None && app_name <> "motion_detection" then
+        Repro_workloads.Suite.platform_for app
+      else Repro_workloads.Motion_detection.platform ~n_clb:clbs ()
+  in
+  let config =
+    {
+      Explorer.anneal =
+        {
+          Annealer.iterations = iters;
+          warmup_iterations = warmup;
+          schedule = schedule_of_name schedule lam_quality;
+          seed;
+          frozen_window = None;
+        };
+      moves = Repro_dse.Moves.fixed_architecture;
+      objective =
+        (if serialized then Explorer.Makespan_serialized else Explorer.Makespan);
+    }
+  in
+  let trace = Repro_dse.Trace.create ~every:10 () in
+  let result = Explorer.explore ~trace config app platform in
+  let eval = result.Explorer.best_eval in
+  Format.printf "%a@." App.pp_summary app;
+  Format.printf
+    "@[<v>run: %d iterations in %.2f s (%d accepted, %d infeasible)@,\
+     initial %.2f ms -> best %.2f ms, %d context(s)@,\
+     reconfiguration %.2f + %.2f ms, communication %.2f ms@,\
+     deadline: %s@]@."
+    result.Explorer.iterations_run result.Explorer.wall_seconds
+    result.Explorer.accepted result.Explorer.infeasible
+    result.Explorer.initial_cost result.Explorer.best_cost
+    eval.Repro_sched.Searchgraph.n_contexts
+    eval.Repro_sched.Searchgraph.initial_reconfig
+    eval.Repro_sched.Searchgraph.dynamic_reconfig
+    eval.Repro_sched.Searchgraph.comm
+    (match app.App.deadline with
+     | Some d ->
+       if Explorer.meets_deadline app eval then Printf.sprintf "%.0f ms MET" d
+       else Printf.sprintf "%.0f ms MISSED" d
+     | None -> "none");
+  let periodic = Repro_sched.Periodic.analyze (Solution.spec result.Explorer.best) in
+  Format.printf
+    "steady-state initiation interval >= %.2f ms (bottleneck: %s)@."
+    periodic.Repro_sched.Periodic.min_initiation_interval
+    periodic.Repro_sched.Periodic.bottleneck;
+  Format.printf "%a@." Solution.pp result.Explorer.best;
+  if gantt then begin
+    match Repro_sched.Gantt.render (Solution.spec result.Explorer.best) with
+    | Some text -> print_string text
+    | None -> ()
+  end;
+  (match dot_path with
+   | Some path ->
+     let binding v =
+       match Solution.binding result.Explorer.best v with
+       | Repro_sched.Searchgraph.Sw | Repro_sched.Searchgraph.On_asic _ -> `Sw
+       | Repro_sched.Searchgraph.Hw j -> `Hw j
+     in
+     Repro_taskgraph.Dot.write_file path
+       (Repro_taskgraph.Dot.of_app_partitioned app ~binding);
+     Format.printf "partitioned DOT written to %s@." path
+   | None -> ());
+  (match save_app with
+   | Some path ->
+     Repro_taskgraph.App_io.save path app;
+     Format.printf "application saved to %s@." path
+   | None -> ());
+  match trace_path with
+  | Some path ->
+    Repro_dse.Trace.to_csv trace path;
+    Format.printf "trace written to %s@." path
+  | None -> ()
+
+let app_arg =
+  Arg.(value & opt string "motion_detection"
+       & info [ "app" ] ~doc:"Built-in workload name")
+
+let app_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "app-file" ] ~doc:"Load the application from a .tg file"
+           ~docv:"FILE")
+
+let platform_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "platform-file" ]
+           ~doc:"Load the platform from a .plat file (overrides --clbs)"
+           ~docv:"FILE")
+
+let clbs_arg =
+  Arg.(value & opt int 2000 & info [ "clbs" ] ~doc:"FPGA size in CLBs")
+
+let iters_arg =
+  Arg.(value & opt int 50_000 & info [ "iters" ] ~doc:"Cooling iterations")
+
+let warmup_arg =
+  Arg.(value & opt int 1_200 & info [ "warmup" ]
+       ~doc:"Infinite-temperature iterations")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
+
+let schedule_arg =
+  Arg.(value & opt string "lam"
+       & info [ "schedule" ] ~doc:"lam | swartz | geometric | infinite")
+
+let quality_arg =
+  Arg.(value & opt float 0.003 & info [ "lam-quality" ]
+       ~doc:"Lam schedule quality parameter")
+
+let serialized_arg =
+  Arg.(value & flag
+       & info [ "serialized-bus" ]
+           ~doc:"Optimize under the serialized bus-transaction model")
+
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ]
+       ~doc:"Write per-iteration CSV trace to $(docv)" ~docv:"FILE")
+
+let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Print a text Gantt")
+
+let dot_arg =
+  Arg.(value & opt (some string) None
+       & info [ "dot" ] ~doc:"Write the partitioned task graph as DOT to $(docv)"
+           ~docv:"FILE")
+
+let save_app_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save-app" ] ~doc:"Save the application in .tg format to $(docv)"
+           ~docv:"FILE")
+
+let cmd =
+  let doc = "explore a workload mapping on a reconfigurable platform" in
+  Cmd.v (Cmd.info "dse-run" ~doc)
+    Term.(const run $ app_arg $ app_file_arg $ platform_file_arg $ clbs_arg
+          $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg $ quality_arg
+          $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,150 @@
+(* Device-size sweep (the paper's Fig. 3): for each FPGA size, average
+   execution time, reconfiguration times and number of contexts over
+   several exploration runs.
+
+     dse-sweep --runs 100 --iters 50000
+*)
+
+open Cmdliner
+module Md = Repro_workloads.Motion_detection
+module Explorer = Repro_dse.Explorer
+module Annealer = Repro_anneal.Annealer
+module Schedule = Repro_anneal.Schedule
+module Stats = Repro_util.Stats
+module Table = Repro_util.Table
+
+type point = {
+  n_clb : int;
+  exec : float;
+  exec_dev : float;
+  init_reconfig : float;
+  dyn_reconfig : float;
+  contexts : float;
+  met : int;
+  runs : int;
+}
+
+let sweep_point app ~n_clb ~runs ~iters ~base_seed =
+  let platform = Md.platform ~n_clb () in
+  let exec = Stats.Running.create () in
+  let init_r = Stats.Running.create () in
+  let dyn_r = Stats.Running.create () in
+  let ctx = Stats.Running.create () in
+  let met = ref 0 in
+  for run = 0 to runs - 1 do
+    let config =
+      {
+        Explorer.anneal =
+          {
+            Annealer.iterations = iters;
+            warmup_iterations = 1_200;
+            schedule = Schedule.lam ~quality:(150.0 /. float_of_int iters) ();
+            seed = base_seed + (run * 7919) + n_clb;
+            frozen_window = None;
+          };
+        moves = Repro_dse.Moves.fixed_architecture;
+        objective = Explorer.Makespan;
+      }
+    in
+    let result = Explorer.explore config app platform in
+    let eval = result.Explorer.best_eval in
+    Stats.Running.add exec eval.Repro_sched.Searchgraph.makespan;
+    Stats.Running.add init_r eval.Repro_sched.Searchgraph.initial_reconfig;
+    Stats.Running.add dyn_r eval.Repro_sched.Searchgraph.dynamic_reconfig;
+    Stats.Running.add ctx (float_of_int eval.Repro_sched.Searchgraph.n_contexts);
+    if Explorer.meets_deadline app eval then incr met
+  done;
+  {
+    n_clb;
+    exec = Stats.Running.mean exec;
+    exec_dev = Stats.Running.stddev exec;
+    init_reconfig = Stats.Running.mean init_r;
+    dyn_reconfig = Stats.Running.mean dyn_r;
+    contexts = Stats.Running.mean ctx;
+    met = !met;
+    runs;
+  }
+
+let render_points points =
+  let table =
+    Table.create
+      [
+        ("CLBs", Table.Right); ("exec ms", Table.Right); ("±", Table.Right);
+        ("init rcfg", Table.Right); ("dyn rcfg", Table.Right);
+        ("contexts", Table.Right); ("deadline met", Table.Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Table.cell_int p.n_clb;
+          Table.cell_float p.exec;
+          Table.cell_float p.exec_dev;
+          Table.cell_float p.init_reconfig;
+          Table.cell_float p.dyn_reconfig;
+          Table.cell_float ~decimals:1 p.contexts;
+          Printf.sprintf "%d/%d" p.met p.runs;
+        ])
+    points;
+  Table.render table
+
+let run runs iters base_seed sizes csv_path =
+  let app = Md.app () in
+  let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
+  Printf.printf
+    "Fig. 3 sweep: %d run(s) per size, %d iterations each (paper: 100 runs)\n%!"
+    runs iters;
+  let points =
+    List.map
+      (fun n_clb ->
+        let p = sweep_point app ~n_clb ~runs ~iters ~base_seed in
+        Printf.printf "  %5d CLBs: exec %.1f ms, %.1f context(s)\n%!" n_clb
+          p.exec p.contexts;
+        p)
+      sizes
+  in
+  print_newline ();
+  print_string (render_points points);
+  match csv_path with
+  | None -> ()
+  | Some path ->
+    Repro_util.Csv_out.write path
+      ~header:
+        [ "n_clb"; "exec_ms"; "exec_stddev"; "initial_reconfig_ms";
+          "dynamic_reconfig_ms"; "contexts"; "met"; "runs" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.n_clb; Printf.sprintf "%g" p.exec;
+             Printf.sprintf "%g" p.exec_dev;
+             Printf.sprintf "%g" p.init_reconfig;
+             Printf.sprintf "%g" p.dyn_reconfig;
+             Printf.sprintf "%g" p.contexts; string_of_int p.met;
+             string_of_int p.runs;
+           ])
+         points);
+    Printf.printf "\nCSV written to %s\n" path
+
+let runs_arg =
+  Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Runs per device size")
+
+let iters_arg =
+  Arg.(value & opt int 20_000 & info [ "iters" ] ~doc:"Iterations per run")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed")
+
+let sizes_arg =
+  Arg.(value & opt (list int) [] & info [ "sizes" ]
+       ~doc:"Comma-separated CLB sizes (default: the paper's sweep)")
+
+let csv_arg =
+  Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write CSV to $(docv)"
+       ~docv:"FILE")
+
+let cmd =
+  let doc = "sweep the FPGA size (reproduces Fig. 3)" in
+  Cmd.v (Cmd.info "dse-sweep" ~doc)
+    Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,50 @@
+(* Quickstart: describe a small application, a reconfigurable platform,
+   and run the explorer.
+
+     dune exec examples/quickstart.exe
+*)
+
+open Repro_taskgraph
+open Repro_arch
+
+let () =
+  (* 1. Describe the application: four tasks in a diamond.  Each task
+     has a software time and a set of hardware implementations (area in
+     CLBs, time in ms). *)
+  let task id name sw_time impls =
+    Task.make ~id ~name ~functionality:name ~sw_time
+      ~impls:(List.map (fun (clbs, hw_time) -> { Task.clbs; hw_time }) impls)
+  in
+  let tasks =
+    [
+      task 0 "split" 2.0 [ (50, 1.0); (100, 0.6) ];
+      task 1 "left" 6.0 [ (80, 1.5); (160, 0.9) ];
+      task 2 "right" 5.0 [ (80, 1.4); (160, 0.8) ];
+      task 3 "join" 2.0 [ (50, 1.1); (100, 0.7) ];
+    ]
+  in
+  let edge src dst kbytes = { App.src; dst; kbytes } in
+  let edges = [ edge 0 1 10.0; edge 0 2 10.0; edge 1 3 10.0; edge 2 3 10.0 ] in
+  let app = App.make ~name:"diamond" ~deadline:8.0 ~tasks ~edges () in
+
+  (* 2. Describe the platform: a processor and a small DRLC behind a
+     shared bus. *)
+  let platform =
+    Platform.make ~name:"demo"
+      ~processor:(Resource.processor "cpu")
+      ~rc:(Resource.reconfigurable ~n_clb:200 ~reconfig_ms_per_clb:0.0225 "fpga")
+      ~bus:Platform.default_bus ()
+  in
+
+  (* 3. Explore.  The quality knob trades computing time for solution
+     quality; 0.5 is plenty for four tasks. *)
+  let config = Repro_dse.Explorer.quality_config ~seed:42 0.5 in
+  let result = Repro_dse.Explorer.explore config app platform in
+
+  Format.printf "%a@." App.pp_summary app;
+  Format.printf "best makespan: %.3f ms (started from %.3f ms)@."
+    result.Repro_dse.Explorer.best_cost result.Repro_dse.Explorer.initial_cost;
+  Format.printf "%a@." Repro_dse.Solution.pp result.Repro_dse.Explorer.best;
+  match Repro_sched.Gantt.render (Repro_dse.Solution.spec result.Repro_dse.Explorer.best) with
+  | Some gantt -> print_string gantt
+  | None -> print_endline "(no feasible schedule)"

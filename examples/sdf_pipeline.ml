@@ -1,0 +1,55 @@
+(* The conclusion's announced extension: start from a synchronous
+   dataflow (SDF) description, expand one iteration into a precedence
+   task graph, and explore it like any other application.
+
+     dune exec examples/sdf_pipeline.exe
+*)
+
+open Repro_taskgraph
+module Explorer = Repro_dse.Explorer
+
+let actor name functionality sw_time impls =
+  {
+    Sdf.name;
+    functionality;
+    sw_time;
+    impls = List.map (fun (clbs, hw_time) -> { Task.clbs; hw_time }) impls;
+  }
+
+let () =
+  (* A downsampling audio-style pipeline: source fires 4x per iteration,
+     filter consumes 2 tokens per firing, sink consumes 4. *)
+  let actors =
+    [
+      actor "source" "IO" 0.8 [ (30, 0.5) ];
+      actor "filter" "FIR" 2.5 [ (80, 0.7); (160, 0.4) ];
+      actor "decimate" "PixelOp" 1.2 [ (50, 0.5); (100, 0.3) ];
+      actor "sink" "IO" 0.6 [ (30, 0.4) ];
+    ]
+  in
+  let channel src dst produce consume kbytes_per_token =
+    { Sdf.src; dst; produce; consume; initial_tokens = 0; kbytes_per_token }
+  in
+  let sdf =
+    Sdf.make ~name:"downsampler" ~actors
+      ~channels:
+        [ channel 0 1 1 2 4.0; channel 1 2 1 1 4.0; channel 2 3 1 2 2.0 ]
+  in
+  (match Sdf.repetition_vector sdf with
+   | Some q ->
+     Format.printf "repetition vector: %a@."
+       (Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+          Format.pp_print_int)
+       (Array.to_list q)
+   | None -> Format.printf "inconsistent SDF graph@.");
+  match Sdf.expand ~deadline:15.0 sdf with
+  | Error msg -> Format.printf "expansion failed: %s@." msg
+  | Ok app ->
+    Format.printf "%a@.@." App.pp_summary app;
+    let platform = Repro_workloads.Suite.platform_for app in
+    let config = Explorer.quality_config ~seed:11 0.5 in
+    let result = Explorer.explore config app platform in
+    Format.printf "best makespan %.2f ms with %d context(s)@."
+      result.Explorer.best_cost
+      result.Explorer.best_eval.Repro_sched.Searchgraph.n_contexts

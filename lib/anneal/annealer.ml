@@ -1,0 +1,135 @@
+module Rng = Repro_util.Rng
+module Stats = Repro_util.Stats
+
+module type PROBLEM = sig
+  type state
+
+  val cost : state -> float
+  val snapshot : state -> state
+  val propose : Rng.t -> state -> (unit -> unit) option
+end
+
+type config = {
+  iterations : int;
+  warmup_iterations : int;
+  schedule : Schedule.t;
+  seed : int;
+  frozen_window : int option;
+}
+
+let default_config =
+  {
+    iterations = 50_000;
+    warmup_iterations = 1_200;
+    schedule = Schedule.lam ~quality:0.003 ();
+    seed = 1;
+    frozen_window = None;
+  }
+
+let config_of_quality ?(seed = 1) q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Annealer.config_of_quality: quality outside [0,1]";
+  let iterations = int_of_float (2_000.0 *. (100.0 ** q)) in
+  (* Slower cooling for higher quality: the Lam step scales inversely
+     with the budget so the full range of temperatures is still swept. *)
+  let lam_quality = 150.0 /. float_of_int iterations in
+  {
+    iterations;
+    warmup_iterations = max 200 (iterations / 20);
+    schedule = Schedule.lam ~quality:lam_quality ();
+    seed;
+    frozen_window = None;
+  }
+
+type 'state outcome = {
+  best : 'state;
+  best_cost : float;
+  final_cost : float;
+  iterations_run : int;
+  accepted : int;
+  infeasible : int;
+}
+
+module Make (P : PROBLEM) = struct
+  let run ?trace config state =
+    if config.iterations < 0 || config.warmup_iterations < 0 then
+      invalid_arg "Annealer.run: negative budget";
+    let rng = Rng.create config.seed in
+    let schedule = Schedule.instantiate config.schedule in
+    let current_cost = ref (P.cost state) in
+    let best = ref (P.snapshot state) in
+    let best_cost = ref !current_cost in
+    let accepted_count = ref 0 in
+    let infeasible_count = ref 0 in
+    let since_improvement = ref 0 in
+    let warmup_stats = Stats.Running.create () in
+    Stats.Running.add warmup_stats !current_cost;
+    let emit ~iteration ~temperature ~accepted =
+      match trace with
+      | None -> ()
+      | Some f ->
+        f ~iteration ~cost:!current_cost ~best:!best_cost ~temperature ~accepted
+    in
+    let metropolis_step ~iteration ~temperature ~observe =
+      match P.propose rng state with
+      | None ->
+        (* The drawn move is structurally invalid ("not performed" in
+           the paper's terms): no state change happened, so the cooling
+           schedule does not observe it either. *)
+        incr infeasible_count;
+        emit ~iteration ~temperature ~accepted:false
+      | Some undo ->
+        let candidate = P.cost state in
+        let delta = candidate -. !current_cost in
+        let accept =
+          delta <= 0.0
+          || temperature = infinity
+          || Rng.float rng 1.0 < exp (-.delta /. temperature)
+        in
+        if accept then begin
+          current_cost := candidate;
+          incr accepted_count;
+          if candidate < !best_cost then begin
+            best_cost := candidate;
+            best := P.snapshot state;
+            since_improvement := 0
+          end
+        end
+        else undo ();
+        observe ~accepted:accept;
+        emit ~iteration ~temperature ~accepted:accept
+    in
+    (* Phase 1: infinite-temperature warmup to sample the landscape. *)
+    for i = 0 to config.warmup_iterations - 1 do
+      metropolis_step
+        ~iteration:(i - config.warmup_iterations)
+        ~temperature:infinity
+        ~observe:(fun ~accepted:_ -> Stats.Running.add warmup_stats !current_cost)
+    done;
+    Schedule.start schedule
+      ~mean:(Stats.Running.mean warmup_stats)
+      ~stddev:(Stats.Running.stddev warmup_stats)
+      ~horizon:config.iterations;
+    (* Phase 2: adaptive cooling. *)
+    let iterations_run = ref config.warmup_iterations in
+    (try
+       for i = 0 to config.iterations - 1 do
+         incr since_improvement;
+         let temperature = Schedule.temperature schedule in
+         metropolis_step ~iteration:i ~temperature ~observe:(fun ~accepted ->
+             Schedule.observe schedule ~cost:!current_cost ~accepted);
+         incr iterations_run;
+         match config.frozen_window with
+         | Some window when !since_improvement >= window -> raise Exit
+         | Some _ | None -> ()
+       done
+     with Exit -> ());
+    {
+      best = !best;
+      best_cost = !best_cost;
+      final_cost = !current_cost;
+      iterations_run = !iterations_run;
+      accepted = !accepted_count;
+      infeasible = !infeasible_count;
+    }
+end

@@ -1,0 +1,66 @@
+(** Generic simulated-annealing engine.
+
+    The engine is problem-agnostic: a problem provides a mutable state,
+    a cost function, and a move proposer that mutates the state and
+    returns an undo.  The engine runs the paper's protocol — a warmup
+    phase at infinite temperature to sample the cost landscape, then
+    adaptive cooling — and can be interrupted by the caller at any
+    iteration boundary through the trace callback (the paper's
+    "iterative, can be interrupted by the user at any time"). *)
+
+module type PROBLEM = sig
+  type state
+
+  val cost : state -> float
+  (** Cost of the current state; smaller is better.  Called once after
+      each proposed move. *)
+
+  val snapshot : state -> state
+  (** Immutable copy used to remember the best solution found. *)
+
+  val propose : Repro_util.Rng.t -> state -> (unit -> unit) option
+  (** Mutate the state into a neighbour; return the undo.  [None] when
+      the drawn move is infeasible (e.g. would create a cycle): the
+      iteration is counted but nothing changes, matching the paper's
+      "a move will not be performed if a cycle appears". *)
+end
+
+type config = {
+  iterations : int;       (** cooling iterations after warmup *)
+  warmup_iterations : int;  (** iterations at infinite temperature *)
+  schedule : Schedule.t;
+  seed : int;
+  frozen_window : int option;
+  (** Stop early when no strict improvement of the best cost has been
+      seen for this many iterations ([None] = run the full budget). *)
+}
+
+val default_config : config
+(** 50000 iterations, 1200 warmup (the paper's Fig. 2 uses 1200),
+    Lam schedule with quality 0.003, seed 1, no early freeze. *)
+
+val config_of_quality : ?seed:int -> float -> config
+(** [config_of_quality q] maps the user-selected optimization quality
+    [q] in \[0,1\] to a budget: iterations grow geometrically from 2k
+    (q=0) to 200k (q=1) and the Lam schedule gets a proportionally
+    slower cooling. *)
+
+type 'state outcome = {
+  best : 'state;
+  best_cost : float;
+  final_cost : float;
+  iterations_run : int;
+  accepted : int;
+  infeasible : int;   (** proposals rejected as structurally invalid *)
+}
+
+module Make (P : PROBLEM) : sig
+  val run :
+    ?trace:(iteration:int -> cost:float -> best:float -> temperature:float ->
+            accepted:bool -> unit) ->
+    config -> P.state -> P.state outcome
+  (** Anneal starting from (and mutating) the given state.  The trace
+      callback fires once per iteration, warmup included (warmup
+      iterations have negative [iteration] numbers counting up to -1,
+      cooling starts at 0). *)
+end

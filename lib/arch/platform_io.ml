@@ -1,0 +1,171 @@
+type builder = {
+  mutable name : string option;
+  mutable processors : Resource.t list; (* newest first *)
+  mutable rc : Resource.t option;
+  mutable asics : Resource.t list;      (* newest first *)
+  mutable bus : Platform.bus option;
+}
+
+let parse_error line_number fmt =
+  Printf.ksprintf
+    (fun msg -> Error (Printf.sprintf "line %d: %s" line_number msg))
+    fmt
+
+let ( let* ) = Result.bind
+
+let float_field line_number label s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> parse_error line_number "%s is not a number: %S" label s
+
+let int_field line_number label s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> parse_error line_number "%s is not an integer: %S" label s
+
+(* Parse "key value key value ..." attribute tails. *)
+let rec attributes line_number = function
+  | [] -> Ok []
+  | key :: value :: rest ->
+    let* tail = attributes line_number rest in
+    Ok ((key, value) :: tail)
+  | [ key ] -> parse_error line_number "attribute %S has no value" key
+
+let lookup_float line_number attrs key ~default =
+  match List.assoc_opt key attrs with
+  | Some v -> float_field line_number key v
+  | None -> Ok default
+
+let handle_line builder line_number line =
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match words with
+  | [] -> Ok ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
+  | [ "platform"; name ] ->
+    if builder.name <> None then
+      parse_error line_number "duplicate platform directive"
+    else begin
+      builder.name <- Some name;
+      Ok ()
+    end
+  | "processor" :: name :: rest ->
+    let* attrs = attributes line_number rest in
+    let* cost = lookup_float line_number attrs "cost" ~default:1.0 in
+    let* speed = lookup_float line_number attrs "speed" ~default:1.0 in
+    (try
+       builder.processors <-
+         Resource.processor ~cost ~speed name :: builder.processors;
+       Ok ()
+     with Invalid_argument msg -> parse_error line_number "%s" msg)
+  | "rc" :: name :: rest ->
+    if builder.rc <> None then parse_error line_number "duplicate rc directive"
+    else begin
+      let* attrs = attributes line_number rest in
+      let* clbs =
+        match List.assoc_opt "clbs" attrs with
+        | Some v -> int_field line_number "clbs" v
+        | None -> parse_error line_number "rc needs a clbs attribute"
+      in
+      let* tr =
+        match List.assoc_opt "tr" attrs with
+        | Some v -> float_field line_number "tr" v
+        | None -> parse_error line_number "rc needs a tr attribute"
+      in
+      let* cost = lookup_float line_number attrs "cost" ~default:1.0 in
+      try
+        builder.rc <-
+          Some
+            (Resource.reconfigurable ~cost ~n_clb:clbs ~reconfig_ms_per_clb:tr
+               name);
+        Ok ()
+      with Invalid_argument msg -> parse_error line_number "%s" msg
+    end
+  | "asic" :: name :: rest ->
+    let* attrs = attributes line_number rest in
+    let* cost = lookup_float line_number attrs "cost" ~default:1.0 in
+    builder.asics <- Resource.asic ~cost name :: builder.asics;
+    Ok ()
+  | "bus" :: rest ->
+    let* attrs = attributes line_number rest in
+    let* rate =
+      match List.assoc_opt "rate" attrs with
+      | Some v -> float_field line_number "rate" v
+      | None -> parse_error line_number "bus needs a rate attribute"
+    in
+    let* latency = lookup_float line_number attrs "latency" ~default:0.0 in
+    builder.bus <- Some { Platform.kb_per_ms = rate; latency_ms = latency };
+    Ok ()
+  | directive :: _ -> parse_error line_number "unknown directive %S" directive
+
+let parse contents =
+  let builder =
+    { name = None; processors = []; rc = None; asics = []; bus = None }
+  in
+  let lines = String.split_on_char '\n' contents in
+  let* () =
+    List.fold_left
+      (fun acc (line_number, line) ->
+        let* () = acc in
+        handle_line builder line_number line)
+      (Ok ())
+      (List.mapi (fun i line -> (i + 1, line)) lines)
+  in
+  match (builder.name, builder.rc, builder.bus, List.rev builder.processors) with
+  | None, _, _, _ -> Error "missing platform directive"
+  | _, None, _, _ -> Error "missing rc directive"
+  | _, _, None, _ -> Error "missing bus directive"
+  | _, _, _, [] -> Error "at least one processor is required"
+  | Some name, Some rc, Some bus, primary :: extra_processors ->
+    (try
+       Ok
+         (Platform.make ~name ~processor:primary ~rc
+            ~extra:(extra_processors @ List.rev builder.asics)
+            ~bus ())
+     with Invalid_argument msg -> Error msg)
+
+let load path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    contents
+  with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let to_string (platform : Platform.t) =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (Printf.sprintf "platform %s\n" platform.Platform.name);
+  List.iter
+    (fun (p : Resource.processor) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "processor %s cost %g speed %g\n" p.Resource.proc_name
+           p.Resource.proc_cost p.Resource.proc_speed))
+    (Platform.processors platform);
+  let rc = platform.Platform.rc in
+  Buffer.add_string buffer
+    (Printf.sprintf "rc %s clbs %d tr %g cost %g\n" rc.Resource.rc_name
+       rc.Resource.n_clb rc.Resource.reconfig_ms_per_clb rc.Resource.rc_cost);
+  List.iter
+    (function
+      | Resource.Asic a ->
+        Buffer.add_string buffer
+          (Printf.sprintf "asic %s cost %g\n" a.Resource.asic_name
+             a.Resource.asic_cost)
+      | Resource.Processor _ | Resource.Reconfigurable _ -> ())
+    platform.Platform.extra;
+  Buffer.add_string buffer
+    (Printf.sprintf "bus rate %g latency %g\n" platform.Platform.bus.Platform.kb_per_ms
+       platform.Platform.bus.Platform.latency_ms);
+  Buffer.contents buffer
+
+let save path platform =
+  let oc = open_out path in
+  (try output_string oc (to_string platform)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,24 @@
+(** Textual platform format (".plat").
+
+    Companion of the task-graph format: lets the command-line tools
+    target user-described architectures.
+
+    {v
+    # ARM + DSP + FPGA SoC
+    platform arm_dsp_fpga
+    processor ARM922 cost 10 speed 1.0
+    processor C55x cost 6 speed 1.5
+    rc VirtexE clbs 2000 tr 0.0225 cost 20
+    asic TurboDec cost 5
+    bus rate 80 latency 0.05
+    v}
+
+    Directives: [platform NAME] first; exactly one [rc]; at least one
+    [processor] (the first is the primary); [asic] entries optional;
+    one [bus].  [cost], [speed], [tr] have the units of
+    {!Resource} / {!Platform}.  Names are single words. *)
+
+val parse : string -> (Platform.t, string) result
+val load : string -> (Platform.t, string) result
+val to_string : Platform.t -> string
+val save : string -> Platform.t -> unit

@@ -1,0 +1,190 @@
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+module Rng = Repro_util.Rng
+
+type config = {
+  population : int;
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;
+  tournament : int;
+  elite : int;
+  seed : int;
+  explore_impls : bool;
+}
+
+let default_config =
+  {
+    population = 300;
+    generations = 120;
+    crossover_rate = 0.9;
+    mutation_rate = 0.02;
+    tournament = 3;
+    elite = 2;
+    seed = 1;
+    explore_impls = true;
+  }
+
+type individual = { hw : bool array; impl : int array }
+
+type result = {
+  best : individual;
+  best_spec : Searchgraph.spec;
+  best_eval : Searchgraph.eval;
+  evaluations : int;
+  generations_run : int;
+  history : float list;
+  wall_seconds : float;
+}
+
+let decode app platform individual =
+  let limit = Platform.n_clb platform in
+  let impl_choice v = individual.impl.(v) in
+  let fits v =
+    (Task.impl (App.task app v) (impl_choice v)).Task.clbs <= limit
+  in
+  let is_hw v = individual.hw.(v) && fits v in
+  let contexts = Repro_sched.Clustering.contexts app platform ~is_hw ~impl_choice in
+  (* Positional context of each hardware task. *)
+  let position = Hashtbl.create 32 in
+  List.iteri
+    (fun j members -> List.iter (fun v -> Hashtbl.add position v j) members)
+    contexts;
+  let binding v =
+    match Hashtbl.find_opt position v with
+    | Some j -> Searchgraph.Hw j
+    | None -> Searchgraph.Sw
+  in
+  let time v =
+    match binding v with
+    | Searchgraph.Sw -> (App.task app v).Task.sw_time
+    | Searchgraph.Hw _ | Searchgraph.On_asic _ ->
+      (Task.impl (App.task app v) (impl_choice v)).Task.hw_time
+  in
+  let comm u v =
+    match (binding u, binding v) with
+    | Searchgraph.Sw, Searchgraph.Sw -> 0.0
+    | Searchgraph.Sw, _ | _, Searchgraph.Sw ->
+      Platform.transfer_time platform (App.kbytes app u v)
+    | (Searchgraph.Hw _ | Searchgraph.On_asic _),
+      (Searchgraph.Hw _ | Searchgraph.On_asic _) -> 0.0
+  in
+  let rank = List_sched.upward_rank app ~time ~comm in
+  let sw_order =
+    List_sched.sw_order app
+      ~is_sw:(fun v -> binding v = Searchgraph.Sw)
+      ~priority:(fun v -> rank.(v))
+  in
+  Searchgraph.single_processor_spec ~app ~platform ~binding ~impl_choice
+    ~sw_order ~contexts
+
+let fitness app platform individual =
+  match Searchgraph.evaluate (decode app platform individual) with
+  | Some eval -> eval.Searchgraph.makespan
+  | None -> infinity
+
+let random_individual rng config app =
+  let n = App.size app in
+  {
+    hw = Array.init n (fun _ -> Rng.bool rng);
+    impl =
+      Array.init n (fun v ->
+          if config.explore_impls then
+            Rng.int rng (Task.impl_count (App.task app v))
+          else 0);
+  }
+
+let crossover rng a b =
+  (* Uniform crossover, gene by gene. *)
+  let n = Array.length a.hw in
+  let pick x y = if Rng.bool rng then x else y in
+  {
+    hw = Array.init n (fun v -> pick a.hw.(v) b.hw.(v));
+    impl = Array.init n (fun v -> pick a.impl.(v) b.impl.(v));
+  }
+
+let mutate rng config app rate individual =
+  let n = Array.length individual.hw in
+  for v = 0 to n - 1 do
+    if Rng.bernoulli rng rate then individual.hw.(v) <- not individual.hw.(v);
+    if config.explore_impls && Rng.bernoulli rng rate then
+      individual.impl.(v) <- Rng.int rng (Task.impl_count (App.task app v))
+  done
+
+let copy_individual i = { hw = Array.copy i.hw; impl = Array.copy i.impl }
+
+let run ?progress config app platform =
+  if config.population < 2 then invalid_arg "Ga.run: population < 2";
+  if config.elite >= config.population then invalid_arg "Ga.run: elite too big";
+  let start_clock = Sys.time () in
+  let rng = Rng.create config.seed in
+  let evaluations = ref 0 in
+  let score individual =
+    incr evaluations;
+    fitness app platform individual
+  in
+  let population =
+    Array.init config.population (fun _ ->
+        let i = random_individual rng config app in
+        (score i, i))
+  in
+  (* Seed one all-software individual: always feasible, so the final
+     best is finite even if every random spatial partition decodes to a
+     cyclic search graph. *)
+  let n = App.size app in
+  let all_sw = { hw = Array.make n false; impl = Array.make n 0 } in
+  population.(config.population - 1) <- (score all_sw, all_sw);
+  let by_fitness (fa, _) (fb, _) = compare fa fb in
+  Array.sort by_fitness population;
+  let history = ref [ fst population.(0) ] in
+  let tournament_pick () =
+    let best = ref (Rng.int rng config.population) in
+    for _ = 2 to config.tournament do
+      let candidate = Rng.int rng config.population in
+      if fst population.(candidate) < fst population.(!best) then
+        best := candidate
+    done;
+    snd population.(!best)
+  in
+  for generation = 1 to config.generations do
+    let next =
+      Array.init config.population (fun slot ->
+          if slot < config.elite then
+            let f, i = population.(slot) in
+            (f, copy_individual i)
+          else begin
+            let parent_a = tournament_pick () in
+            let child =
+              if Rng.bernoulli rng config.crossover_rate then
+                crossover rng parent_a (tournament_pick ())
+              else copy_individual parent_a
+            in
+            mutate rng config app config.mutation_rate child;
+            (score child, child)
+          end)
+    in
+    Array.sort by_fitness next;
+    Array.blit next 0 population 0 config.population;
+    history := fst population.(0) :: !history;
+    match progress with
+    | Some f -> f ~generation ~best:(fst population.(0))
+    | None -> ()
+  done;
+  let _, best = population.(0) in
+  let best_spec = decode app platform best in
+  let best_eval =
+    match Searchgraph.evaluate best_spec with
+    | Some eval -> eval
+    | None -> assert false (* the seeded all-software individual is
+                              feasible, so the best one is too *)
+  in
+  {
+    best;
+    best_spec;
+    best_eval;
+    evaluations = !evaluations;
+    generations_run = config.generations;
+    history = List.rev !history;
+    wall_seconds = Sys.time () -. start_clock;
+  }

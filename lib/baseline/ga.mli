@@ -1,0 +1,61 @@
+(** Genetic-algorithm baseline, after Ben Chehida & Auguin (CASES'02),
+    the comparison point of the paper's §5.
+
+    The GA explores spatial partitioning (and implementation selection)
+    only; for each individual the temporal partitioning is produced by
+    the deterministic {!Clustering} pass and the software schedule by
+    list scheduling on HEFT upward ranks — one partitioning and one
+    schedule per spatial solution, exactly the structure the paper
+    criticizes. *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+type config = {
+  population : int;       (** the paper quotes 300 in [6] *)
+  generations : int;
+  crossover_rate : float;
+  mutation_rate : float;  (** per-gene flip probability *)
+  tournament : int;
+  elite : int;
+  seed : int;
+  explore_impls : bool;
+  (** when false, every individual keeps the smallest implementation —
+      the spatial-partitioning-only GA closest to [6]'s published
+      description *)
+}
+
+val default_config : config
+(** population 300, 120 generations, crossover 0.9, mutation 0.02,
+    tournament 3, elite 2, seed 1, implementations explored. *)
+
+type individual = {
+  hw : bool array;        (** spatial partitioning gene per task *)
+  impl : int array;       (** implementation-selection gene per task *)
+}
+
+type result = {
+  best : individual;
+  best_spec : Searchgraph.spec;
+  best_eval : Searchgraph.eval;
+  evaluations : int;
+  generations_run : int;
+  history : float list;   (** best makespan per generation *)
+  wall_seconds : float;
+}
+
+val decode : App.t -> Platform.t -> individual -> Searchgraph.spec
+(** Clustering + list scheduling realization of a chromosome.
+    Hardware genes whose implementation cannot fit the device are
+    treated as software. *)
+
+val fitness : App.t -> Platform.t -> individual -> float
+(** Makespan of the decoded individual.  [infinity] when the decoded
+    search graph is cyclic (the list-scheduled software order can
+    conflict with the clustered context chain on rare partitions);
+    such individuals are selected away. *)
+
+val run :
+  ?progress:(generation:int -> best:float -> unit) -> config -> App.t ->
+  Platform.t -> result

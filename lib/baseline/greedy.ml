@@ -1,0 +1,49 @@
+open Repro_taskgraph
+open Repro_sched
+
+type result = {
+  hw_fraction : float;
+  spec : Searchgraph.spec;
+  eval : Searchgraph.eval;
+  wall_seconds : float;
+}
+
+let with_fraction app platform fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Greedy.with_fraction: fraction outside [0,1]";
+  let n = App.size app in
+  let by_weight =
+    List.sort
+      (fun a b ->
+        compare (App.task app b).Task.sw_time (App.task app a).Task.sw_time)
+      (List.init n Fun.id)
+  in
+  let hw_count = int_of_float (Float.round (fraction *. float_of_int n)) in
+  let hw = Array.make n false in
+  List.iteri (fun position v -> if position < hw_count then hw.(v) <- true)
+    by_weight;
+  Ga.decode app platform { Ga.hw; impl = Array.make n 0 }
+
+let run ?(fractions = List.init 11 (fun i -> float_of_int i /. 10.0)) app
+    platform =
+  let start_clock = Sys.time () in
+  let candidates =
+    List.filter_map
+      (fun fraction ->
+        let spec = with_fraction app platform fraction in
+        match Searchgraph.evaluate spec with
+        | Some eval -> Some (fraction, spec, eval)
+        | None -> None)
+      fractions
+  in
+  match candidates with
+  | [] -> invalid_arg "Greedy.run: no feasible fraction (empty sweep?)"
+  | first :: rest ->
+    let best =
+      List.fold_left
+        (fun ((_, _, ea) as a) ((_, _, eb) as b) ->
+          if eb.Searchgraph.makespan < ea.Searchgraph.makespan then b else a)
+        first rest
+    in
+    let hw_fraction, spec, eval = best in
+    { hw_fraction; spec; eval; wall_seconds = Sys.time () -. start_clock }

@@ -1,0 +1,28 @@
+(** Greedy compute-to-hardware baseline (in the spirit of Noguera &
+    Badia's partitioning criticized in the paper's §2: "the tasks with
+    the highest computational complexity are assigned to hardware with
+    no regard to the global effect on the system").
+
+    Tasks are ranked by software execution time; the heaviest fraction
+    is mapped to hardware (smallest implementation), temporal
+    partitioning is clustered deterministically, the schedule is list
+    scheduling.  [run] sweeps the hardware fraction and keeps the best,
+    giving the strongest version of this family. *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+type result = {
+  hw_fraction : float;        (** fraction of tasks mapped to hardware *)
+  spec : Searchgraph.spec;
+  eval : Searchgraph.eval;
+  wall_seconds : float;
+}
+
+val with_fraction : App.t -> Platform.t -> float -> Searchgraph.spec
+(** Map the heaviest [fraction] of the tasks to hardware. *)
+
+val run : ?fractions:float list -> App.t -> Platform.t -> result
+(** Default sweep: 0.0, 0.1, ..., 1.0; infeasible decodes are
+    skipped. *)

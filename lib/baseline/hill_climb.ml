@@ -1,0 +1,44 @@
+module Solution = Repro_dse.Solution
+module Moves = Repro_dse.Moves
+module Rng = Repro_util.Rng
+
+type config = { seed : int; moves_per_climb : int; restarts : int }
+
+let default_config = { seed = 1; moves_per_climb = 5000; restarts = 4 }
+
+type result = {
+  best : Solution.t;
+  best_makespan : float;
+  moves_tried : int;
+  wall_seconds : float;
+}
+
+let run config app platform =
+  if config.restarts < 1 then invalid_arg "Hill_climb.run: restarts < 1";
+  let start_clock = Sys.time () in
+  let rng = Rng.create config.seed in
+  let moves_tried = ref 0 in
+  let best = ref (Solution.all_software app platform) in
+  let best_makespan = ref (Solution.makespan !best) in
+  for _ = 1 to config.restarts do
+    let state = Solution.random rng app platform in
+    let current = ref (Solution.makespan state) in
+    for _ = 1 to config.moves_per_climb do
+      incr moves_tried;
+      match Moves.propose rng Moves.fixed_architecture state with
+      | None -> ()
+      | Some undo ->
+        let candidate = Solution.makespan state in
+        if candidate < !current then current := candidate else undo ()
+    done;
+    if !current < !best_makespan then begin
+      best := Solution.snapshot state;
+      best_makespan := !current
+    end
+  done;
+  {
+    best = !best;
+    best_makespan = !best_makespan;
+    moves_tried = !moves_tried;
+    wall_seconds = Sys.time () -. start_clock;
+  }

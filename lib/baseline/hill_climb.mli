@@ -1,0 +1,25 @@
+(** First-improvement hill climbing with random restarts, using the
+    same move set as the annealer — the ablation isolating the value of
+    accepting uphill moves. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+type config = {
+  seed : int;
+  moves_per_climb : int;   (** move attempts before declaring a local
+                               optimum / exhausting the climb *)
+  restarts : int;
+}
+
+val default_config : config
+(** seed 1, 5000 moves per climb, 4 restarts. *)
+
+type result = {
+  best : Repro_dse.Solution.t;
+  best_makespan : float;
+  moves_tried : int;
+  wall_seconds : float;
+}
+
+val run : config -> App.t -> Platform.t -> result

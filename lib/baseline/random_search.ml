@@ -1,0 +1,30 @@
+module Solution = Repro_dse.Solution
+module Rng = Repro_util.Rng
+
+type result = {
+  best : Solution.t;
+  best_makespan : float;
+  samples : int;
+  wall_seconds : float;
+}
+
+let run ~seed ~samples app platform =
+  if samples < 1 then invalid_arg "Random_search.run: samples < 1";
+  let start_clock = Sys.time () in
+  let rng = Rng.create seed in
+  let best = ref (Solution.all_software app platform) in
+  let best_makespan = ref (Solution.makespan !best) in
+  for _ = 1 to samples do
+    let candidate = Solution.random rng app platform in
+    let makespan = Solution.makespan candidate in
+    if makespan < !best_makespan then begin
+      best := candidate;
+      best_makespan := makespan
+    end
+  done;
+  {
+    best = !best;
+    best_makespan = !best_makespan;
+    samples;
+    wall_seconds = Sys.time () -. start_clock;
+  }

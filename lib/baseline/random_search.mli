@@ -1,0 +1,17 @@
+(** Pure random sampling of the solution space — the weakest sensible
+    baseline, and the control showing how much structure the annealer
+    exploits. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+type result = {
+  best : Repro_dse.Solution.t;
+  best_makespan : float;
+  samples : int;
+  wall_seconds : float;
+}
+
+val run : seed:int -> samples:int -> App.t -> Platform.t -> result
+(** Draw [samples] random solutions ({!Repro_dse.Solution.random}) and
+    keep the best feasible one. *)

@@ -1,0 +1,94 @@
+module Solution = Repro_dse.Solution
+module Moves = Repro_dse.Moves
+module Rng = Repro_util.Rng
+
+type config = {
+  seed : int;
+  iterations : int;
+  neighbourhood : int;
+  tenure : int;
+}
+
+let default_config = { seed = 1; iterations = 4_000; neighbourhood = 24; tenure = 20 }
+
+type result = {
+  best : Solution.t;
+  best_makespan : float;
+  moves_applied : int;
+  wall_seconds : float;
+}
+
+(* State-hash tabu: a candidate is tabu when its full configuration was
+   visited within the last [tenure] applied moves. *)
+let state_hash solution =
+  let n = Solution.size solution in
+  let acc = ref 0 in
+  let mix x = acc := (!acc * 1_000_003) lxor x in
+  for v = 0 to n - 1 do
+    (match Solution.binding solution v with
+     | Repro_sched.Searchgraph.Sw ->
+       mix (-1 - Solution.processor_index solution v)
+     | Repro_sched.Searchgraph.Hw j -> mix (1000 + j)
+     | Repro_sched.Searchgraph.On_asic a -> mix (2000 + a));
+    mix (Solution.impl_index solution v)
+  done;
+  List.iter (fun order -> List.iter mix order) (Solution.sw_orders solution);
+  List.iter (fun members -> List.iter mix members; mix (-7))
+    (Solution.contexts solution);
+  !acc
+
+let run config app platform =
+  if config.iterations < 1 || config.neighbourhood < 1 then
+    invalid_arg "Tabu.run: non-positive budget";
+  let start_clock = Sys.time () in
+  let master = Rng.create config.seed in
+  let solution = Solution.random (Rng.split master) app platform in
+  let best = ref (Solution.snapshot solution) in
+  let best_makespan = ref (Solution.makespan solution) in
+  let tabu = Hashtbl.create 64 in
+  let recent = Queue.create () in
+  let remember hash =
+    Hashtbl.replace tabu hash ();
+    Queue.add hash recent;
+    if Queue.length recent > config.tenure then
+      Hashtbl.remove tabu (Queue.pop recent)
+  in
+  remember (state_hash solution);
+  let moves_applied = ref 0 in
+  for _ = 1 to config.iterations do
+    (* Sample the neighbourhood: each candidate draws its move from a
+       dedicated stream so the winner can be replayed exactly. *)
+    let best_candidate = ref None in
+    for _ = 1 to config.neighbourhood do
+      let stream = Rng.split master in
+      match Moves.propose (Rng.copy stream) Moves.fixed_architecture solution with
+      | None -> ()
+      | Some undo ->
+        let cost = Solution.makespan solution in
+        let hash = state_hash solution in
+        undo ();
+        if not (Hashtbl.mem tabu hash) then begin
+          match !best_candidate with
+          | Some (previous_cost, _, _) when previous_cost <= cost -> ()
+          | Some _ | None -> best_candidate := Some (cost, stream, hash)
+        end
+    done;
+    match !best_candidate with
+    | None -> () (* whole neighbourhood tabu or infeasible: stall *)
+    | Some (cost, stream, hash) ->
+      (match Moves.propose stream Moves.fixed_architecture solution with
+       | Some _ -> ()
+       | None -> assert false (* same stream, same (feasible) move *));
+      incr moves_applied;
+      remember hash;
+      if cost < !best_makespan then begin
+        best_makespan := cost;
+        best := Solution.snapshot solution
+      end
+  done;
+  {
+    best = !best;
+    best_makespan = !best_makespan;
+    moves_applied = !moves_applied;
+    wall_seconds = Sys.time () -. start_clock;
+  }

@@ -1,0 +1,31 @@
+(** Tabu-search baseline.
+
+    The paper motivates its adaptive annealing by contrast with methods
+    that "require tuning, as one can find in tabu search (tabu list
+    sizes)".  This baseline makes that contrast measurable: a
+    steepest-descent tabu search over the same move space, with the
+    tabu attribute being the (task, resource-kind) of the last
+    migrations.  Its quality is indeed sensitive to [tenure] — the
+    `compare` tooling can sweep it. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+type config = {
+  seed : int;
+  iterations : int;       (** outer iterations (one applied move each) *)
+  neighbourhood : int;    (** candidate moves sampled per iteration *)
+  tenure : int;           (** iterations a reversed attribute stays tabu *)
+}
+
+val default_config : config
+(** seed 1, 4000 iterations, 24 candidates, tenure 20. *)
+
+type result = {
+  best : Repro_dse.Solution.t;
+  best_makespan : float;
+  moves_applied : int;
+  wall_seconds : float;
+}
+
+val run : config -> App.t -> Platform.t -> result

@@ -1,0 +1,69 @@
+open Repro_taskgraph
+
+let mul_exact a b =
+  if a = 0 || b = 0 then 0
+  else begin
+    let p = a * b in
+    if p / b <> a then invalid_arg "Combinatorics: integer overflow";
+    p
+  end
+
+let binomial n k =
+  if n < 0 || k < 0 then invalid_arg "Combinatorics.binomial: negative";
+  if k > n then 0
+  else begin
+    let k = min k (n - k) in
+    (* Multiply before dividing but keep intermediate values exact:
+       after step i the accumulator is C(n-k+i, i), an integer. *)
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := mul_exact !acc (n - k + i) / i
+    done;
+    !acc
+  end
+
+let interleavings lengths =
+  if List.exists (fun l -> l < 0) lengths then
+    invalid_arg "Combinatorics.interleavings: negative length";
+  let _, product =
+    List.fold_left
+      (fun (placed, acc) l -> (placed + l, mul_exact acc (binomial (placed + l) l)))
+      (0, 1) lengths
+  in
+  product
+
+let context_change_combinations ~nodes ~changes = binomial nodes changes
+
+let motion_detection_total_orders () = mul_exact 3 (binomial 21 7)
+
+let motion_detection_combinations ~changes =
+  mul_exact
+    (motion_detection_total_orders ())
+    (context_change_combinations ~nodes:28 ~changes)
+
+let linear_extensions g =
+  let n = Graph.size g in
+  if n > 24 then invalid_arg "Combinatorics.linear_extensions: > 24 nodes";
+  if not (Graph.is_dag g) then
+    invalid_arg "Combinatorics.linear_extensions: cyclic graph";
+  if n = 0 then 1
+  else begin
+    (* pred_mask.(v): bitmask of predecessors of v. counts.(mask) =
+       number of orders of the node set [mask]. *)
+    let pred_mask = Array.make n 0 in
+    Graph.iter_edges (fun u v -> pred_mask.(v) <- pred_mask.(v) lor (1 lsl u)) g;
+    let counts = Array.make (1 lsl n) 0 in
+    counts.(0) <- 1;
+    for mask = 1 to (1 lsl n) - 1 do
+      let total = ref 0 in
+      for v = 0 to n - 1 do
+        let bit = 1 lsl v in
+        (* v can be the last node of [mask] if all its predecessors are
+           already placed in [mask - v]. *)
+        if mask land bit <> 0 && pred_mask.(v) land (mask lxor bit) = pred_mask.(v)
+        then total := !total + counts.(mask lxor bit)
+      done;
+      counts.(mask) <- !total
+    done;
+    counts.((1 lsl n) - 1)
+  end

@@ -1,0 +1,37 @@
+(** Solution-space counting (§5 of the paper).
+
+    The paper sizes the explored space with closed-form counts: the
+    number of total orders of the 28-node motion-detection graph and
+    the number of temporal partitionings (context-change placements)
+    per order.  This module reproduces those numbers exactly and adds
+    an exact linear-extension counter for cross-checking on small
+    graphs. *)
+
+val binomial : int -> int -> int
+(** Exact C(n, k); raises [Invalid_argument] on overflow of the native
+    63-bit integers or on negative arguments. *)
+
+val interleavings : int list -> int
+(** Number of ways to interleave independent chains of the given
+    lengths into one total order: the multinomial
+    [(Σ lᵢ)! / Π lᵢ!].  The paper's "1716 total orders" for a 7-chain
+    in parallel with a 6-chain is [interleavings [7; 6]]. *)
+
+val context_change_combinations : nodes:int -> changes:int -> int
+(** Combinations of [changes] context changes over a [nodes]-task total
+    order, counted as C(nodes, changes) as in the paper (378 for 28
+    nodes and 2 changes; 376,740 for 6). *)
+
+val motion_detection_total_orders : unit -> int
+(** The paper's 3 × C(21, 7) = 348,840: the 28 nodes form a 7-chain
+    followed by a 7-chain in parallel with one of 3 possible 14-node
+    chains. *)
+
+val motion_detection_combinations : changes:int -> int
+(** Total orders × context-change combinations: 131,861,520 for 2
+    changes, 7,142,499,000 for 4. *)
+
+val linear_extensions : Repro_taskgraph.Graph.t -> int
+(** Exact count of topological orders by bitmask dynamic programming.
+    Requires a DAG with at most 24 nodes ([Invalid_argument]
+    otherwise); exponential memory in the node count. *)

@@ -1,0 +1,193 @@
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+module Annealer = Repro_anneal.Annealer
+module Rng = Repro_util.Rng
+
+type objective =
+  | Makespan
+  | Makespan_serialized
+  | Min_period
+  | Cost_under_deadline of { penalty_per_ms : float }
+
+type config = {
+  anneal : Annealer.config;
+  moves : Moves.config;
+  objective : objective;
+}
+
+let default_config ?(seed = 1) () =
+  {
+    anneal = { Annealer.default_config with seed };
+    moves = Moves.fixed_architecture;
+    objective = Makespan;
+  }
+
+let quality_config ?(seed = 1) q =
+  {
+    anneal = Annealer.config_of_quality ~seed q;
+    moves = Moves.fixed_architecture;
+    objective = Makespan;
+  }
+
+type result = {
+  best : Solution.t;
+  best_eval : Searchgraph.eval;
+  best_cost : float;
+  initial_cost : float;
+  iterations_run : int;
+  accepted : int;
+  infeasible : int;
+  wall_seconds : float;
+}
+
+let cost_of objective solution =
+  match objective with
+  | Makespan -> Solution.makespan solution
+  | Makespan_serialized ->
+    (match Searchgraph.evaluate_serialized (Solution.spec solution) with
+     | Some eval -> eval.Searchgraph.makespan
+     | None -> infinity)
+  | Min_period ->
+    if Solution.evaluate solution = None then infinity
+    else
+      (Periodic.analyze (Solution.spec solution)).Periodic.min_initiation_interval
+  | Cost_under_deadline { penalty_per_ms } ->
+    let deadline =
+      match (Solution.app solution).App.deadline with
+      | Some d -> d
+      | None ->
+        invalid_arg "Explorer: Cost_under_deadline needs an app deadline"
+    in
+    let overshoot = Float.max 0.0 (Solution.makespan solution -. deadline) in
+    Platform.total_cost (Solution.platform solution)
+    +. (penalty_per_ms *. overshoot)
+
+let meets_deadline application eval =
+  match application.App.deadline with
+  | None -> true
+  | Some d -> eval.Searchgraph.makespan <= d
+
+type frontier_point = {
+  platform : Platform.t;
+  eval : Searchgraph.eval;
+  cost : float;
+  meets : bool;
+}
+
+let explore ?trace ?initial config application platform =
+  let module P = struct
+    type state = Solution.t
+
+    let cost = cost_of config.objective
+    let snapshot = Solution.snapshot
+    let propose rng s = Moves.propose rng config.moves s
+  end in
+  let module Engine = Annealer.Make (P) in
+  let start_clock = Sys.time () in
+  let solution =
+    match initial with
+    | Some s -> s
+    | None ->
+      let rng = Rng.create config.anneal.Annealer.seed in
+      Solution.random rng application platform
+  in
+  (match Solution.evaluate solution with
+   | Some _ -> ()
+   | None ->
+     invalid_arg "Explorer.explore: initial solution is infeasible");
+  let initial_cost = P.cost solution in
+  let annealer_trace =
+    match trace with
+    | None -> None
+    | Some t ->
+      Some
+        (fun ~iteration ~cost ~best ~temperature ~accepted ->
+          Trace.record t
+            {
+              Trace.iteration;
+              cost;
+              best;
+              temperature;
+              accepted;
+              n_contexts = Solution.n_contexts solution;
+            })
+  in
+  let outcome = Engine.run ?trace:annealer_trace config.anneal solution in
+  let best = outcome.Annealer.best in
+  let best_eval =
+    match Solution.evaluate best with
+    | Some eval -> eval
+    | None -> assert false (* only feasible states are ever accepted *)
+  in
+  {
+    best;
+    best_eval;
+    best_cost = outcome.Annealer.best_cost;
+    initial_cost;
+    iterations_run = outcome.Annealer.iterations_run;
+    accepted = outcome.Annealer.accepted;
+    infeasible = outcome.Annealer.infeasible;
+    wall_seconds = Sys.time () -. start_clock;
+  }
+
+let explore_restarts ?trace ~restarts config application platform =
+  if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
+  let run index =
+    let seed = config.anneal.Annealer.seed + (index * 65_537) in
+    let config =
+      { config with anneal = { config.anneal with Annealer.seed } }
+    in
+    let trace = if index = 0 then trace else None in
+    explore ?trace config application platform
+  in
+  let first = run 0 in
+  let rec fold best costs index =
+    if index = restarts then (best, List.rev costs)
+    else begin
+      let candidate = run index in
+      let best =
+        if candidate.best_cost < best.best_cost then candidate else best
+      in
+      fold best (candidate.best_cost :: costs) (index + 1)
+    end
+  in
+  fold first [ first.best_cost ] 1
+
+let cost_performance_frontier ?(seed = 1) ?(iterations = 20_000) application
+    catalogue =
+  let candidates =
+    List.map
+      (fun platform ->
+        let config =
+          {
+            anneal =
+              { Annealer.default_config with Annealer.iterations; seed };
+            moves = Moves.fixed_architecture;
+            objective = Makespan;
+          }
+        in
+        let result = explore config application platform in
+        {
+          platform;
+          eval = result.best_eval;
+          cost = Platform.total_cost platform;
+          meets = meets_deadline application result.best_eval;
+        })
+      catalogue
+  in
+  let dominated point =
+    List.exists
+      (fun other ->
+        other != point
+        && other.cost <= point.cost
+        && other.eval.Searchgraph.makespan <= point.eval.Searchgraph.makespan
+        && (other.cost < point.cost
+            || other.eval.Searchgraph.makespan
+               < point.eval.Searchgraph.makespan))
+      candidates
+  in
+  List.sort
+    (fun a b -> compare (a.cost, a.eval.Searchgraph.makespan)
+        (b.cost, b.eval.Searchgraph.makespan))
+    (List.filter (fun p -> not (dominated p)) candidates)

@@ -1,0 +1,96 @@
+(** The design-space-exploration tool: adaptive simulated annealing
+    over the coupled spatial-partitioning / temporal-partitioning /
+    scheduling space.
+
+    The default objective is the paper's experimental one (architecture
+    fixed, minimize execution time); the cost-minimization objective of
+    the general method (minimize system cost subject to the performance
+    constraint) is available for architecture exploration with a device
+    catalogue. *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+type objective =
+  | Makespan
+      (** minimize execution time — architecture fixed, as in §5 *)
+  | Makespan_serialized
+      (** minimize execution time under the explicit bus-transaction
+          model ({!Repro_sched.Searchgraph.evaluate_serialized}):
+          concurrent boundary crossings contend for the shared medium *)
+  | Min_period
+      (** minimize the steady-state initiation interval
+          ({!Repro_sched.Periodic}): the right objective when the
+          constraint is a pipeline period (one image every 40 ms)
+          rather than a latency *)
+  | Cost_under_deadline of { penalty_per_ms : float }
+      (** minimize platform cost, with [penalty_per_ms] per millisecond
+          of deadline overshoot; requires the application to declare a
+          deadline *)
+
+type config = {
+  anneal : Repro_anneal.Annealer.config;
+  moves : Moves.config;
+  objective : objective;
+}
+
+val default_config : ?seed:int -> unit -> config
+(** Fixed architecture, makespan objective, Lam schedule, the paper's
+    1200-iteration infinite-temperature warmup. *)
+
+val quality_config : ?seed:int -> float -> config
+(** User-selected optimization quality in \[0,1\] (the paper's knob
+    trading computing time for solution quality). *)
+
+type result = {
+  best : Solution.t;
+  best_eval : Searchgraph.eval;
+  best_cost : float;
+  initial_cost : float;
+  iterations_run : int;
+  accepted : int;
+  infeasible : int;
+  wall_seconds : float;
+}
+
+val cost_of : objective -> Solution.t -> float
+(** The scalar the annealer minimizes. *)
+
+val explore :
+  ?trace:Trace.t -> ?initial:Solution.t -> config -> App.t -> Platform.t ->
+  result
+(** Run one exploration.  The initial solution defaults to
+    {!Solution.random} drawn from the annealing seed.  Raises
+    [Invalid_argument] when [Cost_under_deadline] is used on an
+    application without a deadline. *)
+
+val meets_deadline : App.t -> Searchgraph.eval -> bool
+(** True when the application declares no deadline or the evaluated
+    makespan honours it. *)
+
+val explore_restarts :
+  ?trace:Trace.t -> restarts:int -> config -> App.t -> Platform.t ->
+  result * float list
+(** Run [restarts] independent explorations (seeds derived from the
+    configured one) and return the best result together with every
+    run's best cost — the usual defense against annealing variance,
+    and the data behind the paper's Fig. 3 averaging.  The trace, when
+    given, records the winning run only if it is the first; prefer
+    single runs for traces. *)
+
+type frontier_point = {
+  platform : Platform.t;
+  eval : Searchgraph.eval;
+  cost : float;
+  meets : bool;
+}
+
+val cost_performance_frontier :
+  ?seed:int -> ?iterations:int -> App.t -> Platform.t list ->
+  frontier_point list
+(** Explore the application once per catalogue platform (makespan
+    objective) and keep the Pareto-dominant (platform cost, makespan)
+    points, sorted by increasing cost — the designer-facing output of
+    the paper's cost-minimization story.  Default budget: 20000
+    iterations per platform. *)

@@ -1,0 +1,60 @@
+(** Move generation and realization (§4.2-4.3 of the paper).
+
+    A move draws a source task [vs] and a destination task [vd] and,
+    depending on the resources holding them, performs:
+
+    - m1 — [R(vs) = R(vd)] = processor: reposition [vs] in the total
+      software order (no move when the shared resource is an RC
+      context);
+    - m2 — different resources: migrate [vs] to the resource of [vd]
+      (software ↔ hardware and context ↔ context migrations; a fresh
+      context is spawned when the destination context would overflow
+      the device);
+    - m4-like context creation: give [vs] a brand-new context (the
+      paper's resource-creation move restricted to the RC);
+    - implementation selection: switch the area-time variant of a
+      hardware task;
+    - device selection ([m3]/[m4] restricted form): swap the platform
+      for another of the catalogue, for architecture exploration.
+
+    Every move is validated: structural invariants are preserved by
+    construction, and a move whose search graph becomes cyclic (or
+    whose contexts overflow) is undone and reported as infeasible,
+    matching §4.3. *)
+
+open Repro_arch
+
+type config = {
+  p_impl : float;
+  (** probability of drawing an implementation-selection move *)
+  p_new_context : float;
+  (** probability of drawing a context-creation move *)
+  p_swap_contexts : float;
+  (** probability of exchanging two adjacent contexts in the globally
+      total order of the DRLC *)
+  p_to_sw : float;
+  (** probability of drawing a direct hardware-to-processor migration;
+      keeps the chain ergodic when no task runs in software (m2 needs a
+      software destination task to exist) *)
+  p_device : float;
+  (** probability of drawing a device-swap move (needs a catalogue) *)
+  device_catalogue : Platform.t list;
+  (** candidate platforms for architecture exploration; [] = fixed *)
+}
+
+val fixed_architecture : config
+(** The paper's experimental setting: architecture fixed (probability
+    of resource creation/removal set to 0), 20% implementation moves,
+    5% context-creation moves, 10% direct to-software migrations. *)
+
+val exploration : Platform.t list -> config
+(** Architecture exploration over a device catalogue. *)
+
+val spatial_only : config
+(** Ablation: no implementation-selection moves, no explicit
+    context-creation moves — only m1/m2. *)
+
+val propose : Repro_util.Rng.t -> config -> Solution.t -> (unit -> unit) option
+(** Draw, realize, and validate one move; [Some undo] on success,
+    [None] when the drawn move is infeasible or void (the annealer
+    counts it and retries at the next iteration). *)

@@ -1,0 +1,65 @@
+(** Multi-mode mapping (toward the conclusion's "systems described by
+    multiple models of computation").
+
+    A mode-based system (CFSM-style control around dataflow) runs one
+    *mode* at a time: each mode is a precedence graph over a subset of
+    a global task set, with its own real-time constraint.  Hardware is
+    synthesized once, so the spatial partitioning and the
+    implementation selection are shared across modes, while temporal
+    partitioning and schedules are per-mode.
+
+    The explorer anneals over the shared decisions; each candidate is
+    realized per mode with the deterministic clustering + list
+    scheduling decode (the per-mode refinement that the single-mode
+    explorer performs with moves is left deterministic here, keeping
+    the search space the shared genes). *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+type mode = {
+  mode_name : string;
+  edges : App.edge list;   (** precedences among [members] *)
+  members : int list;      (** global task ids active in this mode *)
+  deadline : float;        (** per-activation constraint, ms *)
+}
+
+type problem
+
+val make_problem :
+  name:string -> tasks:Task.t list -> modes:mode list -> problem
+(** Validates: at least one mode, members within range, every mode's
+    restriction acyclic.  Task ids are global (0..n-1 over [tasks]). *)
+
+type assignment = {
+  hw : bool array;    (** shared spatial partitioning, per global task *)
+  impl : int array;   (** shared implementation selection *)
+}
+
+type mode_result = {
+  mode : mode;
+  spec : Searchgraph.spec;
+  eval : Searchgraph.eval;
+  meets : bool;
+}
+
+type result = {
+  assignment : assignment;
+  per_mode : mode_result list;
+  worst_slack_ratio : float;
+  (** min over modes of (deadline - makespan) / deadline; >= 0 iff
+      every mode meets its constraint *)
+  iterations_run : int;
+  wall_seconds : float;
+}
+
+val realize :
+  problem -> Platform.t -> assignment -> (mode * Searchgraph.spec) list
+(** Deterministic decode of the shared assignment in every mode. *)
+
+val explore :
+  ?seed:int -> ?iterations:int -> problem -> Platform.t -> result
+(** Anneal the shared assignment to maximize the worst slack ratio
+    (all-modes feasibility first, margin second).  Defaults: seed 1,
+    20000 iterations. *)

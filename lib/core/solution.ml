@@ -1,0 +1,437 @@
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+module Rng = Repro_util.Rng
+
+(* assign.(v) = -(p+1) when the task runs in software on processor p
+   (so -1 is the primary processor), otherwise the stable id (>= 0) of
+   its context.  Stable ids survive context insertions and removals;
+   the execution order of contexts is the order of the [contexts]
+   association list.  [sw.(p)] is the execution order of processor p. *)
+type t = {
+  app : App.t;
+  clo : Closure.t;
+  mutable platform : Platform.t;
+  assign : int array;
+  impl : int array;
+  mutable sw : int list array;
+  mutable ctxs : (int * int list) list;
+  mutable next_ctx : int;
+  mutable cached : Searchgraph.eval option option;
+}
+
+let processor_index t v =
+  if t.assign.(v) >= 0 then
+    invalid_arg "Solution.processor_index: task is in hardware";
+  -t.assign.(v) - 1
+
+let app t = t.app
+let platform t = t.platform
+let closure t = t.clo
+let size t = App.size t.app
+
+let invalidate t = t.cached <- None
+
+(* Shared closures are computed once per application and reused by
+   copies; a weak-keyed cache would be overkill here. *)
+let closure_of_app application = Closure.of_graph application.App.graph
+
+let all_software application platform =
+  let n = App.size application in
+  let order = Array.to_list (App.topological_order application) in
+  let processors = Platform.processor_count platform in
+  let sw = Array.make processors [] in
+  sw.(0) <- order;
+  {
+    app = application;
+    clo = closure_of_app application;
+    platform;
+    assign = Array.make n (-1);
+    impl = Array.make n 0;
+    sw;
+    ctxs = [];
+    next_ctx = 0;
+    cached = None;
+  }
+
+let copy t =
+  {
+    t with
+    assign = Array.copy t.assign;
+    impl = Array.copy t.impl;
+    sw = Array.copy t.sw;
+    cached = t.cached;
+  }
+
+let snapshot = copy
+
+let save t =
+  let assign = Array.copy t.assign in
+  let impl = Array.copy t.impl in
+  let sw = Array.copy t.sw in
+  let ctxs = t.ctxs in
+  let next_ctx = t.next_ctx in
+  let cached = t.cached in
+  let platform = t.platform in
+  fun () ->
+    Array.blit assign 0 t.assign 0 (Array.length assign);
+    Array.blit impl 0 t.impl 0 (Array.length impl);
+    t.sw <- Array.copy sw;
+    t.ctxs <- ctxs;
+    t.next_ctx <- next_ctx;
+    t.cached <- cached;
+    t.platform <- platform
+
+let binding t v =
+  if t.assign.(v) < 0 then Searchgraph.Sw
+  else begin
+    let rec position j = function
+      | [] -> assert false (* assign always references a live context *)
+      | (id, _) :: rest -> if id = t.assign.(v) then j else position (j + 1) rest
+    in
+    Searchgraph.Hw (position 0 t.ctxs)
+  end
+
+let impl_index t v = t.impl.(v)
+let sw_order t = t.sw.(0)
+let sw_orders t = Array.to_list t.sw
+let contexts t = List.map snd t.ctxs
+let n_contexts t = List.length t.ctxs
+
+let hw_tasks t =
+  List.filter (fun v -> t.assign.(v) >= 0) (List.init (size t) Fun.id)
+
+let task_clbs t v = (Task.impl (App.task t.app v) t.impl.(v)).Task.clbs
+
+let members_clbs t members =
+  List.fold_left (fun acc v -> acc + task_clbs t v) 0 members
+
+let context_clbs t j =
+  match List.nth_opt t.ctxs j with
+  | Some (_, members) -> members_clbs t members
+  | None -> invalid_arg "Solution.context_clbs: no such context"
+
+let spec t =
+  {
+    Searchgraph.app = t.app;
+    platform = t.platform;
+    binding = binding t;
+    impl_choice = (fun v -> t.impl.(v));
+    sw_order = t.sw.(0);
+    contexts = List.map snd t.ctxs;
+    proc_of =
+      (fun v -> if t.assign.(v) < 0 then -t.assign.(v) - 1 else 0);
+    extra_sw_orders = List.tl (Array.to_list t.sw);
+  }
+
+let capacity_ok t =
+  let limit = Platform.n_clb t.platform in
+  List.for_all (fun (_, members) -> members_clbs t members <= limit) t.ctxs
+
+let evaluate t =
+  match t.cached with
+  | Some result -> result
+  | None ->
+    let result =
+      if not (capacity_ok t) then None else Searchgraph.evaluate (spec t)
+    in
+    t.cached <- Some result;
+    result
+
+let makespan t =
+  match evaluate t with
+  | Some eval -> eval.Searchgraph.makespan
+  | None -> infinity
+
+(* --- mutations --- *)
+
+let set_impl t v k =
+  if k < 0 || k >= Task.impl_count (App.task t.app v) then
+    invalid_arg "Solution.set_impl: implementation index out of range";
+  t.impl.(v) <- k;
+  invalidate t
+
+let remove_from_context t v =
+  let id = t.assign.(v) in
+  assert (id >= 0);
+  t.ctxs <-
+    List.filter_map
+      (fun (cid, members) ->
+        if cid <> id then Some (cid, members)
+        else
+          match List.filter (fun w -> w <> v) members with
+          | [] -> None
+          | remaining -> Some (cid, remaining))
+      t.ctxs;
+  t.assign.(v) <- -1
+
+let insert_before x before list =
+  let rec walk = function
+    | [] -> [ x ]
+    | y :: rest -> if y = before then x :: y :: rest else y :: walk rest
+  in
+  walk list
+
+let detach t task =
+  if t.assign.(task) >= 0 then remove_from_context t task
+  else begin
+    let p = processor_index t task in
+    t.sw.(p) <- List.filter (fun w -> w <> task) t.sw.(p)
+  end
+
+let move_to_sw ?(proc = 0) t ~task ~before =
+  if proc < 0 || proc >= Array.length t.sw then
+    invalid_arg "Solution.move_to_sw: no such processor";
+  if t.assign.(task) < 0 && processor_index t task = proc then
+    invalid_arg "Solution.move_to_sw: task already on that processor";
+  detach t task;
+  t.assign.(task) <- -(proc + 1);
+  (match before with
+   | None -> t.sw.(proc) <- t.sw.(proc) @ [ task ]
+   | Some anchor ->
+     if not (List.mem anchor t.sw.(proc)) then
+       invalid_arg "Solution.move_to_sw: anchor not in that processor's order";
+     t.sw.(proc) <- insert_before task anchor t.sw.(proc));
+  invalidate t
+
+let move_to_context t ~task ~dest =
+  let dest_id = t.assign.(dest) in
+  if dest_id < 0 then
+    invalid_arg "Solution.move_to_context: destination not in hardware";
+  if t.assign.(task) = dest_id then
+    invalid_arg "Solution.move_to_context: already in that context";
+  (* Detach the source task first. *)
+  detach t task;
+  let limit = Platform.n_clb t.platform in
+  let fits members = members_clbs t members + task_clbs t task <= limit in
+  let placed = ref false in
+  t.ctxs <-
+    List.concat_map
+      (fun (cid, members) ->
+        if cid = dest_id then begin
+          if fits members then begin
+            placed := true;
+            t.assign.(task) <- cid;
+            [ (cid, task :: members) ]
+          end
+          else begin
+            (* Spawn a fresh context right after the destination. *)
+            let fresh = t.next_ctx in
+            t.next_ctx <- t.next_ctx + 1;
+            placed := true;
+            t.assign.(task) <- fresh;
+            [ (cid, members); (fresh, [ task ]) ]
+          end
+        end
+        else [ (cid, members) ])
+      t.ctxs;
+  assert !placed;
+  invalidate t
+
+let insert_context t ~task ~at =
+  let k = List.length t.ctxs in
+  if at < 0 || at > k then invalid_arg "Solution.insert_context: bad position";
+  detach t task;
+  let fresh = t.next_ctx in
+  t.next_ctx <- t.next_ctx + 1;
+  t.assign.(task) <- fresh;
+  (* The source context may have disappeared; recompute the bound. *)
+  let at = min at (List.length t.ctxs) in
+  let rec insert j = function
+    | rest when j = at -> (fresh, [ task ]) :: rest
+    | [] -> [ (fresh, [ task ]) ]
+    | c :: rest -> c :: insert (j + 1) rest
+  in
+  t.ctxs <- insert 0 t.ctxs;
+  invalidate t
+
+let append_context t ~task =
+  insert_context t ~task ~at:(List.length t.ctxs)
+
+let swap_contexts t ~at =
+  let k = List.length t.ctxs in
+  if at < 0 || at >= k - 1 then invalid_arg "Solution.swap_contexts: bad position";
+  let rec swap j = function
+    | a :: b :: rest when j = at -> b :: a :: rest
+    | c :: rest -> c :: swap (j + 1) rest
+    | [] -> assert false (* bound checked above *)
+  in
+  t.ctxs <- swap 0 t.ctxs;
+  invalidate t
+
+let reorder_sw t ~task ~before =
+  if t.assign.(task) >= 0 || t.assign.(before) >= 0 then
+    invalid_arg "Solution.reorder_sw: both tasks must be in software";
+  let p = processor_index t task in
+  if processor_index t before <> p then
+    invalid_arg "Solution.reorder_sw: tasks on different processors";
+  if task <> before then begin
+    t.sw.(p) <-
+      insert_before task before (List.filter (fun w -> w <> task) t.sw.(p));
+    invalidate t
+  end
+
+let replace_platform t platform =
+  if Platform.processor_count platform <> Array.length t.sw then
+    invalid_arg
+      "Solution.replace_platform: platforms must have the same number of \
+       processors";
+  t.platform <- platform;
+  invalidate t
+
+let random rng application platform =
+  let t = all_software application platform in
+  let n = App.size application in
+  (* Randomized precedence-consistent software order: Kahn with random
+     ready choice. *)
+  let g = application.App.graph in
+  let indegree = Array.init n (fun v -> Graph.in_degree g v) in
+  let ready = ref (List.filter (fun v -> indegree.(v) = 0) (List.init n Fun.id)) in
+  let order = ref [] in
+  while !ready <> [] do
+    let arr = Array.of_list !ready in
+    let v = Rng.choice rng arr in
+    ready := List.filter (fun w -> w <> v) !ready;
+    order := v :: !order;
+    List.iter
+      (fun w ->
+        indegree.(w) <- indegree.(w) - 1;
+        if indegree.(w) = 0 then ready := w :: !ready)
+      (Graph.succs g v)
+  done;
+  let random_topological_order = List.rev !order in
+  t.sw.(0) <- random_topological_order;
+  (* Move a random number of tasks, one by one, to the circuit; pack in
+     topological order, opening a new context when the last one is
+     full (the paper's initial-solution procedure). *)
+  let target_hw = Rng.int rng (n + 1) in
+  let shuffled = Array.init n Fun.id in
+  Rng.shuffle_in_place rng shuffled;
+  let chosen = Array.sub shuffled 0 target_hw in
+  let limit = Platform.n_clb platform in
+  let in_hw = Array.make n false in
+  let pick_impl v =
+    (* Random implementation variant, as the paper's initial solution
+       leaves the area-time choice unoptimized; fall back to the
+       smallest one when the draw does not fit the device. *)
+    let task = App.task application v in
+    let k = Rng.int rng (Task.impl_count task) in
+    if (Task.impl task k).Task.clbs <= limit then k else 0
+  in
+  Array.iter
+    (fun v ->
+      t.impl.(v) <- pick_impl v;
+      if task_clbs t v <= limit then in_hw.(v) <- true)
+    chosen;
+  (* Pack along the same topological order that the software schedule
+     uses: a single linear order underlies the whole initial solution,
+     so software edges, context packing and the context chain cannot
+     disagree — the initial search graph is acyclic by construction. *)
+  let topo = Array.of_list random_topological_order in
+  Array.iter
+    (fun v ->
+      if in_hw.(v) then begin
+        match List.rev t.ctxs with
+        | (last_id, members) :: _
+          when members_clbs t members + task_clbs t v <= limit ->
+          t.sw.(0) <- List.filter (fun w -> w <> v) t.sw.(0);
+          t.assign.(v) <- last_id;
+          t.ctxs <-
+            List.map
+              (fun (cid, ms) -> if cid = last_id then (cid, v :: ms) else (cid, ms))
+              t.ctxs;
+          invalidate t
+        | _ :: _ | [] -> append_context t ~task:v
+      end)
+    topo;
+  t
+
+let check_invariants t =
+  let problems = ref [] in
+  let note msg = problems := msg :: !problems in
+  let n = size t in
+  let limit = Platform.n_clb t.platform in
+  (* Bindings agree with context membership. *)
+  List.iter
+    (fun (cid, members) ->
+      if members = [] then note (Printf.sprintf "context %d empty" cid);
+      List.iter
+        (fun v ->
+          if t.assign.(v) <> cid then
+            note (Printf.sprintf "task %d in context %d but assigned %d" v cid
+                    t.assign.(v)))
+        members;
+      if members_clbs t members > limit then
+        note (Printf.sprintf "context %d exceeds capacity" cid))
+    t.ctxs;
+  (* Each hardware-assigned task appears in exactly one context. *)
+  let occurrences = Array.make n 0 in
+  List.iter
+    (fun (_, members) ->
+      List.iter (fun v -> occurrences.(v) <- occurrences.(v) + 1) members)
+    t.ctxs;
+  for v = 0 to n - 1 do
+    let expected = if t.assign.(v) >= 0 then 1 else 0 in
+    if occurrences.(v) <> expected then
+      note (Printf.sprintf "task %d occurs %d times in contexts" v occurrences.(v));
+    let k = t.impl.(v) in
+    if k < 0 || k >= Task.impl_count (App.task t.app v) then
+      note (Printf.sprintf "task %d: bad implementation index" v)
+  done;
+  (* Per-processor orders partition the software tasks. *)
+  Array.iteri
+    (fun p order ->
+      List.iter
+        (fun v ->
+          if t.assign.(v) <> -(p + 1) then
+            note
+              (Printf.sprintf "task %d listed on processor %d but assigned %d" v
+                 p t.assign.(v)))
+        order;
+      if List.length (List.sort_uniq compare order) <> List.length order then
+        note (Printf.sprintf "processor %d order has duplicates" p))
+    t.sw;
+  let sw_expected =
+    List.sort compare (List.filter (fun v -> t.assign.(v) < 0) (List.init n Fun.id))
+  in
+  let sw_listed = List.sort compare (List.concat (Array.to_list t.sw)) in
+  if sw_listed <> sw_expected then note "sw orders are not a partition";
+  if Array.length t.sw <> Platform.processor_count t.platform then
+    note "processor order count differs from the platform";
+  (* Context ids unique. *)
+  let ids = List.map fst t.ctxs in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    note "duplicate context ids";
+  match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+let pp fmt t =
+  let eval = evaluate t in
+  Format.fprintf fmt "@[<v>solution: %d sw / %d hw tasks, %d context(s)@,"
+    (Array.fold_left (fun acc order -> acc + List.length order) 0 t.sw)
+    (List.length (hw_tasks t))
+    (n_contexts t);
+  (match eval with
+   | Some e ->
+     Format.fprintf fmt
+       "makespan %.3f ms (reconfig %.3f + %.3f, comm %.3f)@," e.Searchgraph.makespan
+       e.Searchgraph.initial_reconfig e.Searchgraph.dynamic_reconfig
+       e.Searchgraph.comm
+   | None -> Format.fprintf fmt "infeasible@,");
+  Array.iteri
+    (fun p order ->
+      Format.fprintf fmt "processor %d order: %a@," p
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+           Format.pp_print_int)
+        order)
+    t.sw;
+  List.iteri
+    (fun j (_, members) ->
+      Format.fprintf fmt "context %d (%d CLBs): %a@," (j + 1)
+        (members_clbs t members)
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt " ")
+           Format.pp_print_int)
+        (List.sort compare members))
+    t.ctxs;
+  Format.fprintf fmt "@]"

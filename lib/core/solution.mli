@@ -1,0 +1,131 @@
+(** Mutable solution of the spatio-temporal mapping problem.
+
+    A solution carries the four decisions of the paper's §3.3:
+
+    - spatial partitioning: each task bound to the processor or to the
+      reconfigurable circuit;
+    - temporal partitioning: the hardware tasks grouped into an ordered
+      list of contexts, each within the device CLB capacity;
+    - software schedule: a total order of the processor tasks;
+    - implementation selection: one area-time point per task (used when
+      the task is in hardware).
+
+    The transaction order on the bus follows from the longest-path
+    (ASAP) semantics of the search graph.  Mutations are performed by
+    {!Moves}; evaluation is cached and invalidated on mutation. *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+type t
+
+val app : t -> App.t
+val platform : t -> Platform.t
+val closure : t -> Closure.t
+(** Transitive closure of the application graph (static precedences),
+    shared by all solutions of the same problem. *)
+
+(** {1 Construction} *)
+
+val all_software : App.t -> Platform.t -> t
+(** Every task on the processor, in deterministic topological order. *)
+
+val random : Repro_util.Rng.t -> App.t -> Platform.t -> t
+(** The paper's initial solution: a random number of tasks moved one by
+    one to the circuit (smallest implementation), packed into contexts
+    in topological order, a new context being created whenever the
+    capacity of the last one is exceeded; the rest on the processor in
+    a random precedence-consistent order. *)
+
+val copy : t -> t
+
+(** {1 Inspection} *)
+
+val size : t -> int
+val binding : t -> int -> Searchgraph.binding
+(** [Hw j] uses the positional index of the context (0-based). *)
+
+val impl_index : t -> int -> int
+
+val sw_order : t -> int list
+(** Execution order of the primary processor. *)
+
+val sw_orders : t -> int list list
+(** Execution orders of every processor (primary first). *)
+
+val processor_index : t -> int -> int
+(** Processor of a software-bound task (0 = primary); raises
+    [Invalid_argument] for a hardware task. *)
+
+val contexts : t -> int list list
+(** Context members in execution order of the contexts. *)
+
+val n_contexts : t -> int
+val hw_tasks : t -> int list
+val context_clbs : t -> int -> int
+(** CLBs used by the context at positional index [j]. *)
+
+val spec : t -> Searchgraph.spec
+
+val evaluate : t -> Searchgraph.eval option
+(** Cached; [None] if the current order is infeasible (cyclic). *)
+
+val makespan : t -> float
+(** Makespan of a feasible solution; [infinity] when infeasible. *)
+
+val check_invariants : t -> (unit, string) result
+(** Structural invariants: bindings, context membership and capacity,
+    software order is a permutation of the software tasks, every
+    context non-empty, implementation indices in range. *)
+
+(** {1 Mutation — used by Moves} *)
+
+val snapshot : t -> t
+(** Alias of {!copy} for the annealer's best-keeping. *)
+
+val save : t -> (unit -> unit)
+(** Capture the full mutable state; the returned closure restores it
+    (move undo). *)
+
+val invalidate : t -> unit
+(** Drop the cached evaluation after a manual mutation. *)
+
+val set_impl : t -> int -> int -> unit
+
+val move_to_sw : ?proc:int -> t -> task:int -> before:int option -> unit
+(** Detach [task] from wherever it runs (dropping its context if
+    emptied) and insert it into processor [proc]'s order (default the
+    primary processor) just before [before] (at the end when [None]).
+    [before] must already be on that processor. *)
+
+val move_to_context : t -> task:int -> dest:int -> unit
+(** Bind [task] to the context of hardware task [dest].  When the
+    destination context cannot also hold [task]'s implementation, a
+    fresh context is spawned right after it instead, as in §4.3.
+    [task] may come from software or from another context. *)
+
+val insert_context : t -> task:int -> at:int -> unit
+(** Move m4 restricted to the reconfigurable circuit: create a fresh
+    context at position [at] of the context order (0 = first), holding
+    just [task] (detached from wherever it was).  [at] is clamped when
+    detaching [task] emptied and removed its previous context. *)
+
+val append_context : t -> task:int -> unit
+(** [insert_context] at the end of the context order. *)
+
+val swap_contexts : t -> at:int -> unit
+(** Exchange the execution order of contexts [at] and [at+1] —
+    exploring the globally total order on the DRLC. *)
+
+val reorder_sw : t -> task:int -> before:int -> unit
+(** Move m1: reposition software [task] immediately before software
+    task [before]; both must sit on the same processor. *)
+
+val replace_platform : t -> Platform.t -> unit
+(** Architecture-exploration move (m3/m4 restricted to device
+    selection): swap the platform; contexts exceeding the new capacity
+    make the solution infeasible until repaired by further moves.  The
+    new platform must have the same number of processors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type entry = {
+  iteration : int;
+  cost : float;
+  best : float;
+  temperature : float;
+  accepted : bool;
+  n_contexts : int;
+}
+
+type t = { every : int; mutable entries : entry list; mutable seen : int }
+
+let create ?(every = 1) () =
+  if every < 1 then invalid_arg "Trace.create: every < 1";
+  { every; entries = []; seen = 0 }
+
+let record t entry =
+  if t.seen mod t.every = 0 then t.entries <- entry :: t.entries;
+  t.seen <- t.seen + 1
+
+let entries t = List.rev t.entries
+let length t = List.length t.entries
+
+let to_csv t path =
+  let rows =
+    List.map
+      (fun e ->
+        [
+          string_of_int e.iteration;
+          Printf.sprintf "%g" e.cost;
+          Printf.sprintf "%g" e.best;
+          (if e.temperature = infinity then "inf" else Printf.sprintf "%g" e.temperature);
+          (if e.accepted then "1" else "0");
+          string_of_int e.n_contexts;
+        ])
+      (entries t)
+  in
+  Repro_util.Csv_out.write path
+    ~header:[ "iteration"; "cost"; "best"; "temperature"; "accepted"; "n_contexts" ]
+    rows
+
+let downsample t ~max_points =
+  if max_points < 2 then invalid_arg "Trace.downsample: max_points < 2";
+  let all = Array.of_list (entries t) in
+  let n = Array.length all in
+  if n <= max_points then Array.to_list all
+  else begin
+    let picked =
+      List.init max_points (fun i ->
+          all.(i * (n - 1) / (max_points - 1)))
+    in
+    picked
+  end

@@ -1,0 +1,30 @@
+(** Iteration traces of an exploration run — the data behind the
+    paper's Fig. 2 (execution time and number of contexts at each
+    iteration). *)
+
+type entry = {
+  iteration : int;     (** negative during warmup, >= 0 while cooling *)
+  cost : float;
+  best : float;
+  temperature : float;
+  accepted : bool;
+  n_contexts : int;
+}
+
+type t
+
+val create : ?every:int -> unit -> t
+(** Record one entry every [every] iterations (default 1). *)
+
+val record : t -> entry -> unit
+val entries : t -> entry list
+(** In chronological order. *)
+
+val length : t -> int
+
+val to_csv : t -> string -> unit
+(** Columns: iteration, cost, best, temperature, accepted,
+    n_contexts. *)
+
+val downsample : t -> max_points:int -> entry list
+(** At most [max_points] entries, evenly spaced, endpoints kept. *)

@@ -1,0 +1,35 @@
+open Repro_taskgraph
+open Repro_arch
+
+let clbs_of app impl_choice v =
+  (Task.impl (App.task app v) (impl_choice v)).Task.clbs
+
+let oversized_tasks app platform ~is_hw ~impl_choice =
+  let limit = Platform.n_clb platform in
+  List.filter
+    (fun v -> is_hw v && clbs_of app impl_choice v > limit)
+    (List.init (App.size app) Fun.id)
+
+let contexts app platform ~is_hw ~impl_choice =
+  let limit = Platform.n_clb platform in
+  let topo = App.topological_order app in
+  let finished = ref [] in
+  let current = ref [] in
+  let current_clbs = ref 0 in
+  Array.iter
+    (fun v ->
+      if is_hw v then begin
+        let area = clbs_of app impl_choice v in
+        if area <= limit then begin
+          if !current_clbs + area > limit && !current <> [] then begin
+            finished := List.rev !current :: !finished;
+            current := [];
+            current_clbs := 0
+          end;
+          current := v :: !current;
+          current_clbs := !current_clbs + area
+        end
+      end)
+    topo;
+  if !current <> [] then finished := List.rev !current :: !finished;
+  List.rev !finished

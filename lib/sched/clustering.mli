@@ -1,0 +1,23 @@
+(** Deterministic temporal partitioning by clustering.
+
+    The GA baseline of Ben Chehida & Auguin derives, for each spatial
+    partitioning, a *single* temporal partitioning with a deterministic
+    clustering pass (this is precisely the limitation the paper's
+    concurrent exploration removes).  The pass walks the hardware tasks
+    in topological order and packs them into the current context until
+    the device capacity would be exceeded, then opens a new context. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+val contexts :
+  App.t -> Platform.t -> is_hw:(int -> bool) -> impl_choice:(int -> int) ->
+  int list list
+(** Contexts in execution order; every member satisfies [is_hw].
+    Tasks whose selected implementation alone exceeds the device are
+    skipped (the caller must treat them as software).  *)
+
+val oversized_tasks :
+  App.t -> Platform.t -> is_hw:(int -> bool) -> impl_choice:(int -> int) ->
+  int list
+(** The hardware-requested tasks that cannot fit the device at all. *)

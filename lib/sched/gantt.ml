@@ -1,0 +1,110 @@
+open Repro_taskgraph
+
+type interval = { label : string; start : float; stop : float }
+
+(* One lane per resource: processor, then each context (with its
+   reconfiguration interval first). *)
+let lanes spec =
+  match Searchgraph.evaluate spec with
+  | None -> None
+  | Some eval ->
+    let n = App.size spec.app in
+    let task_interval v =
+      let stop = eval.Searchgraph.finish.(v) in
+      let start = stop -. Searchgraph.exec_time spec v in
+      { label = (App.task spec.app v).Task.name; start; stop }
+    in
+    let by_start a b = compare (a.start, a.stop) (b.start, b.stop) in
+    let processor_lanes =
+      match spec.extra_sw_orders with
+      | [] ->
+        [ ("Proc", List.sort by_start (List.map task_interval spec.sw_order)) ]
+      | extra ->
+        List.mapi
+          (fun k order ->
+            ( Printf.sprintf "Proc%d" k,
+              List.sort by_start (List.map task_interval order) ))
+          (spec.sw_order :: extra)
+    in
+    let context_lanes =
+      List.mapi
+        (fun j members ->
+          let cfg_node = n + j in
+          let cfg_stop = eval.Searchgraph.finish.(cfg_node) in
+          let cfg_time =
+            Repro_arch.Platform.reconfiguration_time spec.platform
+              (Searchgraph.context_clbs spec members)
+          in
+          let cfg =
+            { label = "cfg"; start = cfg_stop -. cfg_time; stop = cfg_stop }
+          in
+          ( Printf.sprintf "Ctx%d" (j + 1),
+            List.sort by_start (cfg :: List.map task_interval members) ))
+        spec.contexts
+    in
+    (* One lane per ASIC holding at least one task. *)
+    let asic_members = Hashtbl.create 4 in
+    for v = n - 1 downto 0 do
+      match spec.binding v with
+      | Searchgraph.On_asic a ->
+        let members =
+          match Hashtbl.find_opt asic_members a with Some m -> m | None -> []
+        in
+        Hashtbl.replace asic_members a (v :: members)
+      | Searchgraph.Sw | Searchgraph.Hw _ -> ()
+    done;
+    let asic_lanes =
+      List.sort compare (Hashtbl.fold (fun a _ acc -> a :: acc) asic_members [])
+      |> List.map (fun a ->
+             ( Printf.sprintf "Asic%d" a,
+               List.sort by_start
+                 (List.map task_interval (Hashtbl.find asic_members a)) ))
+    in
+    Some (eval, processor_lanes @ context_lanes @ asic_lanes)
+
+let render ?(width = 72) spec =
+  match lanes spec with
+  | None -> None
+  | Some (eval, lanes) ->
+    let span = Float.max eval.Searchgraph.makespan 1e-9 in
+    let cell t =
+      min (width - 1) (int_of_float (t /. span *. float_of_int width))
+    in
+    let buffer = Buffer.create 1024 in
+    Buffer.add_string buffer
+      (Printf.sprintf "makespan %.3f ms  (|%s| = %.3f ms)\n" eval.makespan
+         (String.make 1 '-') (span /. float_of_int width));
+    List.iter
+      (fun (name, intervals) ->
+        let line = Bytes.make width '.' in
+        List.iter
+          (fun { label; start; stop } ->
+            let a = cell start and b = max (cell start) (cell stop - 1) in
+            let c =
+              if label = "cfg" then '#'
+              else if String.length label > 0 then label.[String.length label - 1]
+              else '?'
+            in
+            for i = a to b do
+              Bytes.set line i c
+            done)
+          intervals;
+        Buffer.add_string buffer
+          (Printf.sprintf "%-6s|%s|\n" name (Bytes.to_string line)))
+      lanes;
+    Some (Buffer.contents buffer)
+
+let lane_summary spec =
+  match lanes spec with
+  | None -> None
+  | Some (_, lanes) ->
+    let line (name, intervals) =
+      let cells =
+        List.map
+          (fun { label; start; stop } ->
+            Printf.sprintf "%s[%.2f-%.2f]" label start stop)
+          intervals
+      in
+      name ^ ": " ^ String.concat " " cells
+    in
+    Some (String.concat "\n" (List.map line lanes))

@@ -1,0 +1,13 @@
+(** Text Gantt chart of an evaluated solution — the paper's Fig. 1(c)
+    view: one lane for the processor, one per context of the
+    reconfigurable circuit (including reconfiguration intervals), one
+    for boundary-crossing communications. *)
+
+val render : ?width:int -> Searchgraph.spec -> string option
+(** Renders the ASAP schedule; [None] for an infeasible solution.
+    [width] is the number of character cells of the time axis
+    (default 72). *)
+
+val lane_summary : Searchgraph.spec -> string option
+(** Compact per-lane listing ("Proc: A[0.0-1.2] C[1.2-3.4] ...") used
+    in tests and logs. *)

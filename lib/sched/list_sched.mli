@@ -1,0 +1,23 @@
+(** List-scheduling primitives.
+
+    The genetic-algorithm baseline (after Ben Chehida & Auguin) and the
+    greedy baseline order tasks by a priority function and schedule
+    them in a precedence-consistent order.  This module provides the
+    classic priorities (HEFT-style upward rank) and prioritized
+    topological orders. *)
+
+open Repro_taskgraph
+
+val upward_rank : App.t -> time:(int -> float) -> comm:(int -> int -> float) ->
+  float array
+(** [upward_rank app ~time ~comm] is the HEFT upward rank: for each
+    task, the longest remaining path to a sink counting node times and
+    edge communication costs. *)
+
+val prioritized_topological_order : App.t -> priority:(int -> float) -> int list
+(** Topological order of all tasks where, among ready tasks, the
+    highest [priority] goes first (ties by task id).  Deterministic. *)
+
+val sw_order : App.t -> is_sw:(int -> bool) -> priority:(int -> float) -> int list
+(** Restriction of the prioritized topological order to software
+    tasks — a valid processor total order for {!Searchgraph.spec}. *)

@@ -1,0 +1,83 @@
+open Repro_taskgraph
+module Pqueue = Repro_util.Pqueue
+
+type t = {
+  graph : Graph.t;
+  node_weight : int -> float;
+  edge_weight : int -> int -> float;
+  position : int array;   (* topological position of each node *)
+  finish : float array;
+  mutable touched : int;
+}
+
+let evaluate_node t v =
+  let start =
+    List.fold_left
+      (fun acc u -> Float.max acc (t.finish.(u) +. t.edge_weight u v))
+      0.0 (Graph.preds t.graph v)
+  in
+  start +. t.node_weight v
+
+let recompute_in_order t order =
+  Array.iter (fun v -> t.finish.(v) <- evaluate_node t v) order
+
+let create graph ~node_weight ~edge_weight =
+  match Graph.topological_order graph with
+  | None -> None
+  | Some order ->
+    let n = Graph.size graph in
+    let position = Array.make n 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    let t =
+      {
+        graph;
+        node_weight;
+        edge_weight;
+        position;
+        finish = Array.make n 0.0;
+        touched = n;
+      }
+    in
+    recompute_in_order t order;
+    Some t
+
+let finish t v = t.finish.(v)
+let makespan t = Array.fold_left Float.max 0.0 t.finish
+
+let recompute t =
+  (* Rebuild the processing order from positions. *)
+  let n = Array.length t.position in
+  let order = Array.make n 0 in
+  Array.iteri (fun v pos -> order.(pos) <- v) t.position;
+  recompute_in_order t order;
+  t.touched <- n
+
+(* Worklist in topological order: each node is evaluated after all of
+   its updated predecessors, so it is processed at most once. *)
+let refresh t dirty =
+  let queue = Pqueue.create () in
+  let queued = Hashtbl.create 16 in
+  let push v =
+    if not (Hashtbl.mem queued v) then begin
+      Hashtbl.add queued v ();
+      Pqueue.push queue (float_of_int t.position.(v)) v
+    end
+  in
+  List.iter push dirty;
+  t.touched <- 0;
+  let rec drain () =
+    match Pqueue.pop queue with
+    | None -> ()
+    | Some (_, v) ->
+      Hashtbl.remove queued v;
+      t.touched <- t.touched + 1;
+      let fresh = evaluate_node t v in
+      if abs_float (fresh -. t.finish.(v)) > 1e-12 then begin
+        t.finish.(v) <- fresh;
+        List.iter push (Graph.succs t.graph v)
+      end;
+      drain ()
+  in
+  drain ()
+
+let touched_last_refresh t = t.touched

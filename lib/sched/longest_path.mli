@@ -1,0 +1,41 @@
+(** Incrementally updatable longest-path state.
+
+    The paper notes that, simulated annealing being a local search, the
+    longest path "may in some cases be obtained incrementally by means
+    of a Woodbury-type update formula".  This module provides that
+    capability at the graph level: completion times are computed once,
+    and after a local change of node weights only the affected
+    downstream cone is recomputed (in topological order, stopping as
+    soon as values stabilize).
+
+    The graph structure is fixed at creation; node weights are read
+    through the provided callback, so the caller mutates its own weight
+    store and then calls {!refresh}. *)
+
+open Repro_taskgraph
+
+type t
+
+val create :
+  Graph.t -> node_weight:(int -> float) -> edge_weight:(int -> int -> float) ->
+  t option
+(** Builds the state and computes all completion times; [None] when the
+    graph is cyclic.  The graph must not be mutated afterwards. *)
+
+val finish : t -> int -> float
+(** Completion time of a node. *)
+
+val makespan : t -> float
+
+val refresh : t -> int list -> unit
+(** [refresh t dirty] re-reads the weights of the [dirty] nodes (and of
+    their incoming edges) and propagates changes through their
+    downstream cones.  Nodes whose completion time is unaffected are
+    not touched. *)
+
+val recompute : t -> unit
+(** Full recomputation (reference semantics for tests/benches). *)
+
+val touched_last_refresh : t -> int
+(** Number of nodes re-evaluated by the last {!refresh} — exposed to
+    measure the locality win. *)

@@ -1,0 +1,232 @@
+open Repro_taskgraph
+open Repro_arch
+
+type binding = Sw | Hw of int | On_asic of int
+
+type spec = {
+  app : App.t;
+  platform : Platform.t;
+  binding : int -> binding;
+  impl_choice : int -> int;
+  sw_order : int list;
+  contexts : int list list;
+  proc_of : int -> int;
+  extra_sw_orders : int list list;
+}
+
+let single_processor_spec ~app ~platform ~binding ~impl_choice ~sw_order
+    ~contexts =
+  {
+    app;
+    platform;
+    binding;
+    impl_choice;
+    sw_order;
+    contexts;
+    proc_of = (fun _ -> 0);
+    extra_sw_orders = [];
+  }
+
+type eval = {
+  makespan : float;
+  initial_reconfig : float;
+  dynamic_reconfig : float;
+  comm : float;
+  n_contexts : int;
+  finish : float array;
+}
+
+let exec_time spec v =
+  let task = App.task spec.app v in
+  match spec.binding v with
+  | Sw -> task.Task.sw_time /. Platform.processor_speed spec.platform (spec.proc_of v)
+  | Hw _ | On_asic _ -> (Task.impl task (spec.impl_choice v)).Task.hw_time
+
+let context_clbs spec members =
+  List.fold_left
+    (fun acc v ->
+      let task = App.task spec.app v in
+      acc + (Task.impl task (spec.impl_choice v)).Task.clbs)
+    0 members
+
+(* A transfer goes through the shared memory whenever the two tasks run
+   on different resources: processor vs circuit vs ASIC, two distinct
+   processors, or two distinct ASICs. *)
+let crossing spec u v =
+  match (spec.binding u, spec.binding v) with
+  | Sw, (Hw _ | On_asic _) | (Hw _ | On_asic _), Sw -> true
+  | Hw _, On_asic _ | On_asic _, Hw _ -> true
+  | Sw, Sw -> spec.proc_of u <> spec.proc_of v
+  | On_asic a, On_asic b -> a <> b
+  | Hw _, Hw _ -> false
+
+let build spec =
+  let n = App.size spec.app in
+  let contexts = Array.of_list spec.contexts in
+  let k = Array.length contexts in
+  let g = Graph.create (n + k) in
+  (* Application edges. *)
+  List.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
+    (App.edges spec.app);
+  (* Software sequentialization edges (Esw), one chain per processor. *)
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+      Graph.add_edge g a b;
+      chain rest
+    | [ _ ] | [] -> ()
+  in
+  chain spec.sw_order;
+  List.iter chain spec.extra_sw_orders;
+  (* Context sequentialization (Ehw): configuration node n+j waits for
+     all members of context j-1 (and the previous configuration) and
+     precedes all members of context j. *)
+  for j = 0 to k - 1 do
+    let cfg = n + j in
+    if j > 0 then begin
+      Graph.add_edge g (n + j - 1) cfg;
+      List.iter (fun v -> Graph.add_edge g v cfg) contexts.(j - 1)
+    end;
+    List.iter (fun v -> Graph.add_edge g cfg v) contexts.(j)
+  done;
+  let node_weight v =
+    if v < n then exec_time spec v
+    else
+      Platform.reconfiguration_time spec.platform
+        (context_clbs spec contexts.(v - n))
+  in
+  let edge_weight u v =
+    if u < n && v < n && crossing spec u v then
+      Platform.transfer_time spec.platform (App.kbytes spec.app u v)
+    else 0.0
+  in
+  (g, node_weight, edge_weight)
+
+let evaluate spec =
+  let g, node_weight, edge_weight = build spec in
+  match Graph.topological_order g with
+  | None -> None
+  | Some order ->
+    let n = App.size spec.app in
+    let total = Graph.size g in
+    let finish = Array.make total 0.0 in
+    Array.iter
+      (fun v ->
+        let start =
+          List.fold_left
+            (fun acc u -> Float.max acc (finish.(u) +. edge_weight u v))
+            0.0 (Graph.preds g v)
+        in
+        finish.(v) <- start +. node_weight v)
+      order;
+    let makespan = Array.fold_left Float.max 0.0 finish in
+    let initial_reconfig = if total > n then node_weight n else 0.0 in
+    let dynamic_reconfig = ref 0.0 in
+    for j = n + 1 to total - 1 do
+      dynamic_reconfig := !dynamic_reconfig +. node_weight j
+    done;
+    let comm =
+      List.fold_left
+        (fun acc { App.src; dst; kbytes } ->
+          if crossing spec src dst then
+            acc +. Platform.transfer_time spec.platform kbytes
+          else acc)
+        0.0 (App.edges spec.app)
+    in
+    Some
+      {
+        makespan;
+        initial_reconfig;
+        dynamic_reconfig = !dynamic_reconfig;
+        comm;
+        n_contexts = total - n;
+        finish;
+      }
+
+(* §3.3 transaction model: each boundary-crossing transfer occupies the
+   shared bus exclusively; the transactions execute under a total order
+   consistent with the task execution order.  We realize it by adding
+   one node per transaction (weight = transfer time) between producer
+   and consumer, chained in the order of the producers' positions in a
+   topological order of the base search graph — forward edges in a
+   topological order can never create a cycle. *)
+let evaluate_serialized spec =
+  let base, base_node_weight, _ = build spec in
+  match Graph.topological_order base with
+  | None -> None
+  | Some order ->
+    let n = App.size spec.app in
+    let base_size = Graph.size base in
+    let position = Array.make base_size 0 in
+    Array.iteri (fun i v -> position.(v) <- i) order;
+    let transactions =
+      List.filter (fun { App.src; dst; kbytes = _ } -> crossing spec src dst)
+        (App.edges spec.app)
+    in
+    let transactions =
+      List.sort
+        (fun a b ->
+          compare
+            (position.(a.App.src), position.(a.App.dst))
+            (position.(b.App.src), position.(b.App.dst)))
+        transactions
+    in
+    let m = List.length transactions in
+    let g = Graph.create (base_size + m) in
+    (* Base structure minus the crossing edges, which route through
+       their transaction node instead. *)
+    Graph.iter_edges
+      (fun u v ->
+        if not (u < n && v < n && crossing spec u v) then Graph.add_edge g u v)
+      base;
+    let transfer = Array.make m 0.0 in
+    List.iteri
+      (fun i { App.src; dst; kbytes } ->
+        let txn = base_size + i in
+        transfer.(i) <- Platform.transfer_time spec.platform kbytes;
+        Graph.add_edge g src txn;
+        Graph.add_edge g txn dst;
+        if i > 0 then Graph.add_edge g (txn - 1) txn)
+      transactions;
+    let node_weight v =
+      if v < base_size then base_node_weight v else transfer.(v - base_size)
+    in
+    (match Graph.topological_order g with
+     | None -> None (* unreachable: all added edges are forward *)
+     | Some order ->
+       let finish = Array.make (Graph.size g) 0.0 in
+       Array.iter
+         (fun v ->
+           let start =
+             List.fold_left (fun acc u -> Float.max acc finish.(u)) 0.0
+               (Graph.preds g v)
+           in
+           finish.(v) <- start +. node_weight v)
+         order;
+       let makespan = Array.fold_left Float.max 0.0 finish in
+       let initial_reconfig =
+         if base_size > n then base_node_weight n else 0.0
+       in
+       let dynamic_reconfig = ref 0.0 in
+       for j = n + 1 to base_size - 1 do
+         dynamic_reconfig := !dynamic_reconfig +. base_node_weight j
+       done;
+       let comm = Array.fold_left ( +. ) 0.0 transfer in
+       Some
+         {
+           makespan;
+           initial_reconfig;
+           dynamic_reconfig = !dynamic_reconfig;
+           comm;
+           n_contexts = base_size - n;
+           finish = Array.sub finish 0 base_size;
+         })
+
+let schedule spec =
+  match evaluate spec with
+  | None -> None
+  | Some eval ->
+    let n = App.size spec.app in
+    Some
+      (Array.init n (fun v ->
+           let f = eval.finish.(v) in
+           (f -. exec_time spec v, f)))

@@ -1,0 +1,98 @@
+(** Search-graph construction and solution evaluation.
+
+    A candidate solution (spatial partitioning + temporal partitioning
+    + software order) is evaluated by building the paper's *search
+    graph* G' = <V, E ∪ Esw ∪ Ehw>:
+
+    - the application precedence edges E, weighted by the bus transfer
+      time when they cross the processor/circuit boundary;
+    - software sequentialization edges Esw chaining the processor tasks
+      in their chosen total order (zero weight);
+    - context sequentialization edges Ehw realizing the globally total,
+      locally partial order of the reconfigurable circuit.  Each
+      context k is represented by a configuration node of duration
+      [tR × nCLB(context k)]; it must wait for all members of context
+      k-1 and precedes all members of context k.  The configuration
+      node of the first context gives the *initial* reconfiguration
+      time.
+
+    The system execution time is the longest path of this DAG; a
+    solution whose search graph is cyclic is infeasible. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+type binding = Sw | Hw of int | On_asic of int
+(** Spatial assignment of a task: software (on one of the platform's
+    processors — which one is given by [proc_of]), context [c] of the
+    reconfigurable circuit, or the [a]-th ASIC of the platform.  An
+    ASIC is the paper's partial-order resource: its tasks execute under
+    the task-graph precedences alone — no sequentialization edges, no
+    capacity bound, no reconfiguration — using their selected hardware
+    implementation times. *)
+
+type spec = {
+  app : App.t;
+  platform : Platform.t;
+  binding : int -> binding;       (** per task id *)
+  impl_choice : int -> int;       (** per task id: index into its impls *)
+  sw_order : int list;            (** primary-processor tasks, in order *)
+  contexts : int list list;       (** context k = members (any order) *)
+  proc_of : int -> int;
+  (** processor index (0-based) of a software-bound task; tasks in
+      [sw_order] must map to 0, tasks of [extra_sw_orders.(k)] to
+      [k+1].  Software tasks on different processors communicate
+      through the shared memory like a HW/SW crossing. *)
+  extra_sw_orders : int list list;
+  (** execution orders of the additional processors (index 1
+      upwards); [[]] for the single-processor systems of the paper's
+      experiments *)
+}
+
+val single_processor_spec :
+  app:App.t -> platform:Platform.t -> binding:(int -> binding) ->
+  impl_choice:(int -> int) -> sw_order:int list -> contexts:int list list ->
+  spec
+(** Convenience constructor for the paper's 1-processor + 1-DRLC
+    setting ([proc_of] constant 0, no extra orders). *)
+
+type eval = {
+  makespan : float;          (** longest path = total execution time, ms *)
+  initial_reconfig : float;  (** configuration time of the first context *)
+  dynamic_reconfig : float;  (** sum over subsequent contexts *)
+  comm : float;              (** total boundary-crossing transfer time *)
+  n_contexts : int;
+  finish : float array;      (** per search-graph node; tasks first,
+                                 then one node per context *)
+}
+
+val exec_time : spec -> int -> float
+(** Execution time of a task under its binding and implementation
+    choice. *)
+
+val context_clbs : spec -> int list -> int
+(** CLBs occupied by a context (sum over members of the chosen
+    implementation). *)
+
+val build : spec -> Graph.t * (int -> float) * (int -> int -> float)
+(** The raw search graph with its node- and edge-weight functions
+    (tasks [0..n-1], then context configuration nodes).  Exposed for
+    tests and for the Gantt view. *)
+
+val evaluate : spec -> eval option
+(** [None] when the search graph is cyclic (infeasible order).
+    Boundary-crossing transfers are charged as edge delays; concurrent
+    transactions do not contend for the bus. *)
+
+val evaluate_serialized : spec -> eval option
+(** Like {!evaluate} but with the paper's §3.3 transaction model made
+    explicit: every boundary-crossing transfer becomes a bus
+    transaction, and all transactions execute under a total order on
+    the shared medium (one at a time).  The order is derived from a
+    topological order of the search graph, hence always consistent with
+    the task execution ordering: a spec feasible for {!evaluate} is
+    feasible here too, with a makespan at least as large. *)
+
+val schedule : spec -> (float * float) array option
+(** Start/finish times per task (ASAP under the longest-path
+    semantics); [None] when infeasible. *)

@@ -1,0 +1,109 @@
+open Repro_taskgraph
+open Repro_arch
+
+let eps = 1e-9
+
+let schedule spec windows =
+  let n = App.size spec.Searchgraph.app in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun msg -> problems := msg :: !problems) fmt in
+  if Array.length windows <> n then note "window count differs from task count"
+  else begin
+    let start v = fst windows.(v) and finish v = snd windows.(v) in
+    (* Durations and positivity. *)
+    for v = 0 to n - 1 do
+      if start v < -.eps then note "task %d starts before time 0" v;
+      let duration = Searchgraph.exec_time spec v in
+      if abs_float (finish v -. start v -. duration) > eps then
+        note "task %d: window %.6f..%.6f does not match duration %.6f" v
+          (start v) (finish v) duration
+    done;
+    (* Precedence with boundary-crossing communication. *)
+    List.iter
+      (fun { App.src; dst; kbytes } ->
+        let resource v =
+          match spec.Searchgraph.binding v with
+          | Searchgraph.Sw -> `Processor (spec.Searchgraph.proc_of v)
+          | Searchgraph.Hw _ -> `Circuit
+          | Searchgraph.On_asic a -> `Asic a
+        in
+        let transfer =
+          if resource src = resource dst then 0.0
+          else Platform.transfer_time spec.Searchgraph.platform kbytes
+        in
+        if start dst +. eps < finish src +. transfer then
+          note "edge %d->%d violated: %d starts %.6f < %.6f" src dst dst
+            (start dst)
+            (finish src +. transfer))
+      (App.edges spec.Searchgraph.app);
+    (* Software total order and exclusivity, one chain per processor. *)
+    let rec check_order = function
+      | a :: (b :: _ as rest) ->
+        if start b +. eps < finish a then
+          note "software order violated between %d and %d" a b;
+        check_order rest
+      | [ _ ] | [] -> ()
+    in
+    let orders = spec.Searchgraph.sw_order :: spec.Searchgraph.extra_sw_orders in
+    List.iteri
+      (fun processor order ->
+        check_order order;
+        let sw = Array.of_list order in
+        Array.iteri
+          (fun i a ->
+            Array.iteri
+              (fun j b ->
+                if
+                  i < j
+                  && start b +. eps < finish a
+                  && start a +. eps < finish b
+                then note "software tasks %d and %d overlap" a b)
+              sw)
+          sw;
+        (* Membership consistency with proc_of. *)
+        List.iter
+          (fun v ->
+            if spec.Searchgraph.proc_of v <> processor then
+              note "task %d listed on processor %d but proc_of says %d" v
+                processor
+                (spec.Searchgraph.proc_of v))
+          order)
+      orders;
+    (* Context discipline: earliest consistent configuration intervals
+       must not start any member too early. *)
+    let previous_fin = ref 0.0 in
+    List.iteri
+      (fun k members ->
+        let duration =
+          Platform.reconfiguration_time spec.Searchgraph.platform
+            (Searchgraph.context_clbs spec members)
+        in
+        let cfg_fin = !previous_fin +. duration in
+        List.iter
+          (fun v ->
+            if start v +. eps < cfg_fin then
+              note
+                "task %d of context %d starts %.6f before its configuration \
+                 can finish (%.6f)"
+                v (k + 1) (start v) cfg_fin)
+          members;
+        (* The next configuration waits for this one and for every
+           member of this context. *)
+        previous_fin :=
+          List.fold_left (fun acc v -> Float.max acc (finish v)) cfg_fin members)
+      spec.Searchgraph.contexts;
+    (* Capacity. *)
+    let limit = Platform.n_clb spec.Searchgraph.platform in
+    List.iteri
+      (fun k members ->
+        let used = Searchgraph.context_clbs spec members in
+        if used > limit then
+          note "context %d uses %d CLBs > device %d" (k + 1) used limit)
+      spec.Searchgraph.contexts
+  end;
+  match List.rev !problems with [] -> Ok () | ps -> Error ps
+
+let evaluated spec =
+  match Searchgraph.schedule spec with
+  | None -> Error [ "spec is infeasible (cyclic search graph)" ]
+  | Some windows -> schedule spec windows

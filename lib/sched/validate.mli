@@ -1,0 +1,30 @@
+(** Independent schedule checker.
+
+    [Searchgraph.evaluate] computes start/finish times by longest path;
+    this module re-checks a realized schedule against the problem
+    constraints from first principles, without reusing the evaluation
+    code.  It is the oracle behind the property tests of the evaluator
+    and of the explorer:
+
+    - precedence: every edge's consumer starts after its producer
+      finishes, plus the bus transfer time when the edge crosses the
+      HW/SW boundary;
+    - software exclusivity: processor tasks never overlap and follow
+      the declared total order;
+    - context discipline: a context's tasks run strictly after its
+      reconfiguration interval; reconfiguration of context k+1 starts
+      only after every task of context k has finished (no overlap of
+      reconfiguration with RC computation); context intervals follow
+      the globally total order;
+    - capacity: every context fits the device;
+    - duration: every task occupies exactly its selected execution
+      time. *)
+
+val schedule :
+  Searchgraph.spec -> (float * float) array -> (unit, string list) result
+(** [schedule spec windows] checks the per-task (start, finish) windows
+    against [spec].  Returns every violated constraint. *)
+
+val evaluated : Searchgraph.spec -> (unit, string list) result
+(** Evaluate the spec and check its own ASAP schedule; [Error] with a
+    message when the spec is infeasible. *)

@@ -1,0 +1,147 @@
+type builder = {
+  mutable name : string option;
+  mutable deadline : float option;
+  mutable tasks : (int * string * string * float * Task.impl list) list;
+  (* newest first; impls accumulated newest first *)
+  mutable edges : App.edge list;
+}
+
+let parse_error line_number fmt =
+  Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line_number msg))
+    fmt
+
+let float_field line_number label s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> parse_error line_number "%s is not a number: %S" label s
+
+let int_field line_number label s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> parse_error line_number "%s is not an integer: %S" label s
+
+let ( let* ) = Result.bind
+
+let handle_line builder line_number line =
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  match words with
+  | [] -> Ok ()
+  | comment :: _ when String.length comment > 0 && comment.[0] = '#' -> Ok ()
+  | [ "app"; name ] ->
+    if builder.name <> None then parse_error line_number "duplicate app directive"
+    else begin
+      builder.name <- Some name;
+      Ok ()
+    end
+  | [ "deadline"; value ] ->
+    let* deadline = float_field line_number "deadline" value in
+    builder.deadline <- Some deadline;
+    Ok ()
+  | [ "task"; id; name; functionality; sw_time ] ->
+    let* id = int_field line_number "task id" id in
+    let* sw_time = float_field line_number "sw time" sw_time in
+    let expected = List.length builder.tasks in
+    if id <> expected then
+      parse_error line_number "task id %d out of order (expected %d)" id expected
+    else begin
+      builder.tasks <- (id, name, functionality, sw_time, []) :: builder.tasks;
+      Ok ()
+    end
+  | [ "impl"; task_id; clbs; hw_time ] ->
+    let* task_id = int_field line_number "task id" task_id in
+    let* clbs = int_field line_number "clbs" clbs in
+    let* hw_time = float_field line_number "hw time" hw_time in
+    (match builder.tasks with
+     | (id, name, functionality, sw_time, impls) :: rest when id = task_id ->
+       builder.tasks <-
+         (id, name, functionality, sw_time, { Task.clbs; hw_time } :: impls)
+         :: rest;
+       Ok ()
+     | _ :: _ | [] ->
+       parse_error line_number
+         "impl for task %d must directly follow its task directive" task_id)
+  | [ "edge"; src; dst; kbytes ] ->
+    let* src = int_field line_number "edge source" src in
+    let* dst = int_field line_number "edge destination" dst in
+    let* kbytes = float_field line_number "edge data" kbytes in
+    builder.edges <- { App.src; dst; kbytes } :: builder.edges;
+    Ok ()
+  | directive :: _ -> parse_error line_number "unknown directive %S" directive
+
+let parse contents =
+  let builder = { name = None; deadline = None; tasks = []; edges = [] } in
+  let lines = String.split_on_char '\n' contents in
+  let* () =
+    List.fold_left
+      (fun acc (line_number, line) ->
+        let* () = acc in
+        handle_line builder line_number line)
+      (Ok ())
+      (List.mapi (fun i line -> (i + 1, line)) lines)
+  in
+  match builder.name with
+  | None -> Error "missing app directive"
+  | Some name ->
+    let* tasks =
+      List.fold_left
+        (fun acc (id, task_name, functionality, sw_time, impls) ->
+          let* acc = acc in
+          match impls with
+          | [] -> Error (Printf.sprintf "task %d has no implementation" id)
+          | _ :: _ ->
+            (try
+               Ok
+                 (Task.make ~id ~name:task_name ~functionality ~sw_time
+                    ~impls:(List.rev impls)
+                  :: acc)
+             with Invalid_argument msg -> Error msg))
+        (Ok []) builder.tasks
+    in
+    (try
+       Ok
+         (App.make ~name ?deadline:builder.deadline ~tasks
+            ~edges:(List.rev builder.edges) ())
+     with Invalid_argument msg -> Error msg)
+
+let load path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    contents
+  with
+  | contents -> parse contents
+  | exception Sys_error msg -> Error msg
+
+let to_string app =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer (Printf.sprintf "app %s\n" app.App.name);
+  (match app.App.deadline with
+   | Some d -> Buffer.add_string buffer (Printf.sprintf "deadline %g\n" d)
+   | None -> ());
+  for v = 0 to App.size app - 1 do
+    let task = App.task app v in
+    Buffer.add_string buffer
+      (Printf.sprintf "task %d %s %s %g\n" v task.Task.name
+         task.Task.functionality task.Task.sw_time);
+    Array.iter
+      (fun { Task.clbs; hw_time } ->
+        Buffer.add_string buffer (Printf.sprintf "impl %d %d %g\n" v clbs hw_time))
+      task.Task.impls
+  done;
+  List.iter
+    (fun { App.src; dst; kbytes } ->
+      Buffer.add_string buffer (Printf.sprintf "edge %d %d %g\n" src dst kbytes))
+    (App.edges app);
+  Buffer.contents buffer
+
+let save path app =
+  let oc = open_out path in
+  (try output_string oc (to_string app)
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,35 @@
+(** Textual application format (".tg").
+
+    A small line-oriented format so workloads can be described outside
+    OCaml and fed to the command-line tools:
+
+    {v
+    # comment (blank lines allowed)
+    app motion_detection
+    deadline 40.0
+    task 0 acquisition IO 1.2
+    impl 0 10 1.0
+    impl 0 40 0.6
+    task 1 grayscale PixelOp 2.0
+    impl 1 12 0.4
+    edge 0 1 25.0
+    v}
+
+    Directives: [app NAME] (once, first non-comment line),
+    [deadline MS] (optional), [task ID NAME FUNCTIONALITY SW_MS] with
+    ids in increasing order from 0, [impl TASK_ID CLBS HW_MS] (each
+    task needs at least one, directly after its task directive),
+    [edge SRC DST KBYTES].  Names are single whitespace-free words. *)
+
+val parse : string -> (App.t, string) result
+(** Parse from the contents of a file; the error message carries the
+    line number. *)
+
+val load : string -> (App.t, string) result
+(** Read and parse a file. *)
+
+val to_string : App.t -> string
+(** Render in the same format; [parse (to_string app)] reconstructs an
+    equivalent application. *)
+
+val save : string -> App.t -> unit

@@ -1,0 +1,75 @@
+let escape name =
+  String.map (fun c -> if c = '"' then '\'' else c) name
+
+let node_label (task : Task.t) =
+  Printf.sprintf "%s\\n%.2f ms" (escape task.Task.name) task.Task.sw_time
+
+let of_app app =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "digraph application {\n";
+  Buffer.add_string buffer "  rankdir=TB;\n  node [shape=box];\n";
+  for v = 0 to App.size app - 1 do
+    Buffer.add_string buffer
+      (Printf.sprintf "  n%d [label=\"%s\"];\n" v (node_label (App.task app v)))
+  done;
+  List.iter
+    (fun { App.src; dst; kbytes } ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  n%d -> n%d [label=\"%.1f kB\"];\n" src dst kbytes))
+    (App.edges app);
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer
+
+let of_app_partitioned app ~binding =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer "digraph partitioning {\n";
+  Buffer.add_string buffer "  rankdir=TB;\n  node [shape=box];\n";
+  (* Collect context members. *)
+  let contexts = Hashtbl.create 8 in
+  let sw = ref [] in
+  for v = App.size app - 1 downto 0 do
+    match binding v with
+    | `Sw -> sw := v :: !sw
+    | `Hw c ->
+      let members =
+        match Hashtbl.find_opt contexts c with Some m -> m | None -> []
+      in
+      Hashtbl.replace contexts c (v :: members)
+  done;
+  List.iter
+    (fun v ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  n%d [label=\"%s\", style=filled, fillcolor=lightblue];\n"
+           v (node_label (App.task app v))))
+    !sw;
+  let context_ids =
+    List.sort compare (Hashtbl.fold (fun c _ acc -> c :: acc) contexts [])
+  in
+  List.iter
+    (fun c ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  subgraph cluster_ctx%d {\n    label=\"context %d\";\n"
+           c c);
+      List.iter
+        (fun v ->
+          Buffer.add_string buffer
+            (Printf.sprintf
+               "    n%d [label=\"%s\", style=filled, fillcolor=lightyellow];\n" v
+               (node_label (App.task app v))))
+        (Hashtbl.find contexts c);
+      Buffer.add_string buffer "  }\n")
+    context_ids;
+  List.iter
+    (fun { App.src; dst; kbytes = _ } ->
+      Buffer.add_string buffer (Printf.sprintf "  n%d -> n%d;\n" src dst))
+    (App.edges app);
+  Buffer.add_string buffer "}\n";
+  Buffer.contents buffer
+
+let write_file path dot =
+  let oc = open_out path in
+  (try output_string oc dot
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,15 @@
+(** Graphviz (DOT) export of applications, for inspection of the case
+    studies and generated workloads. *)
+
+val of_app : App.t -> string
+(** DOT digraph with one node per task (labelled with name and software
+    time) and one edge per precedence (labelled with data amount). *)
+
+val of_app_partitioned :
+  App.t -> binding:(int -> [ `Sw | `Hw of int ]) -> string
+(** Like {!of_app} but colours software tasks and boxes each hardware
+    context into a cluster — the paper's Fig. 1(b) view of a
+    spatio-temporal partitioning. *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot] saves rendered DOT text. *)

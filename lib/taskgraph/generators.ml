@@ -1,0 +1,167 @@
+module Rng = Repro_util.Rng
+
+type impl_model = {
+  base_clbs : int;
+  area_steps : int;
+  min_speedup : float;
+  max_speedup : float;
+}
+
+let default_impl_model =
+  { base_clbs = 60; area_steps = 5; min_speedup = 1.5; max_speedup = 6.0 }
+
+let synthesize_impls rng model ~sw_time =
+  assert (model.area_steps >= 1);
+  let jitter () = 1.0 +. (0.1 *. (Rng.float rng 2.0 -. 1.0)) in
+  let points =
+    List.init model.area_steps (fun k ->
+        let frac =
+          if model.area_steps = 1 then 0.0
+          else float_of_int k /. float_of_int (model.area_steps - 1)
+        in
+        let area_factor = 4.0 ** frac in
+        let clbs =
+          max 1
+            (int_of_float
+               (Float.round (float_of_int model.base_clbs *. area_factor *. jitter ())))
+        in
+        let speedup =
+          model.min_speedup
+          +. (frac *. (model.max_speedup -. model.min_speedup))
+        in
+        { Task.clbs; hw_time = sw_time /. speedup })
+  in
+  (* Jitter may create dominated or duplicate points; keep the dominant
+     front, which is what synthesis tools report. *)
+  let front = Task.pareto_filter points in
+  match front with [] -> assert false | _ :: _ -> front
+
+let positive_time rng mean =
+  (* Log-normal-ish spread around the mean, clamped away from 0. *)
+  let x = mean *. exp (0.4 *. Rng.gaussian rng) in
+  Float.max (mean /. 10.0) x
+
+let fresh_task rng model ~id ~prefix ~mean_sw_time =
+  let sw_time = positive_time rng mean_sw_time in
+  Task.make ~id
+    ~name:(Printf.sprintf "%s%d" prefix id)
+    ~functionality:(Printf.sprintf "F%d" (id mod 8))
+    ~sw_time
+    ~impls:(synthesize_impls rng model ~sw_time)
+
+let fresh_edge rng ~src ~dst ~mean_kbytes =
+  { App.src; dst; kbytes = Float.max 0.0 (positive_time rng mean_kbytes) }
+
+let chain ?(name = "chain") ?deadline rng model ~length ~mean_sw_time
+    ~mean_kbytes =
+  if length < 1 then invalid_arg "Generators.chain: length < 1";
+  let tasks =
+    List.init length (fun id ->
+        fresh_task rng model ~id ~prefix:"t" ~mean_sw_time)
+  in
+  let edges =
+    List.init (length - 1) (fun i ->
+        fresh_edge rng ~src:i ~dst:(i + 1) ~mean_kbytes)
+  in
+  App.make ~name ?deadline ~tasks ~edges ()
+
+let parallel_chains ?(name = "parallel_chains") ?deadline rng model ~chains
+    ~mean_sw_time ~mean_kbytes =
+  if chains = [] || List.exists (fun c -> c < 1) chains then
+    invalid_arg "Generators.parallel_chains: bad chain spec";
+  let total = List.fold_left ( + ) 0 chains in
+  let n = total + 2 in
+  let source = 0 and sink = n - 1 in
+  let tasks =
+    List.init n (fun id -> fresh_task rng model ~id ~prefix:"t" ~mean_sw_time)
+  in
+  let edges = ref [] in
+  let next_id = ref 1 in
+  List.iter
+    (fun len ->
+      let first = !next_id in
+      next_id := !next_id + len;
+      let last = !next_id - 1 in
+      edges := fresh_edge rng ~src:source ~dst:first ~mean_kbytes :: !edges;
+      for v = first to last - 1 do
+        edges := fresh_edge rng ~src:v ~dst:(v + 1) ~mean_kbytes :: !edges
+      done;
+      edges := fresh_edge rng ~src:last ~dst:sink ~mean_kbytes :: !edges)
+    chains;
+  App.make ~name ?deadline ~tasks ~edges:(List.rev !edges) ()
+
+let layered ?(name = "layered") ?deadline rng model ~layers ~width
+    ~edge_probability ~mean_sw_time ~mean_kbytes =
+  if layers < 1 || width < 1 then invalid_arg "Generators.layered: bad shape";
+  (* Decide layer sizes first. *)
+  let sizes = Array.init layers (fun _ -> 1 + Rng.int rng width) in
+  let n = Array.fold_left ( + ) 0 sizes in
+  let tasks =
+    List.init n (fun id -> fresh_task rng model ~id ~prefix:"t" ~mean_sw_time)
+  in
+  let layer_start = Array.make layers 0 in
+  for l = 1 to layers - 1 do
+    layer_start.(l) <- layer_start.(l - 1) + sizes.(l - 1)
+  done;
+  let edges = ref [] in
+  for l = 1 to layers - 1 do
+    let prev_start = layer_start.(l - 1) and prev_size = sizes.(l - 1) in
+    for v = layer_start.(l) to layer_start.(l) + sizes.(l) - 1 do
+      (* Guarantee connectivity with one mandatory predecessor. *)
+      let mandatory = prev_start + Rng.int rng prev_size in
+      edges := fresh_edge rng ~src:mandatory ~dst:v ~mean_kbytes :: !edges;
+      for u = prev_start to prev_start + prev_size - 1 do
+        if u <> mandatory && Rng.bernoulli rng edge_probability then
+          edges := fresh_edge rng ~src:u ~dst:v ~mean_kbytes :: !edges
+      done
+    done
+  done;
+  App.make ~name ?deadline ~tasks ~edges:(List.rev !edges) ()
+
+(* Series-parallel composition: build a nested structure, then linearize
+   into tasks and edges. *)
+type sp = Leaf | Series of sp * sp | Parallel of sp * sp
+
+let rec random_sp rng depth =
+  if depth <= 0 then Leaf
+  else
+    match Rng.int rng 3 with
+    | 0 -> Leaf
+    | 1 -> Series (random_sp rng (depth - 1), random_sp rng (depth - 1))
+    | _ -> Parallel (random_sp rng (depth - 1), random_sp rng (depth - 1))
+
+let series_parallel ?(name = "series_parallel") ?deadline rng model ~depth
+    ~mean_sw_time ~mean_kbytes =
+  let shape = Series (Leaf, Series (random_sp rng depth, Leaf)) in
+  (* First pass: count leaves to allocate ids. *)
+  let counter = ref 0 in
+  let edges = ref [] in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let connect src dst =
+    edges := fresh_edge rng ~src ~dst ~mean_kbytes :: !edges
+  in
+  (* Returns (entry nodes, exit nodes) of the realized sub-structure. *)
+  let rec realize = function
+    | Leaf ->
+      let v = fresh () in
+      ([ v ], [ v ])
+    | Series (a, b) ->
+      let entry_a, exit_a = realize a in
+      let entry_b, exit_b = realize b in
+      List.iter (fun u -> List.iter (fun v -> connect u v) entry_b) exit_a;
+      (entry_a, exit_b)
+    | Parallel (a, b) ->
+      let entry_a, exit_a = realize a in
+      let entry_b, exit_b = realize b in
+      (entry_a @ entry_b, exit_a @ exit_b)
+  in
+  let _entries, _exits = realize shape in
+  let n = !counter in
+  let tasks =
+    List.init n (fun id -> fresh_task rng model ~id ~prefix:"t" ~mean_sw_time)
+  in
+  App.make ~name ?deadline ~tasks ~edges:(List.rev !edges) ()

@@ -1,0 +1,52 @@
+(** Random and structured application generators.
+
+    These provide workloads beyond the paper's motion-detection case
+    study: regression inputs for property tests, and families of graphs
+    (chains, fork-joins, layered DAGs, series-parallel) on which the
+    explorer and the baselines are compared. *)
+
+type impl_model = {
+  base_clbs : int;       (** area of the smallest implementation *)
+  area_steps : int;      (** number of Pareto points (>= 1) *)
+  min_speedup : float;   (** speedup of the smallest implementation *)
+  max_speedup : float;   (** speedup of the largest implementation *)
+}
+(** How hardware implementations are synthesized from a software time:
+    [area_steps] points with geometrically increasing area between
+    [base_clbs] and roughly [4x base_clbs], and speedup interpolating
+    from [min_speedup] to [max_speedup] — larger area buys more
+    parallel logic hence a faster variant, which keeps the set
+    Pareto-dominant. *)
+
+val default_impl_model : impl_model
+
+val synthesize_impls :
+  Repro_util.Rng.t -> impl_model -> sw_time:float -> Task.impl list
+(** Synthesizes a Pareto-dominant area-time implementation set with
+    mild random jitter. *)
+
+val chain :
+  ?name:string -> ?deadline:float -> Repro_util.Rng.t -> impl_model ->
+  length:int -> mean_sw_time:float -> mean_kbytes:float -> App.t
+(** Linear pipeline of [length] tasks. *)
+
+val parallel_chains :
+  ?name:string -> ?deadline:float -> Repro_util.Rng.t -> impl_model ->
+  chains:int list -> mean_sw_time:float -> mean_kbytes:float -> App.t
+(** A source task fans out to one chain per entry of [chains] (entry =
+    chain length); all chains join into a sink task. *)
+
+val layered :
+  ?name:string -> ?deadline:float -> Repro_util.Rng.t -> impl_model ->
+  layers:int -> width:int -> edge_probability:float ->
+  mean_sw_time:float -> mean_kbytes:float -> App.t
+(** Classic layered random DAG: [layers] ranks of up to [width] tasks;
+    each task gets at least one predecessor in the previous rank and
+    extra edges with [edge_probability]. *)
+
+val series_parallel :
+  ?name:string -> ?deadline:float -> Repro_util.Rng.t -> impl_model ->
+  depth:int -> mean_sw_time:float -> mean_kbytes:float -> App.t
+(** Random series-parallel graph by recursive series/parallel
+    composition down to [depth]; mirrors the structure of streaming
+    applications. *)

@@ -1,0 +1,165 @@
+type actor = {
+  name : string;
+  functionality : string;
+  sw_time : float;
+  impls : Task.impl list;
+}
+
+type channel = {
+  src : int;
+  dst : int;
+  produce : int;
+  consume : int;
+  initial_tokens : int;
+  kbytes_per_token : float;
+}
+
+type t = { name : string; actors : actor array; channels : channel list }
+
+let make ~name ~actors ~channels =
+  let actors = Array.of_list actors in
+  let n = Array.length actors in
+  List.iter
+    (fun c ->
+      if c.src < 0 || c.src >= n || c.dst < 0 || c.dst >= n then
+        invalid_arg "Sdf.make: channel endpoint out of range";
+      if c.produce <= 0 || c.consume <= 0 then
+        invalid_arg "Sdf.make: non-positive rate";
+      if c.initial_tokens < 0 then invalid_arg "Sdf.make: negative tokens";
+      if c.kbytes_per_token < 0.0 then
+        invalid_arg "Sdf.make: negative token size")
+    channels;
+  { name; actors; channels }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+(* Solve the balance equations by propagating rational firing rates
+   over the (undirected) channel structure, then scaling to the least
+   common denominator. *)
+let repetition_vector t =
+  let n = Array.length t.actors in
+  if n = 0 then Some [||]
+  else begin
+    (* rate.(v) = (num, den) or (0,0) when unassigned. *)
+    let num = Array.make n 0 and den = Array.make n 0 in
+    let adjacency = Array.make n [] in
+    List.iter
+      (fun c ->
+        adjacency.(c.src) <- (c.dst, c.produce, c.consume) :: adjacency.(c.src);
+        adjacency.(c.dst) <- (c.src, c.consume, c.produce) :: adjacency.(c.dst))
+      t.channels;
+    let consistent = ref true in
+    let set v n_ d_ =
+      let g = gcd n_ d_ in
+      num.(v) <- n_ / g;
+      den.(v) <- d_ / g
+    in
+    let rec visit v =
+      List.iter
+        (fun (w, my_rate, their_rate) ->
+          (* q_v * my_rate = q_w * their_rate *)
+          let wn = num.(v) * my_rate and wd = den.(v) * their_rate in
+          if den.(w) = 0 then begin
+            set w wn wd;
+            visit w
+          end
+          else if num.(w) * wd <> wn * den.(w) then consistent := false)
+        adjacency.(v)
+    in
+    for v = 0 to n - 1 do
+      if den.(v) = 0 then begin
+        set v 1 1;
+        visit v
+      end
+    done;
+    if not !consistent then None
+    else begin
+      let common_den = Array.fold_left (fun acc d -> lcm acc d) 1 den in
+      let q = Array.init n (fun v -> num.(v) * (common_den / den.(v))) in
+      let g = Array.fold_left (fun acc x -> gcd acc x) q.(0) q in
+      Some (Array.map (fun x -> x / g) q)
+    end
+  end
+
+let firing_task_name (actor : actor) k = Printf.sprintf "%s#%d" actor.name k
+
+let expand ?deadline ?(iterations = 1) t =
+  if iterations < 1 then invalid_arg "Sdf.expand: iterations < 1";
+  match repetition_vector t with
+  | None -> Error "inconsistent SDF graph: no repetition vector"
+  | Some q ->
+    let q = Array.map (fun r -> r * iterations) q in
+    let n = Array.length t.actors in
+    let base = Array.make n 0 in
+    let total = ref 0 in
+    for v = 0 to n - 1 do
+      base.(v) <- !total;
+      total := !total + q.(v)
+    done;
+    let tasks =
+      List.concat
+        (List.init n (fun v ->
+             let actor = t.actors.(v) in
+             List.init q.(v) (fun k ->
+                 Task.make ~id:(base.(v) + k)
+                   ~name:(firing_task_name actor k)
+                   ~functionality:actor.functionality ~sw_time:actor.sw_time
+                   ~impls:actor.impls)))
+    in
+    (* Firing i (1-based) of the consumer uses the channel tokens
+       numbered (i-1)*consume - initial + 1 .. i*consume - initial
+       (numbering the tokens produced in this iteration from 1); token
+       number t comes from producer firing ceil(t / produce).  The
+       consumer firing therefore depends on every producer firing in
+       that range, with an edge weighted by the tokens it supplies. *)
+    let deadlocked = ref None in
+    let edge_table = Hashtbl.create 64 in
+    let ceil_div a b = (a + b - 1) / b in
+    List.iter
+      (fun c ->
+        for i = 1 to q.(c.dst) do
+          let t_last = (i * c.consume) - c.initial_tokens in
+          if t_last > 0 then begin
+            let t_first = max 1 (t_last - c.consume + 1) in
+            let j_first = ceil_div t_first c.produce in
+            let j_last = ceil_div t_last c.produce in
+            if j_last > q.(c.src) then
+              deadlocked :=
+                Some
+                  (Printf.sprintf
+                     "channel %d->%d: firing %d needs producer firing %d > %d"
+                     c.src c.dst i j_last q.(c.src))
+            else
+              for j = j_first to j_last do
+                (* Tokens of firing j lie in ((j-1)p, jp]. *)
+                let supplied =
+                  min (j * c.produce) t_last
+                  - max (((j - 1) * c.produce) + 1) t_first
+                  + 1
+                in
+                let key = (base.(c.src) + j - 1, base.(c.dst) + i - 1) in
+                let amount = float_of_int supplied *. c.kbytes_per_token in
+                let existing =
+                  match Hashtbl.find_opt edge_table key with
+                  | Some a -> a
+                  | None -> 0.0
+                in
+                Hashtbl.replace edge_table key (existing +. amount)
+              done
+          end
+        done)
+      t.channels;
+    match !deadlocked with
+    | Some msg -> Error msg
+    | None ->
+      let edges =
+        Hashtbl.fold
+          (fun (src, dst) kbytes acc -> { App.src; dst; kbytes } :: acc)
+          edge_table []
+      in
+      let edges =
+        List.sort (fun a b -> compare (a.App.src, a.App.dst) (b.App.src, b.App.dst)) edges
+      in
+      (try Ok (App.make ~name:t.name ?deadline ~tasks ~edges ())
+       with Invalid_argument msg -> Error msg)

@@ -1,0 +1,46 @@
+(** Synchronous dataflow (SDF) front-end.
+
+    The paper's conclusion announces moves for "systems described by
+    multiple models of computation, including SDF and CFSM"; this
+    module implements the SDF side: an SDF graph with production /
+    consumption rates and initial tokens, its repetition vector
+    (balance equations), and the expansion of one iteration into the
+    homogeneous precedence graph consumed by the explorer. *)
+
+type actor = {
+  name : string;
+  functionality : string;
+  sw_time : float;           (** per-firing software time, ms *)
+  impls : Task.impl list;    (** per-firing hardware implementations *)
+}
+
+type channel = {
+  src : int;           (** producing actor index *)
+  dst : int;           (** consuming actor index *)
+  produce : int;       (** tokens produced per firing of [src] *)
+  consume : int;       (** tokens consumed per firing of [dst] *)
+  initial_tokens : int;
+  kbytes_per_token : float;
+}
+
+type t
+
+val make : name:string -> actors:actor list -> channels:channel list -> t
+(** Validates rates (> 0) and endpoints. *)
+
+val repetition_vector : t -> int array option
+(** Minimal positive integer solution of the balance equations
+    [q.(src) * produce = q.(dst) * consume] for every channel; [None]
+    when the graph is inconsistent (no finite periodic schedule). *)
+
+val expand : ?deadline:float -> ?iterations:int -> t -> (App.t, string) result
+(** Expands [iterations] (default 1) iterations into a precedence task
+    graph: one task per actor firing, an edge between firings when a
+    token produced by one is consumed by the other (data amount =
+    tokens * kbytes_per_token).  Unfolding several iterations exposes
+    pipeline parallelism across iteration boundaries to the explorer.
+    Fails when the graph is inconsistent or deadlocked (a firing would
+    depend on a later iteration than the unfolded ones). *)
+
+val firing_task_name : actor -> int -> string
+(** Name given to the k-th firing (0-based) of an actor. *)

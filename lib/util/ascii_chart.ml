@@ -1,0 +1,65 @@
+type series = { marker : char; points : (float * float) list }
+
+let bounds series =
+  let fold f init select =
+    List.fold_left
+      (fun acc { points; _ } ->
+        List.fold_left (fun acc p -> f acc (select p)) acc points)
+      init series
+  in
+  let x_min = fold Float.min infinity fst in
+  let x_max = fold Float.max neg_infinity fst in
+  let y_min = fold Float.min infinity snd in
+  let y_max = fold Float.max neg_infinity snd in
+  (x_min, x_max, y_min, y_max)
+
+let render ?(width = 72) ?(height = 16) ?(x_label = "") ?(y_label = "") series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_chart.render: too small";
+  let all_empty = List.for_all (fun s -> s.points = []) series in
+  if series = [] || all_empty then "(no data)\n"
+  else begin
+    let x_min, x_max, y_min, y_max = bounds series in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.init height (fun _ -> Bytes.make width ' ') in
+    let plot { marker; points } =
+      List.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float ((x -. x_min) /. x_span *. float_of_int (width - 1))
+          in
+          let row =
+            height - 1
+            - int_of_float ((y -. y_min) /. y_span *. float_of_int (height - 1))
+          in
+          let col = max 0 (min (width - 1) col) in
+          let row = max 0 (min (height - 1) row) in
+          Bytes.set grid.(row) col marker)
+        points
+    in
+    List.iter plot series;
+    let buffer = Buffer.create ((width + 16) * (height + 3)) in
+    if y_label <> "" then Buffer.add_string buffer (y_label ^ "\n");
+    Array.iteri
+      (fun row line ->
+        let annotation =
+          if row = 0 then Printf.sprintf "%10.2f |" y_max
+          else if row = height - 1 then Printf.sprintf "%10.2f |" y_min
+          else String.make 11 ' ' ^ "|"
+        in
+        Buffer.add_string buffer annotation;
+        Buffer.add_string buffer (Bytes.to_string line);
+        Buffer.add_char buffer '\n')
+      grid;
+    Buffer.add_string buffer (String.make 11 ' ' ^ "+" ^ String.make width '-');
+    Buffer.add_char buffer '\n';
+    Buffer.add_string buffer
+      (Printf.sprintf "%10s  %.6g%s%.6g%s\n" "" x_min
+         (String.make (max 1 (width - 24)) ' ')
+         x_max
+         (if x_label = "" then "" else "  [" ^ x_label ^ "]"));
+    Buffer.contents buffer
+  end
+
+let render_one ?width ?height ?x_label ?y_label ?(marker = '*') points =
+  render ?width ?height ?x_label ?y_label [ { marker; points } ]

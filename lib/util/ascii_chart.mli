@@ -1,0 +1,17 @@
+(** Minimal ASCII line charts for the benchmark harness: enough to
+    redraw the paper's figures in a terminal. *)
+
+type series = { marker : char; points : (float * float) list }
+
+val render :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  series list -> string
+(** Plot the series on a shared grid (default 72x16).  Axis ranges are
+    the unions of the series' ranges; the y axis is annotated with its
+    min/max, the x axis with its min/max.  Later series draw over
+    earlier ones. *)
+
+val render_one :
+  ?width:int -> ?height:int -> ?x_label:string -> ?y_label:string ->
+  ?marker:char -> (float * float) list -> string
+(** Single-series convenience wrapper ([marker] defaults to ['*']). *)

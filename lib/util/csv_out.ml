@@ -1,0 +1,29 @@
+let escape cell =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell
+  in
+  if not needs_quoting then cell
+  else begin
+    let buffer = Buffer.create (String.length cell + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\""
+        else Buffer.add_char buffer c)
+      cell;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+
+let write path ~header rows =
+  let oc = open_out path in
+  let emit cells = output_string oc (String.concat "," (List.map escape cells) ^ "\n") in
+  (try
+     emit header;
+     List.iter emit rows
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc
+
+let row_of_floats = List.map (fun x -> Printf.sprintf "%g" x)

@@ -1,0 +1,71 @@
+type 'a entry = { priority : float; order : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable stamp : int;
+}
+
+let create () = { data = [||]; size = 0; stamp = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.order < b.order)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 8 (2 * capacity)) entry in
+    Array.blit t.data 0 fresh 0 t.size;
+    t.data <- fresh
+  end
+
+let push t priority value =
+  let entry = { priority; order = t.stamp; value } in
+  t.stamp <- t.stamp + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.data.(!i) t.data.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.data.(!i) in
+    t.data.(!i) <- t.data.(parent);
+    t.data.(parent) <- tmp;
+    i := parent
+  done
+
+let peek t =
+  if t.size = 0 then None
+  else Some (t.data.(0).priority, t.data.(0).value)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if left < t.size && before t.data.(left) t.data.(!smallest) then
+          smallest := left;
+        if right < t.size && before t.data.(right) t.data.(!smallest) then
+          smallest := right;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!i) in
+          t.data.(!i) <- t.data.(!smallest);
+          t.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.priority, top.value)
+  end

@@ -1,0 +1,17 @@
+(** Minimum-priority queue (binary heap) keyed by floats.
+
+    Used by the list scheduler and HEFT ranking in the baseline
+    substrate. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority x] inserts [x]. Smallest priority pops first; ties
+    pop in insertion order, making schedulers deterministic. *)
+
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option

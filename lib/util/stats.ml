@@ -1,0 +1,116 @@
+module Running = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let clear t =
+    t.n <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0.0 else t.m2 /. float_of_int t.n
+  let stddev t = sqrt (variance t)
+  let min t = t.min
+  let max t = t.max
+end
+
+module Smoothed = struct
+  type t = {
+    weight : float;
+    mutable initialized : bool;
+    mutable mean : float;
+    mutable var : float;
+  }
+
+  let create ~weight =
+    assert (weight > 0.0 && weight <= 1.0);
+    { weight; initialized = false; mean = 0.0; var = 0.0 }
+
+  let add t x =
+    if not t.initialized then begin
+      t.initialized <- true;
+      t.mean <- x;
+      t.var <- 0.0
+    end else begin
+      let delta = x -. t.mean in
+      t.mean <- t.mean +. (t.weight *. delta);
+      t.var <-
+        ((1.0 -. t.weight) *. t.var)
+        +. (t.weight *. (1.0 -. t.weight) *. delta *. delta)
+    end
+
+  let mean t = t.mean
+  let variance t = t.var
+  let stddev t = sqrt t.var
+  let initialized t = t.initialized
+end
+
+module Acceptance = struct
+  type t = { weight : float; mutable ratio : float }
+
+  let create ~weight =
+    assert (weight > 0.0 && weight <= 1.0);
+    { weight; ratio = 1.0 }
+
+  let record t accepted =
+    let x = if accepted then 1.0 else 0.0 in
+    t.ratio <- ((1.0 -. t.weight) *. t.ratio) +. (t.weight *. x)
+
+  let ratio t = t.ratio
+end
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let sq = List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (sq /. float_of_int (List.length xs))
+
+let median xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let autocorrelation xs lag =
+  let n = Array.length xs in
+  if lag <= 0 || lag >= n then 0.0
+  else begin
+    let m = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let denom = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    if denom = 0.0 then 0.0
+    else begin
+      let num = ref 0.0 in
+      for i = 0 to n - 1 - lag do
+        num := !num +. ((xs.(i) -. m) *. (xs.(i + lag) -. m))
+      done;
+      !num /. denom
+    end
+  end

@@ -1,0 +1,67 @@
+(** Running statistics used by the adaptive annealing schedule and by
+    the experiment harness. *)
+
+module Running : sig
+  (** Welford online mean / variance accumulator. *)
+
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val variance : t -> float
+  (** Population variance; 0 for < 2 samples. *)
+
+  val stddev : t -> float
+
+  val min : t -> float
+  (** +inf when empty. *)
+
+  val max : t -> float
+  (** -inf when empty. *)
+end
+
+module Smoothed : sig
+  (** Exponentially smoothed mean and variance, the statistical
+      quantities driving the Lam schedule. *)
+
+  type t
+
+  val create : weight:float -> t
+  (** [weight] in (0, 1\]: contribution of each new sample.  Larger
+      weights forget faster. *)
+
+  val add : t -> float -> unit
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+  val initialized : t -> bool
+end
+
+module Acceptance : sig
+  (** Smoothed acceptance-ratio tracker for annealing. *)
+
+  type t
+
+  val create : weight:float -> t
+  val record : t -> bool -> unit
+
+  val ratio : t -> float
+  (** In [0, 1]; starts at 1. *)
+end
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than 2 samples. *)
+
+val median : float list -> float
+(** Median; 0 for the empty list. *)
+
+val autocorrelation : float array -> int -> float
+(** [autocorrelation xs lag] estimates the lag-[lag] autocorrelation of
+    the series; 0 when it is too short or constant. *)

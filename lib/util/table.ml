@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let columns = List.length t.headers in
+  let widths = Array.make columns 0 in
+  let measure cells =
+    List.iteri (fun i cell ->
+        if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+      cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells c -> measure c | Separator -> ()) t.rows;
+  let pad align width cell =
+    let fill = String.make (width - String.length cell) ' ' in
+    match align with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let aligns = List.map snd t.headers in
+  let render_cells cells =
+    let padded =
+      List.mapi (fun i cell -> pad (List.nth aligns i) widths.(i) cell) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer (render_cells (List.map fst t.headers));
+  Buffer.add_char buffer '\n';
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (function
+      | Cells c ->
+        Buffer.add_string buffer (render_cells c);
+        Buffer.add_char buffer '\n'
+      | Separator ->
+        Buffer.add_string buffer rule;
+        Buffer.add_char buffer '\n')
+    (List.rev t.rows);
+  Buffer.add_string buffer rule;
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_int = string_of_int

@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness output. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given headers. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row; must have as many cells as there are columns. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Renders with aligned columns, a header rule, and a trailing
+    newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float cell; default 2 decimals. *)
+
+val cell_int : int -> string

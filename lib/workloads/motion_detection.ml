@@ -1,0 +1,121 @@
+open Repro_taskgraph
+open Repro_arch
+
+let deadline_ms = 40.0
+let all_sw_time_ms = 76.4
+let reconfig_ms_per_clb = 0.0225 (* 22.5 us per CLB *)
+
+(* Per-task synthetic estimate, standing in for the EPICURE tables:
+   (name, functionality, tsw ms, base CLBs, min speedup, max speedup,
+   number of synthesized implementations).  The software times sum to
+   the paper's 76.4 ms; image kernels accelerate well in hardware,
+   control-dominated tasks poorly — which is what makes the spatial
+   partitioning non-trivial. *)
+let estimates =
+  [|
+    (* 7-task front chain: image acquisition and conditioning.  Bit- and
+       pixel-level kernels map to small, deeply pipelined operators on
+       the FPGA: tens of CLBs, large speedups over the ARM922. *)
+    ("acquisition",   "IO",        1.2, 10, 1.2,  2.0, 5);
+    ("grayscale",     "PixelOp",   2.0, 12, 2.5, 12.0, 5);
+    ("frame_diff",    "PixelOp",   3.6, 12, 2.5, 12.0, 6);
+    ("threshold",     "PixelOp",   2.4, 12, 2.5, 12.0, 5);
+    ("median_filter", "Window3x3", 4.8, 16, 3.0, 14.0, 6);
+    ("erosion",       "Window3x3", 4.2, 14, 3.0, 14.0, 6);
+    ("dilation",      "Window3x3", 4.4, 14, 3.0, 14.0, 6);
+    (* 7-task labeling branch (ends at a sink: statistics output);
+       labeling needs on-chip tables, hence bigger and slower-to-win *)
+    ("label_pass1",   "Labeling",  5.6, 40, 2.0,  8.0, 6);
+    ("label_pass2",   "Labeling",  4.9, 40, 2.0,  8.0, 6);
+    ("equivalence",   "Control",   2.2, 12, 1.3,  2.5, 5);
+    ("relabel",       "PixelOp",   3.1, 12, 2.5, 12.0, 5);
+    ("bounding_box",  "Scan",      1.8, 12, 1.5,  4.0, 5);
+    ("features",      "Scan",      2.6, 12, 1.5,  4.0, 5);
+    ("tracking",      "Control",   1.9, 12, 1.3,  2.5, 5);
+    (* 6-task motion-estimation branch *)
+    ("gradient_x",    "Window3x3", 2.8, 14, 3.0, 14.0, 6);
+    ("gradient_y",    "Window3x3", 2.8, 14, 3.0, 14.0, 6);
+    ("optical_flow",  "Flow",      5.2, 30, 2.5, 12.0, 6);
+    ("magnitude",     "PixelOp",   2.1, 12, 2.5, 12.0, 5);
+    ("direction",     "PixelOp",   2.1, 12, 2.5, 12.0, 5);
+    ("segmentation",  "Region",    3.4, 20, 2.0,  9.0, 6);
+    (* 2-task chain in parallel with one task *)
+    ("morpho_open",   "Window3x3", 2.5, 14, 3.0, 14.0, 5);
+    ("morpho_close",  "Window3x3", 2.4, 14, 3.0, 14.0, 5);
+    ("histogram",     "Scan",      1.6, 12, 1.5,  4.0, 5);
+    (* 5-task back chain: decision and output *)
+    ("region_merge",  "Control",   1.5, 12, 1.3,  2.5, 5);
+    ("filter_small",  "Scan",      1.7, 12, 1.5,  4.0, 5);
+    ("classify",      "Control",   2.0, 12, 1.3,  2.5, 5);
+    ("overlay",       "PixelOp",   0.9, 12, 2.5, 12.0, 5);
+    ("output",        "IO",        0.7, 10, 1.2,  2.0, 5);
+  |]
+
+(* Deterministic Pareto area-time curve: [points] implementations with
+   area growing geometrically up to 4x the base and speedup
+   interpolating linearly — more CLBs buy more parallel logic. *)
+let implementations ~base_clbs ~min_speedup ~max_speedup ~points ~sw_time =
+  List.init points (fun k ->
+      let frac =
+        if points = 1 then 0.0
+        else float_of_int k /. float_of_int (points - 1)
+      in
+      let clbs =
+        int_of_float (Float.round (float_of_int base_clbs *. (4.0 ** frac)))
+      in
+      let speedup = min_speedup +. (frac *. (max_speedup -. min_speedup)) in
+      { Task.clbs; hw_time = sw_time /. speedup })
+
+let tasks () =
+  Array.to_list
+    (Array.mapi
+       (fun id (name, functionality, sw_time, base_clbs, smin, smax, points) ->
+         Task.make ~id ~name ~functionality ~sw_time
+           ~impls:
+             (implementations ~base_clbs ~min_speedup:smin ~max_speedup:smax
+                ~points ~sw_time))
+       estimates)
+
+(* Edge data amounts: a QCIF-class image buffer is ~25 kB; label maps
+   are as large; feature/statistics records are small. *)
+let image = 25.0
+let labels = 25.0
+let features = 2.0
+let stats = 1.0
+
+let edge src dst kbytes = { App.src; dst; kbytes }
+
+let edges =
+  [
+    (* front chain 0..6 *)
+    edge 0 1 image; edge 1 2 image; edge 2 3 image; edge 3 4 image;
+    edge 4 5 image; edge 5 6 image;
+    (* labeling branch 7..13 *)
+    edge 6 7 image; edge 7 8 labels; edge 8 9 labels; edge 9 10 features;
+    edge 10 11 labels; edge 11 12 features; edge 12 13 features;
+    (* motion branch 14..19 *)
+    edge 6 14 image; edge 14 15 image; edge 15 16 image; edge 16 17 image;
+    edge 17 18 image; edge 18 19 image;
+    (* 2-chain (20,21) in parallel with histogram (22) *)
+    edge 19 20 image; edge 20 21 image; edge 19 22 image;
+    (* join and back chain 23..27 *)
+    edge 21 23 image; edge 22 23 stats; edge 23 24 labels; edge 24 25 features;
+    edge 25 26 features; edge 26 27 image;
+  ]
+
+let app () =
+  App.make ~name:"motion_detection" ~deadline:deadline_ms ~tasks:(tasks ())
+    ~edges ()
+
+let platform ?(n_clb = 2000) () =
+  Platform.make ~name:"arm922_virtexE"
+    ~processor:(Resource.processor ~cost:10.0 "ARM922")
+    ~rc:
+      (Resource.reconfigurable
+         ~cost:(float_of_int n_clb /. 100.0)
+         ~n_clb ~reconfig_ms_per_clb:reconfig_ms_per_clb "VirtexE")
+    ~bus:{ Platform.kb_per_ms = 80.0; latency_ms = 0.05 }
+    ()
+
+let fig3_sizes =
+  [ 100; 200; 400; 600; 800; 1000; 1500; 2000; 3000; 5000; 7500; 10000 ]

@@ -1,0 +1,45 @@
+(** The paper's case study: the motion-detection (object labeling)
+    application of Ben Chehida & Auguin, with the EPICURE estimates
+    replaced by a calibrated synthetic equivalent (see DESIGN.md).
+
+    Anchored to every number the paper states:
+    - 28 tasks; the precedence structure of §5 (a 7-task chain, then a
+      7-task chain in parallel with a 6-task chain followed by a 2-task
+      chain in parallel with one task, then a 5-task chain);
+    - all-software execution time on the ARM922: 76.4 ms;
+    - real-time constraint: 40 ms per image;
+    - FPGA of the Virtex-E family, reconfiguration time tR = 22.5 µs
+      per CLB, default device size 2000 CLBs (swept 100..10000 in
+      Fig. 3);
+    - 5 or 6 synthesized, Pareto-dominant implementations per
+      function. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+val app : unit -> App.t
+(** The 28-task application, deadline 40 ms.  Deterministic. *)
+
+val platform : ?n_clb:int -> unit -> Platform.t
+(** ARM922 + Virtex-E-class DRLC with tR = 22.5 µs/CLB (default
+    2000 CLBs) and a 40 kB/ms shared bus. *)
+
+val deadline_ms : float
+(** 40.0 *)
+
+val all_sw_time_ms : float
+(** 76.4 — checked against {!App.total_sw_time} by the test suite. *)
+
+val reconfig_ms_per_clb : float
+(** 0.0225 (= 22.5 µs). *)
+
+val fig3_sizes : int list
+(** The device sizes swept for Fig. 3 (100 .. 10000 CLBs). *)
+
+val implementations :
+  base_clbs:int -> min_speedup:float -> max_speedup:float -> points:int ->
+  sw_time:float -> Task.impl list
+(** The deterministic Pareto area-time curve used to synthesize every
+    implementation table of the workload suite: [points] variants with
+    area growing geometrically from [base_clbs] to 4x and speedup
+    interpolating from [min_speedup] to [max_speedup]. *)

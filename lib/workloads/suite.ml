@@ -1,0 +1,166 @@
+open Repro_taskgraph
+
+let implementations = Motion_detection.implementations
+
+let task ~id ~name ~functionality ~sw_time ~base_clbs ~smin ~smax ~points =
+  Task.make ~id ~name ~functionality ~sw_time
+    ~impls:
+      (implementations ~base_clbs ~min_speedup:smin ~max_speedup:smax ~points
+         ~sw_time)
+
+let edge src dst kbytes = { App.src; dst; kbytes }
+
+let sobel_pipeline () =
+  let image = 25.0 in
+  let t id name functionality sw_time base_clbs smin smax =
+    task ~id ~name ~functionality ~sw_time ~base_clbs ~smin ~smax ~points:5
+  in
+  let tasks =
+    [
+      t 0 "capture" "IO" 1.0 35 1.2 2.0;
+      t 1 "grayscale" "PixelOp" 1.8 55 2.5 6.0;
+      t 2 "blur" "Window3x3" 3.5 100 3.0 8.0;
+      t 3 "sobel_x" "Window3x3" 2.9 90 3.0 8.0;
+      t 4 "sobel_y" "Window3x3" 2.9 90 3.0 8.0;
+      t 5 "magnitude" "PixelOp" 1.9 55 2.5 6.0;
+      t 6 "direction" "PixelOp" 1.9 55 2.5 6.0;
+      t 7 "nms" "Window3x3" 2.6 95 3.0 8.0;
+      t 8 "hysteresis" "Region" 2.8 80 2.0 5.0;
+      t 9 "overlay" "PixelOp" 1.0 50 2.5 6.0;
+      t 10 "output" "IO" 0.8 35 1.2 2.0;
+    ]
+  in
+  let edges =
+    [
+      edge 0 1 image; edge 1 2 image; edge 2 3 image; edge 2 4 image;
+      edge 3 5 image; edge 4 5 image; edge 3 6 image; edge 4 6 image;
+      edge 5 7 image; edge 6 7 image; edge 7 8 image; edge 8 9 image;
+      edge 9 10 image;
+    ]
+  in
+  App.make ~name:"sobel_pipeline" ~deadline:20.0 ~tasks ~edges ()
+
+let jpeg_encoder () =
+  let block = 16.0 and bitstream = 8.0 in
+  let t id name functionality sw_time base_clbs smin smax =
+    task ~id ~name ~functionality ~sw_time ~base_clbs ~smin ~smax ~points:6
+  in
+  (* 0 capture, 1 color conversion, 2 subsample; 4 parallel block
+     pipelines of (dct, quant, zigzag) = tasks 3..14; 15..18 RLE per
+     pipeline; 19 merge, 20 huffman, 21 header, 22 pack, 23 output. *)
+  let pipeline_tasks =
+    List.concat
+      (List.init 4 (fun p ->
+           let base = 3 + (p * 3) in
+           [
+             t base (Printf.sprintf "dct_%d" p) "DCT" 3.2 120 3.0 7.0;
+             t (base + 1) (Printf.sprintf "quant_%d" p) "PixelOp" 1.4 55 2.5 6.0;
+             t (base + 2) (Printf.sprintf "zigzag_%d" p) "Scan" 0.9 45 1.5 3.0;
+           ]))
+  in
+  let tasks =
+    [
+      t 0 "capture" "IO" 1.0 35 1.2 2.0;
+      t 1 "color_convert" "PixelOp" 2.6 60 2.5 6.0;
+      t 2 "subsample" "PixelOp" 1.5 50 2.5 6.0;
+    ]
+    @ pipeline_tasks
+    @ [
+        t 15 "rle_0" "Scan" 1.1 45 1.5 3.0;
+        t 16 "rle_1" "Scan" 1.1 45 1.5 3.0;
+        t 17 "rle_2" "Scan" 1.1 45 1.5 3.0;
+        t 18 "rle_3" "Scan" 1.1 45 1.5 3.0;
+        t 19 "merge" "Control" 0.9 40 1.2 2.2;
+        t 20 "huffman" "Control" 3.8 70 1.5 3.0;
+        t 21 "header" "Control" 0.5 35 1.2 2.2;
+        t 22 "pack" "Scan" 1.2 45 1.5 3.0;
+        t 23 "output" "IO" 0.8 35 1.2 2.0;
+      ]
+  in
+  let pipeline_edges =
+    List.concat
+      (List.init 4 (fun p ->
+           let base = 3 + (p * 3) in
+           [
+             edge 2 base block;
+             edge base (base + 1) block;
+             edge (base + 1) (base + 2) block;
+             edge (base + 2) (15 + p) block;
+             edge (15 + p) 19 bitstream;
+           ]))
+  in
+  let edges =
+    [ edge 0 1 64.0; edge 1 2 64.0 ]
+    @ pipeline_edges
+    @ [
+        edge 19 20 bitstream; edge 20 22 bitstream; edge 21 22 1.0;
+        edge 22 23 bitstream;
+      ]
+  in
+  App.make ~name:"jpeg_encoder" ~deadline:30.0 ~tasks ~edges ()
+
+let ofdm_receiver () =
+  let symbol = 8.0 and soft_bits = 12.0 and bits = 4.0 in
+  let t id name functionality sw_time base_clbs smin smax =
+    task ~id ~name ~functionality ~sw_time ~base_clbs ~smin ~smax ~points:6
+  in
+  (* 0 adc, 1 sync, 2 cp_removal, 3 fft; equalizer split over 4
+     subcarrier groups (4..7), pilot tracking (8); 9 demap, 10
+     deinterleave, 11 depuncture; viterbi in 4 pipelined stages
+     (12..15); 16 crc, 17 output. *)
+  let tasks =
+    [
+      t 0 "adc_frontend" "IO" 0.4 10 1.2 2.0;
+      t 1 "timing_sync" "Correlator" 1.1 25 3.0 10.0;
+      t 2 "cp_removal" "Scan" 0.3 10 1.5 4.0;
+      t 3 "fft_64" "FFT" 1.8 45 4.0 14.0;
+      t 4 "equalize_g0" "CMul" 0.6 15 3.0 10.0;
+      t 5 "equalize_g1" "CMul" 0.6 15 3.0 10.0;
+      t 6 "equalize_g2" "CMul" 0.6 15 3.0 10.0;
+      t 7 "equalize_g3" "CMul" 0.6 15 3.0 10.0;
+      t 8 "pilot_tracking" "Control" 0.8 12 1.3 2.5;
+      t 9 "demap_qam" "PixelOp" 0.9 14 3.0 10.0;
+      t 10 "deinterleave" "Scan" 0.5 12 1.5 4.0;
+      t 11 "depuncture" "Scan" 0.4 12 1.5 4.0;
+      t 12 "viterbi_bm" "Viterbi" 1.4 35 4.0 12.0;
+      t 13 "viterbi_acs" "Viterbi" 2.2 50 4.0 12.0;
+      t 14 "viterbi_tb" "Viterbi" 1.3 30 4.0 12.0;
+      t 15 "descramble" "Scan" 0.4 12 1.5 4.0;
+      t 16 "crc_check" "Control" 0.5 12 1.3 2.5;
+      t 17 "mac_output" "IO" 0.3 10 1.2 2.0;
+    ]
+  in
+  let equalizer_edges =
+    List.concat
+      (List.init 4 (fun g ->
+           [ edge 3 (4 + g) symbol; edge (4 + g) 9 symbol ]))
+  in
+  let edges =
+    [ edge 0 1 symbol; edge 1 2 symbol; edge 2 3 symbol; edge 3 8 2.0;
+      edge 8 9 1.0 ]
+    @ equalizer_edges
+    @ [
+        edge 9 10 soft_bits; edge 10 11 soft_bits; edge 11 12 soft_bits;
+        edge 12 13 soft_bits; edge 13 14 soft_bits; edge 14 15 bits;
+        edge 15 16 bits; edge 16 17 bits;
+      ]
+  in
+  App.make ~name:"ofdm_receiver" ~deadline:10.0 ~tasks ~edges ()
+
+let named =
+  [
+    ("motion_detection", Motion_detection.app);
+    ("sobel", sobel_pipeline);
+    ("jpeg", jpeg_encoder);
+    ("ofdm", ofdm_receiver);
+  ]
+
+let platform_for app =
+  let total_fast_area =
+    List.fold_left
+      (fun acc v -> acc + (Task.fastest_impl (App.task app v)).Task.clbs)
+      0
+      (List.init (App.size app) Fun.id)
+  in
+  let n_clb = max 200 (total_fast_area * 6 / 10) in
+  Motion_detection.platform ~n_clb ()

@@ -1,0 +1,30 @@
+(** Auxiliary workloads beyond the paper's case study, used by the
+    wider-evaluation benches and the examples. *)
+
+open Repro_taskgraph
+open Repro_arch
+
+val sobel_pipeline : unit -> App.t
+(** 11-task Sobel edge-detection pipeline (deadline 20 ms): a mostly
+    linear image pipeline with one fork-join — small enough for exact
+    cross-checks. *)
+
+val jpeg_encoder : unit -> App.t
+(** 24-task JPEG-like encoder (deadline 30 ms): color conversion, 4
+    parallel block pipelines (DCT → quantization → zigzag), entropy
+    coding — wide fork-join parallelism. *)
+
+val ofdm_receiver : unit -> App.t
+(** 18-task OFDM baseband receiver (deadline 10 ms): synchronization,
+    FFT, per-subcarrier-group equalization (4-way parallel),
+    demapping, deinterleaving, Viterbi decoding — the DSP/telecom
+    profile the reconfigurable-SoC literature targets; dominated by a
+    few heavy kernels (FFT, Viterbi) with strong hardware affinity. *)
+
+val named : (string * (unit -> App.t)) list
+(** All suite applications (including motion detection), by name. *)
+
+val platform_for : App.t -> Platform.t
+(** A reasonable default platform for a suite application (same bus
+    and tR as the motion-detection platform, device sized to ~60% of
+    the fastest-implementation total area). *)

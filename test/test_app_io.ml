@@ -1,0 +1,136 @@
+open Repro_taskgraph
+
+let sample =
+  "# a tiny pipeline\n\
+   app demo\n\
+   deadline 12.5\n\
+   task 0 source IO 1.5\n\
+   impl 0 10 1.0\n\
+   task 1 filter FIR 4\n\
+   impl 1 40 1.2\n\
+   impl 1 80 0.7\n\
+   \n\
+   edge 0 1 8.5\n"
+
+let test_parse_sample () =
+  match App_io.parse sample with
+  | Error msg -> Alcotest.fail msg
+  | Ok app ->
+    Alcotest.(check string) "name" "demo" app.App.name;
+    Alcotest.(check bool) "deadline" true (app.App.deadline = Some 12.5);
+    Alcotest.(check int) "tasks" 2 (App.size app);
+    Alcotest.(check int) "impl count" 2 (Task.impl_count (App.task app 1));
+    Alcotest.(check (float 1e-9)) "edge data" 8.5 (App.kbytes app 0 1);
+    Alcotest.(check string) "functionality" "FIR"
+      (App.task app 1).Task.functionality
+
+let roundtrip app =
+  match App_io.parse (App_io.to_string app) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok reparsed ->
+    Alcotest.(check string) "name" app.App.name reparsed.App.name;
+    Alcotest.(check bool) "deadline" true
+      (app.App.deadline = reparsed.App.deadline);
+    Alcotest.(check int) "size" (App.size app) (App.size reparsed);
+    for v = 0 to App.size app - 1 do
+      let original = App.task app v and copy = App.task reparsed v in
+      Alcotest.(check string) "task name" original.Task.name copy.Task.name;
+      Alcotest.(check (float 1e-9)) "sw time" original.Task.sw_time
+        copy.Task.sw_time;
+      Alcotest.(check int) "impls" (Task.impl_count original)
+        (Task.impl_count copy)
+    done;
+    List.iter
+      (fun { App.src; dst; kbytes } ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "edge %d->%d" src dst)
+          kbytes
+          (App.kbytes reparsed src dst))
+      (App.edges app)
+
+let test_roundtrip_motion_detection () =
+  roundtrip (Repro_workloads.Motion_detection.app ())
+
+let test_roundtrip_suite () =
+  List.iter
+    (fun (_, make) -> roundtrip (make ()))
+    Repro_workloads.Suite.named
+
+let expect_error fragment contents =
+  match App_io.parse contents with
+  | Ok _ -> Alcotest.failf "expected an error mentioning %S" fragment
+  | Error msg ->
+    let contains =
+      let n = String.length fragment and h = String.length msg in
+      let rec scan i =
+        i + n <= h && (String.sub msg i n = fragment || scan (i + 1))
+      in
+      scan 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "%S in %S" fragment msg) true contains
+
+let test_errors () =
+  expect_error "missing app" "task 0 a F 1.0\nimpl 0 1 0.5\n";
+  expect_error "out of order" "app x\ntask 1 a F 1.0\n";
+  expect_error "unknown directive" "app x\nfrobnicate 1 2\n";
+  expect_error "no implementation" "app x\ntask 0 a F 1.0\n";
+  expect_error "not a number" "app x\ndeadline soon\n";
+  expect_error "directly follow"
+    "app x\ntask 0 a F 1.0\nimpl 0 1 0.5\ntask 1 b F 1.0\nimpl 0 2 0.4\n";
+  expect_error "duplicate app" "app x\napp y\n";
+  (* Structural errors surface through App.make. *)
+  expect_error "cycle"
+    "app x\ntask 0 a F 1.0\nimpl 0 1 0.5\ntask 1 b F 1.0\nimpl 1 1 0.5\n\
+     edge 0 1 1.0\nedge 1 0 1.0\n"
+
+let test_line_numbers () =
+  match App_io.parse "app x\ntask zero a F 1.0\n" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error msg ->
+    Alcotest.(check bool) "line 2 reported" true
+      (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+
+let test_save_load () =
+  let app = Repro_workloads.Suite.sobel_pipeline () in
+  let path = Filename.temp_file "app" ".tg" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      App_io.save path app;
+      match App_io.load path with
+      | Ok loaded -> Alcotest.(check int) "size" (App.size app) (App.size loaded)
+      | Error msg -> Alcotest.fail msg)
+
+let test_load_missing_file () =
+  match App_io.load "/nonexistent/definitely_not_here.tg" with
+  | Ok _ -> Alcotest.fail "must fail"
+  | Error _ -> ()
+
+let qcheck_roundtrip_generated =
+  QCheck.Test.make ~name:"roundtrip on generated applications" ~count:50
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, depth) ->
+      let rng = Repro_util.Rng.create (seed + 11) in
+      let model = Generators.default_impl_model in
+      let app =
+        Generators.layered rng model ~layers:(1 + depth) ~width:3
+          ~edge_probability:0.4 ~mean_sw_time:2.0 ~mean_kbytes:5.0
+      in
+      match App_io.parse (App_io.to_string app) with
+      | Error _ -> false
+      | Ok reparsed ->
+        App.size app = App.size reparsed
+        && List.length (App.edges app) = List.length (App.edges reparsed)
+        && abs_float (App.total_sw_time app -. App.total_sw_time reparsed)
+           < 1e-4 *. App.total_sw_time app)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_roundtrip_generated;
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "roundtrip motion detection" `Quick
+      test_roundtrip_motion_detection;
+    Alcotest.test_case "roundtrip suite" `Quick test_roundtrip_suite;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "save/load" `Quick test_save_load;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
+  ]

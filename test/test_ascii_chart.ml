@@ -1,0 +1,57 @@
+module Chart = Repro_util.Ascii_chart
+
+let lines s = String.split_on_char '\n' s
+
+let test_empty () =
+  Alcotest.(check string) "no data" "(no data)\n" (Chart.render []);
+  Alcotest.(check string) "empty series" "(no data)\n"
+    (Chart.render [ { Chart.marker = '*'; points = [] } ])
+
+let test_single_point () =
+  let rendered = Chart.render_one [ (1.0, 5.0) ] in
+  Alcotest.(check bool) "contains the marker" true (String.contains rendered '*')
+
+let test_extremes_on_correct_rows () =
+  let rendered =
+    Chart.render_one ~width:20 ~height:5 [ (0.0, 0.0); (1.0, 10.0) ]
+  in
+  let rows = lines rendered in
+  (* Row 0 carries the max annotation and the high point; the last grid
+     row carries the min annotation and the low point. *)
+  let top = List.nth rows 0 and bottom = List.nth rows 4 in
+  Alcotest.(check bool) "max annotated" true
+    (String.length top >= 10 && String.contains top '1');
+  Alcotest.(check bool) "high point on top row" true (String.contains top '*');
+  Alcotest.(check bool) "low point on bottom row" true
+    (String.contains bottom '*')
+
+let test_two_series_markers () =
+  let rendered =
+    Chart.render ~width:20 ~height:5
+      [
+        { Chart.marker = 'a'; points = [ (0.0, 0.0); (1.0, 1.0) ] };
+        { Chart.marker = 'b'; points = [ (0.0, 1.0); (1.0, 0.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "marker a present" true (String.contains rendered 'a');
+  Alcotest.(check bool) "marker b present" true (String.contains rendered 'b')
+
+let test_flat_series () =
+  (* Constant series must not divide by zero. *)
+  let rendered = Chart.render_one [ (0.0, 3.0); (1.0, 3.0); (2.0, 3.0) ] in
+  Alcotest.(check bool) "renders" true (String.contains rendered '*')
+
+let test_size_validation () =
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Ascii_chart.render: too small") (fun () ->
+      ignore (Chart.render ~width:2 ~height:2 []))
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single point" `Quick test_single_point;
+    Alcotest.test_case "extremes" `Quick test_extremes_on_correct_rows;
+    Alcotest.test_case "two series" `Quick test_two_series_markers;
+    Alcotest.test_case "flat series" `Quick test_flat_series;
+    Alcotest.test_case "size validation" `Quick test_size_validation;
+  ]

@@ -1,0 +1,152 @@
+(* The third resource class of the paper's taxonomy: an ASIC executes
+   its tasks under a partial order (the task-graph precedences alone),
+   with no capacity bound and no reconfiguration. *)
+
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let platform () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb:100 ~reconfig_ms_per_clb:0.01 "rc")
+    ~extra:[ Resource.asic "accel" ]
+    ~bus:{ Platform.kb_per_ms = 80.0; latency_ms = 0.05 }
+    ()
+
+(* Source (sw) fans out to two independent heavy tasks, join (sw). *)
+let app () =
+  let t id sw_time hw_time = Task.make ~id ~name:(Printf.sprintf "t%d" id)
+      ~functionality:"F" ~sw_time ~impls:[ impl 60 hw_time ] in
+  App.make ~name:"fan"
+    ~tasks:[ t 0 1.0 0.5; t 1 6.0 1.5; t 2 6.0 1.5; t 3 1.0 0.5 ]
+    ~edges:
+      [
+        { App.src = 0; dst = 1; kbytes = 4.0 };
+        { App.src = 0; dst = 2; kbytes = 4.0 };
+        { App.src = 1; dst = 3; kbytes = 4.0 };
+        { App.src = 2; dst = 3; kbytes = 4.0 };
+      ]
+    ()
+
+let spec binding =
+  {
+    Searchgraph.app = app ();
+    platform = platform ();
+    binding;
+    impl_choice = (fun _ -> 0);
+    sw_order = [ 0; 3 ];
+    contexts = [];
+    proc_of = (fun _ -> 0);
+    extra_sw_orders = [];
+  }
+
+let asic_binding v =
+  if v = 1 || v = 2 then Searchgraph.On_asic 0 else Searchgraph.Sw
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_partial_order_parallelism () =
+  let s = spec asic_binding in
+  match Searchgraph.evaluate s with
+  | None -> Alcotest.fail "feasible"
+  | Some e ->
+    (* 0: 0..1; transfers 0.1 ms each; 1 and 2 run in PARALLEL on the
+       ASIC 1.1..2.6; join: 2.7..3.7.  No reconfiguration anywhere. *)
+    checkf "parallel on the asic" 3.7 e.Searchgraph.makespan;
+    checkf "no initial reconfiguration" 0.0 e.Searchgraph.initial_reconfig;
+    checkf "no dynamic reconfiguration" 0.0 e.Searchgraph.dynamic_reconfig;
+    Alcotest.(check int) "no context" 0 e.Searchgraph.n_contexts;
+    checkf "four crossings" 0.4 e.Searchgraph.comm
+
+let test_asic_vs_context () =
+  (* The same mapping on the reconfigurable circuit pays the
+     reconfiguration (120 CLBs x 0.01 = 1.2 ms) before the tasks. *)
+  let hw_binding v =
+    if v = 1 || v = 2 then Searchgraph.Hw 0 else Searchgraph.Sw
+  in
+  let on_rc = { (spec hw_binding) with Searchgraph.contexts = [ [ 1; 2 ] ] } in
+  let on_asic = spec asic_binding in
+  match (Searchgraph.evaluate on_rc, Searchgraph.evaluate on_asic) with
+  | Some rc, Some asic ->
+    Alcotest.(check bool) "asic avoids the reconfiguration" true
+      (asic.Searchgraph.makespan < rc.Searchgraph.makespan);
+    (* The 1.2 ms configuration overlaps the 1.0 ms software source and
+       the 0.1 ms transfer, so the net penalty is 0.1 ms. *)
+    checkf "rc makespan" 3.8 rc.Searchgraph.makespan;
+    checkf "configuration charged" 1.2 rc.Searchgraph.initial_reconfig
+  | None, _ | _, None -> Alcotest.fail "feasible"
+
+let test_same_asic_no_transfer () =
+  let s = spec asic_binding in
+  (* Edge 1->? none between 1 and 2; instead check exec_time and the
+     crossing structure through comm: only the 4 sw<->asic edges pay. *)
+  checkf "asic task time is the implementation time" 1.5
+    (Searchgraph.exec_time s 1)
+
+let test_two_asics_transfer () =
+  let binding v =
+    if v = 1 then Searchgraph.On_asic 0
+    else if v = 2 then Searchgraph.On_asic 1
+    else Searchgraph.Sw
+  in
+  let s = spec binding in
+  match Searchgraph.evaluate s with
+  | None -> Alcotest.fail "feasible"
+  | Some e ->
+    (* Still 4 crossings (each asic talks to software only here). *)
+    checkf "crossings counted once per edge" 0.4 e.Searchgraph.comm
+
+let test_validate_accepts_asic () =
+  match Validate.evaluated (spec asic_binding) with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "rejected: %s" (String.concat "; " msgs)
+
+let test_gantt_asic_lane () =
+  match Gantt.lane_summary (spec asic_binding) with
+  | None -> Alcotest.fail "feasible"
+  | Some text ->
+    let contains needle =
+      let n = String.length needle and h = String.length text in
+      let rec scan i = i + n <= h && (String.sub text i n = needle || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) "asic lane rendered" true (contains "Asic0:");
+    Alcotest.(check bool) "asic tasks listed" true (contains "t1[")
+
+let test_periodic_asic () =
+  let analysis = Periodic.analyze (spec asic_binding) in
+  let asic_load =
+    List.find_opt
+      (fun l -> l.Periodic.resource = "asic0")
+      analysis.Periodic.loads
+  in
+  match asic_load with
+  | Some l ->
+    (* 1 and 2 are independent: the ASIC's span is one task time. *)
+    Alcotest.(check (float 1e-9)) "asic span" 1.5 l.Periodic.busy
+  | None -> Alcotest.fail "asic load missing"
+
+let test_serialized_with_asic () =
+  let s = spec asic_binding in
+  match (Searchgraph.evaluate s, Searchgraph.evaluate_serialized s) with
+  | Some simple, Some serialized ->
+    Alcotest.(check bool) "serialized dominates" true
+      (serialized.Searchgraph.makespan >= simple.Searchgraph.makespan -. 1e-9)
+  | None, _ | _, None -> Alcotest.fail "feasible"
+
+let suite =
+  [
+    Alcotest.test_case "partial-order parallelism" `Quick
+      test_partial_order_parallelism;
+    Alcotest.test_case "asic vs context" `Quick test_asic_vs_context;
+    Alcotest.test_case "asic execution time" `Quick test_same_asic_no_transfer;
+    Alcotest.test_case "two asics" `Quick test_two_asics_transfer;
+    Alcotest.test_case "validate accepts asic" `Quick test_validate_accepts_asic;
+    Alcotest.test_case "gantt asic lane" `Quick test_gantt_asic_lane;
+    Alcotest.test_case "periodic asic span" `Quick test_periodic_asic;
+    Alcotest.test_case "serialized bus with asic" `Quick
+      test_serialized_with_asic;
+  ]

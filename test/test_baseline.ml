@@ -1,0 +1,233 @@
+open Repro_taskgraph
+open Repro_arch
+module Clustering = Repro_sched.Clustering
+module Ga = Repro_baseline.Ga
+module Greedy = Repro_baseline.Greedy
+module Random_search = Repro_baseline.Random_search
+module Hill_climb = Repro_baseline.Hill_climb
+module Searchgraph = Repro_sched.Searchgraph
+module Md = Repro_workloads.Motion_detection
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let app () =
+  let t id sw_time clbs =
+    Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F" ~sw_time
+      ~impls:[ impl clbs (sw_time /. 3.0) ]
+  in
+  App.make ~name:"chain4" ~deadline:20.0
+    ~tasks:[ t 0 2.0 40; t 1 3.0 50; t 2 4.0 60; t 3 1.0 30 ]
+    ~edges:
+      [
+        { App.src = 0; dst = 1; kbytes = 2.0 };
+        { App.src = 1; dst = 2; kbytes = 2.0 };
+        { App.src = 2; dst = 3; kbytes = 2.0 };
+      ]
+    ()
+
+let platform ?(n_clb = 100) () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb ~reconfig_ms_per_clb:0.005 "rc")
+    ~bus:Platform.default_bus ()
+
+(* --- clustering --- *)
+
+let test_clustering_capacity () =
+  let app = app () in
+  let contexts =
+    Clustering.contexts app (platform ~n_clb:100 ())
+      ~is_hw:(fun _ -> true)
+      ~impl_choice:(fun _ -> 0)
+  in
+  (* Areas 40,50,60,30 against 100: [40+50]; [60+30]. *)
+  Alcotest.(check (list (list int))) "packed in topo order" [ [ 0; 1 ]; [ 2; 3 ] ]
+    contexts
+
+let test_clustering_skips_oversized () =
+  let app = app () in
+  let platform = platform ~n_clb:45 () in
+  let contexts =
+    Clustering.contexts app platform
+      ~is_hw:(fun _ -> true)
+      ~impl_choice:(fun _ -> 0)
+  in
+  List.iter
+    (fun members ->
+      Alcotest.(check bool) "only tasks that fit" true
+        (List.for_all (fun v -> v = 0 || v = 3) members))
+    contexts;
+  Alcotest.(check (list int)) "oversized reported" [ 1; 2 ]
+    (Clustering.oversized_tasks app platform
+       ~is_hw:(fun _ -> true)
+       ~impl_choice:(fun _ -> 0))
+
+let test_clustering_respects_is_hw () =
+  let app = app () in
+  let contexts =
+    Clustering.contexts app (platform ())
+      ~is_hw:(fun v -> v = 2)
+      ~impl_choice:(fun _ -> 0)
+  in
+  Alcotest.(check (list (list int))) "only task 2" [ [ 2 ] ] contexts
+
+(* --- GA --- *)
+
+let ga_config =
+  { Ga.default_config with population = 30; generations = 15; seed = 3 }
+
+let test_ga_decode_feasible () =
+  let app = app () in
+  let platform = platform () in
+  let individual =
+    { Ga.hw = [| true; false; true; false |]; impl = [| 0; 0; 0; 0 |] }
+  in
+  let spec = Ga.decode app platform individual in
+  match Searchgraph.evaluate spec with
+  | None -> Alcotest.fail "decoded spec should be feasible"
+  | Some eval ->
+    Alcotest.(check bool) "uses hardware" true
+      (eval.Searchgraph.n_contexts >= 1)
+
+let test_ga_decode_oversized_to_sw () =
+  let app = app () in
+  let platform = platform ~n_clb:45 () in
+  let individual =
+    { Ga.hw = [| false; true; true; false |]; impl = [| 0; 0; 0; 0 |] }
+  in
+  let spec = Ga.decode app platform individual in
+  (* Tasks 1 (50) and 2 (60) cannot fit a 45-CLB device. *)
+  Alcotest.(check int) "nothing in hardware" 0 (List.length spec.Searchgraph.contexts);
+  Alcotest.(check int) "all software" 4 (List.length spec.Searchgraph.sw_order)
+
+let test_ga_improves () =
+  let app = app () in
+  let platform = platform () in
+  let result = Ga.run ga_config app platform in
+  let all_sw = App.total_sw_time app in
+  Alcotest.(check bool) "beats all-software" true
+    (result.Ga.best_eval.Searchgraph.makespan < all_sw);
+  Alcotest.(check bool) "history is monotone" true
+    (let rec monotone = function
+       | a :: (b :: _ as rest) -> a >= b -. 1e-12 && monotone rest
+       | [ _ ] | [] -> true
+     in
+     monotone result.Ga.history);
+  Alcotest.(check int) "history has one entry per generation + initial"
+    (ga_config.Ga.generations + 1)
+    (List.length result.Ga.history)
+
+let test_ga_on_motion_detection () =
+  let app = Md.app () in
+  let platform = Md.platform () in
+  let config = { Ga.default_config with population = 60; generations = 25 } in
+  let result = Ga.run config app platform in
+  Alcotest.(check bool) "meets the 40 ms constraint" true
+    (result.Ga.best_eval.Searchgraph.makespan < 40.0)
+
+let test_ga_spatial_only () =
+  let app = app () in
+  let platform = platform () in
+  let config = { ga_config with Ga.explore_impls = false } in
+  let result = Ga.run config app platform in
+  (* Every implementation gene stays at the smallest variant. *)
+  Alcotest.(check bool) "impl genes untouched" true
+    (Array.for_all (fun k -> k = 0) result.Ga.best.Ga.impl)
+
+(* --- greedy --- *)
+
+let test_greedy_fraction () =
+  let app = app () in
+  let spec = Greedy.with_fraction app (platform ()) 0.5 in
+  (* Heaviest half = tasks 2 (4.0) and 1 (3.0). *)
+  let hw_tasks =
+    List.filter
+      (fun v -> spec.Searchgraph.binding v <> Searchgraph.Sw)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "two heaviest in hw" [ 1; 2 ] hw_tasks
+
+let test_greedy_run () =
+  let app = app () in
+  let result = Greedy.run app (platform ()) in
+  Alcotest.(check bool) "beats or ties all-software" true
+    (result.Greedy.eval.Searchgraph.makespan <= App.total_sw_time app);
+  Alcotest.(check bool) "fraction within range" true
+    (result.Greedy.hw_fraction >= 0.0 && result.Greedy.hw_fraction <= 1.0)
+
+(* --- random search --- *)
+
+let test_random_search () =
+  let app = app () in
+  let result = Random_search.run ~seed:1 ~samples:200 app (platform ()) in
+  Alcotest.(check bool) "no worse than all-software" true
+    (result.Random_search.best_makespan <= App.total_sw_time app);
+  Alcotest.(check int) "samples counted" 200 result.Random_search.samples
+
+(* --- tabu search --- *)
+
+let test_tabu () =
+  let app = app () in
+  let config =
+    { Repro_baseline.Tabu.seed = 4; iterations = 300; neighbourhood = 12;
+      tenure = 15 }
+  in
+  let result = Repro_baseline.Tabu.run config app (platform ()) in
+  Alcotest.(check bool) "beats all-software" true
+    (result.Repro_baseline.Tabu.best_makespan < App.total_sw_time app);
+  Alcotest.(check bool) "applied moves" true
+    (result.Repro_baseline.Tabu.moves_applied > 0);
+  Alcotest.(check bool) "best solution consistent" true
+    (abs_float
+       (Repro_dse.Solution.makespan result.Repro_baseline.Tabu.best
+        -. result.Repro_baseline.Tabu.best_makespan)
+     < 1e-9)
+
+let test_tabu_deterministic () =
+  let app = app () in
+  let config =
+    { Repro_baseline.Tabu.seed = 9; iterations = 100; neighbourhood = 8;
+      tenure = 10 }
+  in
+  let run () =
+    (Repro_baseline.Tabu.run config app (platform ()))
+      .Repro_baseline.Tabu.best_makespan
+  in
+  Alcotest.(check (float 1e-12)) "same seed same result" (run ()) (run ())
+
+(* --- hill climbing --- *)
+
+let test_hill_climb () =
+  let app = app () in
+  let config = { Hill_climb.seed = 2; moves_per_climb = 500; restarts = 2 } in
+  let result = Hill_climb.run config app (platform ()) in
+  Alcotest.(check bool) "no worse than all-software" true
+    (result.Hill_climb.best_makespan <= App.total_sw_time app);
+  Alcotest.(check int) "moves counted" 1000 result.Hill_climb.moves_tried;
+  Alcotest.(check bool) "result solution evaluates to the reported makespan"
+    true
+    (abs_float
+       (Repro_dse.Solution.makespan result.Hill_climb.best
+        -. result.Hill_climb.best_makespan)
+     < 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "clustering capacity" `Quick test_clustering_capacity;
+    Alcotest.test_case "clustering skips oversized" `Quick
+      test_clustering_skips_oversized;
+    Alcotest.test_case "clustering respects is_hw" `Quick
+      test_clustering_respects_is_hw;
+    Alcotest.test_case "ga decode feasible" `Quick test_ga_decode_feasible;
+    Alcotest.test_case "ga decode oversized to sw" `Quick
+      test_ga_decode_oversized_to_sw;
+    Alcotest.test_case "ga improves" `Quick test_ga_improves;
+    Alcotest.test_case "ga spatial only" `Quick test_ga_spatial_only;
+    Alcotest.test_case "ga on motion detection" `Slow test_ga_on_motion_detection;
+    Alcotest.test_case "greedy fraction" `Quick test_greedy_fraction;
+    Alcotest.test_case "greedy run" `Quick test_greedy_run;
+    Alcotest.test_case "random search" `Quick test_random_search;
+    Alcotest.test_case "tabu search" `Quick test_tabu;
+    Alcotest.test_case "tabu deterministic" `Quick test_tabu_deterministic;
+    Alcotest.test_case "hill climb" `Quick test_hill_climb;
+  ]

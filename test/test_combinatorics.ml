@@ -1,0 +1,132 @@
+module C = Repro_dse.Combinatorics
+module Graph = Repro_taskgraph.Graph
+
+let test_binomial_basics () =
+  Alcotest.(check int) "C(0,0)" 1 (C.binomial 0 0);
+  Alcotest.(check int) "C(5,0)" 1 (C.binomial 5 0);
+  Alcotest.(check int) "C(5,5)" 1 (C.binomial 5 5);
+  Alcotest.(check int) "C(5,2)" 10 (C.binomial 5 2);
+  Alcotest.(check int) "C(5,7) = 0" 0 (C.binomial 5 7);
+  Alcotest.check_raises "negative" (Invalid_argument "Combinatorics.binomial: negative")
+    (fun () -> ignore (C.binomial (-1) 2))
+
+let test_binomial_symmetry () =
+  for n = 0 to 20 do
+    for k = 0 to n do
+      Alcotest.(check int) "symmetry" (C.binomial n k) (C.binomial n (n - k))
+    done
+  done
+
+let test_pascal_identity () =
+  for n = 1 to 25 do
+    for k = 1 to n - 1 do
+      Alcotest.(check int) "Pascal"
+        (C.binomial n k)
+        (C.binomial (n - 1) (k - 1) + C.binomial (n - 1) k)
+    done
+  done
+
+let test_interleavings () =
+  Alcotest.(check int) "trivial" 1 (C.interleavings [ 5 ]);
+  Alcotest.(check int) "empty" 1 (C.interleavings []);
+  Alcotest.(check int) "2 || 1" 3 (C.interleavings [ 2; 1 ]);
+  (* The paper: a 7-chain in parallel with a 6-chain = 1716 orders. *)
+  Alcotest.(check int) "7 || 6" 1716 (C.interleavings [ 7; 6 ]);
+  (* And a 7-chain against a 14-chain = C(21,7). *)
+  Alcotest.(check int) "7 || 14" 116280 (C.interleavings [ 7; 14 ])
+
+(* Every §5 number, verbatim. *)
+let test_paper_counts () =
+  Alcotest.(check int) "378 (2 changes on a 28-chain)" 378
+    (C.context_change_combinations ~nodes:28 ~changes:2);
+  Alcotest.(check int) "376,740 (6 changes)" 376_740
+    (C.context_change_combinations ~nodes:28 ~changes:6);
+  Alcotest.(check int) "1716 first-20-node orders" 1716 (C.interleavings [ 7; 6 ]);
+  Alcotest.(check int) "348,840 total orders" 348_840
+    (C.motion_detection_total_orders ());
+  Alcotest.(check int) "131,861,520 combos for 2 changes" 131_861_520
+    (C.motion_detection_combinations ~changes:2);
+  Alcotest.(check int) "7,142,499,000 combos for 4 changes" 7_142_499_000
+    (C.motion_detection_combinations ~changes:4)
+
+let test_linear_extensions_chain () =
+  let g = Graph.create 5 in
+  for v = 0 to 3 do
+    Graph.add_edge g v (v + 1)
+  done;
+  Alcotest.(check int) "chain has one order" 1 (C.linear_extensions g)
+
+let test_linear_extensions_antichain () =
+  let g = Graph.create 5 in
+  Alcotest.(check int) "antichain n!" 120 (C.linear_extensions g)
+
+let test_linear_extensions_diamond () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 1 3;
+  Graph.add_edge g 2 3;
+  Alcotest.(check int) "diamond" 2 (C.linear_extensions g)
+
+let test_linear_extensions_matches_interleavings () =
+  (* Two parallel chains of 7 and 6 nodes: the DP must agree with the
+     closed form 1716 used by the paper. *)
+  let g = Graph.create 13 in
+  for v = 0 to 5 do
+    Graph.add_edge g v (v + 1)
+  done;
+  for v = 7 to 11 do
+    Graph.add_edge g v (v + 1)
+  done;
+  Alcotest.(check int) "DP agrees with C(13,7)" 1716 (C.linear_extensions g)
+
+let test_linear_extensions_limits () =
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Combinatorics.linear_extensions: > 24 nodes") (fun () ->
+      ignore (C.linear_extensions (Graph.create 25)));
+  let cyclic = Graph.create 2 in
+  Graph.add_edge cyclic 0 1;
+  Graph.add_edge cyclic 1 0;
+  Alcotest.check_raises "cyclic"
+    (Invalid_argument "Combinatorics.linear_extensions: cyclic graph") (fun () ->
+      ignore (C.linear_extensions cyclic))
+
+(* The motion-detection tail structure: a 2-chain in parallel with one
+   node gives the paper's "3 orders". *)
+let test_tail_structure () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Alcotest.(check int) "3 orders" 3 (C.linear_extensions g);
+  Alcotest.(check int) "closed form agrees" 3 (C.interleavings [ 2; 1 ])
+
+let qcheck_extensions_vs_interleavings =
+  QCheck.Test.make ~name:"linear_extensions of parallel chains = multinomial"
+    ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (a, b) ->
+      let g = Graph.create (a + b) in
+      for v = 0 to a - 2 do
+        Graph.add_edge g v (v + 1)
+      done;
+      for v = a to a + b - 2 do
+        Graph.add_edge g v (v + 1)
+      done;
+      C.linear_extensions g = C.interleavings [ a; b ])
+
+let suite =
+  [
+    Alcotest.test_case "binomial basics" `Quick test_binomial_basics;
+    Alcotest.test_case "binomial symmetry" `Quick test_binomial_symmetry;
+    Alcotest.test_case "pascal identity" `Quick test_pascal_identity;
+    Alcotest.test_case "interleavings" `Quick test_interleavings;
+    Alcotest.test_case "paper counts (§5)" `Quick test_paper_counts;
+    Alcotest.test_case "extensions: chain" `Quick test_linear_extensions_chain;
+    Alcotest.test_case "extensions: antichain" `Quick
+      test_linear_extensions_antichain;
+    Alcotest.test_case "extensions: diamond" `Quick test_linear_extensions_diamond;
+    Alcotest.test_case "extensions match interleavings" `Quick
+      test_linear_extensions_matches_interleavings;
+    Alcotest.test_case "extensions limits" `Quick test_linear_extensions_limits;
+    Alcotest.test_case "tail structure (3 orders)" `Quick test_tail_structure;
+    QCheck_alcotest.to_alcotest qcheck_extensions_vs_interleavings;
+  ]

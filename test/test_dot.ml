@@ -1,0 +1,52 @@
+open Repro_taskgraph
+module Dot = Repro_taskgraph.Dot
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let app () =
+  let t id name =
+    Task.make ~id ~name ~functionality:"F" ~sw_time:1.0
+      ~impls:[ { Task.clbs = 10; hw_time = 0.5 } ]
+  in
+  App.make ~name:"dot"
+    ~tasks:[ t 0 "first"; t 1 "second"; t 2 "third" ]
+    ~edges:
+      [
+        { App.src = 0; dst = 1; kbytes = 3.0 };
+        { App.src = 1; dst = 2; kbytes = 4.0 };
+      ]
+    ()
+
+let test_of_app () =
+  let dot = Dot.of_app (app ()) in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "node labels" true (contains dot "first");
+  Alcotest.(check bool) "edges" true (contains dot "n0 -> n1");
+  Alcotest.(check bool) "data amounts" true (contains dot "3.0 kB")
+
+let test_of_app_partitioned () =
+  let binding v = if v = 1 then `Hw 0 else `Sw in
+  let dot = Dot.of_app_partitioned (app ()) ~binding in
+  Alcotest.(check bool) "cluster for the context" true
+    (contains dot "subgraph cluster_ctx0");
+  Alcotest.(check bool) "software colouring" true (contains dot "lightblue");
+  Alcotest.(check bool) "hardware colouring" true (contains dot "lightyellow")
+
+let test_write_file () =
+  let path = Filename.temp_file "dot" ".dot" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Dot.write_file path "digraph {}\n";
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "written" "digraph {}" line)
+
+let suite =
+  [
+    Alcotest.test_case "of_app" `Quick test_of_app;
+    Alcotest.test_case "of_app_partitioned" `Quick test_of_app_partitioned;
+    Alcotest.test_case "write_file" `Quick test_write_file;
+  ]

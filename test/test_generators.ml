@@ -1,0 +1,103 @@
+open Repro_taskgraph
+module Rng = Repro_util.Rng
+
+let model = Generators.default_impl_model
+
+let test_synthesize_impls () =
+  let rng = Rng.create 1 in
+  let impls = Generators.synthesize_impls rng model ~sw_time:4.0 in
+  Alcotest.(check bool) "non-empty" true (impls <> []);
+  Alcotest.(check bool) "pareto" true (Task.is_pareto impls);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "positive area" true (i.Task.clbs > 0);
+      Alcotest.(check bool) "faster than sw" true (i.Task.hw_time < 4.0))
+    impls
+
+let test_chain () =
+  let rng = Rng.create 2 in
+  let app = Generators.chain rng model ~length:10 ~mean_sw_time:2.0
+      ~mean_kbytes:5.0 in
+  Alcotest.(check int) "size" 10 (App.size app);
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  Alcotest.(check int) "chain edges" 9 (List.length (App.edges app));
+  (* A chain has no parallelism. *)
+  Alcotest.(check (float 1e-9)) "parallelism" 1.0 (App.parallelism app)
+
+let test_chain_bad_length () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "Generators.chain: length < 1") (fun () ->
+      ignore (Generators.chain rng model ~length:0 ~mean_sw_time:1.0
+                ~mean_kbytes:1.0))
+
+let test_parallel_chains () =
+  let rng = Rng.create 4 in
+  let app =
+    Generators.parallel_chains rng model ~chains:[ 3; 4; 2 ] ~mean_sw_time:2.0
+      ~mean_kbytes:5.0
+  in
+  Alcotest.(check int) "size = chains + source + sink" 11 (App.size app);
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  (* Source 0 fans out to 3 chains, sink collects them. *)
+  Alcotest.(check int) "source degree" 3
+    (Graph.out_degree app.App.graph 0);
+  Alcotest.(check int) "sink in-degree" 3
+    (Graph.in_degree app.App.graph 10);
+  Alcotest.(check bool) "parallelism > 1" true (App.parallelism app > 1.0)
+
+let test_layered () =
+  let rng = Rng.create 5 in
+  let app =
+    Generators.layered rng model ~layers:5 ~width:4 ~edge_probability:0.4
+      ~mean_sw_time:1.5 ~mean_kbytes:3.0
+  in
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  Alcotest.(check bool) "at least one task per layer" true (App.size app >= 5);
+  (* Connectivity: every non-first-layer task has a predecessor. *)
+  let g = app.App.graph in
+  let first_layer_size =
+    List.length (List.filter (fun v -> Graph.in_degree g v = 0)
+                   (List.init (App.size app) Fun.id))
+  in
+  Alcotest.(check bool) "only first layer has no preds" true
+    (first_layer_size <= 4)
+
+let test_series_parallel () =
+  let rng = Rng.create 6 in
+  let app =
+    Generators.series_parallel rng model ~depth:4 ~mean_sw_time:1.0
+      ~mean_kbytes:2.0
+  in
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  Alcotest.(check bool) "non-trivial" true (App.size app >= 3)
+
+let qcheck_generators_valid =
+  QCheck.Test.make ~name:"generated applications always validate" ~count:60
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, depth) ->
+      let rng = Rng.create seed in
+      let apps =
+        [
+          Generators.chain rng model ~length:(1 + depth) ~mean_sw_time:1.0
+            ~mean_kbytes:1.0;
+          Generators.parallel_chains rng model ~chains:[ depth; 2 ]
+            ~mean_sw_time:1.0 ~mean_kbytes:1.0;
+          Generators.layered rng model ~layers:depth ~width:3
+            ~edge_probability:0.5 ~mean_sw_time:1.0 ~mean_kbytes:1.0;
+          Generators.series_parallel rng model ~depth ~mean_sw_time:1.0
+            ~mean_kbytes:1.0;
+        ]
+      in
+      List.for_all (fun app -> App.validate app = Ok ()) apps)
+
+let suite =
+  [
+    Alcotest.test_case "synthesize impls" `Quick test_synthesize_impls;
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "chain bad length" `Quick test_chain_bad_length;
+    Alcotest.test_case "parallel chains" `Quick test_parallel_chains;
+    Alcotest.test_case "layered" `Quick test_layered;
+    Alcotest.test_case "series parallel" `Quick test_series_parallel;
+    QCheck_alcotest.to_alcotest qcheck_generators_valid;
+  ]

@@ -1,0 +1,153 @@
+module Graph = Repro_taskgraph.Graph
+module Longest_path = Repro_sched.Longest_path
+module Rng = Repro_util.Rng
+
+let diamond_weights () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 1 3;
+  Graph.add_edge g 2 3;
+  let weights = [| 1.0; 5.0; 2.0; 1.0 |] in
+  (g, weights)
+
+let test_create_matches_graph_longest_path () =
+  let g, weights = diamond_weights () in
+  match
+    Longest_path.create g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight:(fun _ _ -> 0.0)
+  with
+  | None -> Alcotest.fail "DAG"
+  | Some lp ->
+    Alcotest.(check (float 1e-9)) "makespan" 7.0 (Longest_path.makespan lp);
+    Alcotest.(check (float 1e-9)) "finish 2" 3.0 (Longest_path.finish lp 2)
+
+let test_create_rejects_cycle () =
+  let g = Graph.create 2 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 0;
+  Alcotest.(check bool) "cyclic" true
+    (Longest_path.create g ~node_weight:(fun _ -> 1.0)
+       ~edge_weight:(fun _ _ -> 0.0)
+     = None)
+
+let test_refresh_propagates () =
+  let g, weights = diamond_weights () in
+  match
+    Longest_path.create g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight:(fun _ _ -> 0.0)
+  with
+  | None -> Alcotest.fail "DAG"
+  | Some lp ->
+    weights.(1) <- 0.5;
+    Longest_path.refresh lp [ 1 ];
+    (* Critical path now goes through node 2: 1 + 2 + 1. *)
+    Alcotest.(check (float 1e-9)) "makespan updated" 4.0
+      (Longest_path.makespan lp);
+    Alcotest.(check (float 1e-9)) "finish 1 updated" 1.5
+      (Longest_path.finish lp 1)
+
+let test_refresh_stops_early () =
+  (* A long chain behind the changed node: changing the sink must not
+     touch the chain. *)
+  let n = 50 in
+  let g = Graph.create n in
+  for v = 0 to n - 2 do
+    Graph.add_edge g v (v + 1)
+  done;
+  let weights = Array.make n 1.0 in
+  match
+    Longest_path.create g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight:(fun _ _ -> 0.0)
+  with
+  | None -> Alcotest.fail "DAG"
+  | Some lp ->
+    weights.(n - 1) <- 3.0;
+    Longest_path.refresh lp [ n - 1 ];
+    Alcotest.(check int) "only the sink re-evaluated" 1
+      (Longest_path.touched_last_refresh lp);
+    Alcotest.(check (float 1e-9)) "makespan" (float_of_int (n - 1) +. 3.0)
+      (Longest_path.makespan lp);
+    (* No-op refresh of an unchanged node stops immediately after it. *)
+    Longest_path.refresh lp [ 0 ];
+    Alcotest.(check int) "unchanged node does not cascade" 1
+      (Longest_path.touched_last_refresh lp)
+
+let qcheck_refresh_equals_recompute =
+  QCheck.Test.make ~name:"refresh equals full recomputation" ~count:200
+    QCheck.(triple small_int (int_range 2 12) (int_range 0 11))
+    (fun (seed, n, dirty_raw) ->
+      let rng = Rng.create (seed + 1) in
+      let g = Graph.create n in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng 0.3 then Graph.add_edge g u v
+        done
+      done;
+      let weights = Array.init n (fun _ -> Rng.float rng 10.0) in
+      match
+        Longest_path.create g
+          ~node_weight:(fun v -> weights.(v))
+          ~edge_weight:(fun _ _ -> 0.0)
+      with
+      | None -> false
+      | Some lp ->
+        let dirty = dirty_raw mod n in
+        weights.(dirty) <- Rng.float rng 10.0;
+        Longest_path.refresh lp [ dirty ];
+        (* Reference: independent full solve. *)
+        let finish =
+          Graph.longest_path g
+            ~node_weight:(fun v -> weights.(v))
+            ~edge_weight:(fun _ _ -> 0.0)
+        in
+        Array.for_all
+          (fun v -> abs_float (finish.(v) -. Longest_path.finish lp v) < 1e-9)
+          (Array.init n Fun.id))
+
+let qcheck_multi_dirty =
+  QCheck.Test.make ~name:"refresh with several dirty nodes" ~count:100
+    QCheck.(pair small_int (int_range 3 12))
+    (fun (seed, n) ->
+      let rng = Rng.create (seed + 7) in
+      let g = Graph.create n in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng 0.3 then Graph.add_edge g u v
+        done
+      done;
+      let weights = Array.init n (fun _ -> Rng.float rng 10.0) in
+      match
+        Longest_path.create g
+          ~node_weight:(fun v -> weights.(v))
+          ~edge_weight:(fun _ _ -> 0.0)
+      with
+      | None -> false
+      | Some lp ->
+        let dirty =
+          List.filter (fun _ -> Rng.bernoulli rng 0.4) (List.init n Fun.id)
+        in
+        List.iter (fun v -> weights.(v) <- Rng.float rng 10.0) dirty;
+        Longest_path.refresh lp dirty;
+        let finish =
+          Graph.longest_path g
+            ~node_weight:(fun v -> weights.(v))
+            ~edge_weight:(fun _ _ -> 0.0)
+        in
+        Array.for_all
+          (fun v -> abs_float (finish.(v) -. Longest_path.finish lp v) < 1e-9)
+          (Array.init n Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "create matches reference" `Quick
+      test_create_matches_graph_longest_path;
+    Alcotest.test_case "create rejects cycle" `Quick test_create_rejects_cycle;
+    Alcotest.test_case "refresh propagates" `Quick test_refresh_propagates;
+    Alcotest.test_case "refresh stops early" `Quick test_refresh_stops_early;
+    QCheck_alcotest.to_alcotest qcheck_refresh_equals_recompute;
+    QCheck_alcotest.to_alcotest qcheck_multi_dirty;
+  ]

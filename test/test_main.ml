@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("bitset", Test_bitset.suite);
+      ("pqueue", Test_pqueue.suite);
+      ("table/csv", Test_table_csv.suite);
+      ("ascii-chart", Test_ascii_chart.suite);
+      ("graph", Test_graph.suite);
+      ("task/app", Test_task_app.suite);
+      ("generators", Test_generators.suite);
+      ("sdf", Test_sdf.suite);
+      ("app-io", Test_app_io.suite);
+      ("dot", Test_dot.suite);
+      ("arch", Test_arch.suite);
+      ("platform-io", Test_platform_io.suite);
+      ("closure", Test_closure.suite);
+      ("searchgraph", Test_searchgraph.suite);
+      ("validate", Test_validate.suite);
+      ("serialized-bus", Test_serialized_bus.suite);
+      ("longest-path", Test_longest_path.suite);
+      ("multiproc", Test_multiproc.suite);
+      ("asic", Test_asic.suite);
+      ("periodic", Test_periodic.suite);
+      ("multi-mode", Test_multi_mode.suite);
+      ("stress", Test_stress.suite);
+      ("list-sched", Test_list_sched.suite);
+      ("gantt", Test_gantt.suite);
+      ("anneal", Test_anneal.suite);
+      ("solution", Test_solution.suite);
+      ("moves", Test_moves.suite);
+      ("explorer", Test_explorer.suite);
+      ("baseline", Test_baseline.suite);
+      ("combinatorics", Test_combinatorics.suite);
+      ("workloads", Test_workloads.suite);
+      ("trace", Test_trace.suite);
+    ]

@@ -1,0 +1,204 @@
+open Repro_taskgraph
+open Repro_arch
+module Solution = Repro_dse.Solution
+module Moves = Repro_dse.Moves
+module Searchgraph = Repro_sched.Searchgraph
+module Rng = Repro_util.Rng
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+(* The 5-task diamond pipeline of test_solution, reused as a compact
+   but non-trivial move playground. *)
+let app () =
+  let t id sw_time impls =
+    Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F" ~sw_time
+      ~impls
+  in
+  App.make ~name:"pipe" ~deadline:50.0
+    ~tasks:
+      [
+        t 0 2.0 [ impl 30 0.8 ];
+        t 1 4.0 [ impl 40 1.0; impl 80 0.6 ];
+        t 2 3.0 [ impl 40 0.9 ];
+        t 3 5.0 [ impl 60 1.2; impl 90 0.8 ];
+        t 4 1.0 [ impl 20 0.5 ];
+      ]
+    ~edges:
+      [
+        { App.src = 0; dst = 1; kbytes = 5.0 };
+        { App.src = 0; dst = 2; kbytes = 5.0 };
+        { App.src = 1; dst = 3; kbytes = 5.0 };
+        { App.src = 2; dst = 3; kbytes = 5.0 };
+        { App.src = 3; dst = 4; kbytes = 5.0 };
+      ]
+    ()
+
+let platform ?(n_clb = 100) () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb ~reconfig_ms_per_clb:0.01 "rc")
+    ~bus:Platform.default_bus ()
+
+(* A canonical state fingerprint for undo-exactness checks. *)
+let fingerprint s =
+  let n = Solution.size s in
+  let bindings =
+    List.map
+      (fun v ->
+        match Solution.binding s v with
+        | Searchgraph.Sw -> Printf.sprintf "p%d" (Solution.processor_index s v)
+        | Searchgraph.Hw j -> Printf.sprintf "hw%d" j
+        | Searchgraph.On_asic a -> Printf.sprintf "asic%d" a)
+      (List.init n Fun.id)
+  in
+  let impls = List.map (Solution.impl_index s) (List.init n Fun.id) in
+  Printf.sprintf "b=%s i=%s o=%s c=%s"
+    (String.concat "," bindings)
+    (String.concat "," (List.map string_of_int impls))
+    (String.concat "," (List.map string_of_int (Solution.sw_order s)))
+    (String.concat ";"
+       (List.map
+          (fun members -> String.concat "," (List.map string_of_int members))
+          (Solution.contexts s)))
+
+let test_feasibility_preserved () =
+  let rng = Rng.create 77 in
+  let s = Solution.random (Rng.split rng) (app ()) (platform ()) in
+  for _ = 1 to 2_000 do
+    (match Moves.propose rng Moves.fixed_architecture s with
+     | Some _ | None -> ());
+    match Solution.check_invariants s with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "invariants broken: %s" msg
+  done;
+  Alcotest.(check bool) "still feasible" true (Solution.evaluate s <> None)
+
+let test_accepted_moves_feasible () =
+  let rng = Rng.create 88 in
+  let s = Solution.random (Rng.split rng) (app ()) (platform ()) in
+  for _ = 1 to 2_000 do
+    match Moves.propose rng Moves.fixed_architecture s with
+    | Some _ ->
+      Alcotest.(check bool) "feasible after accepted move" true
+        (Solution.evaluate s <> None)
+    | None -> ()
+  done
+
+let test_undo_restores_exactly () =
+  let rng = Rng.create 99 in
+  let s = Solution.random (Rng.split rng) (app ()) (platform ()) in
+  for _ = 1 to 2_000 do
+    let before = fingerprint s in
+    let before_makespan = Solution.makespan s in
+    match Moves.propose rng Moves.fixed_architecture s with
+    | Some undo ->
+      undo ();
+      Alcotest.(check string) "state restored" before (fingerprint s);
+      Alcotest.(check (float 1e-12)) "makespan restored" before_makespan
+        (Solution.makespan s)
+    | None ->
+      (* Infeasible moves must have been rolled back internally. *)
+      Alcotest.(check string) "no residue" before (fingerprint s)
+  done
+
+let test_moves_reach_hardware () =
+  (* Ergodicity smoke test: from all-software, moves eventually use the
+     circuit; from all-hardware (forced), moves come back. *)
+  let rng = Rng.create 123 in
+  let s = Solution.all_software (app ()) (platform ()) in
+  let seen_hw = ref false in
+  for _ = 1 to 3_000 do
+    ignore (Moves.propose rng Moves.fixed_architecture s);
+    if Solution.hw_tasks s <> [] then seen_hw := true
+  done;
+  Alcotest.(check bool) "explored hardware" true !seen_hw;
+  let all_hw = Solution.all_software (app ()) (platform ~n_clb:1000 ()) in
+  List.iter (fun v -> Solution.append_context all_hw ~task:v) [ 0; 1; 2; 3; 4 ];
+  let seen_sw = ref false in
+  for _ = 1 to 3_000 do
+    ignore (Moves.propose rng Moves.fixed_architecture all_hw);
+    if List.length (Solution.hw_tasks all_hw) < 5 then seen_sw := true
+  done;
+  Alcotest.(check bool) "found the way back to software" true !seen_sw
+
+let test_device_moves () =
+  let rng = Rng.create 7 in
+  let catalogue = [ platform ~n_clb:50 (); platform ~n_clb:100 ();
+                    platform ~n_clb:200 () ] in
+  let config = Moves.exploration catalogue in
+  let s = Solution.random (Rng.split rng) (app ()) (List.nth catalogue 1) in
+  let seen_sizes = Hashtbl.create 4 in
+  for _ = 1 to 3_000 do
+    ignore (Moves.propose rng config s);
+    Hashtbl.replace seen_sizes (Platform.n_clb (Solution.platform s)) ()
+  done;
+  Alcotest.(check bool) "visited several devices" true
+    (Hashtbl.length seen_sizes >= 2);
+  Alcotest.(check bool) "still feasible" true (Solution.evaluate s <> None)
+
+let test_device_moves_skip_mismatched_processors () =
+  (* A catalogue entry with an extra processor must never be selected
+     (it would strand tasks); the proposer skips it instead of
+     raising. *)
+  let rng = Rng.create 15 in
+  let dual =
+    Platform.make ~name:"dual"
+      ~processor:(Resource.processor "cpu")
+      ~rc:(Resource.reconfigurable ~n_clb:100 ~reconfig_ms_per_clb:0.01 "rc")
+      ~extra:[ Resource.processor "cpu2" ]
+      ~bus:Platform.default_bus ()
+  in
+  let catalogue = [ platform ~n_clb:50 (); dual; platform ~n_clb:200 () ] in
+  let config = Moves.exploration catalogue in
+  let s = Solution.random (Rng.split rng) (app ()) (platform ~n_clb:100 ()) in
+  for _ = 1 to 2_000 do
+    ignore (Moves.propose rng config s);
+    Alcotest.(check int) "processor count preserved" 1
+      (Platform.processor_count (Solution.platform s))
+  done
+
+let test_spatial_only_never_touches_impls () =
+  let rng = Rng.create 31 in
+  let s = Solution.random (Rng.split rng) (app ()) (platform ()) in
+  let impls_before = List.map (Solution.impl_index s) [ 0; 1; 2; 3; 4 ] in
+  for _ = 1 to 1_000 do
+    ignore (Moves.propose rng Moves.spatial_only s)
+  done;
+  let impls_after = List.map (Solution.impl_index s) [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "implementation genes untouched" impls_before
+    impls_after
+
+let qcheck_random_walk_invariants =
+  QCheck.Test.make ~name:"random move walks keep invariants and feasibility"
+    ~count:40
+    QCheck.(pair small_int (int_range 40 300))
+    (fun (seed, n_clb) ->
+      let rng = Rng.create (seed + 1) in
+      let s = Solution.random (Rng.split rng) (app ()) (platform ~n_clb ()) in
+      let steps = 300 in
+      let rec walk i =
+        if i = 0 then true
+        else begin
+          ignore (Moves.propose rng Moves.fixed_architecture s);
+          Solution.check_invariants s = Ok ()
+          && Solution.evaluate s <> None
+          && walk (i - 1)
+        end
+      in
+      walk steps)
+
+let suite =
+  [
+    Alcotest.test_case "feasibility preserved" `Quick test_feasibility_preserved;
+    Alcotest.test_case "accepted moves feasible" `Quick
+      test_accepted_moves_feasible;
+    Alcotest.test_case "undo restores exactly" `Quick test_undo_restores_exactly;
+    Alcotest.test_case "moves reach hardware and back" `Quick
+      test_moves_reach_hardware;
+    Alcotest.test_case "device moves" `Quick test_device_moves;
+    Alcotest.test_case "device moves skip mismatched processors" `Quick
+      test_device_moves_skip_mismatched_processors;
+    Alcotest.test_case "spatial-only config" `Quick
+      test_spatial_only_never_touches_impls;
+    QCheck_alcotest.to_alcotest qcheck_random_walk_invariants;
+  ]

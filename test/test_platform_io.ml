@@ -1,0 +1,86 @@
+open Repro_arch
+
+let sample =
+  "# ARM + DSP + FPGA SoC\n\
+   platform arm_dsp_fpga\n\
+   processor ARM922 cost 10 speed 1.0\n\
+   processor C55x cost 6 speed 1.5\n\
+   rc VirtexE clbs 2000 tr 0.0225 cost 20\n\
+   asic TurboDec cost 5\n\
+   bus rate 80 latency 0.05\n"
+
+let test_parse_sample () =
+  match Platform_io.parse sample with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    Alcotest.(check string) "name" "arm_dsp_fpga" p.Platform.name;
+    Alcotest.(check int) "processors" 2 (Platform.processor_count p);
+    Alcotest.(check (float 1e-9)) "dsp speed" 1.5 (Platform.processor_speed p 1);
+    Alcotest.(check int) "clbs" 2000 (Platform.n_clb p);
+    Alcotest.(check (float 1e-9)) "tr" 0.0225
+      (Platform.reconfiguration_time p 1);
+    Alcotest.(check (float 1e-9)) "cost includes everything" 41.0
+      (Platform.total_cost p);
+    Alcotest.(check (float 1e-9)) "bus" 1.05 (Platform.transfer_time p 80.0)
+
+let test_defaults () =
+  let minimal = "platform p\nprocessor cpu\nrc fpga clbs 100 tr 0.01\nbus rate 50\n" in
+  match Platform_io.parse minimal with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    Alcotest.(check (float 1e-9)) "default costs" 2.0 (Platform.total_cost p);
+    Alcotest.(check (float 1e-9)) "default latency" 0.0
+      (Platform.transfer_time p 0.0)
+
+let test_roundtrip () =
+  match Platform_io.parse sample with
+  | Error msg -> Alcotest.fail msg
+  | Ok p ->
+    (match Platform_io.parse (Platform_io.to_string p) with
+     | Error msg -> Alcotest.failf "roundtrip: %s" msg
+     | Ok q ->
+       Alcotest.(check string) "name" p.Platform.name q.Platform.name;
+       Alcotest.(check int) "processors" (Platform.processor_count p)
+         (Platform.processor_count q);
+       Alcotest.(check (float 1e-9)) "cost" (Platform.total_cost p)
+         (Platform.total_cost q);
+       Alcotest.(check int) "clbs" (Platform.n_clb p) (Platform.n_clb q))
+
+let expect_error fragment contents =
+  match Platform_io.parse contents with
+  | Ok _ -> Alcotest.failf "expected an error about %S" fragment
+  | Error msg ->
+    let contains =
+      let n = String.length fragment and h = String.length msg in
+      let rec scan i =
+        i + n <= h && (String.sub msg i n = fragment || scan (i + 1))
+      in
+      scan 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "%S in %S" fragment msg) true contains
+
+let test_errors () =
+  expect_error "missing platform" "processor cpu\n";
+  expect_error "missing rc" "platform p\nprocessor cpu\nbus rate 10\n";
+  expect_error "missing bus" "platform p\nprocessor cpu\nrc f clbs 10 tr 0.1\n";
+  expect_error "at least one processor" "platform p\nrc f clbs 10 tr 0.1\nbus rate 10\n";
+  expect_error "clbs attribute" "platform p\nprocessor cpu\nrc f tr 0.1\nbus rate 10\n";
+  expect_error "no value" "platform p\nprocessor cpu cost\n";
+  expect_error "unknown directive" "platform p\nfrob x\n";
+  expect_error "not a number" "platform p\nprocessor cpu speed fast\n"
+
+let test_roundtrip_builtin () =
+  let p = Repro_workloads.Motion_detection.platform () in
+  match Platform_io.parse (Platform_io.to_string p) with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    Alcotest.(check int) "clbs" (Platform.n_clb p) (Platform.n_clb q)
+
+let suite =
+  [
+    Alcotest.test_case "parse sample" `Quick test_parse_sample;
+    Alcotest.test_case "defaults" `Quick test_defaults;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "roundtrip builtin" `Quick test_roundtrip_builtin;
+  ]

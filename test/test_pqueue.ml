@@ -1,0 +1,75 @@
+module Pqueue = Repro_util.Pqueue
+
+let test_empty () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Pqueue.length q);
+  Alcotest.(check bool) "pop None" true (Pqueue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Pqueue.peek q = None)
+
+let test_ordering () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "first") ];
+  let drain () =
+    let rec loop acc =
+      match Pqueue.pop q with
+      | None -> List.rev acc
+      | Some (_, v) -> loop (v :: acc)
+    in
+    loop []
+  in
+  Alcotest.(check (list string)) "ascending priority"
+    [ "first"; "a"; "b"; "c" ] (drain ())
+
+let test_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iteri (fun i v -> ignore i; Pqueue.push q 1.0 v) [ "x"; "y"; "z" ];
+  let pop () = match Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ]
+    [ first; second; third ]
+
+let test_peek_does_not_pop () =
+  let q = Pqueue.create () in
+  Pqueue.push q 2.0 "a";
+  Alcotest.(check bool) "peek sees a" true (Pqueue.peek q = Some (2.0, "a"));
+  Alcotest.(check int) "length unchanged" 1 (Pqueue.length q)
+
+let test_interleaved () =
+  let q = Pqueue.create () in
+  Pqueue.push q 5.0 5;
+  Pqueue.push q 1.0 1;
+  Alcotest.(check bool) "pop 1" true (Pqueue.pop q = Some (1.0, 1));
+  Pqueue.push q 0.5 0;
+  Pqueue.push q 9.0 9;
+  Alcotest.(check bool) "pop 0" true (Pqueue.pop q = Some (0.5, 0));
+  Alcotest.(check bool) "pop 5" true (Pqueue.pop q = Some (5.0, 5));
+  Alcotest.(check bool) "pop 9" true (Pqueue.pop q = Some (9.0, 9));
+  Alcotest.(check bool) "empty again" true (Pqueue.is_empty q)
+
+let qcheck_heapsort =
+  QCheck.Test.make ~name:"Pqueue drains in sorted order" ~count:300
+    QCheck.(list (float_range (-1000.) 1000.))
+    (fun priorities ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) priorities;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let drained = drain [] in
+      drained = List.sort compare priorities)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek" `Quick test_peek_does_not_pop;
+    Alcotest.test_case "interleaved" `Quick test_interleaved;
+    QCheck_alcotest.to_alcotest qcheck_heapsort;
+  ]

@@ -1,0 +1,165 @@
+module Rng = Repro_util.Rng
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  check "different seeds diverge" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies aligned" (Rng.bits64 a) (Rng.bits64 b);
+  let _ = Rng.bits64 a in
+  let va = Rng.bits64 a and vb = Rng.bits64 b in
+  check "copies then diverge by drift" true (va <> vb)
+
+let test_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr matches
+  done;
+  check "split stream is distinct" true (!matches < 4)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    check "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_covers_range () =
+  let rng = Rng.create 5 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  check "all values reached" true (Array.for_all Fun.id seen)
+
+let test_int_in () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-3) 4 in
+    check "in [-3,4]" true (v >= -3 && v <= 4)
+  done
+
+let test_float_bounds () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    check "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_bernoulli_rate () =
+  let rng = Rng.create 19 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check "rate near 0.3" true (abs_float (rate -. 0.3) < 0.02)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 23 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sq := !sq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  check "mean near 0" true (abs_float mean < 0.03);
+  check "variance near 1" true (abs_float (var -. 1.0) < 0.05)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 29 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_choice_member () =
+  let rng = Rng.create 31 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let drawn = Rng.choice rng a in
+    check "member" true (Array.exists (fun x -> x = drawn) a)
+  done
+
+let test_choice_list () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 100 do
+    let v = Rng.choice_list rng [ 1; 2; 3 ] in
+    check "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Rng.choice_list: empty list") (fun () ->
+      ignore (Rng.choice_list rng []))
+
+let test_pick_weighted () =
+  let rng = Rng.create 41 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.pick_weighted rng [ (1.0, "a"); (3.0, "b"); (0.0, "c") ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  check "zero weight never drawn" true (get "c" = 0);
+  check "b about 3x a" true
+    (let a = float_of_int (get "a") and b = float_of_int (get "b") in
+     b /. a > 2.5 && b /. a < 3.5)
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy_independent;
+    Alcotest.test_case "split" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+    Alcotest.test_case "int_in" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "gaussian moments" `Slow test_gaussian_moments;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choice member" `Quick test_choice_member;
+    Alcotest.test_case "choice_list" `Quick test_choice_list;
+    Alcotest.test_case "pick_weighted" `Quick test_pick_weighted;
+    QCheck_alcotest.to_alcotest qcheck_int_bounds;
+  ]

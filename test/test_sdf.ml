@@ -1,0 +1,153 @@
+open Repro_taskgraph
+
+let actor ?(impls = [ { Task.clbs = 10; hw_time = 0.5 } ]) name =
+  { Sdf.name; functionality = "F"; sw_time = 1.0; impls }
+
+let channel ?(initial = 0) src dst produce consume =
+  {
+    Sdf.src;
+    dst;
+    produce;
+    consume;
+    initial_tokens = initial;
+    kbytes_per_token = 1.0;
+  }
+
+let test_repetition_vector_chain () =
+  (* a --(1:2)--> b --(1:2)--> c : q = [4; 2; 1] *)
+  let sdf =
+    Sdf.make ~name:"chain"
+      ~actors:[ actor "a"; actor "b"; actor "c" ]
+      ~channels:[ channel 0 1 1 2; channel 1 2 1 2 ]
+  in
+  match Sdf.repetition_vector sdf with
+  | Some q -> Alcotest.(check (array int)) "vector" [| 4; 2; 1 |] q
+  | None -> Alcotest.fail "consistent graph"
+
+let test_repetition_vector_homogeneous () =
+  let sdf =
+    Sdf.make ~name:"homog"
+      ~actors:[ actor "a"; actor "b" ]
+      ~channels:[ channel 0 1 3 3 ]
+  in
+  match Sdf.repetition_vector sdf with
+  | Some q -> Alcotest.(check (array int)) "minimal" [| 1; 1 |] q
+  | None -> Alcotest.fail "consistent graph"
+
+let test_repetition_vector_disconnected () =
+  let sdf =
+    Sdf.make ~name:"disc" ~actors:[ actor "a"; actor "b" ] ~channels:[]
+  in
+  match Sdf.repetition_vector sdf with
+  | Some q -> Alcotest.(check (array int)) "each once" [| 1; 1 |] q
+  | None -> Alcotest.fail "consistent graph"
+
+let test_inconsistent () =
+  (* a->b at 1:1 but also a->b at 2:1 cannot balance. *)
+  let sdf =
+    Sdf.make ~name:"bad"
+      ~actors:[ actor "a"; actor "b" ]
+      ~channels:[ channel 0 1 1 1; channel 0 1 2 1 ]
+  in
+  Alcotest.(check bool) "inconsistent" true (Sdf.repetition_vector sdf = None);
+  match Sdf.expand sdf with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expansion must fail"
+
+let test_expand_chain () =
+  let sdf =
+    Sdf.make ~name:"chain"
+      ~actors:[ actor "a"; actor "b"; actor "c" ]
+      ~channels:[ channel 0 1 1 2; channel 1 2 1 2 ]
+  in
+  match Sdf.expand ~deadline:5.0 sdf with
+  | Error msg -> Alcotest.fail msg
+  | Ok app ->
+    Alcotest.(check int) "4+2+1 firings" 7 (App.size app);
+    Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+    Alcotest.(check bool) "deadline carried" true
+      (app.App.deadline = Some 5.0);
+    (* b#0 consumes the tokens of a#0 and a#1: edges a0->b0, a1->b0. *)
+    let g = app.App.graph in
+    Alcotest.(check (list int)) "b0 preds" [ 0; 1 ]
+      (List.sort compare (Graph.preds g 4))
+
+let test_expand_initial_tokens () =
+  (* With 2 initial tokens, b#0 fires without waiting for a. *)
+  let sdf =
+    Sdf.make ~name:"delayed"
+      ~actors:[ actor "a"; actor "b" ]
+      ~channels:[ channel ~initial:2 0 1 1 2 ]
+  in
+  match Sdf.expand sdf with
+  | Error msg -> Alcotest.fail msg
+  | Ok app ->
+    let g = app.App.graph in
+    (* q = [2;1]; b is task 2; with 2 initial tokens it has no preds. *)
+    Alcotest.(check int) "firings" 3 (App.size app);
+    Alcotest.(check (list int)) "b0 independent" [] (Graph.preds g 2)
+
+let test_expand_iterations () =
+  let sdf =
+    Sdf.make ~name:"chain"
+      ~actors:[ actor "a"; actor "b" ]
+      ~channels:[ channel 0 1 1 2 ]
+  in
+  (* q = [2;1]; three iterations give 6 + 3 = 9 firings. *)
+  match Sdf.expand ~iterations:3 sdf with
+  | Error msg -> Alcotest.fail msg
+  | Ok app ->
+    Alcotest.(check int) "firings scaled" 9 (App.size app);
+    Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+    (* b#2 (task index 6+2=8) consumes tokens 5 and 6, produced by
+       firings a#4 and a#5 (tasks 4 and 5). *)
+    Alcotest.(check (list int)) "third-iteration deps" [ 4; 5 ]
+      (List.sort compare (Graph.preds app.App.graph 8));
+  match Sdf.expand ~iterations:0 sdf with
+  | exception Invalid_argument _ -> ()
+  | Ok _ | Error _ -> Alcotest.fail "iterations 0 must be rejected"
+
+let test_firing_names () =
+  let a = actor "fft" in
+  Alcotest.(check string) "name" "fft#3" (Sdf.firing_task_name a 3)
+
+let test_make_validation () =
+  Alcotest.check_raises "bad rate" (Invalid_argument "Sdf.make: non-positive rate")
+    (fun () ->
+      ignore
+        (Sdf.make ~name:"bad"
+           ~actors:[ actor "a"; actor "b" ]
+           ~channels:[ channel 0 1 0 1 ]));
+  Alcotest.check_raises "bad endpoint"
+    (Invalid_argument "Sdf.make: channel endpoint out of range") (fun () ->
+      ignore (Sdf.make ~name:"bad" ~actors:[ actor "a" ]
+                ~channels:[ channel 0 3 1 1 ]))
+
+let test_quickstart_example () =
+  (* The example from examples/sdf_pipeline.ml: q = [4;2;2;1]. *)
+  let actors = [ actor "source"; actor "filter"; actor "decimate"; actor "sink" ] in
+  let sdf =
+    Sdf.make ~name:"downsampler" ~actors
+      ~channels:[ channel 0 1 1 2; channel 1 2 1 1; channel 2 3 1 2 ]
+  in
+  match Sdf.repetition_vector sdf with
+  | Some q -> Alcotest.(check (array int)) "vector" [| 4; 2; 2; 1 |] q
+  | None -> Alcotest.fail "consistent"
+
+let suite =
+  [
+    Alcotest.test_case "repetition vector chain" `Quick
+      test_repetition_vector_chain;
+    Alcotest.test_case "repetition vector homogeneous" `Quick
+      test_repetition_vector_homogeneous;
+    Alcotest.test_case "repetition vector disconnected" `Quick
+      test_repetition_vector_disconnected;
+    Alcotest.test_case "inconsistent graph" `Quick test_inconsistent;
+    Alcotest.test_case "expand chain" `Quick test_expand_chain;
+    Alcotest.test_case "expand with initial tokens" `Quick
+      test_expand_initial_tokens;
+    Alcotest.test_case "expand iterations" `Quick test_expand_iterations;
+    Alcotest.test_case "firing names" `Quick test_firing_names;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "quickstart example" `Quick test_quickstart_example;
+  ]

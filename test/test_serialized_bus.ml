@@ -1,0 +1,150 @@
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+module Solution = Repro_dse.Solution
+module Moves = Repro_dse.Moves
+module Rng = Repro_util.Rng
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let platform () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb:100 ~reconfig_ms_per_clb:0.01 "rc")
+    ~bus:{ Platform.kb_per_ms = 80.0; latency_ms = 0.05 }
+    ()
+
+(* One software source feeding two hardware consumers: the two
+   transfers are simultaneous in the edge-delay model but must
+   serialize on the bus. *)
+let fork_spec () =
+  let t id sw_time = Task.make ~id ~name:(Printf.sprintf "t%d" id)
+      ~functionality:"F" ~sw_time ~impls:[ impl 10 1.0 ] in
+  let app =
+    App.make ~name:"fork"
+      ~tasks:[ t 0 2.0; t 1 3.0; t 2 3.0 ]
+      ~edges:[ { App.src = 0; dst = 1; kbytes = 8.0 };
+               { App.src = 0; dst = 2; kbytes = 8.0 } ]
+      ()
+  in
+  Searchgraph.single_processor_spec ~app ~platform:(platform ())
+    ~binding:(fun v -> if v = 0 then Searchgraph.Sw else Searchgraph.Hw 0)
+    ~impl_choice:(fun _ -> 0)
+    ~sw_order:[ 0 ] ~contexts:[ [ 1; 2 ] ]
+
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_contention_adds_delay () =
+  let s = fork_spec () in
+  match (Searchgraph.evaluate s, Searchgraph.evaluate_serialized s) with
+  | Some simple, Some serialized ->
+    (* Edge-delay model: both consumers start at 2.15, finish 3.15. *)
+    checkf "simple" 3.15 simple.Searchgraph.makespan;
+    (* Serialized: the second transfer waits for the first. *)
+    checkf "serialized" 3.30 serialized.Searchgraph.makespan;
+    checkf "same comm total" simple.Searchgraph.comm
+      serialized.Searchgraph.comm;
+    checkf "same reconfig" simple.Searchgraph.initial_reconfig
+      serialized.Searchgraph.initial_reconfig
+  | None, _ | _, None -> Alcotest.fail "feasible"
+
+let test_single_transfer_equal () =
+  let t id sw_time impls = Task.make ~id ~name:(Printf.sprintf "t%d" id)
+      ~functionality:"F" ~sw_time ~impls in
+  let app =
+    App.make ~name:"two"
+      ~tasks:[ t 0 2.0 [ impl 10 1.0 ]; t 1 3.0 [ impl 10 1.0 ] ]
+      ~edges:[ { App.src = 0; dst = 1; kbytes = 8.0 } ]
+      ()
+  in
+  let s =
+    Searchgraph.single_processor_spec ~app ~platform:(platform ())
+      ~binding:(fun v -> if v = 1 then Searchgraph.Hw 0 else Searchgraph.Sw)
+      ~impl_choice:(fun _ -> 0)
+      ~sw_order:[ 0 ] ~contexts:[ [ 1 ] ]
+  in
+  match (Searchgraph.evaluate s, Searchgraph.evaluate_serialized s) with
+  | Some simple, Some serialized ->
+    checkf "one transaction cannot contend" simple.Searchgraph.makespan
+      serialized.Searchgraph.makespan
+  | None, _ | _, None -> Alcotest.fail "feasible"
+
+let test_all_software_equal () =
+  let s = fork_spec () in
+  let all_sw =
+    { s with Searchgraph.binding = (fun _ -> Searchgraph.Sw);
+             sw_order = [ 0; 1; 2 ]; contexts = [] }
+  in
+  match
+    (Searchgraph.evaluate all_sw, Searchgraph.evaluate_serialized all_sw)
+  with
+  | Some simple, Some serialized ->
+    checkf "no transactions at all" simple.Searchgraph.makespan
+      serialized.Searchgraph.makespan
+  | None, _ | _, None -> Alcotest.fail "feasible"
+
+let test_infeasible_stays_infeasible () =
+  let s = fork_spec () in
+  let bad = { s with Searchgraph.sw_order = [ 0 ];
+                     contexts = [ [ 2 ]; [ 1 ] ] } in
+  (* Harmless here (1 and 2 are symmetric)... build a genuinely cyclic
+     one instead: consumer context before producer's through order. *)
+  ignore bad;
+  let t id = Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F"
+      ~sw_time:1.0 ~impls:[ impl 10 0.5 ] in
+  let app = App.make ~name:"c" ~tasks:[ t 0; t 1 ]
+      ~edges:[ { App.src = 0; dst = 1; kbytes = 1.0 } ] () in
+  let cyclic =
+    Searchgraph.single_processor_spec ~app ~platform:(platform ())
+      ~binding:(fun _ -> Searchgraph.Sw)
+      ~impl_choice:(fun _ -> 0)
+      ~sw_order:[ 1; 0 ] ~contexts:[]
+  in
+  Alcotest.(check bool) "serialized also rejects" true
+    (Searchgraph.evaluate_serialized cyclic = None)
+
+let qcheck_serialized_dominates =
+  QCheck.Test.make
+    ~name:"serialized makespan >= edge-delay makespan on random walks"
+    ~count:25
+    QCheck.(pair small_int (int_range 80 400))
+    (fun (seed, n_clb) ->
+      let rng = Rng.create (seed + 3) in
+      let model = Generators.default_impl_model in
+      let app =
+        Generators.layered rng model ~layers:4 ~width:3 ~edge_probability:0.5
+          ~mean_sw_time:2.0 ~mean_kbytes:10.0
+      in
+      let platform =
+        Platform.make ~name:"q"
+          ~processor:(Resource.processor "cpu")
+          ~rc:(Resource.reconfigurable ~n_clb ~reconfig_ms_per_clb:0.01 "rc")
+          ~bus:{ Platform.kb_per_ms = 40.0; latency_ms = 0.1 }
+          ()
+      in
+      let solution = Solution.random (Rng.split rng) app platform in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        ignore (Moves.propose rng Moves.fixed_architecture solution);
+        let spec = Solution.spec solution in
+        match (Searchgraph.evaluate spec, Searchgraph.evaluate_serialized spec)
+        with
+        | Some simple, Some serialized ->
+          if
+            serialized.Searchgraph.makespan
+            < simple.Searchgraph.makespan -. 1e-9
+          then ok := false
+        | Some _, None -> ok := false (* feasibility must be preserved *)
+        | None, _ -> ok := false (* moves only yield feasible states *)
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "contention adds delay" `Quick test_contention_adds_delay;
+    Alcotest.test_case "single transfer equal" `Quick test_single_transfer_equal;
+    Alcotest.test_case "all software equal" `Quick test_all_software_equal;
+    Alcotest.test_case "infeasible stays infeasible" `Quick
+      test_infeasible_stays_infeasible;
+    QCheck_alcotest.to_alcotest qcheck_serialized_dominates;
+  ]

@@ -1,0 +1,205 @@
+open Repro_taskgraph
+open Repro_arch
+module Solution = Repro_dse.Solution
+module Searchgraph = Repro_sched.Searchgraph
+module Rng = Repro_util.Rng
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let app () =
+  let t id sw_time impls =
+    Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F" ~sw_time
+      ~impls
+  in
+  App.make ~name:"pipe" ~deadline:50.0
+    ~tasks:
+      [
+        t 0 2.0 [ impl 30 0.8 ];
+        t 1 4.0 [ impl 40 1.0; impl 80 0.6 ];
+        t 2 3.0 [ impl 40 0.9 ];
+        t 3 5.0 [ impl 60 1.2; impl 90 0.8 ];
+        t 4 1.0 [ impl 20 0.5 ];
+      ]
+    ~edges:
+      [
+        { App.src = 0; dst = 1; kbytes = 5.0 };
+        { App.src = 0; dst = 2; kbytes = 5.0 };
+        { App.src = 1; dst = 3; kbytes = 5.0 };
+        { App.src = 2; dst = 3; kbytes = 5.0 };
+        { App.src = 3; dst = 4; kbytes = 5.0 };
+      ]
+    ()
+
+let platform ?(n_clb = 100) () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb ~reconfig_ms_per_clb:0.01 "rc")
+    ~bus:Platform.default_bus ()
+
+let ok = function
+  | Ok () -> true
+  | Error msg -> Alcotest.failf "invariant violation: %s" msg
+
+let test_all_software () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  Alcotest.(check int) "no contexts" 0 (Solution.n_contexts s);
+  Alcotest.(check (list int)) "no hw" [] (Solution.hw_tasks s);
+  Alcotest.(check (float 1e-9)) "makespan = total sw" 15.0 (Solution.makespan s)
+
+let test_random_valid () =
+  for seed = 1 to 30 do
+    let rng = Rng.create seed in
+    let s = Solution.random rng (app ()) (platform ()) in
+    Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+    Alcotest.(check bool) "feasible" true (Solution.evaluate s <> None)
+  done
+
+let test_random_respects_capacity () =
+  (* A 35-CLB device can only host task 0 (30) and task 4 (20),
+     one per context. *)
+  for seed = 1 to 20 do
+    let rng = Rng.create seed in
+    let s = Solution.random rng (app ()) (platform ~n_clb:35 ()) in
+    Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+    List.iter
+      (fun members ->
+        Alcotest.(check bool) "context fits" true
+          (List.length members = 1
+           && List.for_all (fun v -> v = 0 || v = 4) members))
+      (Solution.contexts s)
+  done
+
+let test_move_to_context_and_back () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:1;
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  Alcotest.(check (list int)) "hw tasks" [ 1 ] (Solution.hw_tasks s);
+  Alcotest.(check bool) "binding is hw" true
+    (Solution.binding s 1 = Searchgraph.Hw 0);
+  Alcotest.(check int) "context area" 40 (Solution.context_clbs s 0);
+  Solution.move_to_sw s ~task:1 ~before:(Some 3);
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  Alcotest.(check int) "context dropped" 0 (Solution.n_contexts s);
+  Alcotest.(check bool) "back to software" true
+    (Solution.binding s 1 = Searchgraph.Sw)
+
+let test_capacity_spawns_context () =
+  let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
+  Solution.append_context s ~task:1 (* 40 CLBs *);
+  Solution.move_to_context s ~task:2 ~dest:1 (* +40 fits *);
+  Alcotest.(check int) "one context" 1 (Solution.n_contexts s);
+  Solution.move_to_context s ~task:3 ~dest:1 (* +60 overflows: spawn *);
+  Alcotest.(check int) "spawned" 2 (Solution.n_contexts s);
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  (* Task 3 sits alone in the new context, after the destination. *)
+  Alcotest.(check (list (list int))) "membership" [ [ 2; 1 ]; [ 3 ] ]
+    (Solution.contexts s)
+
+let test_insert_context_positions () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:1;
+  Solution.insert_context s ~task:0 ~at:0;
+  Alcotest.(check (list (list int))) "0 inserted first" [ [ 0 ]; [ 1 ] ]
+    (Solution.contexts s);
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  Alcotest.(check bool) "feasible order" true (Solution.evaluate s <> None)
+
+let test_swap_contexts () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:0;
+  Solution.append_context s ~task:1;
+  Solution.swap_contexts s ~at:0;
+  Alcotest.(check (list (list int))) "swapped" [ [ 1 ]; [ 0 ] ]
+    (Solution.contexts s);
+  Alcotest.(check bool) "invariants hold" true (ok (Solution.check_invariants s));
+  (* 0 precedes 1, so context(1) before context(0) is infeasible. *)
+  Alcotest.(check bool) "infeasible order detected" true
+    (Solution.evaluate s = None)
+
+let test_set_impl () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:1;
+  Solution.set_impl s 1 1;
+  Alcotest.(check int) "impl selected" 1 (Solution.impl_index s 1);
+  Alcotest.(check int) "area follows impl" 80 (Solution.context_clbs s 0);
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Solution.set_impl: implementation index out of range")
+    (fun () -> Solution.set_impl s 1 7)
+
+let test_capacity_violation_infeasible () =
+  let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
+  Solution.append_context s ~task:1;
+  Solution.move_to_context s ~task:2 ~dest:1;
+  (* 40 + 40 fits; upgrading task 1 to 80 CLBs overflows. *)
+  Solution.set_impl s 1 1;
+  Alcotest.(check bool) "evaluate reports infeasible" true
+    (Solution.evaluate s = None);
+  Alcotest.(check bool) "makespan infinite" true
+    (Solution.makespan s = infinity)
+
+let test_save_restore () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:1;
+  Solution.set_impl s 1 1;
+  let before_makespan = Solution.makespan s in
+  let restore = Solution.save s in
+  Solution.move_to_context s ~task:3 ~dest:1;
+  Solution.move_to_sw s ~task:1 ~before:None;
+  Solution.set_impl s 0 0;
+  restore ();
+  Alcotest.(check bool) "invariants" true (ok (Solution.check_invariants s));
+  Alcotest.(check (list (list int))) "contexts restored" [ [ 1 ] ]
+    (Solution.contexts s);
+  Alcotest.(check int) "impl restored" 1 (Solution.impl_index s 1);
+  Alcotest.(check (float 1e-9)) "makespan restored" before_makespan
+    (Solution.makespan s)
+
+let test_copy_independent () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  Solution.append_context s ~task:1;
+  let snap = Solution.snapshot s in
+  Solution.move_to_sw s ~task:1 ~before:None;
+  Alcotest.(check (list int)) "snapshot keeps hw" [ 1 ] (Solution.hw_tasks snap);
+  Alcotest.(check (list int)) "original changed" [] (Solution.hw_tasks s)
+
+let test_evaluation_caching () =
+  let s = Solution.all_software (app ()) (platform ()) in
+  let e1 = Solution.evaluate s in
+  let e2 = Solution.evaluate s in
+  Alcotest.(check bool) "same cached value" true (e1 == e2);
+  Solution.append_context s ~task:1;
+  let e3 = Solution.evaluate s in
+  Alcotest.(check bool) "invalidated on mutation" true (not (e2 == e3))
+
+let test_replace_platform () =
+  let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
+  Solution.append_context s ~task:3;
+  Solution.set_impl s 3 1 (* 90 CLBs *);
+  Alcotest.(check bool) "fits 100" true (Solution.evaluate s <> None);
+  Solution.replace_platform s (platform ~n_clb:50 ());
+  Alcotest.(check bool) "overflows 50" true (Solution.evaluate s = None);
+  Solution.replace_platform s (platform ~n_clb:200 ());
+  Alcotest.(check bool) "fits 200" true (Solution.evaluate s <> None)
+
+let suite =
+  [
+    Alcotest.test_case "all software" `Quick test_all_software;
+    Alcotest.test_case "random valid" `Quick test_random_valid;
+    Alcotest.test_case "random respects capacity" `Quick
+      test_random_respects_capacity;
+    Alcotest.test_case "move to context and back" `Quick
+      test_move_to_context_and_back;
+    Alcotest.test_case "capacity spawns context" `Quick
+      test_capacity_spawns_context;
+    Alcotest.test_case "insert context positions" `Quick
+      test_insert_context_positions;
+    Alcotest.test_case "swap contexts" `Quick test_swap_contexts;
+    Alcotest.test_case "set impl" `Quick test_set_impl;
+    Alcotest.test_case "capacity violation infeasible" `Quick
+      test_capacity_violation_infeasible;
+    Alcotest.test_case "save/restore" `Quick test_save_restore;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "evaluation caching" `Quick test_evaluation_caching;
+    Alcotest.test_case "replace platform" `Quick test_replace_platform;
+  ]

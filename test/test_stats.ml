@@ -1,0 +1,118 @@
+module Stats = Repro_util.Stats
+
+let checkf = Alcotest.(check (float 1e-9))
+let checkf_loose = Alcotest.(check (float 1e-6))
+
+let test_running_empty () =
+  let r = Stats.Running.create () in
+  Alcotest.(check int) "count" 0 (Stats.Running.count r);
+  checkf "mean" 0.0 (Stats.Running.mean r);
+  checkf "variance" 0.0 (Stats.Running.variance r)
+
+let test_running_known () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.Running.count r);
+  checkf_loose "mean" 5.0 (Stats.Running.mean r);
+  checkf_loose "variance" 4.0 (Stats.Running.variance r);
+  checkf_loose "stddev" 2.0 (Stats.Running.stddev r);
+  checkf "min" 2.0 (Stats.Running.min r);
+  checkf "max" 9.0 (Stats.Running.max r)
+
+let test_running_clear () =
+  let r = Stats.Running.create () in
+  Stats.Running.add r 10.0;
+  Stats.Running.clear r;
+  Alcotest.(check int) "count reset" 0 (Stats.Running.count r);
+  checkf "mean reset" 0.0 (Stats.Running.mean r)
+
+let test_running_single () =
+  let r = Stats.Running.create () in
+  Stats.Running.add r 3.5;
+  checkf "mean" 3.5 (Stats.Running.mean r);
+  checkf "variance of single" 0.0 (Stats.Running.variance r)
+
+let test_smoothed_constant () =
+  let s = Stats.Smoothed.create ~weight:0.1 in
+  for _ = 1 to 50 do
+    Stats.Smoothed.add s 4.2
+  done;
+  checkf_loose "mean of constant" 4.2 (Stats.Smoothed.mean s);
+  Alcotest.(check bool) "variance ~ 0" true (Stats.Smoothed.variance s < 1e-9)
+
+let test_smoothed_tracks_shift () =
+  let s = Stats.Smoothed.create ~weight:0.2 in
+  for _ = 1 to 100 do
+    Stats.Smoothed.add s 0.0
+  done;
+  for _ = 1 to 100 do
+    Stats.Smoothed.add s 10.0
+  done;
+  Alcotest.(check bool) "converged to the new level" true
+    (abs_float (Stats.Smoothed.mean s -. 10.0) < 0.1)
+
+let test_smoothed_initialized () =
+  let s = Stats.Smoothed.create ~weight:0.5 in
+  Alcotest.(check bool) "fresh" false (Stats.Smoothed.initialized s);
+  Stats.Smoothed.add s 1.0;
+  Alcotest.(check bool) "after one sample" true (Stats.Smoothed.initialized s);
+  checkf "mean is the first sample" 1.0 (Stats.Smoothed.mean s)
+
+let test_acceptance_ratio () =
+  let a = Stats.Acceptance.create ~weight:0.5 in
+  checkf "starts at 1" 1.0 (Stats.Acceptance.ratio a);
+  for _ = 1 to 40 do
+    Stats.Acceptance.record a false
+  done;
+  Alcotest.(check bool) "decays towards 0" true (Stats.Acceptance.ratio a < 0.01);
+  for _ = 1 to 40 do
+    Stats.Acceptance.record a true
+  done;
+  Alcotest.(check bool) "recovers towards 1" true (Stats.Acceptance.ratio a > 0.99)
+
+let test_list_helpers () =
+  checkf "mean empty" 0.0 (Stats.mean []);
+  checkf_loose "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "stddev short" 0.0 (Stats.stddev [ 5.0 ]);
+  checkf_loose "stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  checkf "median empty" 0.0 (Stats.median []);
+  checkf "median odd" 3.0 (Stats.median [ 5.0; 3.0; 1.0 ]);
+  checkf "median even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_autocorrelation () =
+  let constant = Array.make 32 1.0 in
+  checkf "constant series" 0.0 (Stats.autocorrelation constant 1);
+  let alternating = Array.init 64 (fun i -> if i mod 2 = 0 then 1.0 else -1.0) in
+  Alcotest.(check bool) "alternating lag-1 near -1" true
+    (Stats.autocorrelation alternating 1 < -0.9);
+  Alcotest.(check bool) "alternating lag-2 near +1" true
+    (Stats.autocorrelation alternating 2 > 0.9);
+  checkf "lag 0 is defined as 0" 0.0 (Stats.autocorrelation alternating 0);
+  checkf "lag beyond length" 0.0 (Stats.autocorrelation alternating 100)
+
+let qcheck_running_matches_direct =
+  QCheck.Test.make ~name:"Running mean/stddev match direct computation"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 2 40) (float_range (-100.) 100.))
+    (fun xs ->
+      let r = Stats.Running.create () in
+      List.iter (Stats.Running.add r) xs;
+      let direct_mean = Stats.mean xs in
+      let direct_dev = Stats.stddev xs in
+      abs_float (Stats.Running.mean r -. direct_mean) < 1e-6
+      && abs_float (Stats.Running.stddev r -. direct_dev) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "running empty" `Quick test_running_empty;
+    Alcotest.test_case "running known values" `Quick test_running_known;
+    Alcotest.test_case "running clear" `Quick test_running_clear;
+    Alcotest.test_case "running single" `Quick test_running_single;
+    Alcotest.test_case "smoothed constant" `Quick test_smoothed_constant;
+    Alcotest.test_case "smoothed tracks shift" `Quick test_smoothed_tracks_shift;
+    Alcotest.test_case "smoothed initialized" `Quick test_smoothed_initialized;
+    Alcotest.test_case "acceptance ratio" `Quick test_acceptance_ratio;
+    Alcotest.test_case "list helpers" `Quick test_list_helpers;
+    Alcotest.test_case "autocorrelation" `Quick test_autocorrelation;
+    QCheck_alcotest.to_alcotest qcheck_running_matches_direct;
+  ]

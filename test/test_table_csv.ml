@@ -1,0 +1,79 @@
+module Table = Repro_util.Table
+module Csv_out = Repro_util.Csv_out
+
+let test_render_alignment () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check bool) "has header" true
+    (List.exists (fun l -> l = "| name  | value |") lines);
+  Alcotest.(check bool) "left aligned" true
+    (List.exists (fun l -> l = "| alpha |     1 |") lines);
+  Alcotest.(check bool) "right aligned" true
+    (List.exists (fun l -> l = "| b     |    22 |") lines)
+
+let test_render_separator () =
+  let t = Table.create [ ("c", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Table.add_separator t;
+  Table.add_row t [ "y" ];
+  let rendered = Table.render t in
+  let rules =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = '+')
+      (String.split_on_char '\n' rendered)
+  in
+  (* top, under-header, mid separator, bottom *)
+  Alcotest.(check int) "four rules" 4 (List.length rules)
+
+let test_wrong_arity () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.add_row: wrong number of cells") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416"
+    (Table.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "int" "42" (Table.cell_int 42)
+
+let with_temp_file f =
+  let path = Filename.temp_file "repro_test" ".csv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let read_all path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_csv_basic () =
+  with_temp_file (fun path ->
+      Csv_out.write path ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ];
+      Alcotest.(check string) "content" "a,b\n1,2\n3,4\n" (read_all path))
+
+let test_csv_escaping () =
+  with_temp_file (fun path ->
+      Csv_out.write path ~header:[ "x" ]
+        [ [ "plain" ]; [ "with,comma" ]; [ "with\"quote" ] ];
+      Alcotest.(check string) "escaped"
+        "x\nplain\n\"with,comma\"\n\"with\"\"quote\"\n" (read_all path))
+
+let test_row_of_floats () =
+  Alcotest.(check (list string)) "formatting" [ "1"; "2.5" ]
+    (Csv_out.row_of_floats [ 1.0; 2.5 ])
+
+let suite =
+  [
+    Alcotest.test_case "render alignment" `Quick test_render_alignment;
+    Alcotest.test_case "render separator" `Quick test_render_separator;
+    Alcotest.test_case "wrong arity" `Quick test_wrong_arity;
+    Alcotest.test_case "cell helpers" `Quick test_cells;
+    Alcotest.test_case "csv basic" `Quick test_csv_basic;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "row_of_floats" `Quick test_row_of_floats;
+  ]

@@ -1,0 +1,125 @@
+open Repro_taskgraph
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let simple_task ?(impls = [ impl 10 0.5 ]) id =
+  Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F"
+    ~sw_time:1.0 ~impls
+
+let test_task_validation () =
+  Alcotest.check_raises "negative id" (Invalid_argument "Task.make: negative id")
+    (fun () -> ignore (simple_task (-1)));
+  Alcotest.check_raises "no impls"
+    (Invalid_argument "Task.make: no hardware implementation") (fun () ->
+      ignore (simple_task ~impls:[] 0));
+  Alcotest.check_raises "bad sw time" (Invalid_argument "Task.make: sw_time <= 0")
+    (fun () ->
+      ignore
+        (Task.make ~id:0 ~name:"x" ~functionality:"F" ~sw_time:0.0
+           ~impls:[ impl 10 0.5 ]))
+
+let test_impl_sorted () =
+  let t =
+    Task.make ~id:0 ~name:"x" ~functionality:"F" ~sw_time:4.0
+      ~impls:[ impl 40 0.5; impl 10 2.0; impl 20 1.0 ]
+  in
+  Alcotest.(check int) "count" 3 (Task.impl_count t);
+  Alcotest.(check int) "smallest first" 10 (Task.impl t 0).Task.clbs;
+  Alcotest.(check int) "largest last" 40 (Task.impl t 2).Task.clbs;
+  Alcotest.(check int) "smallest_impl" 10 (Task.smallest_impl t).Task.clbs;
+  Alcotest.(check (float 1e-9)) "fastest_impl" 0.5
+    (Task.fastest_impl t).Task.hw_time;
+  Alcotest.(check (float 1e-9)) "best speedup" 8.0 (Task.best_speedup t)
+
+let test_pareto () =
+  let dominated = [ impl 10 1.0; impl 20 1.0; impl 30 0.5 ] in
+  Alcotest.(check bool) "detects dominated" false (Task.is_pareto dominated);
+  let front = Task.pareto_filter dominated in
+  Alcotest.(check int) "front size" 2 (List.length front);
+  Alcotest.(check bool) "front is pareto" true (Task.is_pareto front);
+  let already = [ impl 10 2.0; impl 20 1.0 ] in
+  Alcotest.(check bool) "keeps pareto set" true
+    (Task.pareto_filter already = already)
+
+let edge src dst kbytes = { App.src; dst; kbytes }
+
+let small_app () =
+  App.make ~name:"test" ~deadline:10.0
+    ~tasks:[ simple_task 0; simple_task 1; simple_task 2 ]
+    ~edges:[ edge 0 1 5.0; edge 1 2 5.0 ]
+    ()
+
+let test_app_construction () =
+  let app = small_app () in
+  Alcotest.(check int) "size" 3 (App.size app);
+  Alcotest.(check (float 1e-9)) "edge data" 5.0 (App.kbytes app 0 1);
+  Alcotest.(check (float 1e-9)) "missing edge" 0.0 (App.kbytes app 0 2);
+  Alcotest.(check int) "edges listed" 2 (List.length (App.edges app));
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ())
+
+let test_app_rejects_cycle () =
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "App.make: precedence graph has a cycle") (fun () ->
+      ignore
+        (App.make ~name:"bad"
+           ~tasks:[ simple_task 0; simple_task 1 ]
+           ~edges:[ edge 0 1 1.0; edge 1 0 1.0 ]
+           ()))
+
+let test_app_rejects_bad_ids () =
+  Alcotest.check_raises "id mismatch"
+    (Invalid_argument "App.make: task at position 0 has id 5") (fun () ->
+      ignore (App.make ~name:"bad" ~tasks:[ simple_task 5 ] ~edges:[] ()))
+
+let test_app_rejects_duplicate_edge () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "App.make: duplicate edge")
+    (fun () ->
+      ignore
+        (App.make ~name:"bad"
+           ~tasks:[ simple_task 0; simple_task 1 ]
+           ~edges:[ edge 0 1 1.0; edge 0 1 2.0 ]
+           ()))
+
+let test_app_rejects_bad_deadline () =
+  Alcotest.check_raises "deadline"
+    (Invalid_argument "App.make: non-positive deadline") (fun () ->
+      ignore (App.make ~name:"bad" ~deadline:0.0 ~tasks:[ simple_task 0 ]
+                ~edges:[] ()))
+
+let test_metrics () =
+  let app = small_app () in
+  Alcotest.(check (float 1e-9)) "total sw" 3.0 (App.total_sw_time app);
+  Alcotest.(check (float 1e-9)) "sw critical path (chain)" 3.0
+    (App.sw_critical_path app);
+  Alcotest.(check (float 1e-9)) "hw critical path" 1.5 (App.hw_critical_path app);
+  Alcotest.(check (float 1e-9)) "parallelism of chain" 1.0 (App.parallelism app)
+
+let test_parallel_metrics () =
+  (* Two independent tasks: parallelism 2. *)
+  let app =
+    App.make ~name:"par" ~tasks:[ simple_task 0; simple_task 1 ] ~edges:[] ()
+  in
+  Alcotest.(check (float 1e-9)) "critical path" 1.0 (App.sw_critical_path app);
+  Alcotest.(check (float 1e-9)) "parallelism" 2.0 (App.parallelism app)
+
+let test_topological_order () =
+  let app = small_app () in
+  Alcotest.(check (array int)) "chain order" [| 0; 1; 2 |]
+    (App.topological_order app)
+
+let suite =
+  [
+    Alcotest.test_case "task validation" `Quick test_task_validation;
+    Alcotest.test_case "impl sorting/access" `Quick test_impl_sorted;
+    Alcotest.test_case "pareto" `Quick test_pareto;
+    Alcotest.test_case "app construction" `Quick test_app_construction;
+    Alcotest.test_case "app rejects cycle" `Quick test_app_rejects_cycle;
+    Alcotest.test_case "app rejects bad ids" `Quick test_app_rejects_bad_ids;
+    Alcotest.test_case "app rejects duplicate edges" `Quick
+      test_app_rejects_duplicate_edge;
+    Alcotest.test_case "app rejects bad deadline" `Quick
+      test_app_rejects_bad_deadline;
+    Alcotest.test_case "app metrics" `Quick test_metrics;
+    Alcotest.test_case "parallel metrics" `Quick test_parallel_metrics;
+    Alcotest.test_case "topological order" `Quick test_topological_order;
+  ]

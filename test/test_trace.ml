@@ -1,0 +1,78 @@
+module Trace = Repro_dse.Trace
+
+let entry i =
+  {
+    Trace.iteration = i;
+    cost = float_of_int i;
+    best = 0.0;
+    temperature = 1.0;
+    accepted = i mod 2 = 0;
+    n_contexts = 1;
+  }
+
+let test_record_all () =
+  let t = Trace.create () in
+  for i = 1 to 10 do
+    Trace.record t (entry i)
+  done;
+  Alcotest.(check int) "all recorded" 10 (Trace.length t);
+  let iterations = List.map (fun e -> e.Trace.iteration) (Trace.entries t) in
+  Alcotest.(check (list int)) "chronological" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    iterations
+
+let test_every () =
+  let t = Trace.create ~every:3 () in
+  for i = 0 to 9 do
+    Trace.record t (entry i)
+  done;
+  let iterations = List.map (fun e -> e.Trace.iteration) (Trace.entries t) in
+  Alcotest.(check (list int)) "subsampled" [ 0; 3; 6; 9 ] iterations
+
+let test_downsample () =
+  let t = Trace.create () in
+  for i = 0 to 99 do
+    Trace.record t (entry i)
+  done;
+  let points = Trace.downsample t ~max_points:5 in
+  Alcotest.(check int) "5 points" 5 (List.length points);
+  let iterations = List.map (fun e -> e.Trace.iteration) points in
+  Alcotest.(check bool) "first kept" true (List.hd iterations = 0);
+  Alcotest.(check bool) "last kept" true
+    (List.nth iterations 4 = 99);
+  (* Fewer entries than requested: all returned. *)
+  let small = Trace.create () in
+  Trace.record small (entry 1);
+  Alcotest.(check int) "small trace untouched" 1
+    (List.length (Trace.downsample small ~max_points:5))
+
+let test_to_csv () =
+  let t = Trace.create () in
+  Trace.record t (entry 1);
+  Trace.record t (entry 2);
+  let path = Filename.temp_file "trace" ".csv" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () ->
+      Trace.to_csv t path;
+      let ic = open_in path in
+      let header = input_line ic in
+      let row1 = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "header"
+        "iteration,cost,best,temperature,accepted,n_contexts" header;
+      Alcotest.(check string) "row" "1,1,0,1,0,1" row1)
+
+let test_validation () =
+  Alcotest.check_raises "every" (Invalid_argument "Trace.create: every < 1")
+    (fun () -> ignore (Trace.create ~every:0 ()));
+  let t = Trace.create () in
+  Alcotest.check_raises "max_points"
+    (Invalid_argument "Trace.downsample: max_points < 2") (fun () ->
+      ignore (Trace.downsample t ~max_points:1))
+
+let suite =
+  [
+    Alcotest.test_case "record all" `Quick test_record_all;
+    Alcotest.test_case "every" `Quick test_every;
+    Alcotest.test_case "downsample" `Quick test_downsample;
+    Alcotest.test_case "to_csv" `Quick test_to_csv;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

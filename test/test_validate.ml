@@ -1,0 +1,168 @@
+open Repro_taskgraph
+open Repro_arch
+open Repro_sched
+module Solution = Repro_dse.Solution
+module Moves = Repro_dse.Moves
+module Rng = Repro_util.Rng
+module Generators = Repro_taskgraph.Generators
+
+let impl clbs hw_time = { Task.clbs; hw_time }
+
+let app () =
+  let t id sw_time = Task.make ~id ~name:(Printf.sprintf "t%d" id)
+      ~functionality:"F" ~sw_time ~impls:[ impl 40 (sw_time /. 4.0) ] in
+  App.make ~name:"v" ~tasks:[ t 0 2.0; t 1 4.0; t 2 1.0 ]
+    ~edges:[ { App.src = 0; dst = 1; kbytes = 8.0 };
+             { App.src = 1; dst = 2; kbytes = 8.0 } ]
+    ()
+
+let platform () =
+  Platform.make ~name:"p"
+    ~processor:(Resource.processor "cpu")
+    ~rc:(Resource.reconfigurable ~n_clb:100 ~reconfig_ms_per_clb:0.01 "rc")
+    ~bus:{ Platform.kb_per_ms = 80.0; latency_ms = 0.05 }
+    ()
+
+let spec ~binding ~sw_order ~contexts =
+  Searchgraph.single_processor_spec ~app:(app ()) ~platform:(platform ())
+    ~binding ~impl_choice:(fun _ -> 0) ~sw_order ~contexts
+
+let test_asap_schedule_validates () =
+  let s =
+    spec
+      ~binding:(fun v -> if v = 1 then Searchgraph.Hw 0 else Searchgraph.Sw)
+      ~sw_order:[ 0; 2 ] ~contexts:[ [ 1 ] ]
+  in
+  match Validate.evaluated s with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.failf "ASAP rejected: %s" (String.concat "; " msgs)
+
+let test_detects_precedence_violation () =
+  let s =
+    spec ~binding:(fun _ -> Searchgraph.Sw) ~sw_order:[ 0; 1; 2 ] ~contexts:[]
+  in
+  (* Start task 1 before task 0 finished. *)
+  let windows = [| (0.0, 2.0); (1.0, 5.0); (5.0, 6.0) |] in
+  match Validate.schedule s windows with
+  | Ok () -> Alcotest.fail "must reject"
+  | Error msgs ->
+    Alcotest.(check bool) "mentions edge" true
+      (List.exists (fun m -> String.length m > 4 && String.sub m 0 4 = "edge") msgs)
+
+let test_detects_duration_mismatch () =
+  let s =
+    spec ~binding:(fun _ -> Searchgraph.Sw) ~sw_order:[ 0; 1; 2 ] ~contexts:[]
+  in
+  let windows = [| (0.0, 1.0); (2.0, 6.0); (6.0, 7.0) |] in
+  match Validate.schedule s windows with
+  | Ok () -> Alcotest.fail "must reject wrong duration"
+  | Error _ -> ()
+
+let test_detects_sw_overlap () =
+  (* Two independent software tasks scheduled concurrently. *)
+  let t id = Task.make ~id ~name:(Printf.sprintf "t%d" id) ~functionality:"F"
+      ~sw_time:2.0 ~impls:[ impl 10 0.5 ] in
+  let independent = App.make ~name:"ind" ~tasks:[ t 0; t 1 ] ~edges:[] () in
+  let s =
+    Searchgraph.single_processor_spec ~app:independent ~platform:(platform ())
+      ~binding:(fun _ -> Searchgraph.Sw)
+      ~impl_choice:(fun _ -> 0)
+      ~sw_order:[ 0; 1 ] ~contexts:[]
+  in
+  let windows = [| (0.0, 2.0); (1.0, 3.0) |] in
+  match Validate.schedule s windows with
+  | Ok () -> Alcotest.fail "must reject overlap"
+  | Error msgs ->
+    Alcotest.(check bool) "mentions overlap or order" true
+      (msgs <> [])
+
+let test_detects_premature_context_start () =
+  let s =
+    spec
+      ~binding:(fun v -> if v = 1 then Searchgraph.Hw 0 else Searchgraph.Sw)
+      ~sw_order:[ 0; 2 ] ~contexts:[ [ 1 ] ]
+  in
+  (* Context 1 holds task 1 (40 CLBs -> 0.4 ms of configuration); a
+     start before 0.4 is impossible. *)
+  let windows = [| (0.0, 2.0); (0.2, 1.2); (2.35, 3.35) |] in
+  match Validate.schedule s windows with
+  | Ok () -> Alcotest.fail "must reject premature start"
+  | Error msgs ->
+    Alcotest.(check bool) "mentions configuration" true
+      (List.exists
+         (fun m ->
+           let has needle =
+             let n = String.length needle and h = String.length m in
+             let rec scan i =
+               i + n <= h && (String.sub m i n = needle || scan (i + 1))
+             in
+             scan 0
+           in
+           has "configuration")
+         msgs)
+
+let test_detects_capacity_violation () =
+  let s =
+    spec
+      ~binding:(fun v -> if v = 2 then Searchgraph.Sw else Searchgraph.Hw 0)
+      ~sw_order:[ 2 ]
+      ~contexts:[ [ 0; 1 ] ] (* 80 CLBs on a 100-CLB device: fine *)
+  in
+  (match Validate.evaluated s with
+   | Ok () -> ()
+   | Error msgs -> Alcotest.failf "80 CLBs fit: %s" (String.concat ";" msgs));
+  let tiny =
+    { s with Searchgraph.platform =
+        Platform.make ~name:"tiny"
+          ~processor:(Resource.processor "cpu")
+          ~rc:(Resource.reconfigurable ~n_clb:50 ~reconfig_ms_per_clb:0.01 "rc")
+          ~bus:Platform.default_bus () }
+  in
+  match Validate.evaluated tiny with
+  | Ok () -> Alcotest.fail "must reject capacity"
+  | Error _ -> ()
+
+(* The central property: the ASAP schedule of ANY feasible solution the
+   move engine can produce passes the independent checker. *)
+let qcheck_explorer_schedules_validate =
+  QCheck.Test.make ~name:"ASAP schedules of random move walks validate"
+    ~count:30
+    QCheck.(pair small_int (int_range 60 400))
+    (fun (seed, n_clb) ->
+      let rng = Rng.create (seed + 17) in
+      let model = Generators.default_impl_model in
+      let application =
+        Generators.layered rng model ~layers:4 ~width:3 ~edge_probability:0.5
+          ~mean_sw_time:2.0 ~mean_kbytes:8.0
+      in
+      let platform =
+        Platform.make ~name:"q"
+          ~processor:(Resource.processor "cpu")
+          ~rc:(Resource.reconfigurable ~n_clb ~reconfig_ms_per_clb:0.01 "rc")
+          ~bus:Platform.default_bus ()
+      in
+      let solution = Solution.random (Rng.split rng) application platform in
+      let ok = ref true in
+      for _ = 1 to 200 do
+        ignore (Moves.propose rng Moves.fixed_architecture solution);
+        match Validate.evaluated (Solution.spec solution) with
+        | Ok () -> ()
+        | Error _ -> ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "ASAP schedule validates" `Quick
+      test_asap_schedule_validates;
+    Alcotest.test_case "detects precedence violation" `Quick
+      test_detects_precedence_violation;
+    Alcotest.test_case "detects duration mismatch" `Quick
+      test_detects_duration_mismatch;
+    Alcotest.test_case "detects software overlap" `Quick test_detects_sw_overlap;
+    Alcotest.test_case "detects premature context start" `Quick
+      test_detects_premature_context_start;
+    Alcotest.test_case "detects capacity violation" `Quick
+      test_detects_capacity_violation;
+    QCheck_alcotest.to_alcotest qcheck_explorer_schedules_validate;
+  ]

@@ -1,0 +1,125 @@
+open Repro_taskgraph
+module Md = Repro_workloads.Motion_detection
+module Suite_w = Repro_workloads.Suite
+module C = Repro_dse.Combinatorics
+
+let test_sizes_and_times () =
+  let app = Md.app () in
+  Alcotest.(check int) "28 tasks" 28 (App.size app);
+  Alcotest.(check (float 1e-6)) "76.4 ms all-software" 76.4
+    (App.total_sw_time app);
+  Alcotest.(check bool) "deadline is 40 ms" true (app.App.deadline = Some 40.0);
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ())
+
+let test_structure () =
+  let app = Md.app () in
+  let g = app.App.graph in
+  (* Front chain 0..6. *)
+  for v = 0 to 5 do
+    Alcotest.(check bool) "front chain edge" true (Graph.has_edge g v (v + 1))
+  done;
+  (* Fork at 6 into the labeling branch (7) and motion branch (14). *)
+  Alcotest.(check (list int)) "fork" [ 7; 14 ] (List.sort compare (Graph.succs g 6));
+  (* Task 13 (tracking) is a sink: the 7-chain runs in parallel with
+     the rest, as required by the paper's order counting. *)
+  Alcotest.(check (list int)) "13 is a sink" [] (Graph.succs g 13);
+  (* 19 forks into the 2-chain (20) and the lone histogram (22). *)
+  Alcotest.(check (list int)) "tail fork" [ 20; 22 ]
+    (List.sort compare (Graph.succs g 19));
+  (* Join at 23, then a chain to the final sink 27. *)
+  Alcotest.(check (list int)) "join preds" [ 21; 22 ]
+    (List.sort compare (Graph.preds g 23));
+  Alcotest.(check (list int)) "27 is the output sink" [] (Graph.succs g 27)
+
+let test_structure_order_count () =
+  (* The precedence structure must reproduce the paper's §5 count: the
+     21 nodes after the front chain and labeling branch (14..27, plus
+     interleaving with 7..13) give 3 * C(21,7) total orders.  Check the
+     two sub-counts that fit the exact DP. *)
+  let app = Md.app () in
+  let g = app.App.graph in
+  (* Sub-DAG of nodes 19..23 must give the "3 orders" pattern between
+     20,21 (chain) and 22 (parallel). *)
+  let sub = Graph.create 3 in
+  if Graph.has_edge g 20 21 then Graph.add_edge sub 0 1;
+  (* node 22 independent *)
+  Alcotest.(check int) "2-chain || 1 node" 3 (C.linear_extensions sub)
+
+let test_implementations () =
+  let app = Md.app () in
+  for v = 0 to App.size app - 1 do
+    let task = App.task app v in
+    let count = Task.impl_count task in
+    Alcotest.(check bool) "5 or 6 implementations" true (count = 5 || count = 6);
+    Alcotest.(check bool) "pareto dominant" true
+      (Task.is_pareto (Array.to_list task.Task.impls));
+    Alcotest.(check bool) "hardware is faster than software" true
+      ((Task.fastest_impl task).Task.hw_time < task.Task.sw_time)
+  done
+
+let test_platform () =
+  let platform = Md.platform () in
+  Alcotest.(check int) "default 2000 CLBs" 2000
+    (Repro_arch.Platform.n_clb platform);
+  Alcotest.(check (float 1e-12)) "tR = 22.5 us" 0.0225
+    Md.reconfig_ms_per_clb;
+  Alcotest.(check (float 1e-9)) "reconfig of 995 CLBs (paper's initial sol.)"
+    22.3875
+    (Repro_arch.Platform.reconfiguration_time platform 995);
+  let small = Md.platform ~n_clb:100 () in
+  Alcotest.(check int) "resizable" 100 (Repro_arch.Platform.n_clb small)
+
+let test_fig3_sizes () =
+  Alcotest.(check bool) "covers 100..10000" true
+    (List.mem 100 Md.fig3_sizes && List.mem 10000 Md.fig3_sizes
+     && List.mem 800 Md.fig3_sizes);
+  Alcotest.(check bool) "sorted" true
+    (List.sort compare Md.fig3_sizes = Md.fig3_sizes)
+
+let test_suite_apps () =
+  List.iter
+    (fun (name, make) ->
+      let app = make () in
+      Alcotest.(check bool) (name ^ " validates") true (App.validate app = Ok ());
+      Alcotest.(check bool) (name ^ " has a deadline") true
+        (app.App.deadline <> None);
+      let platform = Suite_w.platform_for app in
+      Alcotest.(check bool) (name ^ " platform sized") true
+        (Repro_arch.Platform.n_clb platform >= 200))
+    Suite_w.named
+
+let test_sobel_shape () =
+  let app = Suite_w.sobel_pipeline () in
+  Alcotest.(check int) "11 tasks" 11 (App.size app);
+  (* sobel_x / sobel_y fork from blur. *)
+  Alcotest.(check (list int)) "fork" [ 3; 4 ]
+    (List.sort compare (Graph.succs app.App.graph 2))
+
+let test_ofdm_shape () =
+  let app = Suite_w.ofdm_receiver () in
+  Alcotest.(check int) "18 tasks" 18 (App.size app);
+  (* The FFT fans out to the 4 equalizer groups plus pilot tracking. *)
+  Alcotest.(check int) "fft fanout" 5 (Graph.out_degree app.App.graph 3);
+  Alcotest.(check bool) "validates" true (App.validate app = Ok ());
+  Alcotest.(check bool) "deadline 10 ms" true (app.App.deadline = Some 10.0)
+
+let test_jpeg_shape () =
+  let app = Suite_w.jpeg_encoder () in
+  Alcotest.(check int) "24 tasks" 24 (App.size app);
+  (* Four parallel pipelines fan out of the subsampler. *)
+  Alcotest.(check int) "fanout 4" 4 (Graph.out_degree app.App.graph 2);
+  Alcotest.(check bool) "substantial parallelism" true (App.parallelism app > 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "sizes and times" `Quick test_sizes_and_times;
+    Alcotest.test_case "precedence structure" `Quick test_structure;
+    Alcotest.test_case "structure order count" `Quick test_structure_order_count;
+    Alcotest.test_case "implementation tables" `Quick test_implementations;
+    Alcotest.test_case "platform parameters" `Quick test_platform;
+    Alcotest.test_case "fig3 sizes" `Quick test_fig3_sizes;
+    Alcotest.test_case "suite apps" `Quick test_suite_apps;
+    Alcotest.test_case "sobel shape" `Quick test_sobel_shape;
+    Alcotest.test_case "ofdm shape" `Quick test_ofdm_shape;
+    Alcotest.test_case "jpeg shape" `Quick test_jpeg_shape;
+  ]
