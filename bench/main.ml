@@ -6,6 +6,13 @@
      dune exec bench/main.exe -- fig3 space   # a selection
      BENCH_RUNS=100 dune exec bench/main.exe -- fig3   # paper-scale
 
+   Each experiment also writes a machine-readable BENCH_<name>.json
+   ({"experiment", "wall_seconds", "metrics": {...}}) to the working
+   directory, so runs can be tracked and compared without scraping the
+   tables.  Iteration budgets come from BENCH_* environment knobs (see
+   the env_int calls below); BENCH_JOBS sets the domain count for the
+   parallel grids.
+
    Paper anchors are printed next to each measured series; we reproduce
    the *shape* (who wins, where the minima/plateaus fall), not the
    authors' absolute testbed numbers. *)
@@ -28,6 +35,8 @@ module Tabu = Repro_baseline.Tabu
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
 module Rng = Repro_util.Rng
+module Parallel = Repro_util.Parallel
+module Clock = Repro_util.Clock
 module App = Repro_taskgraph.App
 
 let env_int name default =
@@ -37,6 +46,15 @@ let env_int name default =
 
 let runs_per_point = env_int "BENCH_RUNS" 5
 let iters_per_run = env_int "BENCH_ITERS" 6_000
+let fig2_iters = env_int "BENCH_FIG2_ITERS" 50_000
+let compare_iters = env_int "BENCH_COMPARE_ITERS" 50_000
+let ga_generations = env_int "BENCH_GA_GENERATIONS" 120
+let ga_population = env_int "BENCH_GA_POPULATION" 300
+let random_samples = env_int "BENCH_RANDOM_SAMPLES" 5_000
+let hill_moves = env_int "BENCH_HILL_MOVES" 10_000
+let tabu_iters = env_int "BENCH_TABU_ITERS" 2_000
+let restarts_iters = env_int "BENCH_RESTARTS_ITERS" 20_000
+let bench_jobs = env_int "BENCH_JOBS" (Parallel.default_jobs ())
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -71,7 +89,7 @@ let fig2 () =
   let app = Md.app () in
   let platform = Md.platform ~n_clb:2000 () in
   let trace = Trace.create () in
-  let result = explore_once ~trace ~iterations:50_000 ~seed:5 app platform in
+  let result = explore_once ~trace ~iterations:fig2_iters ~seed:5 app platform in
   let entries = Trace.entries trace in
   let warmup = List.filter (fun e -> e.Trace.iteration < 0) entries in
   let warmup_costs = List.map (fun e -> e.Trace.cost) warmup in
@@ -126,7 +144,15 @@ let fig2 () =
     "final: %.1f ms with %d context(s) [paper: 18.1 ms, 3 contexts]; \
      constraint 40 ms %s\n"
     result.Explorer.best_cost eval.Searchgraph.n_contexts
-    (if Explorer.meets_deadline app eval then "MET" else "MISSED")
+    (if Explorer.meets_deadline app eval then "MET" else "MISSED");
+  [
+    ("best_cost_ms", result.Explorer.best_cost);
+    ("contexts", float_of_int eval.Searchgraph.n_contexts);
+    ("iterations_per_second",
+     float_of_int result.Explorer.iterations_run
+     /. Float.max result.Explorer.wall_seconds 1e-9);
+    ("deadline_met", if Explorer.meets_deadline app eval then 1.0 else 0.0);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 3: execution time, reconfiguration times and number of
@@ -140,8 +166,9 @@ let fig3 () =
      minimum near 800 CLBs, slow growth to a plateau around 5000 CLBs where a\n\
      single context holds every hardware task; up to ~10 contexts for small\n\
      devices; total reconfiguration time roughly constant.\n\
-     this run: %d run(s)/point, %d iterations (BENCH_RUNS/BENCH_ITERS).\n\n"
-    runs_per_point iters_per_run;
+     this run: %d run(s)/point, %d iterations (BENCH_RUNS/BENCH_ITERS),\n\
+     %d job(s) (BENCH_JOBS).\n\n"
+    runs_per_point iters_per_run bench_jobs;
   let app = Md.app () in
   let exec_by_index = ref [] in
   let reconfig_by_index = ref [] in
@@ -152,27 +179,46 @@ let fig3 () =
         ("total rcfg", Table.Right); ("contexts", Table.Right);
         ("40ms met", Table.Right) ]
   in
-  List.iteri
-    (fun size_index n_clb ->
-      let platform = Md.platform ~n_clb () in
-      let exec = Stats.Running.create () in
-      let init_r = Stats.Running.create () in
-      let dyn_r = Stats.Running.create () in
-      let ctx = Stats.Running.create () in
-      let met = ref 0 in
-      for run = 0 to runs_per_point - 1 do
+  (* The (size x run) grid runs on BENCH_JOBS domains; each cell's seed
+     depends only on its coordinates, and cells are folded per size in
+     run order, so the table is identical for any job count. *)
+  let sizes = Array.of_list Md.fig3_sizes in
+  let cells =
+    Parallel.map ~jobs:bench_jobs
+      (Array.length sizes * runs_per_point)
+      (fun i ->
+        let n_clb = sizes.(i / runs_per_point) in
+        let run = i mod runs_per_point in
+        let platform = Md.platform ~n_clb () in
         let result =
           explore_once ~iterations:iters_per_run
             ~seed:(1 + (run * 7919) + n_clb)
             app platform
         in
         let eval = result.Explorer.best_eval in
-        Stats.Running.add exec eval.Searchgraph.makespan;
-        Stats.Running.add init_r eval.Searchgraph.initial_reconfig;
-        Stats.Running.add dyn_r eval.Searchgraph.dynamic_reconfig;
-        Stats.Running.add ctx (float_of_int eval.Searchgraph.n_contexts);
-        if Explorer.meets_deadline app eval then incr met
+        ( eval.Searchgraph.makespan, eval.Searchgraph.initial_reconfig,
+          eval.Searchgraph.dynamic_reconfig, eval.Searchgraph.n_contexts,
+          Explorer.meets_deadline app eval ))
+  in
+  let min_mean_exec = ref infinity in
+  Array.iteri
+    (fun size_index n_clb ->
+      let exec = Stats.Running.create () in
+      let init_r = Stats.Running.create () in
+      let dyn_r = Stats.Running.create () in
+      let ctx = Stats.Running.create () in
+      let met = ref 0 in
+      for run = 0 to runs_per_point - 1 do
+        let makespan, init, dyn, n_contexts, meets =
+          cells.((size_index * runs_per_point) + run)
+        in
+        Stats.Running.add exec makespan;
+        Stats.Running.add init_r init;
+        Stats.Running.add dyn_r dyn;
+        Stats.Running.add ctx (float_of_int n_contexts);
+        if meets then incr met
       done;
+      min_mean_exec := Float.min !min_mean_exec (Stats.Running.mean exec);
       exec_by_index :=
         (float_of_int size_index, Stats.Running.mean exec) :: !exec_by_index;
       reconfig_by_index :=
@@ -191,7 +237,7 @@ let fig3 () =
           Table.cell_float ~decimals:1 (Stats.Running.mean ctx);
           Printf.sprintf "%d/%d" !met runs_per_point;
         ])
-    Md.fig3_sizes;
+    sizes;
   print_string (Table.render table);
   (* Figure view: exec time [*] and total reconfiguration time [#]
      against the device-size index (the paper's x axis is effectively
@@ -205,7 +251,13 @@ let fig3 () =
          { Repro_util.Ascii_chart.marker = '#';
            points = List.rev !reconfig_by_index };
          { Repro_util.Ascii_chart.marker = '*'; points = List.rev !exec_by_index };
-       ])
+       ]);
+  [
+    ("min_mean_exec_ms", !min_mean_exec);
+    ("sizes", float_of_int (Array.length sizes));
+    ("runs_per_point", float_of_int runs_per_point);
+    ("jobs", float_of_int bench_jobs);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* §5 comparison: adaptive SA vs the GA of [6] and extra baselines.    *)
@@ -235,17 +287,26 @@ let compare_methods () =
       ]
   in
   row "all-software" (App.total_sw_time app) "0" 0.0;
-  let sa = explore_once ~iterations:50_000 ~seed:1 app platform in
+  let sa = explore_once ~iterations:compare_iters ~seed:1 app platform in
   row "adaptive SA (this paper)" sa.Explorer.best_cost
     (string_of_int sa.Explorer.best_eval.Searchgraph.n_contexts)
     sa.Explorer.wall_seconds;
-  let ga = Ga.run { Ga.default_config with seed = 1 } app platform in
-  row "GA after [6] (pop 300)" ga.Ga.best_eval.Searchgraph.makespan
+  let ga =
+    Ga.run
+      { Ga.default_config with seed = 1; population = ga_population;
+        generations = ga_generations }
+      app platform
+  in
+  row
+    (Printf.sprintf "GA after [6] (pop %d)" ga_population)
+    ga.Ga.best_eval.Searchgraph.makespan
     (string_of_int ga.Ga.best_eval.Searchgraph.n_contexts)
     ga.Ga.wall_seconds;
   let ga_basic =
-    Ga.run { Ga.default_config with seed = 1; explore_impls = false } app
-      platform
+    Ga.run
+      { Ga.default_config with seed = 1; population = ga_population;
+        generations = ga_generations; explore_impls = false }
+      app platform
   in
   row "GA, spatial genes only (as [6])"
     ga_basic.Ga.best_eval.Searchgraph.makespan
@@ -257,21 +318,35 @@ let compare_methods () =
     greedy.Greedy.eval.Searchgraph.makespan
     (string_of_int greedy.Greedy.eval.Searchgraph.n_contexts)
     greedy.Greedy.wall_seconds;
-  let random = Random_search.run ~seed:1 ~samples:5_000 app platform in
-  row "random search (5k samples)" random.Random_search.best_makespan "-"
-    random.Random_search.wall_seconds;
+  let random =
+    Random_search.run ~seed:1 ~samples:random_samples app platform
+  in
+  row
+    (Printf.sprintf "random search (%d samples)" random_samples)
+    random.Random_search.best_makespan "-" random.Random_search.wall_seconds;
   let hill =
-    Hill_climb.run { Hill_climb.seed = 1; moves_per_climb = 10_000; restarts = 5 }
+    Hill_climb.run
+      { Hill_climb.seed = 1; moves_per_climb = hill_moves; restarts = 5 }
       app platform
   in
   row "hill climbing (5 restarts)" hill.Hill_climb.best_makespan "-"
     hill.Hill_climb.wall_seconds;
   let tabu =
-    Tabu.run { Tabu.seed = 1; iterations = 2_000; neighbourhood = 24; tenure = 20 }
+    Tabu.run
+      { Tabu.seed = 1; iterations = tabu_iters; neighbourhood = 24; tenure = 20 }
       app platform
   in
   row "tabu search (tenure 20)" tabu.Tabu.best_makespan "-" tabu.Tabu.wall_seconds;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  [
+    ("sa_best_ms", sa.Explorer.best_cost);
+    ("sa_seconds", sa.Explorer.wall_seconds);
+    ("ga_best_ms", ga.Ga.best_eval.Searchgraph.makespan);
+    ("ga_seconds", ga.Ga.wall_seconds);
+    ("iterations_per_second",
+     float_of_int sa.Explorer.iterations_run
+     /. Float.max sa.Explorer.wall_seconds 1e-9);
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* §5 solution-space counts.                                           *)
@@ -303,7 +378,8 @@ let space () =
   row "combinations, 4 changes"
     (Combinatorics.motion_detection_combinations ~changes:4)
     7_142_499_000;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: cooling schedules at an equal iteration budget.           *)
@@ -357,7 +433,8 @@ let ablation_schedule () =
           Table.cell_float (Stats.Running.min stats);
         ])
     schedules;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: move families.                                            *)
@@ -404,7 +481,8 @@ let ablation_moves () =
           Table.cell_float (Stats.Running.min stats);
         ])
     variants;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Wider evaluation: the auxiliary workload suite.                     *)
@@ -446,7 +524,8 @@ let suite_eval () =
            | None -> "none");
         ])
     Suite_w.named;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Robustness: exploration quality vs application size on random graph
@@ -507,7 +586,8 @@ let scaling () =
           Table.cell_float ~decimals:2 result.Explorer.wall_seconds;
         ])
     families;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: tabu tenure sensitivity (the paper's argument that tabu
@@ -533,8 +613,8 @@ let ablation_tabu () =
       for run = 0 to runs_per_point - 1 do
         let result =
           Tabu.run
-            { Tabu.seed = 300 + run; iterations = 1_000; neighbourhood = 24;
-              tenure }
+            { Tabu.seed = 300 + run; iterations = tabu_iters / 2;
+              neighbourhood = 24; tenure }
             app platform
         in
         Stats.Running.add stats result.Tabu.best_makespan
@@ -551,7 +631,8 @@ let ablation_tabu () =
     "finding: with a sampled best-of-N neighbourhood and state-hash tabu,\n\
      this instance is robust to the tenure — the paper's tuning concern\n\
      applies to attribute-based tabu on harder landscapes; quality-wise\n\
-     tabu matches the SA here (see compare).\n"
+     tabu matches the SA here (see compare).\n";
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: communication model — edge delays vs serialized bus
@@ -619,7 +700,8 @@ let ablation_bus () =
       ("edge delays (paper's estimate)", Explorer.Makespan);
       ("serialized transactions", Explorer.Makespan_serialized);
     ];
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Cost/performance frontier over the device catalogue (the paper's
@@ -635,8 +717,8 @@ let pareto () =
   let app = Md.app () in
   let catalogue = List.map (fun n_clb -> Md.platform ~n_clb ()) Md.fig3_sizes in
   let frontier =
-    Explorer.cost_performance_frontier ~seed:1 ~iterations:iters_per_run app
-      catalogue
+    Explorer.cost_performance_frontier ~seed:1 ~iterations:iters_per_run
+      ~jobs:bench_jobs app catalogue
   in
   let table =
     Table.create
@@ -659,8 +741,15 @@ let pareto () =
   (match List.find_opt (fun p -> p.Explorer.meets) frontier with
    | Some cheapest ->
      Printf.printf "smallest device meeting 40 ms at this budget: %d CLBs\n"
-       (Repro_arch.Platform.n_clb cheapest.Explorer.platform)
-   | None -> Printf.printf "no catalogue device meets 40 ms at this budget\n")
+       (Repro_arch.Platform.n_clb cheapest.Explorer.platform);
+     [
+       ("frontier_points", float_of_int (List.length frontier));
+       ("smallest_meeting_clbs",
+        float_of_int (Repro_arch.Platform.n_clb cheapest.Explorer.platform));
+     ]
+   | None ->
+     Printf.printf "no catalogue device meets 40 ms at this budget\n";
+     [ ("frontier_points", float_of_int (List.length frontier)) ])
 
 (* ------------------------------------------------------------------ *)
 (* Beyond the paper: multiprocessor platforms (the general model of
@@ -714,7 +803,8 @@ let multiproc () =
             ((single_ms -. dual_ms) /. single_ms *. 100.0);
         ])
     Suite_w.named;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  []
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the evaluation primitives.             *)
@@ -817,7 +907,75 @@ let micro () =
           in
           Printf.printf "  %-40s %12.1f ns/run\n" name nanoseconds)
         results)
-    tests
+    tests;
+  []
+
+(* ------------------------------------------------------------------ *)
+(* Parallel restarts: wall-clock of jobs=1 vs jobs=4 on the same four
+   chains, with the determinism contract checked on the spot.          *)
+(* ------------------------------------------------------------------ *)
+
+let restarts_bench () =
+  header "Parallel restarts — 4 chains, jobs=1 vs jobs=4";
+  Printf.printf
+    "same seeds, same winner selection: the parallel run must produce the\n\
+     bit-identical best solution and cost list.  speedup tracks the number\n\
+     of cores the container actually has (this host: %d).\n\
+     this run: %d iterations/chain (BENCH_RESTARTS_ITERS).\n\n"
+    (Domain.recommended_domain_count ())
+    restarts_iters;
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  let config =
+    { Explorer.anneal = anneal_config ~iterations:restarts_iters ~seed:21;
+      moves = Moves.fixed_architecture; objective = Explorer.Makespan }
+  in
+  let timed jobs =
+    let t0 = Clock.wall () in
+    let best, costs =
+      Explorer.explore_restarts ~jobs ~restarts:4 config app platform
+    in
+    (Clock.wall () -. t0, best, costs)
+  in
+  let wall1, best1, costs1 = timed 1 in
+  let wall4, best4, costs4 = timed 4 in
+  let identical =
+    costs1 = costs4
+    && best1.Explorer.best_cost = best4.Explorer.best_cost
+    && Format.asprintf "%a" Solution.pp best1.Explorer.best
+       = Format.asprintf "%a" Solution.pp best4.Explorer.best
+  in
+  if not identical then
+    failwith "restarts_bench: jobs=4 diverged from jobs=1";
+  let stats = Solution.eval_stats best4.Explorer.best in
+  let per_eval evals nodes =
+    if evals = 0 then 0.0 else float_of_int nodes /. float_of_int evals
+  in
+  Printf.printf
+    "jobs=1: %.2f s   jobs=4: %.2f s   speedup %.2fx   best %.2f ms \
+     (identical: yes)\n"
+    wall1 wall4 (wall1 /. Float.max wall4 1e-9)
+    best1.Explorer.best_cost;
+  Printf.printf
+    "incremental evaluation on the winning chain: %d full evals \
+     (%.1f nodes/eval), %d incremental (%.1f nodes/eval)\n"
+    stats.Solution.full_evals
+    (per_eval stats.Solution.full_evals stats.Solution.full_nodes)
+    stats.Solution.incr_evals
+    (per_eval stats.Solution.incr_evals stats.Solution.incr_nodes);
+  [
+    ("wall_jobs1", wall1);
+    ("wall_jobs4", wall4);
+    ("speedup", wall1 /. Float.max wall4 1e-9);
+    ("best_cost_ms", best1.Explorer.best_cost);
+    ("iterations_per_second",
+     float_of_int (4 * restarts_iters) /. Float.max wall4 1e-9);
+    ("identical", 1.0);
+    ("full_nodes_per_eval",
+     per_eval stats.Solution.full_evals stats.Solution.full_nodes);
+    ("incr_nodes_per_eval",
+     per_eval stats.Solution.incr_evals stats.Solution.incr_nodes);
+  ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -835,8 +993,22 @@ let experiments =
     ("scaling", scaling);
     ("multiproc", multiproc);
     ("suite", suite_eval);
+    ("restarts", restarts_bench);
     ("micro", micro);
   ]
+
+let json_field (key, value) =
+  Printf.sprintf "%S: %s" key
+    (if Float.is_finite value then Printf.sprintf "%g" value else "null")
+
+let write_json name ~wall metrics =
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Printf.fprintf oc "{\"experiment\": %S, \"wall_seconds\": %g, \"metrics\": {%s}}\n"
+    name wall
+    (String.concat ", " (List.map json_field metrics));
+  close_out oc;
+  path
 
 let () =
   let requested =
@@ -850,7 +1022,12 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some run -> run ()
+      | Some run ->
+        let t0 = Clock.wall () in
+        let metrics = run () in
+        let wall = Clock.wall () -. t0 in
+        let path = write_json name ~wall metrics in
+        Printf.printf "\n[%s: %.2f s, wrote %s]\n" name wall path
       | None ->
         Printf.printf "unknown experiment %S (available: %s)\n" name
           (String.concat ", " (List.map fst experiments)))

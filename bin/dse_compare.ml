@@ -2,7 +2,12 @@
    comparison with the GA of Ben Chehida & Auguin, plus the extra
    baselines of this reproduction).
 
-     dse-compare --clbs 2000
+     dse-compare --clbs 2000 -j 4
+
+   Each method is an independent computation, so the baselines run
+   concurrently on --jobs domains; rows are collected in a fixed order
+   and every method keeps its own seed, so the table is identical for
+   any --jobs.
 *)
 
 open Cmdliner
@@ -13,6 +18,7 @@ module Greedy = Repro_baseline.Greedy
 module Random_search = Repro_baseline.Random_search
 module Hill_climb = Repro_baseline.Hill_climb
 module Table = Repro_util.Table
+module Parallel = Repro_util.Parallel
 
 type row = {
   method_name : string;
@@ -22,112 +28,123 @@ type row = {
   seconds : float;
 }
 
-let run clbs seed sa_iters ga_generations ga_population =
+let run clbs seed sa_iters ga_generations ga_population jobs =
   let app = Md.app () in
   let platform = Md.platform ~n_clb:clbs () in
-  let rows = ref [] in
-  let push row = rows := row :: !rows in
 
-  (* All-software reference. *)
-  let all_sw = Repro_dse.Solution.all_software app platform in
-  push
-    {
-      method_name = "all-software";
-      makespan = Repro_dse.Solution.makespan all_sw;
-      contexts = "0";
-      evaluations = "1";
-      seconds = 0.0;
-    };
-
-  (* Adaptive simulated annealing (this paper). *)
-  let sa_config =
-    {
-      (Explorer.default_config ~seed ()) with
-      Explorer.anneal =
+  (* One thunk per method; they share nothing mutable, so they can run
+     on separate domains.  Row order is the list order, not completion
+     order. *)
+  let methods : (unit -> row) list =
+    [
+      (* All-software reference. *)
+      (fun () ->
+        let all_sw = Repro_dse.Solution.all_software app platform in
         {
-          (Explorer.default_config ~seed ()).Explorer.anneal with
-          Repro_anneal.Annealer.iterations = sa_iters;
-        };
-    }
+          method_name = "all-software";
+          makespan = Repro_dse.Solution.makespan all_sw;
+          contexts = "0";
+          evaluations = "1";
+          seconds = 0.0;
+        });
+      (* Adaptive simulated annealing (this paper). *)
+      (fun () ->
+        let sa_config =
+          {
+            (Explorer.default_config ~seed ()) with
+            Explorer.anneal =
+              {
+                (Explorer.default_config ~seed ()).Explorer.anneal with
+                Repro_anneal.Annealer.iterations = sa_iters;
+              };
+          }
+        in
+        let sa = Explorer.explore sa_config app platform in
+        {
+          method_name = "adaptive SA (paper)";
+          makespan = sa.Explorer.best_cost;
+          contexts =
+            string_of_int
+              sa.Explorer.best_eval.Repro_sched.Searchgraph.n_contexts;
+          evaluations = string_of_int sa.Explorer.iterations_run;
+          seconds = sa.Explorer.wall_seconds;
+        });
+      (* Genetic algorithm after Ben Chehida & Auguin. *)
+      (fun () ->
+        let ga_config =
+          { Ga.default_config with population = ga_population;
+            generations = ga_generations; seed }
+        in
+        let ga = Ga.run ga_config app platform in
+        {
+          method_name =
+            Printf.sprintf "GA [6] (pop %d)" ga_config.Ga.population;
+          makespan = ga.Ga.best_eval.Repro_sched.Searchgraph.makespan;
+          contexts =
+            string_of_int ga.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
+          evaluations = string_of_int ga.Ga.evaluations;
+          seconds = ga.Ga.wall_seconds;
+        });
+      (* Spatial-genes-only GA, as [6] describes its chromosome. *)
+      (fun () ->
+        let ga_config =
+          { Ga.default_config with population = ga_population;
+            generations = ga_generations; seed }
+        in
+        let ga_basic =
+          Ga.run { ga_config with Ga.explore_impls = false } app platform
+        in
+        {
+          method_name = "GA [6], spatial genes only";
+          makespan = ga_basic.Ga.best_eval.Repro_sched.Searchgraph.makespan;
+          contexts =
+            string_of_int
+              ga_basic.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
+          evaluations = string_of_int ga_basic.Ga.evaluations;
+          seconds = ga_basic.Ga.wall_seconds;
+        });
+      (* Greedy compute-to-hardware sweep. *)
+      (fun () ->
+        let greedy = Greedy.run app platform in
+        {
+          method_name =
+            Printf.sprintf "greedy (hw frac %.1f)" greedy.Greedy.hw_fraction;
+          makespan = greedy.Greedy.eval.Repro_sched.Searchgraph.makespan;
+          contexts =
+            string_of_int
+              greedy.Greedy.eval.Repro_sched.Searchgraph.n_contexts;
+          evaluations = "11";
+          seconds = greedy.Greedy.wall_seconds;
+        });
+      (* Random sampling with the SA's evaluation budget. *)
+      (fun () ->
+        let random =
+          Random_search.run ~seed ~samples:(sa_iters / 10) app platform
+        in
+        {
+          method_name = "random search";
+          makespan = random.Random_search.best_makespan;
+          contexts = "-";
+          evaluations = string_of_int random.Random_search.samples;
+          seconds = random.Random_search.wall_seconds;
+        });
+      (* Hill climbing with restarts. *)
+      (fun () ->
+        let hill =
+          Hill_climb.run
+            { Hill_climb.seed; moves_per_climb = sa_iters / 5; restarts = 5 }
+            app platform
+        in
+        {
+          method_name = "hill climbing (5 restarts)";
+          makespan = hill.Hill_climb.best_makespan;
+          contexts = "-";
+          evaluations = string_of_int hill.Hill_climb.moves_tried;
+          seconds = hill.Hill_climb.wall_seconds;
+        });
+    ]
   in
-  let sa = Explorer.explore sa_config app platform in
-  push
-    {
-      method_name = "adaptive SA (paper)";
-      makespan = sa.Explorer.best_cost;
-      contexts =
-        string_of_int sa.Explorer.best_eval.Repro_sched.Searchgraph.n_contexts;
-      evaluations = string_of_int sa.Explorer.iterations_run;
-      seconds = sa.Explorer.wall_seconds;
-    };
-
-  (* Genetic algorithm after Ben Chehida & Auguin. *)
-  let ga_config =
-    { Ga.default_config with population = ga_population;
-      generations = ga_generations; seed }
-  in
-  let ga = Ga.run ga_config app platform in
-  push
-    {
-      method_name =
-        Printf.sprintf "GA [6] (pop %d)" ga_config.Ga.population;
-      makespan = ga.Ga.best_eval.Repro_sched.Searchgraph.makespan;
-      contexts =
-        string_of_int ga.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
-      evaluations = string_of_int ga.Ga.evaluations;
-      seconds = ga.Ga.wall_seconds;
-    };
-
-  (* Spatial-genes-only GA, as [6] describes its chromosome. *)
-  let ga_basic = Ga.run { ga_config with Ga.explore_impls = false } app platform in
-  push
-    {
-      method_name = "GA [6], spatial genes only";
-      makespan = ga_basic.Ga.best_eval.Repro_sched.Searchgraph.makespan;
-      contexts =
-        string_of_int ga_basic.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
-      evaluations = string_of_int ga_basic.Ga.evaluations;
-      seconds = ga_basic.Ga.wall_seconds;
-    };
-
-  (* Greedy compute-to-hardware sweep. *)
-  let greedy = Greedy.run app platform in
-  push
-    {
-      method_name =
-        Printf.sprintf "greedy (hw frac %.1f)" greedy.Greedy.hw_fraction;
-      makespan = greedy.Greedy.eval.Repro_sched.Searchgraph.makespan;
-      contexts =
-        string_of_int greedy.Greedy.eval.Repro_sched.Searchgraph.n_contexts;
-      evaluations = "11";
-      seconds = greedy.Greedy.wall_seconds;
-    };
-
-  (* Random sampling with the SA's evaluation budget. *)
-  let random = Random_search.run ~seed ~samples:(sa_iters / 10) app platform in
-  push
-    {
-      method_name = "random search";
-      makespan = random.Random_search.best_makespan;
-      contexts = "-";
-      evaluations = string_of_int random.Random_search.samples;
-      seconds = random.Random_search.wall_seconds;
-    };
-
-  (* Hill climbing with restarts. *)
-  let hill =
-    Hill_climb.run
-      { Hill_climb.seed; moves_per_climb = sa_iters / 5; restarts = 5 }
-      app platform
-  in
-  push
-    {
-      method_name = "hill climbing (5 restarts)";
-      makespan = hill.Hill_climb.best_makespan;
-      contexts = "-";
-      evaluations = string_of_int hill.Hill_climb.moves_tried;
-      seconds = hill.Hill_climb.wall_seconds;
-    };
+  let rows = Parallel.map_list ~jobs (fun m -> m ()) methods in
 
   let table =
     Table.create
@@ -148,7 +165,7 @@ let run clbs seed sa_iters ga_generations ga_population =
           Table.cell_float ~decimals:2 r.seconds;
           (if r.makespan <= Md.deadline_ms then "met" else "missed");
         ])
-    (List.rev !rows);
+    rows;
   Printf.printf
     "Method comparison, motion detection, %d CLBs (paper: SA 18.1 ms < GA 28 ms; SA <10 s, GA ~4 min)\n\n"
     clbs;
@@ -169,10 +186,17 @@ let ga_population_arg =
   Arg.(value & opt int 300 & info [ "ga-population" ]
        ~doc:"GA population (paper: 300)")
 
+let jobs_arg =
+  Arg.(value & opt int (Parallel.default_jobs ())
+       & info [ "jobs"; "j" ]
+           ~doc:"Domains used to run the methods concurrently (default: the \
+                 machine's recommended domain count); results are identical \
+                 for every value")
+
 let cmd =
   let doc = "compare the explorer against the baselines (§5 comparison)" in
   Cmd.v (Cmd.info "dse-compare" ~doc)
     Term.(const run $ clbs_arg $ seed_arg $ sa_iters_arg $ ga_generations_arg
-          $ ga_population_arg)
+          $ ga_population_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

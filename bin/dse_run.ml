@@ -2,6 +2,7 @@
 
      dse-run --app motion_detection --clbs 2000 --iters 50000 --seed 7
      dse-run --app-file my_design.tg --gantt --dot mapping.dot
+     dse-run --restarts 8 -j 4        # 8 chains over 4 domains
 *)
 
 open Cmdliner
@@ -28,7 +29,7 @@ let app_of_name name =
          (String.concat ", " (List.map fst Repro_workloads.Suite.named)))
 
 let run app_name app_file platform_file clbs iters warmup seed schedule
-    lam_quality serialized trace_path gantt dot_path save_app =
+    lam_quality serialized trace_path gantt dot_path save_app restarts jobs =
   let app =
     match app_file with
     | Some path ->
@@ -64,7 +65,18 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
     }
   in
   let trace = Repro_dse.Trace.create ~every:10 () in
-  let result = Explorer.explore ~trace config app platform in
+  let result =
+    if restarts <= 1 then Explorer.explore ~trace config app platform
+    else begin
+      let best, costs =
+        Explorer.explore_restarts ~trace ~jobs ~restarts config app platform
+      in
+      Format.printf "restart best costs (%d chains, %d job(s)): %s@." restarts
+        jobs
+        (String.concat " " (List.map (Printf.sprintf "%.2f") costs));
+      best
+    end
+  in
   let eval = result.Explorer.best_eval in
   Format.printf "%a@." App.pp_summary app;
   Format.printf
@@ -173,11 +185,25 @@ let save_app_arg =
        & info [ "save-app" ] ~doc:"Save the application in .tg format to $(docv)"
            ~docv:"FILE")
 
+let restarts_arg =
+  Arg.(value & opt int 1
+       & info [ "restarts" ]
+           ~doc:"Independent annealing chains (seeds derived per chain); \
+                 the best one is reported")
+
+let jobs_arg =
+  Arg.(value & opt int (Repro_util.Parallel.default_jobs ())
+       & info [ "jobs"; "j" ]
+           ~doc:"Domains used to run restart chains in parallel (default: \
+                 the machine's recommended domain count); results are \
+                 identical for every value")
+
 let cmd =
   let doc = "explore a workload mapping on a reconfigurable platform" in
   Cmd.v (Cmd.info "dse-run" ~doc)
     Term.(const run $ app_arg $ app_file_arg $ platform_file_arg $ clbs_arg
           $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg $ quality_arg
-          $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg)
+          $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg
+          $ restarts_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

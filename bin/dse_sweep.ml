@@ -2,7 +2,11 @@
    execution time, reconfiguration times and number of contexts over
    several exploration runs.
 
-     dse-sweep --runs 100 --iters 50000
+     dse-sweep --runs 100 --iters 50000 -j 8
+
+   The (FPGA size x run) grid is embarrassingly parallel: every cell's
+   seed is a function of its coordinates and the per-size averages are
+   folded in a fixed order, so the output is identical for any --jobs.
 *)
 
 open Cmdliner
@@ -12,6 +16,7 @@ module Annealer = Repro_anneal.Annealer
 module Schedule = Repro_anneal.Schedule
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
+module Parallel = Repro_util.Parallel
 
 type point = {
   n_clb : int;
@@ -24,36 +29,47 @@ type point = {
   runs : int;
 }
 
-let sweep_point app ~n_clb ~runs ~iters ~base_seed =
+(* One cell of the sweep grid: size x run index -> the per-run
+   measurements.  The seed depends only on the cell's coordinates. *)
+let sweep_cell app ~n_clb ~iters ~base_seed ~run =
   let platform = Md.platform ~n_clb () in
+  let config =
+    {
+      Explorer.anneal =
+        {
+          Annealer.iterations = iters;
+          warmup_iterations = 1_200;
+          schedule = Schedule.lam ~quality:(150.0 /. float_of_int iters) ();
+          seed = base_seed + (run * 7919) + n_clb;
+          frozen_window = None;
+        };
+      moves = Repro_dse.Moves.fixed_architecture;
+      objective = Explorer.Makespan;
+    }
+  in
+  let result = Explorer.explore config app platform in
+  let eval = result.Explorer.best_eval in
+  ( eval.Repro_sched.Searchgraph.makespan,
+    eval.Repro_sched.Searchgraph.initial_reconfig,
+    eval.Repro_sched.Searchgraph.dynamic_reconfig,
+    eval.Repro_sched.Searchgraph.n_contexts,
+    Explorer.meets_deadline app eval )
+
+(* Fold one size's cells, in run order, into a sweep point. *)
+let point_of_cells ~n_clb ~runs cells =
   let exec = Stats.Running.create () in
   let init_r = Stats.Running.create () in
   let dyn_r = Stats.Running.create () in
   let ctx = Stats.Running.create () in
   let met = ref 0 in
-  for run = 0 to runs - 1 do
-    let config =
-      {
-        Explorer.anneal =
-          {
-            Annealer.iterations = iters;
-            warmup_iterations = 1_200;
-            schedule = Schedule.lam ~quality:(150.0 /. float_of_int iters) ();
-            seed = base_seed + (run * 7919) + n_clb;
-            frozen_window = None;
-          };
-        moves = Repro_dse.Moves.fixed_architecture;
-        objective = Explorer.Makespan;
-      }
-    in
-    let result = Explorer.explore config app platform in
-    let eval = result.Explorer.best_eval in
-    Stats.Running.add exec eval.Repro_sched.Searchgraph.makespan;
-    Stats.Running.add init_r eval.Repro_sched.Searchgraph.initial_reconfig;
-    Stats.Running.add dyn_r eval.Repro_sched.Searchgraph.dynamic_reconfig;
-    Stats.Running.add ctx (float_of_int eval.Repro_sched.Searchgraph.n_contexts);
-    if Explorer.meets_deadline app eval then incr met
-  done;
+  Array.iter
+    (fun (makespan, init, dyn, n_contexts, meets) ->
+      Stats.Running.add exec makespan;
+      Stats.Running.add init_r init;
+      Stats.Running.add dyn_r dyn;
+      Stats.Running.add ctx (float_of_int n_contexts);
+      if meets then incr met)
+    cells;
   {
     n_clb;
     exec = Stats.Running.mean exec;
@@ -89,16 +105,30 @@ let render_points points =
     points;
   Table.render table
 
-let run runs iters base_seed sizes csv_path =
+let run runs iters base_seed sizes csv_path jobs =
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
   Printf.printf
-    "Fig. 3 sweep: %d run(s) per size, %d iterations each (paper: 100 runs)\n%!"
-    runs iters;
+    "Fig. 3 sweep: %d run(s) per size, %d iterations each, %d job(s) \
+     (paper: 100 runs)\n%!"
+    runs iters jobs;
+  (* Flatten the (size x run) grid into one parallel map; cell i is
+     size i/runs, run i mod runs, so the work distribution does not
+     affect which seed any cell uses. *)
+  let size_arr = Array.of_list sizes in
+  let cells =
+    Parallel.map ~jobs
+      (Array.length size_arr * runs)
+      (fun i ->
+        sweep_cell app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
+          ~run:(i mod runs))
+  in
   let points =
-    List.map
-      (fun n_clb ->
-        let p = sweep_point app ~n_clb ~runs ~iters ~base_seed in
+    List.mapi
+      (fun s n_clb ->
+        let p =
+          point_of_cells ~n_clb ~runs (Array.sub cells (s * runs) runs)
+        in
         Printf.printf "  %5d CLBs: exec %.1f ms, %.1f context(s)\n%!" n_clb
           p.exec p.contexts;
         p)
@@ -142,9 +172,17 @@ let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write CSV to $(docv)"
        ~docv:"FILE")
 
+let jobs_arg =
+  Arg.(value & opt int (Parallel.default_jobs ())
+       & info [ "jobs"; "j" ]
+           ~doc:"Domains used to run sweep cells in parallel (default: the \
+                 machine's recommended domain count); results are identical \
+                 for every value")
+
 let cmd =
   let doc = "sweep the FPGA size (reproduces Fig. 3)" in
   Cmd.v (Cmd.info "dse-sweep" ~doc)
-    Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg)
+    Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg
+          $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

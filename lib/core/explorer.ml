@@ -3,6 +3,8 @@ open Repro_arch
 open Repro_sched
 module Annealer = Repro_anneal.Annealer
 module Rng = Repro_util.Rng
+module Parallel = Repro_util.Parallel
+module Clock = Repro_util.Clock
 
 type objective =
   | Makespan
@@ -84,7 +86,7 @@ let explore ?trace ?initial config application platform =
     let propose rng s = Moves.propose rng config.moves s
   end in
   let module Engine = Annealer.Make (P) in
-  let start_clock = Sys.time () in
+  let start_clock = Clock.wall () in
   let solution =
     match initial with
     | Some s -> s
@@ -128,11 +130,14 @@ let explore ?trace ?initial config application platform =
     iterations_run = outcome.Annealer.iterations_run;
     accepted = outcome.Annealer.accepted;
     infeasible = outcome.Annealer.infeasible;
-    wall_seconds = Sys.time () -. start_clock;
+    wall_seconds = Clock.wall () -. start_clock;
   }
 
-let explore_restarts ?trace ~restarts config application platform =
+let explore_restarts ?trace ?(jobs = 1) ~restarts config application platform =
   if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
+  (* Each chain's seed is a pure function of its index, and results are
+     collected in index order, so the winner (first strict minimum) and
+     the cost list are identical for every [jobs] value. *)
   let run index =
     let seed = config.anneal.Annealer.seed + (index * 65_537) in
     let config =
@@ -141,23 +146,21 @@ let explore_restarts ?trace ~restarts config application platform =
     let trace = if index = 0 then trace else None in
     explore ?trace config application platform
   in
-  let first = run 0 in
-  let rec fold best costs index =
-    if index = restarts then (best, List.rev costs)
-    else begin
-      let candidate = run index in
-      let best =
-        if candidate.best_cost < best.best_cost then candidate else best
-      in
-      fold best (candidate.best_cost :: costs) (index + 1)
-    end
+  let results = Parallel.map ~jobs restarts run in
+  let best =
+    Array.fold_left
+      (fun best candidate ->
+        if candidate.best_cost < best.best_cost then candidate else best)
+      results.(0) results
   in
-  fold first [ first.best_cost ] 1
+  (best, Array.to_list (Array.map (fun r -> r.best_cost) results))
 
-let cost_performance_frontier ?(seed = 1) ?(iterations = 20_000) application
-    catalogue =
+let cost_performance_frontier ?(seed = 1) ?(iterations = 20_000) ?(jobs = 1)
+    application catalogue =
+  (* One independent exploration per catalogue device: a natural
+     parallel grid (same seed per device as sequentially). *)
   let candidates =
-    List.map
+    Parallel.map_list ~jobs
       (fun platform ->
         let config =
           {

@@ -70,14 +70,18 @@ val meets_deadline : App.t -> Searchgraph.eval -> bool
     makespan honours it. *)
 
 val explore_restarts :
-  ?trace:Trace.t -> restarts:int -> config -> App.t -> Platform.t ->
-  result * float list
+  ?trace:Trace.t -> ?jobs:int -> restarts:int -> config -> App.t ->
+  Platform.t -> result * float list
 (** Run [restarts] independent explorations (seeds derived from the
     configured one) and return the best result together with every
     run's best cost — the usual defense against annealing variance,
     and the data behind the paper's Fig. 3 averaging.  The trace, when
-    given, records the winning run only if it is the first; prefer
-    single runs for traces. *)
+    given, records the run of index 0; prefer single runs for traces.
+
+    [jobs] (default 1) runs the chains on that many domains
+    ({!Repro_util.Parallel}); every chain's seed derives from its index
+    and results are folded in index order, so the best solution, the
+    cost list and the trace are bit-identical for every [jobs]. *)
 
 type frontier_point = {
   platform : Platform.t;
@@ -87,10 +91,11 @@ type frontier_point = {
 }
 
 val cost_performance_frontier :
-  ?seed:int -> ?iterations:int -> App.t -> Platform.t list ->
+  ?seed:int -> ?iterations:int -> ?jobs:int -> App.t -> Platform.t list ->
   frontier_point list
 (** Explore the application once per catalogue platform (makespan
     objective) and keep the Pareto-dominant (platform cost, makespan)
     points, sorted by increasing cost — the designer-facing output of
     the paper's cost-minimization story.  Default budget: 20000
-    iterations per platform. *)
+    iterations per platform; [jobs] explores catalogue devices in
+    parallel with identical output. *)

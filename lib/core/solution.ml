@@ -3,6 +3,29 @@ open Repro_arch
 open Repro_sched
 module Rng = Repro_util.Rng
 
+type eval_stats = {
+  mutable full_evals : int;
+  mutable full_nodes : int;
+  mutable incr_evals : int;
+  mutable incr_nodes : int;
+}
+
+(* Incremental-evaluation state: the built search graph and its
+   longest-path solution, kept alive across implementation-selection
+   moves.  [weights] is the node-weight store the longest path reads
+   through; [dirty] lists the tasks whose weight may disagree with it.
+   The state is valid only while the solution's structure (bindings,
+   contexts, orders, platform) is the one it was built for, which
+   [built_for] records as a version number. *)
+type incr = {
+  sg : Graph.t;
+  lp : Longest_path.t;
+  weights : float array;
+  built_for : int;
+  comm : float;
+  mutable dirty : int list;
+}
+
 (* assign.(v) = -(p+1) when the task runs in software on processor p
    (so -1 is the primary processor), otherwise the stable id (>= 0) of
    its context.  Stable ids survive context insertions and removals;
@@ -18,6 +41,10 @@ type t = {
   mutable ctxs : (int * int list) list;
   mutable next_ctx : int;
   mutable cached : Searchgraph.eval option option;
+  mutable incr : incr option;
+  mutable structure_version : int;
+  mutable next_version : int;  (* monotonic; never rolled back by undo *)
+  stats : eval_stats;
 }
 
 let processor_index t v =
@@ -30,7 +57,16 @@ let platform t = t.platform
 let closure t = t.clo
 let size t = App.size t.app
 
-let invalidate t = t.cached <- None
+(* A structural mutation (bindings, contexts, orders, platform) makes
+   the incremental state stale; versions are drawn from a monotonic
+   counter so an undo can restore a version without ever colliding with
+   a later structure. *)
+let invalidate t =
+  t.next_version <- t.next_version + 1;
+  t.structure_version <- t.next_version;
+  t.cached <- None
+
+let eval_stats t = t.stats
 
 (* Shared closures are computed once per application and reused by
    copies; a weak-keyed cache would be overkill here. *)
@@ -52,8 +88,15 @@ let all_software application platform =
     ctxs = [];
     next_ctx = 0;
     cached = None;
+    incr = None;
+    structure_version = 0;
+    next_version = 0;
+    stats = { full_evals = 0; full_nodes = 0; incr_evals = 0; incr_nodes = 0 };
   }
 
+(* Copies never share the incremental state: it tracks one solution's
+   mutations and would be corrupted by a sibling's.  The stats record
+   stays shared so a solution and its snapshots count together. *)
 let copy t =
   {
     t with
@@ -61,6 +104,7 @@ let copy t =
     impl = Array.copy t.impl;
     sw = Array.copy t.sw;
     cached = t.cached;
+    incr = None;
   }
 
 let snapshot = copy
@@ -73,14 +117,25 @@ let save t =
   let next_ctx = t.next_ctx in
   let cached = t.cached in
   let platform = t.platform in
+  let structure_version = t.structure_version in
   fun () ->
+    (* Any task whose implementation is about to roll back may leave a
+       stale weight in the incremental state: mark it dirty before the
+       blit (the refresh re-reads weights from the restored state). *)
+    (match t.incr with
+     | Some inc ->
+       for v = 0 to Array.length impl - 1 do
+         if t.impl.(v) <> impl.(v) then inc.dirty <- v :: inc.dirty
+       done
+     | None -> ());
     Array.blit assign 0 t.assign 0 (Array.length assign);
     Array.blit impl 0 t.impl 0 (Array.length impl);
     t.sw <- Array.copy sw;
     t.ctxs <- ctxs;
     t.next_ctx <- next_ctx;
     t.cached <- cached;
-    t.platform <- platform
+    t.platform <- platform;
+    t.structure_version <- structure_version
 
 let binding t v =
   if t.assign.(v) < 0 then Searchgraph.Sw
@@ -128,12 +183,114 @@ let capacity_ok t =
   let limit = Platform.n_clb t.platform in
   List.for_all (fun (_, members) -> members_clbs t members <= limit) t.ctxs
 
+(* Mirror of [Searchgraph.exec_time] reading the solution directly, so
+   the weight-only fast path does not rebuild a spec per move. *)
+let exec_time_of t v =
+  let task = App.task t.app v in
+  if t.assign.(v) < 0 then
+    task.Task.sw_time /. Platform.processor_speed t.platform (processor_index t v)
+  else (Task.impl task t.impl.(v)).Task.hw_time
+
+let eval_from_incr t inc =
+  let n = size t in
+  let total = Graph.size inc.sg in
+  let dynamic_reconfig = ref 0.0 in
+  for j = n + 1 to total - 1 do
+    dynamic_reconfig := !dynamic_reconfig +. inc.weights.(j)
+  done;
+  Some
+    {
+      Searchgraph.makespan = Longest_path.makespan inc.lp;
+      initial_reconfig = (if total > n then inc.weights.(n) else 0.0);
+      dynamic_reconfig = !dynamic_reconfig;
+      comm = inc.comm;
+      n_contexts = total - n;
+      finish = Array.init total (Longest_path.finish inc.lp);
+    }
+
+(* Full (re)build: construct the search graph and longest-path state,
+   recycling the previous incremental state's storage when the sizes
+   still match, and keep them alive for subsequent weight-only moves. *)
+let evaluate_full t =
+  let spec = spec t in
+  let reuse, scratch, old_weights =
+    match t.incr with
+    | Some inc -> (Some inc.sg, Some inc.lp, Some inc.weights)
+    | None -> (None, None, None)
+  in
+  t.incr <- None;
+  let g, node_weight, edge_weight = Searchgraph.build ?reuse spec in
+  let total = Graph.size g in
+  let weights =
+    match old_weights with
+    | Some w when Array.length w = total -> w
+    | Some _ | None -> Array.make total 0.0
+  in
+  for v = 0 to total - 1 do
+    weights.(v) <- node_weight v
+  done;
+  match
+    Longest_path.create ?scratch g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight
+  with
+  | None -> None
+  | Some lp ->
+    t.stats.full_evals <- t.stats.full_evals + 1;
+    t.stats.full_nodes <- t.stats.full_nodes + total;
+    let inc =
+      {
+        sg = g;
+        lp;
+        weights;
+        built_for = t.structure_version;
+        comm = Searchgraph.comm_cost spec;
+        dirty = [];
+      }
+    in
+    t.incr <- Some inc;
+    eval_from_incr t inc
+
+(* Weight-only fast path: the structure (hence the graph, its edge
+   weights and the boundary traffic) is unchanged; re-read the weights
+   of the dirty tasks and of their contexts' configuration nodes and
+   propagate through the affected cones only. *)
+let evaluate_incremental t inc =
+  (match inc.dirty with
+   | [] -> ()
+   | dirty ->
+     inc.dirty <- [];
+     let n = size t in
+     let nodes =
+       List.fold_left
+         (fun acc v ->
+           inc.weights.(v) <- exec_time_of t v;
+           match binding t v with
+           | Searchgraph.Hw j ->
+             let cfg = n + j in
+             inc.weights.(cfg) <-
+               Platform.reconfiguration_time t.platform (context_clbs t j);
+             cfg :: v :: acc
+           | Searchgraph.Sw | Searchgraph.On_asic _ -> v :: acc)
+         [] dirty
+     in
+     Longest_path.refresh inc.lp nodes;
+     t.stats.incr_nodes <-
+       t.stats.incr_nodes + Longest_path.touched_last_refresh inc.lp);
+  t.stats.incr_evals <- t.stats.incr_evals + 1;
+  eval_from_incr t inc
+
 let evaluate t =
   match t.cached with
   | Some result -> result
   | None ->
     let result =
-      if not (capacity_ok t) then None else Searchgraph.evaluate (spec t)
+      if not (capacity_ok t) then None
+      else
+        match t.incr with
+        | Some inc when inc.built_for = t.structure_version ->
+          evaluate_incremental t inc
+        | Some _ | None -> evaluate_full t
     in
     t.cached <- Some result;
     result
@@ -145,11 +302,20 @@ let makespan t =
 
 (* --- mutations --- *)
 
+(* Implementation selection is the structure-preserving move: bindings,
+   contexts and orders are untouched, only node weights (and the
+   context capacity check) change — so the incremental state survives,
+   with the task marked dirty. *)
 let set_impl t v k =
   if k < 0 || k >= Task.impl_count (App.task t.app v) then
     invalid_arg "Solution.set_impl: implementation index out of range";
-  t.impl.(v) <- k;
-  invalidate t
+  if t.impl.(v) <> k then begin
+    t.impl.(v) <- k;
+    t.cached <- None;
+    match t.incr with
+    | Some inc -> inc.dirty <- v :: inc.dirty
+    | None -> ()
+  end
 
 let remove_from_context t v =
   let id = t.assign.(v) in

@@ -69,7 +69,27 @@ val context_clbs : t -> int -> int
 val spec : t -> Searchgraph.spec
 
 val evaluate : t -> Searchgraph.eval option
-(** Cached; [None] if the current order is infeasible (cyclic). *)
+(** Cached; [None] if the current order is infeasible (cyclic).
+
+    Evaluation keeps the built search graph and its longest-path state
+    alive inside the solution.  A structure-preserving mutation
+    ({!set_impl}: bindings, contexts and orders unchanged) only marks
+    the task dirty, and the next evaluation refreshes the affected
+    downstream cone ({!Repro_sched.Longest_path.refresh}) instead of
+    rebuilding the graph; structural mutations fall back to a full
+    rebuild that recycles the previous state's storage. *)
+
+type eval_stats = {
+  mutable full_evals : int;   (** evaluations that rebuilt the graph *)
+  mutable full_nodes : int;   (** nodes evaluated across full rebuilds *)
+  mutable incr_evals : int;   (** evaluations served by the fast path *)
+  mutable incr_nodes : int;   (** nodes re-evaluated across refreshes *)
+}
+
+val eval_stats : t -> eval_stats
+(** Counters shared by a solution and its snapshots — the measured
+    locality win of the incremental path (see the bench harness and
+    the solution tests). *)
 
 val makespan : t -> float
 (** Makespan of a feasible solution; [infinity] when infeasible. *)
@@ -89,9 +109,12 @@ val save : t -> (unit -> unit)
     (move undo). *)
 
 val invalidate : t -> unit
-(** Drop the cached evaluation after a manual mutation. *)
+(** Drop the cached evaluation after a manual structural mutation (also
+    retires the incremental longest-path state). *)
 
 val set_impl : t -> int -> int -> unit
+(** Structure-preserving: keeps the incremental evaluation state and
+    only marks the task's weight dirty. *)
 
 val move_to_sw : ?proc:int -> t -> task:int -> before:int option -> unit
 (** Detach [task] from wherever it runs (dropping its context if

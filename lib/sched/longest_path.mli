@@ -17,10 +17,14 @@ open Repro_taskgraph
 type t
 
 val create :
+  ?scratch:t ->
   Graph.t -> node_weight:(int -> float) -> edge_weight:(int -> int -> float) ->
   t option
 (** Builds the state and computes all completion times; [None] when the
-    graph is cyclic.  The graph must not be mutated afterwards. *)
+    graph is cyclic.  The graph must not be mutated afterwards.
+    [scratch] donates the internal arrays of a retired state of the
+    same size, avoiding reallocation on rebuild-heavy paths (the donor
+    must no longer be used). *)
 
 val finish : t -> int -> float
 (** Completion time of a node. *)

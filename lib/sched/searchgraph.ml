@@ -60,11 +60,25 @@ let crossing spec u v =
   | On_asic a, On_asic b -> a <> b
   | Hw _, Hw _ -> false
 
-let build spec =
+let comm_cost spec =
+  List.fold_left
+    (fun acc { App.src; dst; kbytes } ->
+      if crossing spec src dst then
+        acc +. Platform.transfer_time spec.platform kbytes
+      else acc)
+    0.0 (App.edges spec.app)
+
+let build ?reuse spec =
   let n = App.size spec.app in
   let contexts = Array.of_list spec.contexts in
   let k = Array.length contexts in
-  let g = Graph.create (n + k) in
+  let g =
+    match reuse with
+    | Some g when Graph.size g = n + k ->
+      Graph.clear g;
+      g
+    | Some _ | None -> Graph.create (n + k)
+  in
   (* Application edges. *)
   List.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
     (App.edges spec.app);
@@ -124,14 +138,7 @@ let evaluate spec =
     for j = n + 1 to total - 1 do
       dynamic_reconfig := !dynamic_reconfig +. node_weight j
     done;
-    let comm =
-      List.fold_left
-        (fun acc { App.src; dst; kbytes } ->
-          if crossing spec src dst then
-            acc +. Platform.transfer_time spec.platform kbytes
-          else acc)
-        0.0 (App.edges spec.app)
-    in
+    let comm = comm_cost spec in
     Some
       {
         makespan;

@@ -74,10 +74,19 @@ val context_clbs : spec -> int list -> int
 (** CLBs occupied by a context (sum over members of the chosen
     implementation). *)
 
-val build : spec -> Graph.t * (int -> float) * (int -> int -> float)
+val comm_cost : spec -> float
+(** Total boundary-crossing transfer time (the [comm] field of
+    {!eval}); depends only on bindings and processor assignments, not
+    on implementation choices. *)
+
+val build :
+  ?reuse:Graph.t -> spec -> Graph.t * (int -> float) * (int -> int -> float)
 (** The raw search graph with its node- and edge-weight functions
     (tasks [0..n-1], then context configuration nodes).  Exposed for
-    tests and for the Gantt view. *)
+    tests and for the Gantt view.  [reuse] donates a graph whose edges
+    are discarded; when its size matches the spec's, the adjacency
+    storage is rebuilt in place instead of reallocated (the hot path of
+    the move loop). *)
 
 val evaluate : spec -> eval option
 (** [None] when the search graph is cyclic (infeasible order).

@@ -1,0 +1,1 @@
+let wall = Unix.gettimeofday

@@ -1,0 +1,9 @@
+(** Wall-clock time.
+
+    [Sys.time] measures process CPU time, which sums over every running
+    domain — useless for judging parallel speedups.  All wall-clock
+    measurements (explorer runs, benchmark harness) go through this
+    module instead. *)
+
+val wall : unit -> float
+(** Seconds since the epoch, sub-millisecond resolution. *)

@@ -1,0 +1,58 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs n =
+  let j = match jobs with Some j -> j | None -> default_jobs () in
+  if j < 1 then invalid_arg "Parallel: jobs < 1";
+  min j n
+
+(* Work stealing off a shared counter: each domain claims the next
+   unclaimed index until the list is drained.  Item [i]'s result lands
+   in slot [i], so collection order is item order regardless of which
+   domain ran what. *)
+let map ?jobs n f =
+  if n < 0 then invalid_arg "Parallel.map: negative size";
+  if n = 0 then [||]
+  else begin
+    let jobs = resolve_jobs jobs n in
+    let results = Array.make n None in
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        results.(i) <- Some (f i)
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n && Atomic.get failure = None then begin
+            (match f i with
+             | value -> results.(i) <- Some value
+             | exception exn ->
+               let bt = Printexc.get_raw_backtrace () in
+               (* Keep the first failure; the flag also drains the
+                  remaining items without running them. *)
+               ignore (Atomic.compare_and_set failure None (Some (exn, bt))));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let team = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join team;
+      match Atomic.get failure with
+      | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+      | None -> ()
+    end;
+    Array.map
+      (function Some v -> v | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map_list ?jobs f items =
+  let arr = Array.of_list items in
+  Array.to_list (map ?jobs (Array.length arr) (fun i -> f arr.(i)))
+
+let map_reduce ?jobs n ~map:f ~reduce ~init =
+  Array.fold_left reduce init (map ?jobs n f)

@@ -1,0 +1,34 @@
+(** Dependency-free parallel execution over OCaml 5 domains.
+
+    A fixed-size team of domains drains an indexed work list through a
+    shared atomic counter.  Results are collected into a slot per item,
+    so the output order is the item order no matter which domain ran
+    which item — parallel output is bit-identical to sequential output
+    provided each item derives any randomness from its own index (never
+    from submission or completion order).
+
+    The work items themselves must not share mutable state; read-only
+    sharing (applications, platforms, configurations) is fine. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the machine's useful
+    parallelism. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] evaluates [f 0 .. f (n-1)] on up to [jobs] domains
+    (default {!default_jobs}; clamped to [n]) and returns the results
+    in index order.  With [jobs <= 1] everything runs sequentially in
+    the calling domain.  If any item raises, the first exception (in
+    completion order) is re-raised after all domains have joined.
+    Raises [Invalid_argument] when [n < 0] or [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over the elements of a list, preserving order. *)
+
+val map_reduce :
+  ?jobs:int -> int -> map:(int -> 'a) -> reduce:('b -> 'a -> 'b) ->
+  init:'b -> 'b
+(** [map_reduce ~jobs n ~map ~reduce ~init] maps in parallel, then
+    folds the results sequentially in index order — the fold order is
+    deterministic, so non-associative reductions (floating-point sums,
+    first-winner selections) behave exactly as in a sequential run. *)

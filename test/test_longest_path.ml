@@ -141,6 +141,59 @@ let qcheck_multi_dirty =
           (fun v -> abs_float (finish.(v) -. Longest_path.finish lp v) < 1e-9)
           (Array.init n Fun.id))
 
+let qcheck_repeated_refresh_rounds =
+  (* The annealing usage pattern: one longest-path state refreshed over
+     and over as weights drift.  After every round the state must match
+     an independent full solve, and the refresh must never claim to have
+     re-evaluated more nodes than the graph holds. *)
+  QCheck.Test.make ~name:"repeated refresh rounds track full recomputation"
+    ~count:100
+    QCheck.(triple small_int (int_range 3 14) (int_range 1 8))
+    (fun (seed, n, rounds) ->
+      let rng = Rng.create (seed + 13) in
+      let g = Graph.create n in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng 0.25 then Graph.add_edge g u v
+        done
+      done;
+      let weights = Array.init n (fun _ -> Rng.float rng 10.0) in
+      match
+        Longest_path.create g
+          ~node_weight:(fun v -> weights.(v))
+          ~edge_weight:(fun _ _ -> 0.0)
+      with
+      | None -> false
+      | Some lp ->
+        let ok = ref true in
+        for _ = 1 to rounds do
+          let dirty =
+            List.filter (fun _ -> Rng.bernoulli rng 0.3) (List.init n Fun.id)
+          in
+          List.iter (fun v -> weights.(v) <- Rng.float rng 10.0) dirty;
+          Longest_path.refresh lp dirty;
+          if Longest_path.touched_last_refresh lp > Graph.size g then
+            ok := false;
+          let finish =
+            Graph.longest_path g
+              ~node_weight:(fun v -> weights.(v))
+              ~edge_weight:(fun _ _ -> 0.0)
+          in
+          let reference_makespan =
+            Array.fold_left Float.max 0.0 finish
+          in
+          if
+            abs_float (reference_makespan -. Longest_path.makespan lp) >= 1e-9
+            || not
+                 (Array.for_all
+                    (fun v ->
+                      abs_float (finish.(v) -. Longest_path.finish lp v)
+                      < 1e-9)
+                    (Array.init n Fun.id))
+          then ok := false
+        done;
+        !ok)
+
 let suite =
   [
     Alcotest.test_case "create matches reference" `Quick
@@ -150,4 +203,5 @@ let suite =
     Alcotest.test_case "refresh stops early" `Quick test_refresh_stops_early;
     QCheck_alcotest.to_alcotest qcheck_refresh_equals_recompute;
     QCheck_alcotest.to_alcotest qcheck_multi_dirty;
+    QCheck_alcotest.to_alcotest qcheck_repeated_refresh_rounds;
   ]

@@ -1,0 +1,95 @@
+(* The domain pool: ordered collection, per-index seeding, exception
+   propagation, and the end-to-end determinism contract of
+   Explorer.explore_restarts (jobs=1 and jobs=4 must agree bitwise). *)
+
+module Parallel = Repro_util.Parallel
+module Rng = Repro_util.Rng
+module Md = Repro_workloads.Motion_detection
+module Explorer = Repro_dse.Explorer
+module Solution = Repro_dse.Solution
+module Trace = Repro_dse.Trace
+module Annealer = Repro_anneal.Annealer
+
+let test_map_matches_sequential () =
+  let f i = (i * i) + 1 in
+  let expected = Array.init 100 f in
+  Alcotest.(check (array int)) "jobs 1" expected (Parallel.map ~jobs:1 100 f);
+  Alcotest.(check (array int)) "jobs 4" expected (Parallel.map ~jobs:4 100 f);
+  Alcotest.(check (array int)) "more jobs than items" (Array.init 3 f)
+    (Parallel.map ~jobs:16 3 f)
+
+let test_map_empty () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parallel.map ~jobs:4 0 (fun i -> i))
+
+let test_per_index_rng () =
+  (* Seeds derived from the item index, never from scheduling order. *)
+  let f i =
+    let rng = Rng.create (1_000 + i) in
+    Rng.float rng 1.0
+  in
+  let sequential = Parallel.map ~jobs:1 64 f in
+  let parallel = Parallel.map ~jobs:4 64 f in
+  Alcotest.(check (array (float 0.0))) "identical streams" sequential parallel
+
+let test_map_list () =
+  Alcotest.(check (list int)) "ordered" [ 2; 3; 4; 5 ]
+    (Parallel.map_list ~jobs:3 (fun x -> x + 1) [ 1; 2; 3; 4 ])
+
+let test_map_reduce () =
+  Alcotest.(check int) "sum 0..49" 1225
+    (Parallel.map_reduce ~jobs:4 50 ~map:Fun.id ~reduce:( + ) ~init:0)
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker failure resurfaces" (Failure "boom")
+    (fun () ->
+      ignore (Parallel.map ~jobs:4 32 (fun i -> if i = 17 then failwith "boom" else i)))
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs < 1" (Invalid_argument "Parallel: jobs < 1")
+    (fun () -> ignore (Parallel.map ~jobs:0 4 (fun i -> i)))
+
+let small_config ~seed =
+  let base = Explorer.default_config ~seed () in
+  {
+    base with
+    Explorer.anneal =
+      { base.Explorer.anneal with Annealer.iterations = 800;
+        warmup_iterations = 200 };
+  }
+
+let test_restarts_deterministic () =
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  let run jobs =
+    let trace = Trace.create () in
+    let best, costs =
+      Explorer.explore_restarts ~trace ~jobs ~restarts:3 (small_config ~seed:5)
+        app platform
+    in
+    (best, costs, Trace.entries trace)
+  in
+  let best1, costs1, trace1 = run 1 in
+  let best4, costs4, trace4 = run 4 in
+  Alcotest.(check (list (float 0.0))) "per-chain costs identical" costs1 costs4;
+  Alcotest.(check (float 0.0)) "winner cost identical"
+    best1.Explorer.best_cost best4.Explorer.best_cost;
+  Alcotest.(check string) "winning solution identical"
+    (Format.asprintf "%a" Solution.pp best1.Explorer.best)
+    (Format.asprintf "%a" Solution.pp best4.Explorer.best);
+  Alcotest.(check bool) "trace identical" true (trace1 = trace4);
+  Alcotest.(check bool) "trace not empty" true (trace1 <> [])
+
+let suite =
+  [
+    Alcotest.test_case "map matches sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "map on empty range" `Quick test_map_empty;
+    Alcotest.test_case "per-index rng streams" `Quick test_per_index_rng;
+    Alcotest.test_case "map_list ordered" `Quick test_map_list;
+    Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
+    Alcotest.test_case "explore_restarts jobs-invariant" `Quick
+      test_restarts_deterministic;
+  ]

@@ -172,6 +172,110 @@ let test_evaluation_caching () =
   let e3 = Solution.evaluate s in
   Alcotest.(check bool) "invalidated on mutation" true (not (e2 == e3))
 
+(* A 16-task chain whose sink has two implementations: a weight-only
+   move at the sink has a two-node cone (config node + sink) while a
+   full rebuild evaluates all 17 search-graph nodes. *)
+let chain_app () =
+  let t id sw_time impls =
+    Task.make ~id ~name:(Printf.sprintf "c%d" id) ~functionality:"F" ~sw_time
+      ~impls
+  in
+  let n = 16 in
+  let tasks =
+    List.init n (fun id ->
+        if id = n - 1 then t id 3.0 [ impl 40 1.0; impl 80 0.5 ]
+        else t id 1.0 [ impl 20 0.4 ])
+  in
+  let edges =
+    List.init (n - 1) (fun i -> { App.src = i; dst = i + 1; kbytes = 2.0 })
+  in
+  App.make ~name:"chain16" ~tasks ~edges ()
+
+let test_incremental_locality () =
+  let s = Solution.all_software (chain_app ()) (platform ~n_clb:200 ()) in
+  Solution.append_context s ~task:15;
+  Alcotest.(check bool) "feasible" true (Solution.evaluate s <> None);
+  let stats = Solution.eval_stats s in
+  Alcotest.(check bool) "first evaluation is full" true
+    (stats.Solution.full_evals > 0 && stats.Solution.incr_evals = 0);
+  let full_nodes_per_eval =
+    stats.Solution.full_nodes / stats.Solution.full_evals
+  in
+  (* Toggle the sink's implementation: structure preserved. *)
+  Solution.set_impl s 15 1;
+  let incremental = Solution.evaluate s in
+  Alcotest.(check int) "served incrementally" 1 stats.Solution.incr_evals;
+  Alcotest.(check bool) "counts nodes" true (stats.Solution.incr_nodes > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5x fewer nodes (%d vs %d per eval)"
+       stats.Solution.incr_nodes full_nodes_per_eval)
+    true
+    (stats.Solution.incr_nodes * 5 <= full_nodes_per_eval);
+  (* The fast path must agree with a from-scratch evaluation. *)
+  match (incremental, Searchgraph.evaluate (Solution.spec s)) with
+  | Some got, Some want ->
+    Alcotest.(check (float 1e-9)) "makespan matches reference"
+      want.Searchgraph.makespan got.Searchgraph.makespan;
+    Alcotest.(check (float 1e-9)) "initial reconfig matches"
+      want.Searchgraph.initial_reconfig got.Searchgraph.initial_reconfig;
+    Alcotest.(check (float 1e-9)) "comm matches" want.Searchgraph.comm
+      got.Searchgraph.comm
+  | _ -> Alcotest.fail "feasibility mismatch between fast path and reference"
+
+let test_incremental_undo () =
+  let s = Solution.all_software (app ()) (platform ~n_clb:200 ()) in
+  (* Task 3's implementations trade 0.4 ms of run time for 0.3 ms of
+     reconfiguration, so toggling them really moves the makespan. *)
+  Solution.append_context s ~task:3;
+  let original = Solution.makespan s in
+  let restore = Solution.save s in
+  Solution.set_impl s 3 1;
+  let changed = Solution.makespan s in
+  Alcotest.(check bool) "impl move changes the makespan" true
+    (changed <> original);
+  restore ();
+  Alcotest.(check (float 1e-9)) "undo restores the makespan through the \
+                                 incremental path"
+    original (Solution.makespan s);
+  (* A structural mutation after incremental activity falls back to a
+     full rebuild and stays correct (insert before task 4 to keep the
+     software order precedence-consistent). *)
+  Solution.move_to_sw s ~task:3 ~before:(Some 4);
+  match (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s)) with
+  | Some got, Some want ->
+    Alcotest.(check (float 1e-9)) "structural fallback matches reference"
+      want.Searchgraph.makespan got.Searchgraph.makespan
+  | None, None -> Alcotest.fail "structural move should stay feasible"
+  | _ -> Alcotest.fail "feasibility mismatch after structural move"
+
+let test_incremental_matches_reference_random () =
+  (* Oracle test over random accepted/undone move sequences: the cached
+     (possibly incremental) evaluation must always equal a fresh
+     Searchgraph.evaluate of the current spec. *)
+  let rng = Rng.create 77 in
+  let s =
+    Solution.random rng
+      (Repro_workloads.Motion_detection.app ())
+      (Repro_workloads.Motion_detection.platform ~n_clb:800 ())
+  in
+  for _ = 1 to 400 do
+    (match Repro_dse.Moves.propose rng Repro_dse.Moves.fixed_architecture s with
+     | Some undo -> if Repro_util.Rng.bernoulli rng 0.3 then undo ()
+     | None -> ());
+    match (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s)) with
+    | None, None -> ()
+    | Some got, Some want ->
+      if abs_float (got.Searchgraph.makespan -. want.Searchgraph.makespan)
+         >= 1e-9
+      then
+        Alcotest.failf "makespan diverged: %.12f vs %.12f"
+          got.Searchgraph.makespan want.Searchgraph.makespan
+    | _ -> Alcotest.fail "feasibility diverged from reference"
+  done;
+  let stats = Solution.eval_stats s in
+  Alcotest.(check bool) "incremental path exercised" true
+    (stats.Solution.incr_evals > 0)
+
 let test_replace_platform () =
   let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
   Solution.append_context s ~task:3;
@@ -201,5 +305,9 @@ let suite =
     Alcotest.test_case "save/restore" `Quick test_save_restore;
     Alcotest.test_case "copy independent" `Quick test_copy_independent;
     Alcotest.test_case "evaluation caching" `Quick test_evaluation_caching;
+    Alcotest.test_case "incremental locality" `Quick test_incremental_locality;
+    Alcotest.test_case "incremental undo" `Quick test_incremental_undo;
+    Alcotest.test_case "incremental matches reference (random moves)" `Quick
+      test_incremental_matches_reference_random;
     Alcotest.test_case "replace platform" `Quick test_replace_platform;
   ]
