@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-full examples doc clean
+.PHONY: all build test bench bench-smoke bench-full examples doc clean faultcheck
 
 all: build
 
@@ -30,6 +30,24 @@ examples:
 	dune exec examples/sdf_pipeline.exe
 	dune exec examples/heterogeneous_soc.exe
 	dune exec examples/video_phone.exe
+
+# Deterministic fault drills: the in-process fault suite, then — for
+# several seeds — crash a checkpointed CLI run at an injected
+# evaluation fault and prove the checkpoint resumes to completion.
+faultcheck: build
+	dune exec -- test/test_main.exe test fault
+	@set -e; for seed in 1 2 3; do \
+	  ck=$$(mktemp -u); \
+	  echo "faultcheck: seed $$seed (REPRO_FAULTS=eval:2500)"; \
+	  if REPRO_FAULTS=eval:2500 dune exec -- bin/dse_run.exe \
+	       --seed $$seed --iters 5000 --warmup 200 \
+	       --checkpoint $$ck --checkpoint-every 400 >/dev/null 2>&1; then \
+	    echo "faultcheck: injected fault did not fire"; exit 1; \
+	  fi; \
+	  dune exec -- bin/dse_run.exe --seed $$seed --iters 5000 --warmup 200 \
+	    --resume $$ck >/dev/null; \
+	  rm -f $$ck; \
+	done; echo "faultcheck OK"
 
 clean:
 	dune clean

@@ -1003,11 +1003,13 @@ let json_field (key, value) =
 
 let write_json name ~wall metrics =
   let path = Printf.sprintf "BENCH_%s.json" name in
-  let oc = open_out path in
-  Printf.fprintf oc "{\"experiment\": %S, \"wall_seconds\": %g, \"metrics\": {%s}}\n"
-    name wall
-    (String.concat ", " (List.map json_field metrics));
-  close_out oc;
+  (* Atomic write: a killed benchmark run never leaves a truncated
+     BENCH_*.json behind. *)
+  Repro_util.Atomic_io.write_file path (fun oc ->
+      Printf.fprintf oc
+        "{\"experiment\": %S, \"wall_seconds\": %g, \"metrics\": {%s}}\n" name
+        wall
+        (String.concat ", " (List.map json_field metrics)));
   path
 
 let () =

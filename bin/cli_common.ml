@@ -1,0 +1,197 @@
+(* Shared plumbing for the dse-* command-line tools: input loading with
+   one-line `file:line: message` errors, model validation before
+   exploring, SIGINT/deadline wiring, result files and exit codes. *)
+
+module Explorer = Repro_dse.Explorer
+module Solution = Repro_dse.Solution
+module Annealer = Repro_anneal.Annealer
+module Interrupt = Repro_util.Interrupt
+module Clock = Repro_util.Clock
+module Atomic_io = Repro_util.Atomic_io
+
+(* Exit codes: 0 success, 2 bad input or usage, 3 interrupted (SIGINT
+   or exhausted --time-budget) with best-so-far results emitted. *)
+let exit_ok = 0
+let exit_usage = 2
+let exit_interrupted = 3
+
+(* Man-page documentation of the convention, shared by every tool. *)
+let exits =
+  Cmdliner.Cmd.Exit.info exit_usage
+    ~doc:"on malformed input files or invalid flag combinations."
+  :: Cmdliner.Cmd.Exit.info exit_interrupted
+       ~doc:
+         "when interrupted by SIGINT or an exhausted time budget; \
+          best-so-far results are still emitted."
+  :: Cmdliner.Cmd.Exit.defaults
+
+exception Usage_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Usage_error msg)) fmt
+
+(* Parser errors come out as "line N: message"; prefix the file so the
+   user gets a clickable "file:N: message" location. *)
+let located path msg =
+  match Scanf.sscanf_opt msg "line %d: " (fun n -> n) with
+  | Some n ->
+    let tail_start = String.length (Printf.sprintf "line %d: " n) in
+    Printf.sprintf "%s:%d: %s" path n
+      (String.sub msg tail_start (String.length msg - tail_start))
+  | None -> Printf.sprintf "%s: %s" path msg
+
+let load_app path =
+  match Repro_taskgraph.App_io.load path with
+  | Ok app -> app
+  | Error msg -> fail "%s" (located path msg)
+
+let load_platform path =
+  match Repro_arch.Platform_io.load path with
+  | Ok platform -> platform
+  | Error msg -> fail "%s" (located path msg)
+
+(* Check the loaded model before spending iterations on it: the
+   all-software solution must evaluate and pass the independent
+   schedule checker. *)
+let validate_inputs app platform =
+  let spec = Solution.spec (Solution.all_software app platform) in
+  match Repro_sched.Validate.evaluated spec with
+  | Ok () -> ()
+  | Error problems ->
+    fail "invalid input model: %s" (String.concat "; " problems)
+
+(* [should_stop ~time_budget] wires SIGINT and the wall-clock budget
+   into one boundary probe; pass it to the explorer. *)
+let should_stop ~time_budget =
+  Interrupt.install ();
+  match time_budget with
+  | None -> Interrupt.pending
+  | Some seconds ->
+    let expired = Clock.deadline ~seconds in
+    fun () -> Interrupt.pending () || expired ()
+
+let exit_code_of_status = function
+  | Annealer.Complete -> exit_ok
+  | Annealer.Interrupted -> exit_interrupted
+
+(* Machine-readable result file: always written atomically, always
+   carries an explicit status so a consumer can tell a finished
+   campaign from an interrupted one. *)
+let write_result path ~status ~(result : Explorer.result) =
+  let eval = result.Explorer.best_eval in
+  Atomic_io.write_string path
+    (Printf.sprintf
+       "{\"status\": %S, \"best_cost\": %g, \"makespan\": %g, \
+        \"n_contexts\": %d, \"iterations_run\": %d, \"accepted\": %d, \
+        \"infeasible\": %d, \"wall_seconds\": %.3f}\n"
+       (Annealer.status_name status)
+       result.Explorer.best_cost
+       eval.Repro_sched.Searchgraph.makespan
+       eval.Repro_sched.Searchgraph.n_contexts
+       result.Explorer.iterations_run result.Explorer.accepted
+       result.Explorer.infeasible result.Explorer.wall_seconds)
+
+(* Restart-level checkpointing for the campaign tools (dse-sweep,
+   dse-compare): the unit of work is an indexed cell whose result
+   depends only on its index, so a store of completed cells can be
+   persisted after every chunk and a rerun with the same flags skips
+   them.  The store is a Checkpoint payload: a fingerprint line (the
+   campaign parameters) followed by one "<index>\t<encoded>" line per
+   completed cell. *)
+type 'a cell_checkpoint = {
+  ckpt_path : string;
+  kind : string;
+  fingerprint : string;
+  encode : 'a -> string;  (* single line, may contain tabs *)
+  decode : string -> 'a;
+}
+
+let load_cells ck =
+  let table = Hashtbl.create 64 in
+  if Sys.file_exists ck.ckpt_path then begin
+    match Repro_util.Checkpoint.load ck.ckpt_path ~kind:ck.kind with
+    | Error msg -> fail "%s" msg
+    | Ok payload ->
+      (match String.split_on_char '\n' payload with
+       | fp :: lines when fp = ck.fingerprint ->
+         List.iter
+           (fun line ->
+             if line <> "" then
+               match String.index_opt line '\t' with
+               | Some tab ->
+                 let index =
+                   match int_of_string_opt (String.sub line 0 tab) with
+                   | Some i -> i
+                   | None ->
+                     fail "%s: malformed checkpoint cell index" ck.ckpt_path
+                 in
+                 Hashtbl.replace table index
+                   (ck.decode
+                      (String.sub line (tab + 1)
+                         (String.length line - tab - 1)))
+               | None -> fail "%s: malformed checkpoint cell" ck.ckpt_path)
+           lines
+       | _ :: _ | [] ->
+         fail
+           "%s: checkpoint was produced under different campaign parameters"
+           ck.ckpt_path)
+  end;
+  table
+
+let save_cells ck table =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer ck.fingerprint;
+  Buffer.add_char buffer '\n';
+  Hashtbl.fold (fun index _ acc -> index :: acc) table []
+  |> List.sort compare
+  |> List.iter (fun index ->
+         Buffer.add_string buffer
+           (Printf.sprintf "%d\t%s\n" index (ck.encode (Hashtbl.find table index))));
+  Repro_util.Checkpoint.save ck.ckpt_path ~kind:ck.kind (Buffer.contents buffer)
+
+(* Run [n] cells in chunks of [jobs]: after each chunk the completed
+   set is flushed to the checkpoint (when given) and the stop probe is
+   polled, so SIGINT or an exhausted time budget stops at a restart
+   boundary with all finished work persisted. *)
+let run_cells ?checkpoint ~jobs ~should_stop n cell =
+  let completed = match checkpoint with
+    | Some ck -> load_cells ck
+    | None -> Hashtbl.create 64
+  in
+  let pending =
+    List.filter (fun i -> not (Hashtbl.mem completed i)) (List.init n Fun.id)
+  in
+  let chunk_size = max 1 jobs in
+  let rec go pending =
+    match pending with
+    | [] -> `Complete (Array.init n (fun i -> Hashtbl.find completed i))
+    | _ when should_stop () -> `Interrupted (Hashtbl.length completed, n)
+    | _ ->
+      let chunk, rest =
+        let rec split k acc = function
+          | x :: rest when k > 0 -> split (k - 1) (x :: acc) rest
+          | rest -> (Array.of_list (List.rev acc), rest)
+        in
+        split chunk_size [] pending
+      in
+      let results =
+        Repro_util.Parallel.map ~jobs (Array.length chunk)
+          (fun j -> cell chunk.(j))
+      in
+      Array.iteri (fun j r -> Hashtbl.replace completed chunk.(j) r) results;
+      (match checkpoint with Some ck -> save_cells ck completed | None -> ());
+      go rest
+  in
+  go pending
+
+(* Wrap a command body: malformed inputs and usage mistakes become a
+   one-line error on stderr and exit code 2 — no raw exception ever
+   escapes to the user.  Also honours $REPRO_FAULTS so the fault plan
+   can be armed on any tool. *)
+let guard body =
+  try
+    Repro_util.Fault.arm_from_env ();
+    body ()
+  with
+  | Usage_error msg | Invalid_argument msg | Failure msg | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit_usage

@@ -28,7 +28,26 @@ type row = {
   seconds : float;
 }
 
-let run clbs seed sa_iters ga_generations ga_population jobs =
+(* A row as one checkpoint line (tab-separated; names contain spaces). *)
+let encode_row r =
+  Printf.sprintf "%s\t%h\t%s\t%s\t%h" r.method_name r.makespan r.contexts
+    r.evaluations r.seconds
+
+let decode_row line =
+  match String.split_on_char '\t' line with
+  | [ method_name; makespan; contexts; evaluations; seconds ] ->
+    {
+      method_name;
+      makespan = float_of_string makespan;
+      contexts;
+      evaluations;
+      seconds = float_of_string seconds;
+    }
+  | _ -> Cli_common.fail "malformed comparison checkpoint row %S" line
+
+let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
+    time_budget =
+  Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let platform = Md.platform ~n_clb:clbs () in
 
@@ -144,7 +163,43 @@ let run clbs seed sa_iters ga_generations ga_population jobs =
         });
     ]
   in
-  let rows = Parallel.map_list ~jobs (fun m -> m ()) methods in
+  let outcome =
+    if checkpoint_path = None && time_budget = None then
+      `Complete (Array.of_list (Parallel.map_list ~jobs (fun m -> m ()) methods))
+    else begin
+      let method_arr = Array.of_list methods in
+      let checkpoint =
+        Option.map
+          (fun path ->
+            {
+              Cli_common.ckpt_path = path;
+              kind = "dse-compare";
+              fingerprint =
+                Printf.sprintf
+                  "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d"
+                  clbs seed sa_iters ga_generations ga_population;
+              encode = encode_row;
+              decode = decode_row;
+            })
+          checkpoint_path
+      in
+      Cli_common.run_cells ?checkpoint ~jobs
+        ~should_stop:(Cli_common.should_stop ~time_budget)
+        (Array.length method_arr)
+        (fun i -> method_arr.(i) ())
+    end
+  in
+  match outcome with
+  | `Interrupted (done_rows, total) ->
+    Printf.printf "interrupted: %d/%d method(s) completed%s\n" done_rows total
+      (match checkpoint_path with
+       | Some path ->
+         Printf.sprintf
+           "; persisted to %s — rerun with the same flags to resume" path
+       | None -> "");
+    Cli_common.exit_interrupted
+  | `Complete rows ->
+  let rows = Array.to_list rows in
 
   let table =
     Table.create
@@ -169,7 +224,8 @@ let run clbs seed sa_iters ga_generations ga_population jobs =
   Printf.printf
     "Method comparison, motion detection, %d CLBs (paper: SA 18.1 ms < GA 28 ms; SA <10 s, GA ~4 min)\n\n"
     clbs;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  Cli_common.exit_ok
 
 let clbs_arg =
   Arg.(value & opt int 2000 & info [ "clbs" ] ~doc:"FPGA size in CLBs")
@@ -193,10 +249,25 @@ let jobs_arg =
                  machine's recommended domain count); results are identical \
                  for every value")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ]
+           ~doc:"Persist completed method rows to $(docv); if the file \
+                 already exists (same flags), those methods are skipped — \
+                 interrupt with SIGINT and rerun to resume"
+           ~docv:"FILE")
+
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ]
+           ~doc:"Stop at the next method boundary once $(docv) wall-clock \
+                 seconds have elapsed (exit code 3)"
+           ~docv:"SECS")
+
 let cmd =
   let doc = "compare the explorer against the baselines (§5 comparison)" in
-  Cmd.v (Cmd.info "dse-compare" ~doc)
+  Cmd.v (Cmd.info "dse-compare" ~doc ~exits:Cli_common.exits)
     Term.(const run $ clbs_arg $ seed_arg $ sa_iters_arg $ ga_generations_arg
-          $ ga_population_arg $ jobs_arg)
+          $ ga_population_arg $ jobs_arg $ checkpoint_arg $ time_budget_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,7 @@ module Explorer = Repro_dse.Explorer
 module Table = Repro_util.Table
 
 let run sizes iterations seed =
+  Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
   let catalogue = List.map (fun n_clb -> Md.platform ~n_clb ()) sizes in
@@ -37,7 +38,8 @@ let run sizes iterations seed =
           (if meets then "met" else "missed");
         ])
     frontier;
-  print_string (Table.render table)
+  print_string (Table.render table);
+  Cli_common.exit_ok
 
 let sizes_arg =
   Arg.(value & opt (list int) [] & info [ "sizes" ]
@@ -51,7 +53,7 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
 let cmd =
   let doc = "cost/performance Pareto frontier over a device catalogue" in
-  Cmd.v (Cmd.info "dse-pareto" ~doc)
+  Cmd.v (Cmd.info "dse-pareto" ~doc ~exits:Cli_common.exits)
     Term.(const run $ sizes_arg $ iters_arg $ seed_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -3,6 +3,12 @@
      dse-run --app motion_detection --clbs 2000 --iters 50000 --seed 7
      dse-run --app-file my_design.tg --gantt --dot mapping.dot
      dse-run --restarts 8 -j 4        # 8 chains over 4 domains
+     dse-run --checkpoint run.ckpt --checkpoint-every 5000
+     dse-run --resume run.ckpt       # continue bit-identically
+
+   Exit codes: 0 complete, 2 bad input or usage, 3 interrupted
+   (SIGINT or --time-budget exhausted; best-so-far is still printed
+   and a final checkpoint is flushed when --checkpoint is given).
 *)
 
 open Cmdliner
@@ -29,26 +35,32 @@ let app_of_name name =
          (String.concat ", " (List.map fst Repro_workloads.Suite.named)))
 
 let run app_name app_file platform_file clbs iters warmup seed schedule
-    lam_quality serialized trace_path gantt dot_path save_app restarts jobs =
+    lam_quality serialized trace_path gantt dot_path save_app restarts jobs
+    checkpoint_path checkpoint_every resume_path time_budget result_path =
+  Cli_common.guard @@ fun () ->
   let app =
     match app_file with
-    | Some path ->
-      (match Repro_taskgraph.App_io.load path with
-       | Ok app -> app
-       | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+    | Some path -> Cli_common.load_app path
     | None -> app_of_name app_name
   in
   let platform =
     match platform_file with
-    | Some path ->
-      (match Repro_arch.Platform_io.load path with
-       | Ok platform -> platform
-       | Error msg -> invalid_arg (Printf.sprintf "%s: %s" path msg))
+    | Some path -> Cli_common.load_platform path
     | None ->
       if app_file = None && app_name <> "motion_detection" then
         Repro_workloads.Suite.platform_for app
       else Repro_workloads.Motion_detection.platform ~n_clb:clbs ()
   in
+  Cli_common.validate_inputs app platform;
+  if restarts > 1
+     && (checkpoint_path <> None || resume_path <> None || time_budget <> None)
+  then
+    Cli_common.fail
+      "--checkpoint/--resume/--time-budget apply to a single chain; \
+       use --restarts 1 (dse-sweep and dse-compare checkpoint at the \
+       restart level)";
+  if checkpoint_every <= 0 then
+    Cli_common.fail "--checkpoint-every wants a positive iteration count";
   let config =
     {
       Explorer.anneal =
@@ -64,9 +76,25 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
         (if serialized then Explorer.Makespan_serialized else Explorer.Makespan);
     }
   in
+  let checkpoint =
+    Option.map
+      (fun path -> { Explorer.path; every = checkpoint_every })
+      checkpoint_path
+  in
+  let resume =
+    Option.map
+      (fun path ->
+        match Explorer.load_snapshot config app platform path with
+        | Ok snapshot -> snapshot
+        | Error msg -> Cli_common.fail "%s" msg)
+      resume_path
+  in
+  let should_stop = Cli_common.should_stop ~time_budget in
   let trace = Repro_dse.Trace.create ~every:10 () in
   let result =
-    if restarts <= 1 then Explorer.explore ~trace config app platform
+    if restarts <= 1 then
+      Explorer.explore ~trace ?checkpoint ?resume ~should_stop config app
+        platform
     else begin
       let best, costs =
         Explorer.explore_restarts ~trace ~jobs ~restarts config app platform
@@ -96,6 +124,15 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
        if Explorer.meets_deadline app eval then Printf.sprintf "%.0f ms MET" d
        else Printf.sprintf "%.0f ms MISSED" d
      | None -> "none");
+  (match result.Explorer.status with
+   | Annealer.Complete -> ()
+   | Annealer.Interrupted ->
+     Format.printf
+       "interrupted at iteration %d — reporting best-so-far%s@."
+       result.Explorer.iterations_run
+       (match checkpoint_path with
+        | Some path -> Printf.sprintf " (checkpoint flushed to %s)" path
+        | None -> ""));
   let periodic = Repro_sched.Periodic.analyze (Solution.spec result.Explorer.best) in
   Format.printf
     "steady-state initiation interval >= %.2f ms (bottleneck: %s)@."
@@ -123,11 +160,17 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
      Repro_taskgraph.App_io.save path app;
      Format.printf "application saved to %s@." path
    | None -> ());
-  match trace_path with
-  | Some path ->
-    Repro_dse.Trace.to_csv trace path;
-    Format.printf "trace written to %s@." path
-  | None -> ()
+  (match trace_path with
+   | Some path ->
+     Repro_dse.Trace.to_csv trace path;
+     Format.printf "trace written to %s@." path
+   | None -> ());
+  (match result_path with
+   | Some path ->
+     Cli_common.write_result path ~status:result.Explorer.status ~result;
+     Format.printf "result summary written to %s@." path
+   | None -> ());
+  Cli_common.exit_code_of_status result.Explorer.status
 
 let app_arg =
   Arg.(value & opt string "motion_detection"
@@ -198,12 +241,48 @@ let jobs_arg =
                  the machine's recommended domain count); results are \
                  identical for every value")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ]
+           ~doc:"Write a crash-safe engine checkpoint to $(docv) every \
+                 --checkpoint-every iterations (and once more on \
+                 interruption)"
+           ~docv:"FILE")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 5_000
+       & info [ "checkpoint-every" ]
+           ~doc:"Iterations between periodic checkpoints" ~docv:"N")
+
+let resume_arg =
+  Arg.(value & opt (some string) None
+       & info [ "resume" ]
+           ~doc:"Resume from a checkpoint written by --checkpoint; the \
+                 application, platform and annealing flags must match the \
+                 checkpointed run, which then replays bit-identically"
+           ~docv:"FILE")
+
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ]
+           ~doc:"Stop at the next iteration boundary once $(docv) wall-clock \
+                 seconds have elapsed and report best-so-far (exit code 3)"
+           ~docv:"SECS")
+
+let result_arg =
+  Arg.(value & opt (some string) None
+       & info [ "result" ]
+           ~doc:"Write a one-line JSON result summary (with an explicit \
+                 \"status\" of complete or interrupted) to $(docv)"
+           ~docv:"FILE")
+
 let cmd =
   let doc = "explore a workload mapping on a reconfigurable platform" in
-  Cmd.v (Cmd.info "dse-run" ~doc)
+  Cmd.v (Cmd.info "dse-run" ~doc ~exits:Cli_common.exits)
     Term.(const run $ app_arg $ app_file_arg $ platform_file_arg $ clbs_arg
           $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg $ quality_arg
           $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg
-          $ restarts_arg $ jobs_arg)
+          $ restarts_arg $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg
+          $ resume_arg $ time_budget_arg $ result_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,7 @@ module C = Repro_dse.Combinatorics
 module Table = Repro_util.Table
 
 let run () =
+  Cli_common.guard @@ fun () ->
   let orders = C.motion_detection_total_orders () in
   let table =
     Table.create [ ("quantity", Table.Left); ("count", Table.Right) ]
@@ -27,10 +28,11 @@ let run () =
   print_string (Table.render table);
   print_newline ();
   print_endline
-    "paper's figures: 378; 376,740; 1,716; 348,840; 131,861,520; 7,142,499,000"
+    "paper's figures: 378; 376,740; 1,716; 348,840; 131,861,520; 7,142,499,000";
+  Cli_common.exit_ok
 
 let cmd =
   let doc = "print the solution-space counts of the paper's §5" in
-  Cmd.v (Cmd.info "dse-space" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "dse-space" ~doc ~exits:Cli_common.exits) Term.(const run $ const ())
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

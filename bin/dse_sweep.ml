@@ -105,7 +105,20 @@ let render_points points =
     points;
   Table.render table
 
-let run runs iters base_seed sizes csv_path jobs =
+(* Cell results as one checkpoint line: floats in hex so a resumed
+   sweep averages exactly the numbers the interrupted one computed. *)
+let encode_cell (makespan, init, dyn, n_contexts, meets) =
+  Printf.sprintf "%h %h %h %d %b" makespan init dyn n_contexts meets
+
+let decode_cell line =
+  match String.split_on_char ' ' line with
+  | [ makespan; init; dyn; n_contexts; meets ] ->
+    ( float_of_string makespan, float_of_string init, float_of_string dyn,
+      int_of_string n_contexts, bool_of_string meets )
+  | _ -> Cli_common.fail "malformed sweep checkpoint cell %S" line
+
+let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget =
+  Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
   Printf.printf
@@ -114,15 +127,49 @@ let run runs iters base_seed sizes csv_path jobs =
     runs iters jobs;
   (* Flatten the (size x run) grid into one parallel map; cell i is
      size i/runs, run i mod runs, so the work distribution does not
-     affect which seed any cell uses. *)
+     affect which seed any cell uses — and a checkpointed sweep can
+     resume any subset of cells with identical output. *)
   let size_arr = Array.of_list sizes in
-  let cells =
-    Parallel.map ~jobs
-      (Array.length size_arr * runs)
-      (fun i ->
-        sweep_cell app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
-          ~run:(i mod runs))
+  let n_cells = Array.length size_arr * runs in
+  let cell i =
+    sweep_cell app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
+      ~run:(i mod runs)
   in
+  let outcome =
+    if checkpoint_path = None && time_budget = None then
+      `Complete (Parallel.map ~jobs n_cells cell)
+    else begin
+      let checkpoint =
+        Option.map
+          (fun path ->
+            {
+              Cli_common.ckpt_path = path;
+              kind = "dse-sweep";
+              fingerprint =
+                Printf.sprintf "sweep runs=%d iters=%d seed=%d sizes=%s" runs
+                  iters base_seed
+                  (String.concat "," (List.map string_of_int sizes));
+              encode = encode_cell;
+              decode = decode_cell;
+            })
+          checkpoint_path
+      in
+      Cli_common.run_cells ?checkpoint ~jobs
+        ~should_stop:(Cli_common.should_stop ~time_budget)
+        n_cells cell
+    end
+  in
+  match outcome with
+  | `Interrupted (done_cells, total) ->
+    Printf.printf
+      "interrupted: %d/%d cell(s) completed%s\n" done_cells total
+      (match checkpoint_path with
+       | Some path ->
+         Printf.sprintf
+           "; persisted to %s — rerun with the same flags to resume" path
+       | None -> "");
+    Cli_common.exit_interrupted
+  | `Complete cells ->
   let points =
     List.mapi
       (fun s n_clb ->
@@ -136,7 +183,7 @@ let run runs iters base_seed sizes csv_path jobs =
   in
   print_newline ();
   print_string (render_points points);
-  match csv_path with
+  (match csv_path with
   | None -> ()
   | Some path ->
     Repro_util.Csv_out.write path
@@ -154,7 +201,8 @@ let run runs iters base_seed sizes csv_path jobs =
              string_of_int p.runs;
            ])
          points);
-    Printf.printf "\nCSV written to %s\n" path
+    Printf.printf "\nCSV written to %s\n" path);
+  Cli_common.exit_ok
 
 let runs_arg =
   Arg.(value & opt int 10 & info [ "runs" ] ~doc:"Runs per device size")
@@ -179,10 +227,25 @@ let jobs_arg =
                  machine's recommended domain count); results are identical \
                  for every value")
 
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ]
+           ~doc:"Persist completed sweep cells to $(docv) after every chunk; \
+                 if the file already exists (same flags), those cells are \
+                 skipped — interrupt with SIGINT and rerun to resume"
+           ~docv:"FILE")
+
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ]
+           ~doc:"Stop at the next chunk boundary once $(docv) wall-clock \
+                 seconds have elapsed (exit code 3)"
+           ~docv:"SECS")
+
 let cmd =
   let doc = "sweep the FPGA size (reproduces Fig. 3)" in
-  Cmd.v (Cmd.info "dse-sweep" ~doc)
+  Cmd.v (Cmd.info "dse-sweep" ~doc ~exits:Cli_common.exits)
     Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg
-          $ jobs_arg)
+          $ jobs_arg $ checkpoint_arg $ time_budget_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

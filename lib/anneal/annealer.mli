@@ -5,8 +5,10 @@
     returns an undo.  The engine runs the paper's protocol — a warmup
     phase at infinite temperature to sample the cost landscape, then
     adaptive cooling — and can be interrupted by the caller at any
-    iteration boundary through the trace callback (the paper's
-    "iterative, can be interrupted by the user at any time"). *)
+    iteration boundary (the paper's "iterative, can be interrupted by
+    the user at any time"): a [should_stop] probe turns into a graceful
+    stop with a final checkpoint, and a periodic checkpoint sink plus
+    {!Make.resume} make any run restartable bit-identically. *)
 
 module type PROBLEM = sig
   type state
@@ -45,6 +47,13 @@ val config_of_quality : ?seed:int -> float -> config
     (q=0) to 200k (q=1) and the Lam schedule gets a proportionally
     slower cooling. *)
 
+type status =
+  | Complete     (** ran to the end of the budget (or froze) *)
+  | Interrupted  (** stopped early by [should_stop] *)
+
+val status_name : status -> string
+(** ["complete"] / ["interrupted"], the strings used in result files. *)
+
 type 'state outcome = {
   best : 'state;
   best_cost : float;
@@ -52,15 +61,58 @@ type 'state outcome = {
   iterations_run : int;
   accepted : int;
   infeasible : int;   (** proposals rejected as structurally invalid *)
+  status : status;
 }
+
+type 'state snapshot = {
+  rng_state : int64 array;       (** {!Repro_util.Rng.state} words *)
+  schedule_state : float array;  (** {!Schedule.capture} encoding *)
+  warmup_state : float array;    (** warmup {!Repro_util.Stats.Running} *)
+  next_iteration : int;
+  (** Global iteration index of the boundary: warmup iterations occupy
+      \[0, warmup), cooling \[warmup, warmup + iterations). *)
+  current : 'state;
+  current_cost : float;
+  best_so_far : 'state;
+  best_so_far_cost : float;
+  accepted_so_far : int;
+  infeasible_so_far : int;
+  since_improvement : int;
+}
+(** Everything the engine needs to continue a run from an iteration
+    boundary.  [current] and [best_so_far] are deep copies — the engine
+    never mutates a snapshot it handed out. *)
 
 module Make (P : PROBLEM) : sig
   val run :
     ?trace:(iteration:int -> cost:float -> best:float -> temperature:float ->
             accepted:bool -> unit) ->
+    ?checkpoint:int * (P.state snapshot -> unit) ->
+    ?should_stop:(unit -> bool) ->
     config -> P.state -> P.state outcome
   (** Anneal starting from (and mutating) the given state.  The trace
       callback fires once per iteration, warmup included (warmup
       iterations have negative [iteration] numbers counting up to -1,
-      cooling starts at 0). *)
+      cooling starts at 0).
+
+      [checkpoint (every, save)] calls [save] with a boundary snapshot
+      every [every] iterations; [should_stop] is polled at every
+      boundary and, when it answers [true], the engine saves one final
+      snapshot (if a sink is configured) and returns with status
+      {!Interrupted}. *)
+
+  val resume :
+    ?trace:(iteration:int -> cost:float -> best:float -> temperature:float ->
+            accepted:bool -> unit) ->
+    ?checkpoint:int * (P.state snapshot -> unit) ->
+    ?should_stop:(unit -> bool) ->
+    config -> P.state snapshot -> P.state outcome
+  (** Continue from a snapshot.  [config] must be the configuration of
+      the run that produced the snapshot (same schedule recipe and
+      budgets — the seed is irrelevant, the RNG continues from the
+      snapshot words); the concatenation of the run up to the snapshot
+      and the resumed run replays the uninterrupted run exactly, bit
+      for bit.  The snapshot's [current] state becomes the working
+      state and is mutated — pass a copy to resume from the same
+      snapshot more than once. *)
 end

@@ -4,6 +4,8 @@ type instance = {
   temperature : unit -> float;
   start : mean:float -> stddev:float -> horizon:int -> unit;
   observe : cost:float -> accepted:bool -> unit;
+  capture : unit -> float array;
+  restore : float array -> unit;
 }
 
 type t = { name : string; instantiate : unit -> instance }
@@ -13,6 +15,14 @@ let instantiate t = t.instantiate ()
 let temperature i = i.temperature ()
 let start i ~mean ~stddev ~horizon = i.start ~mean ~stddev ~horizon
 let observe i ~cost ~accepted = i.observe ~cost ~accepted
+let capture i = i.capture ()
+let restore i a = i.restore a
+
+let check_length ~schedule ~want a =
+  if Array.length a <> want then
+    invalid_arg
+      (Printf.sprintf "Schedule.restore: %s wants %d values, got %d" schedule
+         want (Array.length a))
 
 (* Lam's collapse function g(rho): the move-acceptance factor that
    maximizes the cooling rate under quasi-equilibrium. *)
@@ -60,7 +70,23 @@ let lam ?(quality = 0.01) ?(smoothing = 0.02) () =
         s := !s +. ds
       end
     in
-    { temperature; start; observe }
+    let capture () =
+      Array.concat
+        [
+          [| (if !started then 1.0 else 0.0); !s; !sigma0 |];
+          Stats.Smoothed.state costs;
+          Stats.Acceptance.state acceptance;
+        ]
+    in
+    let restore a =
+      check_length ~schedule:"lam" ~want:7 a;
+      started := a.(0) <> 0.0;
+      s := a.(1);
+      sigma0 := a.(2);
+      Stats.Smoothed.restore costs (Array.sub a 3 3);
+      Stats.Acceptance.restore acceptance (Array.sub a 6 1)
+    in
+    { temperature; start; observe; capture; restore }
   in
   { name = "lam"; instantiate }
 
@@ -101,7 +127,27 @@ let swartz ?shrink () =
         else temperature := !temperature /. !shrink_factor
       end
     in
-    { temperature = (fun () -> !temperature); start; observe }
+    let capture () =
+      Array.concat
+        [
+          [|
+            !temperature;
+            float_of_int !horizon;
+            float_of_int !step;
+            !shrink_factor;
+          |];
+          Stats.Acceptance.state acceptance;
+        ]
+    in
+    let restore a =
+      check_length ~schedule:"swartz" ~want:5 a;
+      temperature := a.(0);
+      horizon := int_of_float a.(1);
+      step := int_of_float a.(2);
+      shrink_factor := a.(3);
+      Stats.Acceptance.restore acceptance (Array.sub a 4 1)
+    in
+    { temperature = (fun () -> !temperature); start; observe; capture; restore }
   in
   { name = "swartz"; instantiate }
 
@@ -122,7 +168,13 @@ let geometric ?(alpha = 0.95) ?(steps_per_level = 100) () =
         if !step mod steps_per_level = 0 then temperature := !temperature *. alpha
       end
     in
-    { temperature = (fun () -> !temperature); start; observe }
+    let capture () = [| !temperature; float_of_int !step |] in
+    let restore a =
+      check_length ~schedule:"geometric" ~want:2 a;
+      temperature := a.(0);
+      step := int_of_float a.(1)
+    in
+    { temperature = (fun () -> !temperature); start; observe; capture; restore }
   in
   { name = "geometric"; instantiate }
 
@@ -132,6 +184,8 @@ let infinite () =
       temperature = (fun () -> infinity);
       start = (fun ~mean:_ ~stddev:_ ~horizon:_ -> ());
       observe = (fun ~cost:_ ~accepted:_ -> ());
+      capture = (fun () -> [||]);
+      restore = (fun a -> check_length ~schedule:"infinite" ~want:0 a);
     }
   in
   { name = "infinite"; instantiate }

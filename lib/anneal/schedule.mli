@@ -33,6 +33,17 @@ val start : instance -> mean:float -> stddev:float -> horizon:int -> unit
 
 val observe : instance -> cost:float -> accepted:bool -> unit
 
+val capture : instance -> float array
+(** Snapshot of the instance's mutable state for checkpointing.  The
+    encoding is schedule-specific but always a flat float array; fixed
+    construction parameters (weights, quality) are not included — a
+    resume must instantiate from the same recipe. *)
+
+val restore : instance -> float array -> unit
+(** Overwrite the instance state with a {!capture} snapshot taken from
+    an instance of the same recipe.  Raises [Invalid_argument] when the
+    array length does not match the schedule's encoding. *)
+
 val lam : ?quality:float -> ?smoothing:float -> unit -> t
 (** Lam-style adaptive schedule.  The inverse temperature [s] grows by
     [ds = quality / sigma * (1 / (s^2 sigma^2)) * g(rho)] with

@@ -15,7 +15,8 @@ let ( let* ) = Result.bind
 
 let float_field line_number label s =
   match float_of_string_opt s with
-  | Some f -> Ok f
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ -> parse_error line_number "%s is not finite: %S" label s
   | None -> parse_error line_number "%s is not a number: %S" label s
 
 let int_field line_number label s =
@@ -95,8 +96,22 @@ let handle_line builder line_number line =
       | None -> parse_error line_number "bus needs a rate attribute"
     in
     let* latency = lookup_float line_number attrs "latency" ~default:0.0 in
-    builder.bus <- Some { Platform.kb_per_ms = rate; latency_ms = latency };
-    Ok ()
+    if rate <= 0.0 then parse_error line_number "bus rate must be positive"
+    else if latency < 0.0 then
+      parse_error line_number "bus latency must be non-negative"
+    else begin
+      builder.bus <- Some { Platform.kb_per_ms = rate; latency_ms = latency };
+      Ok ()
+    end
+  (* Known keywords with missing fields get a usage message rather than
+     an "unknown directive" misdiagnosis. *)
+  | "platform" :: _ ->
+    parse_error line_number "platform directive wants: platform NAME"
+  | "processor" :: [] ->
+    parse_error line_number "processor directive wants: processor NAME [ATTRS]"
+  | "rc" :: [] -> parse_error line_number "rc directive wants: rc NAME [ATTRS]"
+  | "asic" :: [] ->
+    parse_error line_number "asic directive wants: asic NAME [ATTRS]"
   | directive :: _ -> parse_error line_number "unknown directive %S" directive
 
 let parse contents =
@@ -126,15 +141,7 @@ let parse contents =
      with Invalid_argument msg -> Error msg)
 
 let load path =
-  match
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let contents = really_input_string ic n in
-    close_in ic;
-    contents
-  with
-  | contents -> parse contents
-  | exception Sys_error msg -> Error msg
+  Result.bind (Repro_util.Atomic_io.read_file path) parse
 
 let to_string (platform : Platform.t) =
   let buffer = Buffer.create 256 in
@@ -163,9 +170,4 @@ let to_string (platform : Platform.t) =
   Buffer.contents buffer
 
 let save path platform =
-  let oc = open_out path in
-  (try output_string oc (to_string platform)
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+  Repro_util.Atomic_io.write_string path (to_string platform)

@@ -2,9 +2,11 @@ open Repro_taskgraph
 open Repro_arch
 open Repro_sched
 module Annealer = Repro_anneal.Annealer
+module Schedule = Repro_anneal.Schedule
 module Rng = Repro_util.Rng
 module Parallel = Repro_util.Parallel
 module Clock = Repro_util.Clock
+module Checkpoint = Repro_util.Checkpoint
 
 type objective =
   | Makespan
@@ -41,7 +43,161 @@ type result = {
   accepted : int;
   infeasible : int;
   wall_seconds : float;
+  status : Annealer.status;
 }
+
+type run_checkpoint = { path : string; every : int }
+
+let run_checkpoint_kind = "dse-run"
+
+(* A checkpoint only resumes against the inputs and budget it was taken
+   under; the fingerprint ties the file to them. *)
+let fingerprint config application platform =
+  Checkpoint.crc32_hex
+    (String.concat "\n"
+       [
+         App_io.to_string application;
+         Platform_io.to_string platform;
+         Printf.sprintf "anneal %d %d %s %d" config.anneal.Annealer.iterations
+           config.anneal.Annealer.warmup_iterations
+           (Schedule.name config.anneal.Annealer.schedule)
+           config.anneal.Annealer.seed;
+       ])
+
+(* Snapshot payload: line-oriented, floats in "%h" so every value
+   round-trips bit-exactly.  The two solution blocks close the file;
+   [current]/[best] marker lines separate them. *)
+let payload_of_snapshot ~fingerprint:fp (s : Solution.t Annealer.snapshot) =
+  let b = Buffer.create 1024 in
+  let add_floats tag a =
+    Buffer.add_string b tag;
+    Array.iter (fun x -> Printf.bprintf b " %h" x) a;
+    Buffer.add_char b '\n'
+  in
+  Printf.bprintf b "fingerprint %s\n" fp;
+  Buffer.add_string b "rng";
+  Array.iter (fun w -> Printf.bprintf b " %Lx" w) s.Annealer.rng_state;
+  Buffer.add_char b '\n';
+  add_floats "schedule" s.Annealer.schedule_state;
+  add_floats "warmup" s.Annealer.warmup_state;
+  Printf.bprintf b "next %d\n" s.Annealer.next_iteration;
+  Printf.bprintf b "counters %d %d %d\n" s.Annealer.accepted_so_far
+    s.Annealer.infeasible_so_far s.Annealer.since_improvement;
+  Printf.bprintf b "costs %h %h\n" s.Annealer.current_cost
+    s.Annealer.best_so_far_cost;
+  Buffer.add_string b "current\n";
+  Buffer.add_string b (Solution.encode s.Annealer.current);
+  Buffer.add_string b "best\n";
+  Buffer.add_string b (Solution.encode s.Annealer.best_so_far);
+  Buffer.contents b
+
+let snapshot_of_payload ~fingerprint:fp application platform payload =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
+  let lines = String.split_on_char '\n' payload in
+  let take tag = function
+    | [] -> fail "missing %s line" tag
+    | line :: rest -> (
+      match String.split_on_char ' ' line with
+      | t :: fields when t = tag -> Ok (fields, rest)
+      | _ -> fail "expected a %s line" tag)
+  in
+  let floats tag fields =
+    let parsed = List.map float_of_string_opt fields in
+    if List.for_all Option.is_some parsed then
+      Ok (Array.of_list (List.map Option.get parsed))
+    else fail "bad %s value" tag
+  in
+  let ints tag fields =
+    let parsed = List.map int_of_string_opt fields in
+    if List.for_all Option.is_some parsed then
+      Ok (List.map Option.get parsed)
+    else fail "bad %s value" tag
+  in
+  let* fields, lines = take "fingerprint" lines in
+  let* () =
+    match fields with
+    | [ fp' ] when fp' = fp -> Ok ()
+    | [ _ ] ->
+      fail "produced under a different application/platform/configuration"
+    | _ -> fail "bad fingerprint line"
+  in
+  let* fields, lines = take "rng" lines in
+  let* rng_state =
+    let parsed =
+      List.map (fun s -> Int64.of_string_opt ("0x" ^ s)) fields
+    in
+    if List.length parsed = 4 && List.for_all Option.is_some parsed then
+      Ok (Array.of_list (List.map Option.get parsed))
+    else fail "bad rng line"
+  in
+  let* fields, lines = take "schedule" lines in
+  let* schedule_state = floats "schedule" fields in
+  let* fields, lines = take "warmup" lines in
+  let* warmup_state = floats "warmup" fields in
+  let* fields, lines = take "next" lines in
+  let* next_iteration =
+    match ints "next" fields with Ok [ g ] -> Ok g | _ -> fail "bad next line"
+  in
+  let* fields, lines = take "counters" lines in
+  let* accepted, infeasible, since =
+    match ints "counters" fields with
+    | Ok [ a; i; s ] -> Ok (a, i, s)
+    | _ -> fail "bad counters line"
+  in
+  let* fields, lines = take "costs" lines in
+  let* current_cost, best_cost =
+    match fields with
+    | [ c; b ] -> (
+      match (float_of_string_opt c, float_of_string_opt b) with
+      | Some c, Some b -> Ok (c, b)
+      | _ -> fail "bad costs line")
+    | _ -> fail "bad costs line"
+  in
+  let* current_lines, best_lines =
+    match lines with
+    | "current" :: rest -> (
+      let rec split acc = function
+        | "best" :: tail -> Ok (List.rev acc, tail)
+        | line :: tail -> split (line :: acc) tail
+        | [] -> fail "missing best section"
+      in
+      split [] rest)
+    | _ -> fail "missing current section"
+  in
+  let block ls = String.concat "\n" ls in
+  let* current = Solution.decode application platform (block current_lines) in
+  let* best = Solution.decode application platform (block best_lines) in
+  Ok
+    {
+      Annealer.rng_state;
+      schedule_state;
+      warmup_state;
+      next_iteration;
+      current;
+      current_cost;
+      best_so_far = best;
+      best_so_far_cost = best_cost;
+      accepted_so_far = accepted;
+      infeasible_so_far = infeasible;
+      since_improvement = since;
+    }
+
+let save_snapshot config application platform path snapshot =
+  Checkpoint.save path ~kind:run_checkpoint_kind
+    (payload_of_snapshot
+       ~fingerprint:(fingerprint config application platform)
+       snapshot)
+
+let load_snapshot config application platform path =
+  Result.bind (Checkpoint.load path ~kind:run_checkpoint_kind) (fun payload ->
+      match
+        snapshot_of_payload
+          ~fingerprint:(fingerprint config application platform)
+          application platform payload
+      with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (path ^ ": " ^ msg))
 
 let cost_of objective solution =
   match objective with
@@ -77,7 +233,8 @@ type frontier_point = {
   meets : bool;
 }
 
-let explore ?trace ?initial config application platform =
+let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
+    platform =
   let module P = struct
     type state = Solution.t
 
@@ -87,18 +244,23 @@ let explore ?trace ?initial config application platform =
   end in
   let module Engine = Annealer.Make (P) in
   let start_clock = Clock.wall () in
-  let solution =
-    match initial with
-    | Some s -> s
+  let solution, initial_cost =
+    match resume with
+    | Some snap -> (snap.Annealer.current, snap.Annealer.current_cost)
     | None ->
-      let rng = Rng.create config.anneal.Annealer.seed in
-      Solution.random rng application platform
+      let solution =
+        match initial with
+        | Some s -> s
+        | None ->
+          let rng = Rng.create config.anneal.Annealer.seed in
+          Solution.random rng application platform
+      in
+      (match Solution.evaluate solution with
+       | Some _ -> ()
+       | None ->
+         invalid_arg "Explorer.explore: initial solution is infeasible");
+      (solution, P.cost solution)
   in
-  (match Solution.evaluate solution with
-   | Some _ -> ()
-   | None ->
-     invalid_arg "Explorer.explore: initial solution is infeasible");
-  let initial_cost = P.cost solution in
   let annealer_trace =
     match trace with
     | None -> None
@@ -115,7 +277,21 @@ let explore ?trace ?initial config application platform =
               n_contexts = Solution.n_contexts solution;
             })
   in
-  let outcome = Engine.run ?trace:annealer_trace config.anneal solution in
+  let checkpoint =
+    Option.map
+      (fun { path; every } ->
+        (every, save_snapshot config application platform path))
+      checkpoint
+  in
+  let outcome =
+    match resume with
+    | Some snap ->
+      Engine.resume ?trace:annealer_trace ?checkpoint ?should_stop
+        config.anneal snap
+    | None ->
+      Engine.run ?trace:annealer_trace ?checkpoint ?should_stop config.anneal
+        solution
+  in
   let best = outcome.Annealer.best in
   let best_eval =
     match Solution.evaluate best with
@@ -131,6 +307,7 @@ let explore ?trace ?initial config application platform =
     accepted = outcome.Annealer.accepted;
     infeasible = outcome.Annealer.infeasible;
     wall_seconds = Clock.wall () -. start_clock;
+    status = outcome.Annealer.status;
   }
 
 let explore_restarts ?trace ?(jobs = 1) ~restarts config application platform =

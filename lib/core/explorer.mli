@@ -52,16 +52,44 @@ type result = {
   accepted : int;
   infeasible : int;
   wall_seconds : float;
+  status : Repro_anneal.Annealer.status;
+  (** [Interrupted] when [should_stop] ended the run early; the best
+      solution is still the best seen so far. *)
 }
 
 val cost_of : objective -> Solution.t -> float
 (** The scalar the annealer minimizes. *)
 
+type run_checkpoint = { path : string; every : int }
+(** Periodic snapshot sink: every [every] iterations the engine state
+    is written to [path] as a {!Repro_util.Checkpoint} of kind
+    ["dse-run"] (atomic, CRC-checked, floats in hex so resume is
+    bit-exact). *)
+
+val save_snapshot :
+  config -> App.t -> Platform.t -> string ->
+  Solution.t Repro_anneal.Annealer.snapshot -> unit
+(** Persist an engine snapshot; the file embeds a fingerprint of the
+    application, platform and annealing configuration. *)
+
+val load_snapshot :
+  config -> App.t -> Platform.t -> string ->
+  (Solution.t Repro_anneal.Annealer.snapshot, string) Stdlib.result
+(** Load a snapshot saved by {!save_snapshot} (or by the periodic
+    sink); fails with a one-line message when the file is damaged or
+    was produced under different inputs or configuration. *)
+
 val explore :
-  ?trace:Trace.t -> ?initial:Solution.t -> config -> App.t -> Platform.t ->
-  result
+  ?trace:Trace.t -> ?initial:Solution.t -> ?checkpoint:run_checkpoint ->
+  ?resume:Solution.t Repro_anneal.Annealer.snapshot ->
+  ?should_stop:(unit -> bool) -> config -> App.t -> Platform.t -> result
 (** Run one exploration.  The initial solution defaults to
-    {!Solution.random} drawn from the annealing seed.  Raises
+    {!Solution.random} drawn from the annealing seed.  [resume]
+    continues a checkpointed run instead of starting fresh ([initial]
+    is then ignored); the resumed run replays the uninterrupted one bit
+    for bit.  [should_stop] is polled at iteration boundaries — on
+    [true] the run flushes a final checkpoint (when [checkpoint] is
+    given) and returns with status [Interrupted].  Raises
     [Invalid_argument] when [Cost_under_deadline] is used on an
     application without a deadline. *)
 

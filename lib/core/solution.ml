@@ -281,6 +281,7 @@ let evaluate_incremental t inc =
   eval_from_incr t inc
 
 let evaluate t =
+  Repro_util.Fault.tick_eval ();
   match t.cached with
   | Some result -> result
   | None ->
@@ -569,6 +570,123 @@ let check_invariants t =
   if List.length (List.sort_uniq compare ids) <> List.length ids then
     note "duplicate context ids";
   match !problems with [] -> Ok () | ps -> Error (String.concat "; " ps)
+
+(* --- textual codec (checkpoints) ---
+
+   Context ids are renumbered to their positional index 0..k-1: ids are
+   only compared for equality within one solution, so renumbering (with
+   [next_ctx = k] keeping fresh ids fresh) preserves every move's
+   behaviour.  Member and order lists keep their exact element order —
+   the proposal stream depends on it. *)
+
+let encode t =
+  let n = size t in
+  let positional = Hashtbl.create 16 in
+  List.iteri (fun j (id, _) -> Hashtbl.replace positional id j) t.ctxs;
+  let b = Buffer.create 256 in
+  let add_ints tag ints =
+    Buffer.add_string b tag;
+    List.iter
+      (fun v ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b (string_of_int v))
+      ints;
+    Buffer.add_char b '\n'
+  in
+  add_ints "solution"
+    [ n; Array.length t.sw; List.length t.ctxs ];
+  add_ints "assign"
+    (List.init n (fun v ->
+         let a = t.assign.(v) in
+         if a < 0 then a else Hashtbl.find positional a));
+  add_ints "impl" (Array.to_list t.impl);
+  Array.iter (fun order -> add_ints "sw" order) t.sw;
+  List.iter (fun (_, members) -> add_ints "ctx" members) t.ctxs;
+  Buffer.contents b
+
+let decode application platform text =
+  let ( let* ) = Result.bind in
+  let ints_after tag line =
+    match String.split_on_char ' ' line with
+    | t :: rest when t = tag -> (
+      let values = List.map int_of_string_opt rest in
+      if List.for_all Option.is_some values then
+        Ok (List.map Option.get values)
+      else Error (Printf.sprintf "solution codec: bad %s line" tag))
+    | _ -> Error (Printf.sprintf "solution codec: expected a %s line" tag)
+  in
+  let take_line = function
+    | [] -> Error "solution codec: truncated"
+    | line :: rest -> Ok (line, rest)
+  in
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  let* header, lines = take_line lines in
+  let* dims = ints_after "solution" header in
+  let* n, procs, k =
+    match dims with
+    | [ n; p; k ] when n >= 0 && p >= 1 && k >= 0 -> Ok (n, p, k)
+    | _ -> Error "solution codec: bad header"
+  in
+  if n <> App.size application then
+    Error
+      (Printf.sprintf "solution codec: %d tasks, application has %d" n
+         (App.size application))
+  else if procs <> Platform.processor_count platform then
+    Error
+      (Printf.sprintf "solution codec: %d processors, platform has %d" procs
+         (Platform.processor_count platform))
+  else
+    let* line, lines = take_line lines in
+    let* assign = ints_after "assign" line in
+    let* line, lines = take_line lines in
+    let* impl = ints_after "impl" line in
+    if List.length assign <> n || List.length impl <> n then
+      Error "solution codec: wrong assign/impl arity"
+    else
+      let rec take_tagged tag count acc lines =
+        if count = 0 then Ok (List.rev acc, lines)
+        else
+          let* line, lines = take_line lines in
+          let* values = ints_after tag line in
+          take_tagged tag (count - 1) (values :: acc) lines
+      in
+      let* sw_orders, lines = take_tagged "sw" procs [] lines in
+      let* ctx_members, lines = take_tagged "ctx" k [] lines in
+      match lines with
+      | _ :: _ -> Error "solution codec: trailing lines"
+      | [] -> (
+        let in_range v = v >= 0 && v < n in
+        if
+          not
+            (List.for_all (List.for_all in_range) sw_orders
+             && List.for_all (List.for_all in_range) ctx_members
+             && List.for_all (fun a -> a >= -procs && a < k) assign)
+        then Error "solution codec: index out of range"
+        else begin
+          let t =
+            {
+              app = application;
+              clo = closure_of_app application;
+              platform;
+              assign = Array.of_list assign;
+              impl = Array.of_list impl;
+              sw = Array.of_list sw_orders;
+              ctxs = List.mapi (fun j members -> (j, members)) ctx_members;
+              next_ctx = k;
+              cached = None;
+              incr = None;
+              structure_version = 0;
+              next_version = 0;
+              stats =
+                { full_evals = 0; full_nodes = 0; incr_evals = 0; incr_nodes = 0 };
+            }
+          in
+          match check_invariants t with
+          | Ok () -> Ok t
+          | Error msg -> Error ("solution codec: " ^ msg)
+        end)
 
 let pp fmt t =
   let eval = evaluate t in

@@ -151,4 +151,19 @@ val replace_platform : t -> Platform.t -> unit
     make the solution infeasible until repaired by further moves.  The
     new platform must have the same number of processors. *)
 
+(** {1 Persistence} *)
+
+val encode : t -> string
+(** Line-oriented textual form of the mapping decisions (bindings,
+    implementation choices, processor orders, contexts in execution
+    order with their exact member order).  Context ids are renumbered
+    positionally, which no move can observe, so a decoded solution
+    replays the same proposal stream as the original. *)
+
+val decode : App.t -> Platform.t -> string -> (t, string) result
+(** Rebuild a solution from {!encode} output against the same
+    application and platform; validates shape and
+    {!check_invariants}.  Evaluation caches start cold — the exact
+    longest-path refresh guarantees re-evaluation is bit-identical. *)
+
 val pp : Format.formatter -> t -> unit

@@ -67,7 +67,11 @@ let refresh t dirty =
       Hashtbl.remove queued v;
       t.touched <- t.touched + 1;
       let fresh = evaluate_node t v in
-      if abs_float (fresh -. t.finish.(v)) > 1e-12 then begin
+      (* Exact comparison, not a tolerance: incremental refresh must
+         reach the same bitwise fixpoint as a full rebuild, or a
+         checkpoint/resume (which rebuilds cold) would diverge from the
+         warm run it is replaying. *)
+      if fresh <> t.finish.(v) then begin
         t.finish.(v) <- fresh;
         List.iter push (Graph.succs t.graph v)
       end;

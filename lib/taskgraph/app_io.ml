@@ -10,17 +10,26 @@ let parse_error line_number fmt =
   Printf.ksprintf (fun msg -> Error (Printf.sprintf "line %d: %s" line_number msg))
     fmt
 
+let ( let* ) = Result.bind
+
 let float_field line_number label s =
   match float_of_string_opt s with
-  | Some f -> Ok f
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ -> parse_error line_number "%s is not finite: %S" label s
   | None -> parse_error line_number "%s is not a number: %S" label s
+
+let positive_float_field line_number label s =
+  let* f = float_field line_number label s in
+  if f > 0.0 then Ok f else parse_error line_number "%s must be positive: %S" label s
 
 let int_field line_number label s =
   match int_of_string_opt s with
   | Some i -> Ok i
   | None -> parse_error line_number "%s is not an integer: %S" label s
 
-let ( let* ) = Result.bind
+let positive_int_field line_number label s =
+  let* i = int_field line_number label s in
+  if i > 0 then Ok i else parse_error line_number "%s must be positive: %S" label s
 
 let handle_line builder line_number line =
   let words =
@@ -36,12 +45,12 @@ let handle_line builder line_number line =
       Ok ()
     end
   | [ "deadline"; value ] ->
-    let* deadline = float_field line_number "deadline" value in
+    let* deadline = positive_float_field line_number "deadline" value in
     builder.deadline <- Some deadline;
     Ok ()
   | [ "task"; id; name; functionality; sw_time ] ->
     let* id = int_field line_number "task id" id in
-    let* sw_time = float_field line_number "sw time" sw_time in
+    let* sw_time = positive_float_field line_number "sw time" sw_time in
     let expected = List.length builder.tasks in
     if id <> expected then
       parse_error line_number "task id %d out of order (expected %d)" id expected
@@ -51,8 +60,8 @@ let handle_line builder line_number line =
     end
   | [ "impl"; task_id; clbs; hw_time ] ->
     let* task_id = int_field line_number "task id" task_id in
-    let* clbs = int_field line_number "clbs" clbs in
-    let* hw_time = float_field line_number "hw time" hw_time in
+    let* clbs = positive_int_field line_number "clbs" clbs in
+    let* hw_time = positive_float_field line_number "hw time" hw_time in
     (match builder.tasks with
      | (id, name, functionality, sw_time, impls) :: rest when id = task_id ->
        builder.tasks <-
@@ -66,8 +75,24 @@ let handle_line builder line_number line =
     let* src = int_field line_number "edge source" src in
     let* dst = int_field line_number "edge destination" dst in
     let* kbytes = float_field line_number "edge data" kbytes in
-    builder.edges <- { App.src; dst; kbytes } :: builder.edges;
-    Ok ()
+    if kbytes < 0.0 then
+      parse_error line_number "edge data must be non-negative"
+    else begin
+      builder.edges <- { App.src; dst; kbytes } :: builder.edges;
+      Ok ()
+    end
+  (* A known keyword with the wrong number of fields is a truncated or
+     overlong directive, not an unknown one — say what was expected. *)
+  | "app" :: _ -> parse_error line_number "app directive wants: app NAME"
+  | "deadline" :: _ ->
+    parse_error line_number "deadline directive wants: deadline MS"
+  | "task" :: _ ->
+    parse_error line_number
+      "task directive wants: task ID NAME FUNCTIONALITY SW_MS"
+  | "impl" :: _ ->
+    parse_error line_number "impl directive wants: impl TASK_ID CLBS HW_MS"
+  | "edge" :: _ ->
+    parse_error line_number "edge directive wants: edge SRC DST KBYTES"
   | directive :: _ -> parse_error line_number "unknown directive %S" directive
 
 let parse contents =
@@ -106,15 +131,7 @@ let parse contents =
      with Invalid_argument msg -> Error msg)
 
 let load path =
-  match
-    let ic = open_in path in
-    let n = in_channel_length ic in
-    let contents = really_input_string ic n in
-    close_in ic;
-    contents
-  with
-  | contents -> parse contents
-  | exception Sys_error msg -> Error msg
+  Result.bind (Repro_util.Atomic_io.read_file path) parse
 
 let to_string app =
   let buffer = Buffer.create 1024 in
@@ -132,16 +149,15 @@ let to_string app =
         Buffer.add_string buffer (Printf.sprintf "impl %d %d %g\n" v clbs hw_time))
       task.Task.impls
   done;
+  (* Canonical edge order, so to_string ∘ parse is a fixpoint no matter
+     how the adjacency lists happen to be ordered internally. *)
   List.iter
     (fun { App.src; dst; kbytes } ->
       Buffer.add_string buffer (Printf.sprintf "edge %d %d %g\n" src dst kbytes))
-    (App.edges app);
+    (List.sort
+       (fun (a : App.edge) (b : App.edge) ->
+         compare (a.App.src, a.App.dst) (b.App.src, b.App.dst))
+       (App.edges app));
   Buffer.contents buffer
 
-let save path app =
-  let oc = open_out path in
-  (try output_string oc (to_string app)
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+let save path app = Repro_util.Atomic_io.write_string path (to_string app)

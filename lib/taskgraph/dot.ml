@@ -66,10 +66,4 @@ let of_app_partitioned app ~binding =
   Buffer.add_string buffer "}\n";
   Buffer.contents buffer
 
-let write_file path dot =
-  let oc = open_out path in
-  (try output_string oc dot
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+let write_file path dot = Repro_util.Atomic_io.write_string path dot

@@ -1,0 +1,44 @@
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ()
+
+(* Durability of the rename itself needs the directory entry flushed;
+   not every filesystem supports fsync on a directory fd, so failures
+   are ignored. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_file path writer =
+  let dir = Filename.dirname path in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  (match writer oc with
+   | () ->
+     fsync_channel oc;
+     close_out oc
+   | exception e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  fsync_dir dir
+
+let write_string path contents =
+  write_file path (fun oc -> output_string oc contents)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> Ok contents
+  | exception Sys_error msg -> Error msg
+  | exception End_of_file -> Error (path ^ ": truncated while reading")

@@ -1,0 +1,20 @@
+(** Crash-safe file writes: tmp + fsync + atomic rename.
+
+    Every artifact the tool persists (checkpoints, BENCH_*.json, CSV
+    traces, saved applications and platforms) goes through this module,
+    so a run killed at any instant leaves either the previous complete
+    file or the new complete file on disk — never a truncated one.  The
+    temporary name embeds the pid and domain id, so concurrent writers
+    of different files never collide. *)
+
+val write_file : string -> (out_channel -> unit) -> unit
+(** [write_file path writer] runs [writer] on a temporary file in the
+    same directory, fsyncs it, and atomically renames it over [path].
+    If [writer] raises, the temporary file is removed and [path] is
+    left untouched. *)
+
+val write_string : string -> string -> unit
+(** [write_string path contents] is {!write_file} writing [contents]. *)
+
+val read_file : string -> (string, string) result
+(** Read a whole file; [Error] carries a one-line message. *)

@@ -1,0 +1,30 @@
+(** Versioned, integrity-checked snapshot files.
+
+    A checkpoint is a single file written atomically ({!Atomic_io})
+    whose first line is a header
+
+    {v REPRO-CKPT <version> <kind> <payload-bytes> <crc32-hex> v}
+
+    followed by the raw payload.  [kind] tags the producer (for
+    example ["dse-run"] or ["dse-sweep"]) so a checkpoint is never
+    resumed by the wrong tool; the CRC and length reject corrupt or
+    truncated files, and the version gates future format changes.
+    Payload encoding is the producer's business — the conventions used
+    in this repo are line-oriented text with ["%h"] hexadecimal floats,
+    so values round-trip bit-exactly. *)
+
+val save : string -> kind:string -> string -> unit
+(** [save path ~kind payload] writes the checkpoint atomically.
+    Raises [Invalid_argument] if [kind] contains characters outside
+    [[a-z0-9_-]]. *)
+
+val load : string -> kind:string -> (string, string) result
+(** [load path ~kind] returns the payload after verifying the magic,
+    version, kind, length and CRC; every failure mode is a one-line
+    [Error]. *)
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE) of a string; exposed for fingerprinting inputs. *)
+
+val crc32_hex : string -> string
+(** {!crc32} printed as 8 lowercase hex digits. *)

@@ -1,1 +1,8 @@
 let wall = Unix.gettimeofday
+
+let deadline ~seconds =
+  if seconds <= 0.0 then fun () -> true
+  else begin
+    let expires = wall () +. seconds in
+    fun () -> wall () >= expires
+  end

@@ -7,3 +7,8 @@
 
 val wall : unit -> float
 (** Seconds since the epoch, sub-millisecond resolution. *)
+
+val deadline : seconds:float -> unit -> bool
+(** [deadline ~seconds] starts a wall-clock budget now and returns a
+    probe that answers whether the budget is exhausted.  A non-positive
+    budget is already exhausted. *)

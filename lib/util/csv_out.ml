@@ -16,14 +16,11 @@ let escape cell =
   end
 
 let write path ~header rows =
-  let oc = open_out path in
-  let emit cells = output_string oc (String.concat "," (List.map escape cells) ^ "\n") in
-  (try
-     emit header;
-     List.iter emit rows
-   with e ->
-     close_out oc;
-     raise e);
-  close_out oc
+  Atomic_io.write_file path (fun oc ->
+      let emit cells =
+        output_string oc (String.concat "," (List.map escape cells) ^ "\n")
+      in
+      emit header;
+      List.iter emit rows)
 
 let row_of_floats = List.map (fun x -> Printf.sprintf "%g" x)

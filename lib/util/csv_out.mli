@@ -1,7 +1,7 @@
 (** Minimal CSV writer for experiment traces. *)
 
 val write : string -> header:string list -> string list list -> unit
-(** [write path ~header rows] writes a CSV file.  Cells containing
-    commas or quotes are quoted. *)
+(** [write path ~header rows] writes a CSV file atomically (via
+    {!Atomic_io}).  Cells containing commas or quotes are quoted. *)
 
 val row_of_floats : float list -> string list

@@ -1,0 +1,100 @@
+type site = Eval | Worker
+
+let site_name = function Eval -> "eval" | Worker -> "worker"
+
+let site_of_name = function
+  | "eval" -> Some Eval
+  | "worker" -> Some Worker
+  | _ -> None
+
+exception Injected of string
+
+let () =
+  Printexc.register_printer (function
+    | Injected msg -> Some (Printf.sprintf "Fault.Injected(%s)" msg)
+    | _ -> None)
+
+(* The single [enabled] load is the only cost on the hot path when no
+   fault is armed.  The plan table is touched from several domains
+   (Parallel workers), hence the mutex. *)
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let plan : (site * int, bool) Hashtbl.t = Hashtbl.create 7
+let eval_ticks = Atomic.make 0
+
+let disarm () =
+  Mutex.lock lock;
+  Hashtbl.reset plan;
+  Mutex.unlock lock;
+  Atomic.set eval_ticks 0;
+  Atomic.set enabled false
+
+let arm_point ~site ~index ~transient =
+  if index < 0 then invalid_arg "Fault.arm_point: negative index";
+  Mutex.lock lock;
+  Hashtbl.replace plan (site, index) transient;
+  Mutex.unlock lock;
+  Atomic.set enabled true
+
+let parse_point point =
+  match String.split_on_char ':' (String.trim point) with
+  | [ site; index ] | [ site; index; "" ] -> (
+    match (site_of_name site, int_of_string_opt index) with
+    | Some site, Some index when index >= 0 -> Ok (site, index, false)
+    | _ -> Error (Printf.sprintf "bad fault point %S" point))
+  | [ site; index; "transient" ] -> (
+    match (site_of_name site, int_of_string_opt index) with
+    | Some site, Some index when index >= 0 -> Ok (site, index, true)
+    | _ -> Error (Printf.sprintf "bad fault point %S" point))
+  | _ ->
+    Error
+      (Printf.sprintf "bad fault point %S (want site:index[:transient])" point)
+
+let arm spec =
+  let points =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun point ->
+           match parse_point point with
+           | Ok p -> p
+           | Error msg -> invalid_arg ("Fault.arm: " ^ msg))
+  in
+  List.iter (fun (site, index, transient) -> arm_point ~site ~index ~transient)
+    points
+
+let env_var = "REPRO_FAULTS"
+
+let arm_from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> ()
+  | Some spec -> arm spec
+
+let armed () = Atomic.get enabled
+
+let fire site index =
+  let hit =
+    Mutex.lock lock;
+    let found =
+      match Hashtbl.find_opt plan (site, index) with
+      | None -> false
+      | Some transient ->
+        (* A transient fault fires exactly once, then the point heals;
+           once the last point is gone the probes go back to their
+           single-atomic-load idle cost. *)
+        if transient then begin
+          Hashtbl.remove plan (site, index);
+          if Hashtbl.length plan = 0 then Atomic.set enabled false
+        end;
+        true
+    in
+    Mutex.unlock lock;
+    found
+  in
+  if hit then
+    raise
+      (Injected (Printf.sprintf "injected fault at %s:%d" (site_name site) index))
+
+let check site index = if Atomic.get enabled then fire site index
+
+let tick_eval () =
+  if Atomic.get enabled then fire Eval (Atomic.fetch_and_add eval_ticks 1)

@@ -1,0 +1,23 @@
+let requested = Atomic.make false
+
+let request () = Atomic.set requested true
+let clear () = Atomic.set requested false
+let pending () = Atomic.get requested
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           if Atomic.get requested then begin
+             (* Second Ctrl-C: the user is done waiting for a graceful
+                stop — restore the default disposition and re-raise the
+                signal so the process dies immediately. *)
+             Sys.set_signal Sys.sigint Sys.Signal_default;
+             Unix.kill (Unix.getpid ()) Sys.sigint
+           end
+           else Atomic.set requested true))
+  end

@@ -1,0 +1,23 @@
+(** Cooperative SIGINT handling.
+
+    {!install} replaces the SIGINT disposition with a handler that
+    merely sets a flag; long-running loops poll {!pending} at iteration
+    boundaries, flush a final checkpoint and exit cleanly with the
+    "interrupted" status.  A second SIGINT while the first is still
+    pending restores the default disposition and re-raises, so an
+    unresponsive run can always be killed.
+
+    {!request} sets the same flag programmatically, letting tests
+    exercise the interruption path without sending real signals. *)
+
+val install : unit -> unit
+(** Install the SIGINT handler (idempotent). *)
+
+val request : unit -> unit
+(** Set the interruption flag, as the signal handler would. *)
+
+val pending : unit -> bool
+(** Whether an interruption has been requested. *)
+
+val clear : unit -> unit
+(** Reset the flag (tests, or between sequential runs). *)

@@ -8,8 +8,9 @@ let resolve_jobs jobs n =
 (* Work stealing off a shared counter: each domain claims the next
    unclaimed index until the list is drained.  Item [i]'s result lands
    in slot [i], so collection order is item order regardless of which
-   domain ran what. *)
-let map ?jobs n f =
+   domain ran what.  [item] is the per-index body (already wrapped with
+   fault probes and any retry policy). *)
+let run ?jobs n item =
   if n < 0 then invalid_arg "Parallel.map: negative size";
   if n = 0 then [||]
   else begin
@@ -17,7 +18,7 @@ let map ?jobs n f =
     let results = Array.make n None in
     if jobs <= 1 then
       for i = 0 to n - 1 do
-        results.(i) <- Some (f i)
+        results.(i) <- Some (item i)
       done
     else begin
       let next = Atomic.make 0 in
@@ -26,7 +27,7 @@ let map ?jobs n f =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n && Atomic.get failure = None then begin
-            (match f i with
+            (match item i with
              | value -> results.(i) <- Some value
              | exception exn ->
                let bt = Printexc.get_raw_backtrace () in
@@ -49,6 +50,29 @@ let map ?jobs n f =
       (function Some v -> v | None -> assert false (* all slots filled *))
       results
   end
+
+let map ?jobs n f =
+  run ?jobs n (fun i ->
+      Fault.check Fault.Worker i;
+      f i)
+
+let map_retry ?jobs ~retries n f =
+  if retries < 0 then invalid_arg "Parallel.map_retry: negative retries";
+  run ?jobs n (fun i ->
+      (* The fault probe sits inside the retried body, so a transient
+         injected fault is absorbed exactly like a real transient
+         failure of the item itself. *)
+      let rec attempt failures =
+        match
+          Fault.check Fault.Worker i;
+          f i
+        with
+        | value -> value
+        | exception exn when failures < retries ->
+          ignore exn;
+          attempt (failures + 1)
+      in
+      attempt 0)
 
 let map_list ?jobs f items =
   let arr = Array.of_list items in

@@ -22,6 +22,12 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
     completion order) is re-raised after all domains have joined.
     Raises [Invalid_argument] when [n < 0] or [jobs < 1]. *)
 
+val map_retry : ?jobs:int -> retries:int -> int -> (int -> 'a) -> 'a array
+(** {!map} where each item is retried up to [retries] extra times when
+    it raises, absorbing transient failures (including transient
+    injected faults); a persistent failure still propagates after the
+    last attempt.  Raises [Invalid_argument] when [retries < 0]. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over the elements of a list, preserving order. *)
 

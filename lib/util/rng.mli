@@ -15,6 +15,14 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy of the current state. *)
 
+val state : t -> int64 array
+(** The four xoshiro256** state words, for checkpointing. *)
+
+val of_state : int64 array -> t
+(** Rebuild a generator from {!state}.  The stream continues exactly
+    where the captured generator stood.  Raises [Invalid_argument] on a
+    wrong length or the (unreachable) all-zero state. *)
+
 val split : t -> t
 (** [split t] draws from [t] to seed a fresh, statistically independent
     generator; useful to give sub-components their own streams. *)

@@ -31,6 +31,16 @@ module Running = struct
   let stddev t = sqrt (variance t)
   let min t = t.min
   let max t = t.max
+
+  let state t = [| float_of_int t.n; t.mean; t.m2; t.min; t.max |]
+
+  let restore t a =
+    if Array.length a <> 5 then invalid_arg "Stats.Running.restore";
+    t.n <- int_of_float a.(0);
+    t.mean <- a.(1);
+    t.m2 <- a.(2);
+    t.min <- a.(3);
+    t.max <- a.(4)
 end
 
 module Smoothed = struct
@@ -62,6 +72,14 @@ module Smoothed = struct
   let variance t = t.var
   let stddev t = sqrt t.var
   let initialized t = t.initialized
+
+  let state t = [| (if t.initialized then 1.0 else 0.0); t.mean; t.var |]
+
+  let restore t a =
+    if Array.length a <> 3 then invalid_arg "Stats.Smoothed.restore";
+    t.initialized <- a.(0) <> 0.0;
+    t.mean <- a.(1);
+    t.var <- a.(2)
 end
 
 module Acceptance = struct
@@ -76,6 +94,12 @@ module Acceptance = struct
     t.ratio <- ((1.0 -. t.weight) *. t.ratio) +. (t.weight *. x)
 
   let ratio t = t.ratio
+
+  let state t = [| t.ratio |]
+
+  let restore t a =
+    if Array.length a <> 1 then invalid_arg "Stats.Acceptance.restore";
+    t.ratio <- a.(0)
 end
 
 let mean = function

@@ -22,6 +22,12 @@ module Running : sig
 
   val max : t -> float
   (** -inf when empty. *)
+
+  val state : t -> float array
+  (** Snapshot of the accumulator for checkpointing. *)
+
+  val restore : t -> float array -> unit
+  (** Overwrite the accumulator with a {!state} snapshot. *)
 end
 
 module Smoothed : sig
@@ -39,6 +45,13 @@ module Smoothed : sig
   val variance : t -> float
   val stddev : t -> float
   val initialized : t -> bool
+
+  val state : t -> float array
+  (** Snapshot (minus the fixed weight) for checkpointing. *)
+
+  val restore : t -> float array -> unit
+  (** Overwrite with a {!state} snapshot; the weight stays as
+      constructed. *)
 end
 
 module Acceptance : sig
@@ -51,6 +64,12 @@ module Acceptance : sig
 
   val ratio : t -> float
   (** In [0, 1]; starts at 1. *)
+
+  val state : t -> float array
+  (** Snapshot (minus the fixed weight) for checkpointing. *)
+
+  val restore : t -> float array -> unit
+  (** Overwrite with a {!state} snapshot. *)
 end
 
 val mean : float list -> float

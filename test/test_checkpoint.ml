@@ -1,0 +1,137 @@
+(* Atomic_io and the checkpoint container: crash-safe writes, CRC and
+   header validation, corruption and truncation rejection. *)
+
+module Atomic_io = Repro_util.Atomic_io
+module Checkpoint = Repro_util.Checkpoint
+
+let temp_path () =
+  let path = Filename.temp_file "repro_ckpt" ".tmp" in
+  Sys.remove path;
+  path
+
+let with_temp f =
+  let path = temp_path () in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let read path =
+  match Atomic_io.read_file path with
+  | Ok contents -> contents
+  | Error msg -> Alcotest.fail msg
+
+let test_write_read_roundtrip () =
+  with_temp @@ fun path ->
+  Atomic_io.write_string path "hello\nworld\n";
+  Alcotest.(check string) "roundtrip" "hello\nworld\n" (read path);
+  Atomic_io.write_string path "second";
+  Alcotest.(check string) "overwrite" "second" (read path)
+
+let test_failed_writer_leaves_previous () =
+  with_temp @@ fun path ->
+  Atomic_io.write_string path "precious";
+  (try
+     Atomic_io.write_file path (fun oc ->
+         output_string oc "partial garbage";
+         failwith "writer died")
+   with Failure _ -> ());
+  Alcotest.(check string) "previous contents intact" "precious" (read path);
+  (* And the temporary file was cleaned up. *)
+  let dir = Filename.dirname path in
+  let base = Filename.basename path in
+  Array.iter
+    (fun entry ->
+      if String.length entry > String.length base
+         && String.sub entry 0 (String.length base) = base then
+        Alcotest.failf "leftover temporary %s" entry)
+    (Sys.readdir dir)
+
+let test_read_missing () =
+  match Atomic_io.read_file "/nonexistent/definitely/missing" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error msg ->
+    Alcotest.(check bool) "one line" false (String.contains msg '\n')
+
+let test_crc32_vector () =
+  (* The classic IEEE CRC-32 check value. *)
+  Alcotest.(check string) "crc32(123456789)" "cbf43926"
+    (Checkpoint.crc32_hex "123456789")
+
+let test_save_load_roundtrip () =
+  with_temp @@ fun path ->
+  let payload = "line one\nline two with \xff bytes\n" in
+  Checkpoint.save path ~kind:"test-kind" payload;
+  (match Checkpoint.load path ~kind:"test-kind" with
+   | Ok got -> Alcotest.(check string) "payload" payload got
+   | Error msg -> Alcotest.fail msg);
+  (* Empty payloads are legal. *)
+  Checkpoint.save path ~kind:"test-kind" "";
+  match Checkpoint.load path ~kind:"test-kind" with
+  | Ok got -> Alcotest.(check string) "empty payload" "" got
+  | Error msg -> Alcotest.fail msg
+
+let expect_error path ~kind what =
+  match Checkpoint.load path ~kind with
+  | Ok _ -> Alcotest.failf "%s: expected load to fail" what
+  | Error msg ->
+    Alcotest.(check bool)
+      (what ^ ": one-line error") false (String.contains msg '\n')
+
+let test_kind_mismatch () =
+  with_temp @@ fun path ->
+  Checkpoint.save path ~kind:"dse-run" "payload";
+  expect_error path ~kind:"dse-sweep" "wrong kind"
+
+let test_corrupt_payload () =
+  with_temp @@ fun path ->
+  Checkpoint.save path ~kind:"k" "payload bytes";
+  let contents = read path in
+  let flipped = Bytes.of_string contents in
+  (* Flip a byte inside the payload, after the header line. *)
+  let header_end = String.index contents '\n' + 3 in
+  Bytes.set flipped header_end
+    (Char.chr (Char.code (Bytes.get flipped header_end) lxor 0x20));
+  Atomic_io.write_string path (Bytes.to_string flipped);
+  expect_error path ~kind:"k" "flipped byte"
+
+let test_truncated () =
+  with_temp @@ fun path ->
+  Checkpoint.save path ~kind:"k" "a reasonably long payload";
+  let contents = read path in
+  Atomic_io.write_string path
+    (String.sub contents 0 (String.length contents - 5));
+  expect_error path ~kind:"k" "truncated"
+
+let test_bad_magic_and_version () =
+  with_temp @@ fun path ->
+  Atomic_io.write_string path "NOT-A-CKPT 1 k 0 00000000\n";
+  expect_error path ~kind:"k" "bad magic";
+  Atomic_io.write_string path "REPRO-CKPT 999 k 0 00000000\n";
+  expect_error path ~kind:"k" "future version";
+  Atomic_io.write_string path "garbage";
+  expect_error path ~kind:"k" "no header"
+
+let test_invalid_kind_rejected () =
+  with_temp @@ fun path ->
+  Alcotest.check_raises "space in kind"
+    (Invalid_argument "Checkpoint.save: bad kind") (fun () ->
+      Checkpoint.save path ~kind:"bad kind" "")
+
+let suite =
+  [
+    Alcotest.test_case "atomic write/read roundtrip" `Quick
+      test_write_read_roundtrip;
+    Alcotest.test_case "failed writer leaves previous file" `Quick
+      test_failed_writer_leaves_previous;
+    Alcotest.test_case "read of missing file" `Quick test_read_missing;
+    Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+    Alcotest.test_case "checkpoint save/load roundtrip" `Quick
+      test_save_load_roundtrip;
+    Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+    Alcotest.test_case "corrupt payload rejected" `Quick test_corrupt_payload;
+    Alcotest.test_case "truncated file rejected" `Quick test_truncated;
+    Alcotest.test_case "bad magic/version rejected" `Quick
+      test_bad_magic_and_version;
+    Alcotest.test_case "invalid kind rejected" `Quick
+      test_invalid_kind_rejected;
+  ]

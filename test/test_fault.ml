@@ -1,0 +1,128 @@
+(* Deterministic fault injection: armed faults fire at exactly the
+   chosen points, the domain pool survives a worker death (all domains
+   joined, first exception propagated, no deadlock), and map_retry
+   absorbs transient faults. *)
+
+module Fault = Repro_util.Fault
+module Parallel = Repro_util.Parallel
+module Md = Repro_workloads.Motion_detection
+module Explorer = Repro_dse.Explorer
+module Annealer = Repro_anneal.Annealer
+
+let with_faults f = Fun.protect ~finally:Fault.disarm f
+
+let injected site index =
+  Fault.Injected (Printf.sprintf "injected fault at %s:%d" site index)
+
+let test_disarmed_is_silent () =
+  Fault.disarm ();
+  Alcotest.(check bool) "not armed" false (Fault.armed ());
+  Fault.check Fault.Worker 5;
+  Fault.tick_eval ();
+  Alcotest.(check bool) "still not armed" false (Fault.armed ())
+
+let test_worker_fault_propagates_pool_survives () =
+  with_faults @@ fun () ->
+  Fault.arm_point ~site:Fault.Worker ~index:5 ~transient:false;
+  Alcotest.check_raises "worker 5 dies" (injected "worker" 5) (fun () ->
+      ignore (Parallel.map ~jobs:4 32 (fun i -> i * i)));
+  (* The pool joined all its domains and is reusable: the next map on
+     the healed plan must complete normally — a deadlock here hangs the
+     test suite, which is the regression this guards against. *)
+  Fault.disarm ();
+  Alcotest.(check (array int)) "pool reusable" (Array.init 32 (fun i -> i * i))
+    (Parallel.map ~jobs:4 32 (fun i -> i * i))
+
+let test_worker_fault_sequential () =
+  with_faults @@ fun () ->
+  Fault.arm_point ~site:Fault.Worker ~index:2 ~transient:false;
+  Alcotest.check_raises "jobs=1 too" (injected "worker" 2) (fun () ->
+      ignore (Parallel.map ~jobs:1 8 Fun.id))
+
+let test_map_retry_absorbs_transient () =
+  with_faults @@ fun () ->
+  Fault.arm_point ~site:Fault.Worker ~index:3 ~transient:true;
+  let result = Parallel.map_retry ~jobs:4 ~retries:2 16 (fun i -> i + 100) in
+  Alcotest.(check (array int)) "recovered" (Array.init 16 (fun i -> i + 100))
+    result;
+  Alcotest.(check bool) "transient point healed" false (Fault.armed ())
+
+let test_map_retry_exhausts_on_persistent () =
+  with_faults @@ fun () ->
+  Fault.arm_point ~site:Fault.Worker ~index:2 ~transient:false;
+  Alcotest.check_raises "persistent fault wins" (injected "worker" 2)
+    (fun () -> ignore (Parallel.map_retry ~jobs:2 ~retries:3 8 Fun.id))
+
+let test_eval_site_counts_evaluations () =
+  with_faults @@ fun () ->
+  Fault.arm_point ~site:Fault.Eval ~index:2 ~transient:false;
+  (* Ticks 0 and 1 pass, tick 2 fires. *)
+  Fault.tick_eval ();
+  Fault.tick_eval ();
+  Alcotest.check_raises "third evaluation dies" (injected "eval" 2)
+    Fault.tick_eval
+
+let test_eval_fault_reaches_explorer () =
+  with_faults @@ fun () ->
+  (* Solution evaluations tick the Eval site, so an armed point aborts
+     an exploration deep inside the annealing loop. *)
+  Fault.arm_point ~site:Fault.Eval ~index:40 ~transient:false;
+  let cfg =
+    let base = Explorer.default_config ~seed:2 () in
+    {
+      base with
+      Explorer.anneal =
+        { base.Explorer.anneal with Annealer.iterations = 500;
+          warmup_iterations = 100 };
+    }
+  in
+  match Explorer.explore cfg (Md.app ()) (Md.platform ~n_clb:2000 ()) with
+  | _ -> Alcotest.fail "armed eval fault did not fire"
+  | exception Fault.Injected _ -> ()
+
+let test_spec_parsing () =
+  with_faults @@ fun () ->
+  Fault.arm "worker:3, eval:120:transient";
+  Alcotest.(check bool) "armed" true (Fault.armed ());
+  Alcotest.check_raises "worker point live" (injected "worker" 3) (fun () ->
+      Fault.check Fault.Worker 3);
+  Fault.disarm ();
+  (match Fault.arm "nonsense" with
+   | () -> Alcotest.fail "malformed spec accepted"
+   | exception Invalid_argument _ -> ());
+  match Fault.arm_point ~site:Fault.Worker ~index:(-1) ~transient:false with
+  | () -> Alcotest.fail "negative index accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_many_jobs_no_deadlock () =
+  with_faults @@ fun () ->
+  (* Several armed points, a wide pool and repeated rounds: every round
+     must terminate with the first failure propagated. *)
+  for round = 0 to 3 do
+    Fault.disarm ();
+    Fault.arm_point ~site:Fault.Worker ~index:(10 + round) ~transient:false;
+    match Parallel.map ~jobs:8 64 Fun.id with
+    | _ -> Alcotest.fail "fault did not fire"
+    | exception Fault.Injected _ -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "disarmed probes are silent" `Quick
+      test_disarmed_is_silent;
+    Alcotest.test_case "worker fault propagates, pool survives" `Quick
+      test_worker_fault_propagates_pool_survives;
+    Alcotest.test_case "worker fault at jobs=1" `Quick
+      test_worker_fault_sequential;
+    Alcotest.test_case "map_retry absorbs a transient fault" `Quick
+      test_map_retry_absorbs_transient;
+    Alcotest.test_case "map_retry exhausts on persistent fault" `Quick
+      test_map_retry_exhausts_on_persistent;
+    Alcotest.test_case "eval site counts evaluations" `Quick
+      test_eval_site_counts_evaluations;
+    Alcotest.test_case "eval fault reaches the explorer" `Quick
+      test_eval_fault_reaches_explorer;
+    Alcotest.test_case "fault spec parsing" `Quick test_spec_parsing;
+    Alcotest.test_case "repeated faults never deadlock the pool" `Quick
+      test_many_jobs_no_deadlock;
+  ]

@@ -1,0 +1,165 @@
+(* The determinism contract of checkpoint/resume: a run interrupted at
+   iteration k and resumed from its checkpoint must finish bit-identical
+   to the run that was never interrupted. *)
+
+module Md = Repro_workloads.Motion_detection
+module Explorer = Repro_dse.Explorer
+module Solution = Repro_dse.Solution
+module Annealer = Repro_anneal.Annealer
+module Interrupt = Repro_util.Interrupt
+module Atomic_io = Repro_util.Atomic_io
+
+let with_temp f =
+  let path = Filename.temp_file "repro_resume" ".ckpt" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let config ~seed =
+  let base = Explorer.default_config ~seed () in
+  {
+    base with
+    Explorer.anneal =
+      { base.Explorer.anneal with Annealer.iterations = 1_500;
+        warmup_iterations = 300 };
+  }
+
+let solution_text s = Format.asprintf "%a" Solution.pp s
+
+let check_same_outcome label (full : Explorer.result)
+    (resumed : Explorer.result) =
+  Alcotest.(check (float 0.0)) (label ^ ": best cost") full.Explorer.best_cost
+    resumed.Explorer.best_cost;
+  Alcotest.(check string) (label ^ ": best solution")
+    (solution_text full.Explorer.best)
+    (solution_text resumed.Explorer.best);
+  Alcotest.(check int) (label ^ ": iterations") full.Explorer.iterations_run
+    resumed.Explorer.iterations_run;
+  Alcotest.(check int) (label ^ ": accepted") full.Explorer.accepted
+    resumed.Explorer.accepted;
+  Alcotest.(check int) (label ^ ": infeasible") full.Explorer.infeasible
+    resumed.Explorer.infeasible
+
+let test_interrupt_then_resume () =
+  with_temp @@ fun path ->
+  let cfg = config ~seed:11 in
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  let full = Explorer.explore cfg app platform in
+  Alcotest.(check string) "full run completes" "complete"
+    (Annealer.status_name full.Explorer.status);
+  (* Interrupt mid-run: the stop probe fires after 700 boundaries, the
+     engine flushes a final checkpoint and reports Interrupted. *)
+  let polls = ref 0 in
+  let interrupted =
+    Explorer.explore
+      ~checkpoint:{ Explorer.path; every = 10_000 }
+      ~should_stop:(fun () -> incr polls; !polls > 700)
+      cfg app platform
+  in
+  Alcotest.(check string) "interrupted status" "interrupted"
+    (Annealer.status_name interrupted.Explorer.status);
+  Alcotest.(check bool) "stopped early" true
+    (interrupted.Explorer.iterations_run < full.Explorer.iterations_run);
+  Alcotest.(check bool) "checkpoint flushed" true (Sys.file_exists path);
+  (* Resume from the flushed checkpoint and finish. *)
+  let snapshot =
+    match Explorer.load_snapshot cfg app platform path with
+    | Ok snapshot -> snapshot
+    | Error msg -> Alcotest.fail msg
+  in
+  let resumed = Explorer.explore ~resume:snapshot cfg app platform in
+  Alcotest.(check string) "resumed run completes" "complete"
+    (Annealer.status_name resumed.Explorer.status);
+  check_same_outcome "interrupt+resume" full resumed
+
+let test_periodic_checkpoint_resume () =
+  with_temp @@ fun path ->
+  let cfg = config ~seed:23 in
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:1000 () in
+  let full = Explorer.explore cfg app platform in
+  (* Same run with a periodic sink: the file ends up holding the last
+     periodic snapshot, and the checkpointed run itself is unperturbed. *)
+  let checkpointed =
+    Explorer.explore ~checkpoint:{ Explorer.path; every = 400 } cfg app
+      platform
+  in
+  check_same_outcome "sink does not perturb" full checkpointed;
+  let snapshot =
+    match Explorer.load_snapshot cfg app platform path with
+    | Ok snapshot -> snapshot
+    | Error msg -> Alcotest.fail msg
+  in
+  let resumed = Explorer.explore ~resume:snapshot cfg app platform in
+  check_same_outcome "periodic resume" full resumed
+
+let test_fingerprint_mismatch () =
+  with_temp @@ fun path ->
+  let cfg = config ~seed:3 in
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  ignore
+    (Explorer.explore ~checkpoint:{ Explorer.path; every = 500 } cfg app
+       platform);
+  (match Explorer.load_snapshot (config ~seed:4) app platform path with
+   | Ok _ -> Alcotest.fail "wrong seed accepted"
+   | Error _ -> ());
+  match
+    Explorer.load_snapshot cfg app (Md.platform ~n_clb:999 ()) path
+  with
+  | Ok _ -> Alcotest.fail "wrong platform accepted"
+  | Error _ -> ()
+
+let test_corrupt_checkpoint_rejected () =
+  with_temp @@ fun path ->
+  let cfg = config ~seed:5 in
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  ignore
+    (Explorer.explore ~checkpoint:{ Explorer.path; every = 500 } cfg app
+       platform);
+  let contents =
+    match Atomic_io.read_file path with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  let mangled = Bytes.of_string contents in
+  let i = String.length contents / 2 in
+  Bytes.set mangled i (Char.chr (Char.code (Bytes.get mangled i) lxor 1));
+  Atomic_io.write_string path (Bytes.to_string mangled);
+  match Explorer.load_snapshot cfg app platform path with
+  | Ok _ -> Alcotest.fail "corrupt checkpoint accepted"
+  | Error msg ->
+    Alcotest.(check bool) "one-line error" false (String.contains msg '\n')
+
+let test_interrupt_request_flag () =
+  (* The programmatic interruption path used by the CLIs: a pending
+     request stops the run at the very first boundary. *)
+  Interrupt.clear ();
+  Interrupt.request ();
+  Alcotest.(check bool) "pending" true (Interrupt.pending ());
+  let result =
+    Explorer.explore ~should_stop:Interrupt.pending (config ~seed:7) (Md.app ())
+      (Md.platform ~n_clb:2000 ())
+  in
+  Interrupt.clear ();
+  Alcotest.(check bool) "cleared" false (Interrupt.pending ());
+  Alcotest.(check string) "stopped immediately" "interrupted"
+    (Annealer.status_name result.Explorer.status);
+  Alcotest.(check int) "zero iterations" 0 result.Explorer.iterations_run
+
+let suite =
+  [
+    Alcotest.test_case "interrupt at k then resume ≡ uninterrupted" `Quick
+      test_interrupt_then_resume;
+    Alcotest.test_case "periodic checkpoint resume ≡ uninterrupted" `Quick
+      test_periodic_checkpoint_resume;
+    Alcotest.test_case "fingerprint mismatch rejected" `Quick
+      test_fingerprint_mismatch;
+    Alcotest.test_case "corrupt checkpoint rejected" `Quick
+      test_corrupt_checkpoint_rejected;
+    Alcotest.test_case "interrupt request flag" `Quick
+      test_interrupt_request_flag;
+  ]
