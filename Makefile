@@ -33,7 +33,9 @@ examples:
 
 # Deterministic fault drills: the in-process fault suite, then — for
 # several seeds — crash a checkpointed CLI run at an injected
-# evaluation fault and prove the checkpoint resumes to completion.
+# evaluation fault and prove the checkpoint resumes to completion,
+# and crash the job daemon mid-queue at an injected job fault and
+# prove recovery leaves every job in exactly one outcome directory.
 faultcheck: build
 	dune exec -- test/test_main.exe test fault
 	@set -e; for seed in 1 2 3; do \
@@ -47,6 +49,30 @@ faultcheck: build
 	  dune exec -- bin/dse_run.exe --seed $$seed --iters 5000 --warmup 200 \
 	    --resume $$ck >/dev/null; \
 	  rm -f $$ck; \
+	done; echo "faultcheck resume drill OK"
+	@set -e; for seed in 1 2 3; do \
+	  spool=$$(mktemp -d); \
+	  echo "faultcheck: serve drill seed $$seed (REPRO_FAULTS=job:1)"; \
+	  mkdir -p $$spool/jobs; \
+	  for j in 1 2 3; do \
+	    printf '{"app": "motion_detection", "iters": 200, "warmup": 50, "seed": %d}\n' \
+	      $$((seed * 10 + j)) > $$spool/jobs/job$$j.json; \
+	  done; \
+	  if REPRO_FAULTS=job:1 dune exec -- bin/dse_serve.exe $$spool --once \
+	       >/dev/null 2>&1; then \
+	    echo "faultcheck: injected job fault did not fire"; exit 1; \
+	  fi; \
+	  dune exec -- bin/dse_serve.exe $$spool --once >/dev/null 2>&1; \
+	  for j in 1 2 3; do \
+	    r=$$spool/results/job$$j.json; f=$$spool/failed/job$$j.json; \
+	    if [ -e $$r ] && [ -e $$f ]; then \
+	      echo "faultcheck: job$$j ran twice"; exit 1; fi; \
+	    if [ ! -e $$r ] && [ ! -e $$f ]; then \
+	      echo "faultcheck: job$$j lost"; exit 1; fi; \
+	  done; \
+	  if [ -n "$$(find $$spool/jobs $$spool/work -type f)" ]; then \
+	    echo "faultcheck: spool not drained"; exit 1; fi; \
+	  rm -rf $$spool; \
 	done; echo "faultcheck OK"
 
 clean:

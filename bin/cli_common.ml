@@ -8,9 +8,14 @@ module Annealer = Repro_anneal.Annealer
 module Interrupt = Repro_util.Interrupt
 module Clock = Repro_util.Clock
 module Atomic_io = Repro_util.Atomic_io
+module Json = Repro_util.Json_lite
+module Log = Repro_util.Log
 
-(* Exit codes: 0 success, 2 bad input or usage, 3 interrupted (SIGINT
-   or exhausted --time-budget) with best-so-far results emitted. *)
+(* Exit codes, shared by all six dse-* tools: 0 success — including
+   degraded completions, which exit 0 with warnings on stderr and an
+   explicit status in the result JSON; 2 bad input or usage; 3
+   interrupted (SIGINT or exhausted --time-budget) with best-so-far
+   results emitted. *)
 let exit_ok = 0
 let exit_usage = 2
 let exit_interrupted = 3
@@ -74,21 +79,35 @@ let exit_code_of_status = function
   | Annealer.Interrupted -> exit_interrupted
 
 (* Machine-readable result file: always written atomically, always
-   carries an explicit status so a consumer can tell a finished
-   campaign from an interrupted one. *)
-let write_result path ~status ~(result : Explorer.result) =
+   carries an explicit status ("complete" | "degraded" | "interrupted")
+   so a consumer can tell a finished campaign from a partial one.
+   Supervised multi-restart runs additionally list the per-restart
+   statuses and how many restarts were lost. *)
+let write_result ?(restart_statuses = []) ?(degraded = 0) path
+    ~(status : string) ~(result : Explorer.result) =
   let eval = result.Explorer.best_eval in
-  Atomic_io.write_string path
-    (Printf.sprintf
-       "{\"status\": %S, \"best_cost\": %g, \"makespan\": %g, \
-        \"n_contexts\": %d, \"iterations_run\": %d, \"accepted\": %d, \
-        \"infeasible\": %d, \"wall_seconds\": %.3f}\n"
-       (Annealer.status_name status)
-       result.Explorer.best_cost
-       eval.Repro_sched.Searchgraph.makespan
-       eval.Repro_sched.Searchgraph.n_contexts
-       result.Explorer.iterations_run result.Explorer.accepted
-       result.Explorer.infeasible result.Explorer.wall_seconds)
+  let open Json in
+  let fields =
+    [
+      ("status", Str status);
+      ("best_cost", Num result.Explorer.best_cost);
+      ("makespan", Num eval.Repro_sched.Searchgraph.makespan);
+      ("n_contexts", num_int eval.Repro_sched.Searchgraph.n_contexts);
+      ("iterations_run", num_int result.Explorer.iterations_run);
+      ("accepted", num_int result.Explorer.accepted);
+      ("infeasible", num_int result.Explorer.infeasible);
+      ("wall_seconds", Num result.Explorer.wall_seconds);
+    ]
+    @
+    match restart_statuses with
+    | [] -> []
+    | statuses ->
+      [
+        ("restart_statuses", Arr (List.map (fun s -> Str s) statuses));
+        ("degraded_restarts", num_int degraded);
+      ]
+  in
+  Atomic_io.write_string path (obj fields ^ "\n")
 
 (* Restart-level checkpointing for the campaign tools (dse-sweep,
    dse-compare): the unit of work is an indexed cell whose result
@@ -148,22 +167,34 @@ let save_cells ck table =
            (Printf.sprintf "%d\t%s\n" index (ck.encode (Hashtbl.find table index))));
   Repro_util.Checkpoint.save ck.ckpt_path ~kind:ck.kind (Buffer.contents buffer)
 
-(* Run [n] cells in chunks of [jobs]: after each chunk the completed
-   set is flushed to the checkpoint (when given) and the stop probe is
-   polled, so SIGINT or an exhausted time budget stops at a restart
-   boundary with all finished work persisted. *)
-let run_cells ?checkpoint ~jobs ~should_stop n cell =
+(* Run [n] cells in chunks of [jobs] under the supervised pool: after
+   each chunk the completed set is flushed to the checkpoint (when
+   given) and the stop probe is polled, so SIGINT or an exhausted time
+   budget stops at a restart boundary with all finished work
+   persisted.  A cell that raises or exceeds [cell_timeout] no longer
+   aborts the campaign: the loss is recorded as a warning and the
+   campaign completes degraded over the survivors.  [`Complete] hence
+   carries an option per cell (None = lost) plus the warning list;
+   cells that timed out but salvaged a best-so-far value are kept
+   *and* warned about. *)
+let run_cells ?checkpoint ?cell_timeout ?(retries = 0) ~jobs ~should_stop n
+    cell =
   let completed = match checkpoint with
     | Some ck -> load_cells ck
     | None -> Hashtbl.create 64
   in
+  let warnings = ref [] in
+  let warn index msg = warnings := (index, msg) :: !warnings in
   let pending =
     List.filter (fun i -> not (Hashtbl.mem completed i)) (List.init n Fun.id)
   in
   let chunk_size = max 1 jobs in
   let rec go pending =
     match pending with
-    | [] -> `Complete (Array.init n (fun i -> Hashtbl.find completed i))
+    | [] ->
+      `Complete
+        ( Array.init n (fun i -> Hashtbl.find_opt completed i),
+          List.sort compare !warnings )
     | _ when should_stop () -> `Interrupted (Hashtbl.length completed, n)
     | _ ->
       let chunk, rest =
@@ -173,15 +204,39 @@ let run_cells ?checkpoint ~jobs ~should_stop n cell =
         in
         split chunk_size [] pending
       in
-      let results =
-        Repro_util.Parallel.map ~jobs (Array.length chunk)
-          (fun j -> cell chunk.(j))
+      let outcomes =
+        Repro_util.Parallel.map_outcomes ~jobs ~retries ?timeout:cell_timeout
+          ~should_stop (Array.length chunk)
+          (fun j ~stop -> cell chunk.(j) ~stop)
       in
-      Array.iteri (fun j r -> Hashtbl.replace completed chunk.(j) r) results;
+      Array.iteri
+        (fun j outcome ->
+          let index = chunk.(j) in
+          match outcome with
+          | Repro_util.Parallel.Done r -> Hashtbl.replace completed index r
+          | Repro_util.Parallel.Timed_out (Some r) ->
+            Hashtbl.replace completed index r;
+            warn index "timed out (best-so-far kept)"
+          | Repro_util.Parallel.Timed_out None ->
+            warn index "timed out with nothing to salvage; dropped"
+          | Repro_util.Parallel.Failed { error; attempts; _ } ->
+            warn index
+              (Printf.sprintf "failed after %d attempt(s): %s" attempts error)
+          | Repro_util.Parallel.Skipped ->
+            (* Global stop latched before the cell started; the next
+               loop iteration reports the interruption. *)
+            ())
+        outcomes;
       (match checkpoint with Some ck -> save_cells ck completed | None -> ());
       go rest
   in
   go pending
+
+(* Print cell-loss warnings the same way in every campaign tool. *)
+let report_warnings ~what warnings =
+  List.iter
+    (fun (index, msg) -> Log.warn "%s %d: %s" what index msg)
+    warnings
 
 (* Wrap a command body: malformed inputs and usage mistakes become a
    one-line error on stderr and exit code 2 — no raw exception ever

@@ -163,31 +163,30 @@ let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
         });
     ]
   in
+  let method_arr = Array.of_list methods in
+  let checkpoint =
+    Option.map
+      (fun path ->
+        {
+          Cli_common.ckpt_path = path;
+          kind = "dse-compare";
+          fingerprint =
+            Printf.sprintf
+              "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d"
+              clbs seed sa_iters ga_generations ga_population;
+          encode = encode_row;
+          decode = decode_row;
+        })
+      checkpoint_path
+  in
+  (* The baselines do not poll a stop probe mid-method, so a method
+     runs to completion; supervision still isolates a raising method
+     to its own row instead of losing the whole table. *)
   let outcome =
-    if checkpoint_path = None && time_budget = None then
-      `Complete (Array.of_list (Parallel.map_list ~jobs (fun m -> m ()) methods))
-    else begin
-      let method_arr = Array.of_list methods in
-      let checkpoint =
-        Option.map
-          (fun path ->
-            {
-              Cli_common.ckpt_path = path;
-              kind = "dse-compare";
-              fingerprint =
-                Printf.sprintf
-                  "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d"
-                  clbs seed sa_iters ga_generations ga_population;
-              encode = encode_row;
-              decode = decode_row;
-            })
-          checkpoint_path
-      in
-      Cli_common.run_cells ?checkpoint ~jobs
-        ~should_stop:(Cli_common.should_stop ~time_budget)
-        (Array.length method_arr)
-        (fun i -> method_arr.(i) ())
-    end
+    Cli_common.run_cells ?checkpoint ~jobs
+      ~should_stop:(Cli_common.should_stop ~time_budget)
+      (Array.length method_arr)
+      (fun i ~stop:_ -> method_arr.(i) ())
   in
   match outcome with
   | `Interrupted (done_rows, total) ->
@@ -198,8 +197,16 @@ let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
            "; persisted to %s — rerun with the same flags to resume" path
        | None -> "");
     Cli_common.exit_interrupted
-  | `Complete rows ->
-  let rows = Array.to_list rows in
+  | `Complete (cells, warnings) ->
+  Cli_common.report_warnings ~what:"method" warnings;
+  let lost =
+    Array.fold_left (fun n c -> if c = None then n + 1 else n) 0 cells
+  in
+  if lost > 0 then
+    Repro_util.Log.warn
+      "%d of %d method(s) lost; the table covers the survivors" lost
+      (Array.length cells);
+  let rows = Array.to_list cells |> List.filter_map Fun.id in
 
   let table =
     Table.create

@@ -10,14 +10,40 @@ module Md = Repro_workloads.Motion_detection
 module Explorer = Repro_dse.Explorer
 module Table = Repro_util.Table
 
-let run sizes iterations seed =
+let run sizes iterations seed jobs device_timeout =
   Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
+  (match device_timeout with
+   | Some s when s <= 0.0 ->
+     Cli_common.fail "--device-timeout wants a positive number of seconds"
+   | _ -> ());
   let catalogue = List.map (fun n_clb -> Md.platform ~n_clb ()) sizes in
-  let frontier =
-    Explorer.cost_performance_frontier ~seed ~iterations app catalogue
+  let report =
+    Explorer.cost_performance_frontier_supervised ~seed ~iterations ~jobs
+      ?device_timeout
+      ~should_stop:(Cli_common.should_stop ~time_budget:None)
+      app catalogue
   in
+  let frontier = report.Explorer.frontier in
+  Array.iteri
+    (fun i status ->
+      match status with
+      | Explorer.Item_done -> ()
+      | Explorer.Item_timed_out ->
+        Repro_util.Log.warn
+          "device %d CLBs: timed out; its best-so-far point was used"
+          (List.nth sizes i)
+      | status ->
+        Repro_util.Log.warn "device %d CLBs: %s; excluded from the frontier"
+          (List.nth sizes i)
+          (Explorer.item_status_name status))
+    report.Explorer.device_statuses;
+  if report.Explorer.devices_lost > 0 then
+    Repro_util.Log.warn
+      "%d of %d device(s) lost; the frontier covers the surviving \
+       sub-catalogue"
+      report.Explorer.devices_lost (List.length catalogue);
   Printf.printf
     "Pareto-dominant platforms for motion detection (%d candidate(s), %d kept)\n\n"
     (List.length catalogue) (List.length frontier);
@@ -51,9 +77,24 @@ let iters_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
+let jobs_arg =
+  Arg.(value & opt int (Repro_util.Parallel.default_jobs ())
+       & info [ "jobs"; "j" ]
+           ~doc:"Domains used to explore catalogue devices in parallel; \
+                 results are identical for every value")
+
+let device_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "device-timeout" ]
+           ~doc:"Per-device wall-clock budget in $(docv) seconds: an \
+                 over-budget device contributes its best-so-far point and \
+                 is flagged; a raising device is excluded with a warning"
+           ~docv:"SECS")
+
 let cmd =
   let doc = "cost/performance Pareto frontier over a device catalogue" in
   Cmd.v (Cmd.info "dse-pareto" ~doc ~exits:Cli_common.exits)
-    Term.(const run $ sizes_arg $ iters_arg $ seed_arg)
+    Term.(const run $ sizes_arg $ iters_arg $ seed_arg $ jobs_arg
+          $ device_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,7 +36,8 @@ let app_of_name name =
 
 let run app_name app_file platform_file clbs iters warmup seed schedule
     lam_quality serialized trace_path gantt dot_path save_app restarts jobs
-    checkpoint_path checkpoint_every resume_path time_budget result_path =
+    checkpoint_path checkpoint_every resume_path time_budget restart_timeout
+    result_path =
   Cli_common.guard @@ fun () ->
   let app =
     match app_file with
@@ -52,13 +53,16 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
       else Repro_workloads.Motion_detection.platform ~n_clb:clbs ()
   in
   Cli_common.validate_inputs app platform;
-  if restarts > 1
-     && (checkpoint_path <> None || resume_path <> None || time_budget <> None)
-  then
+  let supervised = restarts > 1 || restart_timeout <> None in
+  if supervised && (checkpoint_path <> None || resume_path <> None) then
     Cli_common.fail
-      "--checkpoint/--resume/--time-budget apply to a single chain; \
-       use --restarts 1 (dse-sweep and dse-compare checkpoint at the \
-       restart level)";
+      "--checkpoint/--resume apply to a single unsupervised chain; \
+       drop --restarts/--restart-timeout (dse-sweep and dse-compare \
+       checkpoint at the restart level)";
+  (match restart_timeout with
+   | Some s when s <= 0.0 ->
+     Cli_common.fail "--restart-timeout wants a positive number of seconds"
+   | _ -> ());
   if checkpoint_every <= 0 then
     Cli_common.fail "--checkpoint-every wants a positive iteration count";
   let config =
@@ -91,18 +95,38 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
   in
   let should_stop = Cli_common.should_stop ~time_budget in
   let trace = Repro_dse.Trace.create ~every:10 () in
-  let result =
-    if restarts <= 1 then
-      Explorer.explore ~trace ?checkpoint ?resume ~should_stop config app
-        platform
+  let result, restart_statuses, degraded =
+    if not supervised then
+      ( Explorer.explore ~trace ?checkpoint ?resume ~should_stop config app
+          platform,
+        [],
+        0 )
     else begin
-      let best, costs =
-        Explorer.explore_restarts ~trace ~jobs ~restarts config app platform
+      let report =
+        Explorer.explore_restarts_supervised ~trace ~jobs
+          ?restart_timeout ~should_stop ~restarts config app platform
+      in
+      let statuses =
+        Array.to_list report.Explorer.restart_statuses
+        |> List.map Explorer.item_status_name
       in
       Format.printf "restart best costs (%d chains, %d job(s)): %s@." restarts
         jobs
-        (String.concat " " (List.map (Printf.sprintf "%.2f") costs));
-      best
+        (String.concat " "
+           (List.map
+              (fun (i, c) -> Printf.sprintf "%d:%.2f" i c)
+              report.Explorer.restart_costs));
+      Format.printf "restart statuses: %s@." (String.concat " " statuses);
+      if report.Explorer.degraded > 0 then
+        Repro_util.Log.warn
+          "%d of %d restart(s) lost or cut short; reporting the best \
+           surviving chain"
+          report.Explorer.degraded restarts;
+      match report.Explorer.best_result with
+      | Some best -> (best, statuses, report.Explorer.degraded)
+      | None ->
+        Cli_common.fail "all %d restart(s) failed; no result to report"
+          restarts
     end
   in
   let eval = result.Explorer.best_eval in
@@ -165,12 +189,19 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
      Repro_dse.Trace.to_csv trace path;
      Format.printf "trace written to %s@." path
    | None -> ());
+  let overall_status =
+    if supervised && should_stop () then "interrupted"
+    else if degraded > 0 then "degraded"
+    else Annealer.status_name result.Explorer.status
+  in
   (match result_path with
    | Some path ->
-     Cli_common.write_result path ~status:result.Explorer.status ~result;
+     Cli_common.write_result ~restart_statuses ~degraded path
+       ~status:overall_status ~result;
      Format.printf "result summary written to %s@." path
    | None -> ());
-  Cli_common.exit_code_of_status result.Explorer.status
+  if overall_status = "interrupted" then Cli_common.exit_interrupted
+  else Cli_common.exit_ok
 
 let app_arg =
   Arg.(value & opt string "motion_detection"
@@ -269,11 +300,21 @@ let time_budget_arg =
                  seconds have elapsed and report best-so-far (exit code 3)"
            ~docv:"SECS")
 
+let restart_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "restart-timeout" ]
+           ~doc:"Per-restart wall-clock budget in $(docv) seconds: a chain \
+                 that overruns is cut at the next iteration boundary and \
+                 contributes its best-so-far (status timed-out); the run \
+                 completes degraded instead of hanging"
+           ~docv:"SECS")
+
 let result_arg =
   Arg.(value & opt (some string) None
        & info [ "result" ]
            ~doc:"Write a one-line JSON result summary (with an explicit \
-                 \"status\" of complete or interrupted) to $(docv)"
+                 \"status\" of complete, degraded or interrupted, plus \
+                 per-restart statuses under supervision) to $(docv)"
            ~docv:"FILE")
 
 let cmd =
@@ -283,6 +324,6 @@ let cmd =
           $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg $ quality_arg
           $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg
           $ restarts_arg $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg
-          $ resume_arg $ time_budget_arg $ result_arg)
+          $ resume_arg $ time_budget_arg $ restart_timeout_arg $ result_arg)
 
 let () = exit (Cmd.eval' cmd)

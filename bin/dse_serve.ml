@@ -1,0 +1,144 @@
+(* Batch job-queue daemon: drain a spool directory of exploration jobs.
+
+     dse-serve ./spool --once            # drain the queue and exit
+     dse-serve ./spool --timeout 30      # per-job wall-clock budget
+     dse-serve ./spool --max-jobs 100 -j 4
+
+   Producers enqueue by dropping one-line JSON job files into
+   <spool>/jobs/; results land in <spool>/results/, poison jobs in
+   <spool>/failed/, and <spool>/daemon.json carries the heartbeat.
+   SIGINT re-queues the in-flight job (checkpoint kept) and exits 3.
+
+   Exit codes: 0 queue drained (--once) or job budget spent, 2 bad
+   input or usage, 3 interrupted by SIGINT.
+*)
+
+open Cmdliner
+module Daemon = Repro_serve.Daemon
+module Spool = Repro_serve.Spool
+module Backoff = Repro_util.Backoff
+module Interrupt = Repro_util.Interrupt
+module Log = Repro_util.Log
+
+let run spool_dir timeout retries no_backoff breaker_failures breaker_cooldown
+    poll once max_jobs jobs checkpoint_every log_file =
+  Cli_common.guard @@ fun () ->
+  if retries < 0 then Cli_common.fail "--retries wants a non-negative count";
+  if jobs <= 0 then Cli_common.fail "--jobs wants a positive domain count";
+  if poll <= 0.0 then Cli_common.fail "--poll wants a positive interval";
+  if breaker_failures <= 0 then
+    Cli_common.fail "--breaker-failures wants a positive count";
+  if breaker_cooldown <= 0.0 then
+    Cli_common.fail "--breaker-cooldown wants a positive number of seconds";
+  if checkpoint_every <= 0 then
+    Cli_common.fail "--checkpoint-every wants a positive iteration count";
+  (match timeout with
+   | Some s when s <= 0.0 ->
+     Cli_common.fail "--timeout wants a positive number of seconds"
+   | _ -> ());
+  Log.set_tag "dse-serve";
+  Log.configure_from_env ();
+  Log.set_sink log_file;
+  let spool = Spool.create spool_dir in
+  let config =
+    {
+      Daemon.timeout;
+      retries;
+      backoff = (if no_backoff then None else Some Backoff.default);
+      breaker_threshold = breaker_failures;
+      breaker_cooldown;
+      poll_interval = poll;
+      once;
+      max_jobs;
+      jobs;
+      checkpoint_every;
+    }
+  in
+  Interrupt.install ();
+  let outcome, stats = Daemon.run ~should_stop:Interrupt.pending config spool in
+  Printf.printf
+    "%s: %d claimed, %d completed (%d timed out), %d quarantined, %d \
+     re-queued, %d recovered\n"
+    (Daemon.outcome_name outcome)
+    stats.Daemon.claimed stats.Daemon.completed stats.Daemon.timed_out
+    stats.Daemon.quarantined stats.Daemon.requeued stats.Daemon.recovered;
+  match outcome with
+  | Daemon.Drained -> Cli_common.exit_ok
+  | Daemon.Interrupted -> Cli_common.exit_interrupted
+
+let spool_arg =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"SPOOL"
+           ~doc:"Spool directory (created if missing): jobs/, work/, \
+                 results/, failed/, daemon.json")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ]
+           ~doc:"Default per-job wall-clock budget in $(docv) seconds (a \
+                 job's own \"timeout\" field wins); an over-budget job \
+                 files a timed-out result with its best-so-far solution"
+           ~docv:"SECS")
+
+let retries_arg =
+  Arg.(value & opt int 1
+       & info [ "retries" ]
+           ~doc:"Extra attempts per job before it is quarantined as poison")
+
+let no_backoff_arg =
+  Arg.(value & flag
+       & info [ "no-backoff" ] ~doc:"Retry immediately instead of pacing \
+                                     attempts with exponential backoff")
+
+let breaker_failures_arg =
+  Arg.(value & opt int 5
+       & info [ "breaker-failures" ]
+           ~doc:"Consecutive job failures that open the circuit breaker")
+
+let breaker_cooldown_arg =
+  Arg.(value & opt float 30.0
+       & info [ "breaker-cooldown" ]
+           ~doc:"Seconds the open breaker pauses draining before probing \
+                 one job (half-open)"
+           ~docv:"SECS")
+
+let poll_arg =
+  Arg.(value & opt float 1.0
+       & info [ "poll" ] ~doc:"Idle sleep between queue scans" ~docv:"SECS")
+
+let once_arg =
+  Arg.(value & flag
+       & info [ "once" ] ~doc:"Drain the queue and exit instead of watching")
+
+let max_jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-jobs" ] ~doc:"Exit 0 after claiming $(docv) jobs"
+           ~docv:"N")
+
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "jobs"; "j" ]
+           ~doc:"Domains used for a multi-restart job's chains")
+
+let checkpoint_every_arg =
+  Arg.(value & opt int 2_000
+       & info [ "checkpoint-every" ]
+           ~doc:"Iterations between engine checkpoints for single-restart \
+                 jobs (work/<base>.ckpt; resumed after a crash)"
+           ~docv:"N")
+
+let log_arg =
+  Arg.(value & opt (some string) None
+       & info [ "log" ]
+           ~doc:"Append one JSON object per event to $(docv) (line-atomic; \
+                 stderr keeps the human-readable lines)"
+           ~docv:"FILE")
+
+let cmd =
+  let doc = "drain a spool of exploration jobs with supervision" in
+  Cmd.v (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits)
+    Term.(const run $ spool_arg $ timeout_arg $ retries_arg $ no_backoff_arg
+          $ breaker_failures_arg $ breaker_cooldown_arg $ poll_arg $ once_arg
+          $ max_jobs_arg $ jobs_arg $ checkpoint_every_arg $ log_arg)
+
+let () = exit (Cmd.eval' cmd)

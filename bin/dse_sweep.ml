@@ -30,8 +30,11 @@ type point = {
 }
 
 (* One cell of the sweep grid: size x run index -> the per-run
-   measurements.  The seed depends only on the cell's coordinates. *)
-let sweep_cell app ~n_clb ~iters ~base_seed ~run =
+   measurements.  The seed depends only on the cell's coordinates.
+   [stop] is the supervisor's probe (global stop or this cell's
+   deadline): an over-budget cell flushes best-so-far at an iteration
+   boundary instead of hanging the sweep. *)
+let sweep_cell app ~n_clb ~iters ~base_seed ~run ~stop =
   let platform = Md.platform ~n_clb () in
   let config =
     {
@@ -47,7 +50,7 @@ let sweep_cell app ~n_clb ~iters ~base_seed ~run =
       objective = Explorer.Makespan;
     }
   in
-  let result = Explorer.explore config app platform in
+  let result = Explorer.explore ~should_stop:stop config app platform in
   let eval = result.Explorer.best_eval in
   ( eval.Repro_sched.Searchgraph.makespan,
     eval.Repro_sched.Searchgraph.initial_reconfig,
@@ -117,47 +120,50 @@ let decode_cell line =
       int_of_string n_contexts, bool_of_string meets )
   | _ -> Cli_common.fail "malformed sweep checkpoint cell %S" line
 
-let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget =
+let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget
+    restart_timeout =
   Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
+  (match restart_timeout with
+   | Some s when s <= 0.0 ->
+     Cli_common.fail "--restart-timeout wants a positive number of seconds"
+   | _ -> ());
   Printf.printf
     "Fig. 3 sweep: %d run(s) per size, %d iterations each, %d job(s) \
      (paper: 100 runs)\n%!"
     runs iters jobs;
-  (* Flatten the (size x run) grid into one parallel map; cell i is
-     size i/runs, run i mod runs, so the work distribution does not
-     affect which seed any cell uses — and a checkpointed sweep can
-     resume any subset of cells with identical output. *)
+  (* Flatten the (size x run) grid into one supervised parallel map;
+     cell i is size i/runs, run i mod runs, so the work distribution
+     does not affect which seed any cell uses — and a checkpointed
+     sweep can resume any subset of cells with identical output.  A
+     raising or over-budget cell is dropped with a warning instead of
+     aborting the campaign. *)
   let size_arr = Array.of_list sizes in
   let n_cells = Array.length size_arr * runs in
-  let cell i =
+  let cell i ~stop =
     sweep_cell app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
-      ~run:(i mod runs)
+      ~run:(i mod runs) ~stop
+  in
+  let checkpoint =
+    Option.map
+      (fun path ->
+        {
+          Cli_common.ckpt_path = path;
+          kind = "dse-sweep";
+          fingerprint =
+            Printf.sprintf "sweep runs=%d iters=%d seed=%d sizes=%s" runs
+              iters base_seed
+              (String.concat "," (List.map string_of_int sizes));
+          encode = encode_cell;
+          decode = decode_cell;
+        })
+      checkpoint_path
   in
   let outcome =
-    if checkpoint_path = None && time_budget = None then
-      `Complete (Parallel.map ~jobs n_cells cell)
-    else begin
-      let checkpoint =
-        Option.map
-          (fun path ->
-            {
-              Cli_common.ckpt_path = path;
-              kind = "dse-sweep";
-              fingerprint =
-                Printf.sprintf "sweep runs=%d iters=%d seed=%d sizes=%s" runs
-                  iters base_seed
-                  (String.concat "," (List.map string_of_int sizes));
-              encode = encode_cell;
-              decode = decode_cell;
-            })
-          checkpoint_path
-      in
-      Cli_common.run_cells ?checkpoint ~jobs
-        ~should_stop:(Cli_common.should_stop ~time_budget)
-        n_cells cell
-    end
+    Cli_common.run_cells ?checkpoint ?cell_timeout:restart_timeout ~jobs
+      ~should_stop:(Cli_common.should_stop ~time_budget)
+      n_cells cell
   in
   match outcome with
   | `Interrupted (done_cells, total) ->
@@ -169,18 +175,40 @@ let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget =
            "; persisted to %s — rerun with the same flags to resume" path
        | None -> "");
     Cli_common.exit_interrupted
-  | `Complete cells ->
-  let points =
-    List.mapi
-      (fun s n_clb ->
-        let p =
-          point_of_cells ~n_clb ~runs (Array.sub cells (s * runs) runs)
-        in
-        Printf.printf "  %5d CLBs: exec %.1f ms, %.1f context(s)\n%!" n_clb
-          p.exec p.contexts;
-        p)
-      sizes
+  | `Complete (cells, warnings) ->
+  Cli_common.report_warnings ~what:"sweep cell" warnings;
+  let lost = Array.fold_left
+      (fun n c -> if c = None then n + 1 else n) 0 cells
   in
+  let points =
+    List.mapi (fun s n_clb -> (s, n_clb)) sizes
+    |> List.filter_map (fun (s, n_clb) ->
+           let survivors =
+             Array.to_list (Array.sub cells (s * runs) runs)
+             |> List.filter_map Fun.id |> Array.of_list
+           in
+           if Array.length survivors = 0 then begin
+             Repro_util.Log.warn
+               "size %d CLBs: every run lost; row omitted" n_clb;
+             None
+           end
+           else begin
+             let p =
+               point_of_cells ~n_clb ~runs:(Array.length survivors) survivors
+             in
+             Printf.printf "  %5d CLBs: exec %.1f ms, %.1f context(s)%s\n%!"
+               n_clb p.exec p.contexts
+               (if Array.length survivors < runs then
+                  Printf.sprintf " (%d/%d run(s) survived)"
+                    (Array.length survivors) runs
+                else "");
+             Some p
+           end)
+  in
+  if lost > 0 then
+    Repro_util.Log.warn
+      "%d of %d sweep cell(s) lost; averages cover the survivors" lost
+      n_cells;
   print_newline ();
   print_string (render_points points);
   (match csv_path with
@@ -242,10 +270,19 @@ let time_budget_arg =
                  seconds have elapsed (exit code 3)"
            ~docv:"SECS")
 
+let restart_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "restart-timeout" ]
+           ~doc:"Per-cell wall-clock budget in $(docv) seconds: a cell that \
+                 overruns contributes its best-so-far measurements and is \
+                 flagged with a warning; the sweep completes degraded \
+                 instead of hanging"
+           ~docv:"SECS")
+
 let cmd =
   let doc = "sweep the FPGA size (reproduces Fig. 3)" in
   Cmd.v (Cmd.info "dse-sweep" ~doc ~exits:Cli_common.exits)
     Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg
-          $ jobs_arg $ checkpoint_arg $ time_budget_arg)
+          $ jobs_arg $ checkpoint_arg $ time_budget_arg $ restart_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

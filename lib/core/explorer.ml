@@ -310,52 +310,99 @@ let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
     status = outcome.Annealer.status;
   }
 
-let explore_restarts ?trace ?(jobs = 1) ~restarts config application platform =
+(* ---- supervised restarts ----------------------------------------- *)
+
+type item_status =
+  | Item_done
+  | Item_timed_out
+  | Item_failed of string
+  | Item_skipped
+
+let item_status_name = function
+  | Item_done -> "done"
+  | Item_timed_out -> "timed-out"
+  | Item_failed _ -> "failed"
+  | Item_skipped -> "skipped"
+
+let status_of_outcome = function
+  | Parallel.Done _ -> Item_done
+  | Parallel.Timed_out _ -> Item_timed_out
+  | Parallel.Failed { error; _ } -> Item_failed error
+  | Parallel.Skipped -> Item_skipped
+
+type restarts_report = {
+  best_result : result option;
+  restart_costs : (int * float) list;
+  restart_statuses : item_status array;
+  degraded : int;
+}
+
+let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
+    ?(retries = 0) ~restarts config application platform =
   if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
   (* Each chain's seed is a pure function of its index, and results are
      collected in index order, so the winner (first strict minimum) and
      the cost list are identical for every [jobs] value. *)
-  let run index =
-    let seed = config.anneal.Annealer.seed + (index * 65_537) in
-    let config =
-      { config with anneal = { config.anneal with Annealer.seed } }
-    in
-    let trace = if index = 0 then trace else None in
-    explore ?trace config application platform
-  in
-  let results = Parallel.map ~jobs restarts run in
-  let best =
-    Array.fold_left
-      (fun best candidate ->
-        if candidate.best_cost < best.best_cost then candidate else best)
-      results.(0) results
-  in
-  (best, Array.to_list (Array.map (fun r -> r.best_cost) results))
-
-let cost_performance_frontier ?(seed = 1) ?(iterations = 20_000) ?(jobs = 1)
-    application catalogue =
-  (* One independent exploration per catalogue device: a natural
-     parallel grid (same seed per device as sequentially). *)
-  let candidates =
-    Parallel.map_list ~jobs
-      (fun platform ->
+  let outcomes =
+    Parallel.map_outcomes ~jobs ~retries ?timeout:restart_timeout ?should_stop
+      restarts
+      (fun index ~stop ->
+        let seed = config.anneal.Annealer.seed + (index * 65_537) in
         let config =
-          {
-            anneal =
-              { Annealer.default_config with Annealer.iterations; seed };
-            moves = Moves.fixed_architecture;
-            objective = Makespan;
-          }
+          { config with anneal = { config.anneal with Annealer.seed } }
         in
-        let result = explore config application platform in
-        {
-          platform;
-          eval = result.best_eval;
-          cost = Platform.total_cost platform;
-          meets = meets_deadline application result.best_eval;
-        })
-      catalogue
+        let trace = if index = 0 then trace else None in
+        (* The per-restart deadline reaches the annealer as its stop
+           probe: a chain out of budget returns best-so-far at the next
+           iteration boundary instead of being torn down. *)
+        explore ?trace ~should_stop:stop config application platform)
   in
+  let statuses = Array.map status_of_outcome outcomes in
+  let survivors =
+    Array.to_list outcomes
+    |> List.mapi (fun index outcome -> (index, Parallel.outcome_value outcome))
+    |> List.filter_map (fun (index, value) ->
+           Option.map (fun r -> (index, r)) value)
+  in
+  let best =
+    match survivors with
+    | [] -> None
+    | (_, first) :: rest ->
+      Some
+        (List.fold_left
+           (fun best (_, candidate) ->
+             if candidate.best_cost < best.best_cost then candidate else best)
+           first rest)
+  in
+  {
+    best_result = best;
+    restart_costs = List.map (fun (i, r) -> (i, r.best_cost)) survivors;
+    restart_statuses = statuses;
+    degraded =
+      Array.fold_left
+        (fun n s -> match s with Item_done -> n | _ -> n + 1)
+        0 statuses;
+  }
+
+let explore_restarts_supervised = supervise_restarts
+
+let explore_restarts ?trace ?jobs ~restarts config application platform =
+  let report =
+    supervise_restarts ?trace ?jobs ~restarts config application platform
+  in
+  match report.best_result with
+  | Some best -> (best, List.map snd report.restart_costs)
+  | None ->
+    (* Strict entry point: with every restart lost there is nothing to
+       degrade to, so surface the first recorded failure. *)
+    let reason =
+      Array.to_list report.restart_statuses
+      |> List.find_map (function Item_failed e -> Some e | _ -> None)
+      |> Option.value ~default:"all restarts lost"
+    in
+    failwith (Printf.sprintf "Explorer.explore_restarts: %s" reason)
+
+let pareto_frontier candidates =
   let dominated point =
     List.exists
       (fun other ->
@@ -371,3 +418,58 @@ let cost_performance_frontier ?(seed = 1) ?(iterations = 20_000) ?(jobs = 1)
     (fun a b -> compare (a.cost, a.eval.Searchgraph.makespan)
         (b.cost, b.eval.Searchgraph.makespan))
     (List.filter (fun p -> not (dominated p)) candidates)
+
+type frontier_report = {
+  frontier : frontier_point list;
+  device_statuses : item_status array;
+  devices_lost : int;
+}
+
+let cost_performance_frontier_supervised ?(seed = 1) ?(iterations = 20_000)
+    ?(jobs = 1) ?device_timeout ?should_stop ?(retries = 0) application
+    catalogue =
+  (* One independent exploration per catalogue device: a natural
+     parallel grid (same seed per device as sequentially).  A device
+     whose exploration fails or runs out of budget drops out of the
+     frontier — the frontier over survivors equals the frontier over a
+     catalogue with that device excluded a priori, because candidates
+     never interact before the final dominance pass. *)
+  let devices = Array.of_list catalogue in
+  let outcomes =
+    Parallel.map_outcomes ~jobs ~retries ?timeout:device_timeout ?should_stop
+      (Array.length devices)
+      (fun i ~stop ->
+        let platform = devices.(i) in
+        let config =
+          {
+            anneal =
+              { Annealer.default_config with Annealer.iterations; seed };
+            moves = Moves.fixed_architecture;
+            objective = Makespan;
+          }
+        in
+        let result = explore ~should_stop:stop config application platform in
+        {
+          platform;
+          eval = result.best_eval;
+          cost = Platform.total_cost platform;
+          meets = meets_deadline application result.best_eval;
+        })
+  in
+  let statuses = Array.map status_of_outcome outcomes in
+  let candidates =
+    Array.to_list outcomes |> List.filter_map Parallel.outcome_value
+  in
+  {
+    frontier = pareto_frontier candidates;
+    device_statuses = statuses;
+    devices_lost =
+      Array.fold_left
+        (fun n s -> match s with Item_done -> n | _ -> n + 1)
+        0 statuses;
+  }
+
+let cost_performance_frontier ?seed ?iterations ?jobs application catalogue =
+  (cost_performance_frontier_supervised ?seed ?iterations ?jobs application
+     catalogue)
+    .frontier

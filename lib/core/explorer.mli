@@ -97,6 +97,45 @@ val meets_deadline : App.t -> Searchgraph.eval -> bool
 (** True when the application declares no deadline or the evaluated
     makespan honours it. *)
 
+type item_status =
+  | Item_done                (** completed within its budget *)
+  | Item_timed_out           (** per-item deadline hit; best-so-far kept *)
+  | Item_failed of string    (** raised on every attempt; printed exn *)
+  | Item_skipped             (** global stop pending before it started *)
+(** Per-restart (or per-device) supervision verdict, mirroring
+    {!Repro_util.Parallel.outcome} without the payload. *)
+
+val item_status_name : item_status -> string
+(** ["done"] / ["timed-out"] / ["failed"] / ["skipped"], the strings
+    used in result files. *)
+
+type restarts_report = {
+  best_result : result option;
+  (** best over surviving restarts; [None] when every restart was
+      lost *)
+  restart_costs : (int * float) list;
+  (** (restart index, best cost) for each survivor, in index order —
+      timed-out restarts contribute their best-so-far *)
+  restart_statuses : item_status array;
+  (** one verdict per restart *)
+  degraded : int;
+  (** restarts that did not complete cleanly; [0] means the report
+      equals the unsupervised result *)
+}
+
+val explore_restarts_supervised :
+  ?trace:Trace.t -> ?jobs:int -> ?restart_timeout:float ->
+  ?should_stop:(unit -> bool) -> ?retries:int -> restarts:int -> config ->
+  App.t -> Platform.t -> restarts_report
+(** Supervised multi-start exploration: one raising or overrunning
+    chain never costs the others their results.  Each restart runs
+    under [restart_timeout] wall seconds (cooperatively — the deadline
+    is the annealer's stop probe, so an over-budget chain flushes and
+    yields best-so-far at an iteration boundary), is retried [retries]
+    extra times on failure, and resolves to its own {!item_status}.
+    The report aggregates over survivors; consumers must treat
+    [degraded > 0] as a partial (still deterministic) answer. *)
+
 val explore_restarts :
   ?trace:Trace.t -> ?jobs:int -> restarts:int -> config -> App.t ->
   Platform.t -> result * float list
@@ -109,7 +148,11 @@ val explore_restarts :
     [jobs] (default 1) runs the chains on that many domains
     ({!Repro_util.Parallel}); every chain's seed derives from its index
     and results are folded in index order, so the best solution, the
-    cost list and the trace are bit-identical for every [jobs]. *)
+    cost list and the trace are bit-identical for every [jobs].
+
+    Strict wrapper over {!explore_restarts_supervised}: survivors are
+    aggregated silently, but when {e every} restart is lost the first
+    recorded failure surfaces as [Failure]. *)
 
 type frontier_point = {
   platform : Platform.t;
@@ -117,6 +160,28 @@ type frontier_point = {
   cost : float;
   meets : bool;
 }
+
+type frontier_report = {
+  frontier : frontier_point list;
+  (** Pareto frontier over the devices that completed (or salvaged a
+      best-so-far under a timeout) *)
+  device_statuses : item_status array;
+  (** one verdict per catalogue device, in catalogue order *)
+  devices_lost : int;
+  (** devices that did not complete cleanly; when positive the
+      frontier is partial — it equals the frontier of the catalogue
+      with those devices excluded a priori *)
+}
+
+val cost_performance_frontier_supervised :
+  ?seed:int -> ?iterations:int -> ?jobs:int -> ?device_timeout:float ->
+  ?should_stop:(unit -> bool) -> ?retries:int -> App.t -> Platform.t list ->
+  frontier_report
+(** Supervised {!cost_performance_frontier}: each device explores under
+    its own [device_timeout] and failure isolation, and the report
+    labels exactly which devices the frontier covers.  Candidates never
+    interact before the final dominance pass, so the degraded frontier
+    is the exact frontier of the surviving sub-catalogue. *)
 
 val cost_performance_frontier :
   ?seed:int -> ?iterations:int -> ?jobs:int -> App.t -> Platform.t list ->

@@ -1,0 +1,329 @@
+module Backoff = Repro_util.Backoff
+module Clock = Repro_util.Clock
+module Fault = Repro_util.Fault
+module Json = Repro_util.Json_lite
+module Log = Repro_util.Log
+module Rng = Repro_util.Rng
+module Explorer = Repro_dse.Explorer
+
+type config = {
+  timeout : float option;
+  retries : int;
+  backoff : Backoff.policy option;
+  breaker_threshold : int;
+  breaker_cooldown : float;
+  poll_interval : float;
+  once : bool;
+  max_jobs : int option;
+  jobs : int;
+  checkpoint_every : int;
+}
+
+let default_config =
+  {
+    timeout = None;
+    retries = 1;
+    backoff = Some Backoff.default;
+    breaker_threshold = 5;
+    breaker_cooldown = 30.0;
+    poll_interval = 1.0;
+    once = false;
+    max_jobs = None;
+    jobs = 1;
+    checkpoint_every = 2_000;
+  }
+
+type stats = {
+  mutable claimed : int;
+  mutable completed : int;
+  mutable timed_out : int;
+  mutable quarantined : int;
+  mutable requeued : int;
+  mutable recovered : int;
+}
+
+type outcome = Drained | Interrupted
+
+let outcome_name = function
+  | Drained -> "drained"
+  | Interrupted -> "interrupted"
+
+(* ---- per-job result ---------------------------------------------- *)
+
+let result_json job ~status ~attempts ~(result : Explorer.result)
+    ~restart_statuses ~degraded =
+  let eval = result.Explorer.best_eval in
+  let open Json in
+  obj
+    ([
+       ("job", Str job.Job.name);
+       ("status", Str status);
+       ("best_cost", Num result.Explorer.best_cost);
+       ("makespan", Num eval.Repro_sched.Searchgraph.makespan);
+       ("n_contexts", num_int eval.Repro_sched.Searchgraph.n_contexts);
+       ("iterations_run", num_int result.Explorer.iterations_run);
+       ("accepted", num_int result.Explorer.accepted);
+       ("infeasible", num_int result.Explorer.infeasible);
+       ("wall_seconds", Num result.Explorer.wall_seconds);
+       ("seed", num_int job.Job.seed);
+       ("restarts", num_int job.Job.restarts);
+       ("attempts", num_int attempts);
+     ]
+     @
+     match restart_statuses with
+     | [] -> []
+     | statuses ->
+       [
+         ("restart_statuses", Arr (List.map (fun s -> Str s) statuses));
+         ("degraded_restarts", num_int degraded);
+       ])
+
+(* What one attempt of a job produced.  [Shutdown] is not a job
+   verdict: the global stop fired mid-run, the job goes back to the
+   queue with its checkpoint and the daemon winds down. *)
+type attempt_result =
+  | Finished of { status : string; json : string }
+  | Shutdown
+
+let run_attempt config spool job ~attempts ~stop ~deadline_expired =
+  let name = job.Job.name ^ ".json" in
+  match Job.load_inputs job with
+  | Error msg -> failwith msg
+  | Ok (app, platform) ->
+    let explorer_config = Job.explorer_config job in
+    if job.Job.restarts <= 1 then begin
+      let ckpt = Spool.checkpoint_path spool name in
+      let resume =
+        if Sys.file_exists ckpt then
+          match Explorer.load_snapshot explorer_config app platform ckpt with
+          | Ok snapshot ->
+            Log.info ~fields:[ ("job", Json.Str job.Job.name) ]
+              "resuming from checkpoint";
+            Some snapshot
+          | Error msg ->
+            (* A stale or foreign checkpoint must not poison the job:
+               start the run over from the seed. *)
+            Log.warn ~fields:[ ("job", Json.Str job.Job.name) ]
+              "ignoring unusable checkpoint: %s" msg;
+            None
+        else None
+      in
+      let result =
+        Explorer.explore
+          ~checkpoint:{ Explorer.path = ckpt; every = config.checkpoint_every }
+          ?resume ~should_stop:stop explorer_config app platform
+      in
+      match result.Explorer.status with
+      | Repro_anneal.Annealer.Interrupted when not (deadline_expired ()) ->
+        Shutdown
+      | status ->
+        let status =
+          match status with
+          | Repro_anneal.Annealer.Complete -> "complete"
+          | Repro_anneal.Annealer.Interrupted -> "timed-out"
+        in
+        Finished
+          {
+            status;
+            json =
+              result_json job ~status ~attempts ~result ~restart_statuses:[]
+                ~degraded:0;
+          }
+    end
+    else begin
+      (* Multi-restart jobs run under the supervised pool: the job
+         deadline is every chain's stop probe, chains that overrun
+         yield best-so-far, chains that never started are skipped. *)
+      let report =
+        Explorer.explore_restarts_supervised ~jobs:config.jobs
+          ~should_stop:stop ~restarts:job.Job.restarts explorer_config app
+          platform
+      in
+      match report.Explorer.best_result with
+      | None when not (deadline_expired ()) && stop () -> Shutdown
+      | None -> failwith "all restarts lost"
+      | Some best ->
+        let statuses =
+          Array.to_list report.Explorer.restart_statuses
+          |> List.map Explorer.item_status_name
+        in
+        let status =
+          if deadline_expired () then "timed-out"
+          else if report.Explorer.degraded > 0 then "degraded"
+          else "complete"
+        in
+        Finished
+          {
+            status;
+            json =
+              result_json job ~status ~attempts ~result:best
+                ~restart_statuses:statuses ~degraded:report.Explorer.degraded;
+          }
+    end
+
+(* ---- one claimed job --------------------------------------------- *)
+
+type job_verdict =
+  | Ok_result of { status : string; json : string }
+  | Poison of string
+  | Stop_requested
+
+let process config spool ~should_stop name text =
+  let job_name = Filename.remove_extension name in
+  match Job.of_json ~name:job_name text with
+  | Error msg -> Poison msg
+  | Ok job ->
+    let deadline_expired =
+      match (job.Job.timeout, config.timeout) with
+      | Some seconds, _ | None, Some seconds -> Clock.deadline ~seconds
+      | None, None -> fun () -> false
+    in
+    let stop () = should_stop () || deadline_expired () in
+    let jitter = Rng.create (Hashtbl.hash job_name) in
+    let rec attempt k =
+      match
+        run_attempt config spool job ~attempts:(k + 1) ~stop ~deadline_expired
+      with
+      | Finished { status; json } -> Ok_result { status; json }
+      | Shutdown -> Stop_requested
+      | exception exn ->
+        let error = Printexc.to_string exn in
+        if k < config.retries && not (stop ()) then begin
+          (match config.backoff with
+           | None -> ()
+           | Some policy ->
+             let pause = Backoff.delay policy jitter ~attempt:k in
+             Log.warn
+               ~fields:
+                 [
+                   ("job", Json.Str job_name);
+                   ("attempt", Json.num_int (k + 1));
+                   ("backoff_s", Json.Num pause);
+                 ]
+               "attempt failed: %s" error;
+             Unix.sleepf pause);
+          attempt (k + 1)
+        end
+        else Poison (Printf.sprintf "%s (after %d attempt(s))" error (k + 1))
+    in
+    attempt 0
+
+(* ---- the drain loop ---------------------------------------------- *)
+
+let heartbeat spool stats breaker ~state =
+  let open Json in
+  Spool.write_heartbeat spool
+    [
+      ("pid", num_int (Unix.getpid ()));
+      ("updated", Num (Clock.wall ()));
+      ("state", Str state);
+      ("queued", num_int (Spool.queue_depth spool));
+      ("claimed", num_int stats.claimed);
+      ("completed", num_int stats.completed);
+      ("timed_out", num_int stats.timed_out);
+      ("quarantined", num_int stats.quarantined);
+      ("requeued", num_int stats.requeued);
+      ("recovered", num_int stats.recovered);
+      ( "breaker",
+        Str (Backoff.Breaker.state_name (Backoff.Breaker.state breaker)) );
+      ( "consecutive_failures",
+        num_int (Backoff.Breaker.consecutive_failures breaker) );
+      ("breaker_trips", num_int (Backoff.Breaker.trips breaker));
+    ]
+
+let run ?(should_stop = fun () -> false) config spool =
+  if config.poll_interval <= 0.0 then
+    invalid_arg "Daemon.run: poll interval wants to be positive";
+  let stats =
+    {
+      claimed = 0;
+      completed = 0;
+      timed_out = 0;
+      quarantined = 0;
+      requeued = 0;
+      recovered = 0;
+    }
+  in
+  let breaker =
+    Backoff.Breaker.create ~threshold:config.breaker_threshold
+      ~cooldown:config.breaker_cooldown ()
+  in
+  let recovered = Spool.recover spool in
+  stats.recovered <- List.length recovered;
+  List.iter
+    (fun name ->
+      Log.info ~fields:[ ("job", Json.Str name) ]
+        "recovered interrupted job back to the queue")
+    recovered;
+  heartbeat spool stats breaker ~state:"starting";
+  let budget_left () =
+    match config.max_jobs with None -> true | Some m -> stats.claimed < m
+  in
+  let rec drain () =
+    if should_stop () then Interrupted
+    else if not (budget_left ()) then Drained
+    else
+      match Spool.pending spool with
+      | [] ->
+        if config.once then Drained
+        else begin
+          heartbeat spool stats breaker ~state:"idle";
+          Unix.sleepf config.poll_interval;
+          drain ()
+        end
+      | name :: _ ->
+        if not (Backoff.Breaker.allow breaker) then begin
+          (* Open breaker: stop burning the backlog against a failing
+             dependency; wake up again after a poll tick. *)
+          heartbeat spool stats breaker ~state:"breaker-open";
+          Unix.sleepf config.poll_interval;
+          drain ()
+        end
+        else if not (Spool.claim spool name) then drain ()
+        else begin
+          (* The crash-drill site: an armed job:<k> point kills the
+             daemon here, with job k claimed but unprocessed — exactly
+             the window recovery must handle. *)
+          Fault.check Fault.Job stats.claimed;
+          stats.claimed <- stats.claimed + 1;
+          heartbeat spool stats breaker ~state:"running";
+          let verdict =
+            match Spool.read_claimed spool name with
+            | Error msg -> Poison msg
+            | Ok text -> process config spool ~should_stop name text
+          in
+          (match verdict with
+           | Ok_result { status; json } ->
+             Spool.finish spool name ~result_json:json;
+             Backoff.Breaker.success breaker;
+             stats.completed <- stats.completed + 1;
+             if status = "timed-out" then
+               stats.timed_out <- stats.timed_out + 1;
+             Log.info
+               ~fields:
+                 [
+                   ("job", Json.Str (Filename.remove_extension name));
+                   ("status", Json.Str status);
+                 ]
+               "job finished"
+           | Poison reason ->
+             Spool.quarantine spool name ~reason;
+             Backoff.Breaker.failure breaker;
+             stats.quarantined <- stats.quarantined + 1;
+             Log.error
+               ~fields:[ ("job", Json.Str (Filename.remove_extension name)) ]
+               "job quarantined: %s" reason
+           | Stop_requested ->
+             Spool.unclaim spool name;
+             stats.requeued <- stats.requeued + 1;
+             Log.info
+               ~fields:[ ("job", Json.Str (Filename.remove_extension name)) ]
+               "shutdown requested: job re-queued with its checkpoint");
+          heartbeat spool stats breaker ~state:"running";
+          drain ()
+        end
+  in
+  let outcome = drain () in
+  heartbeat spool stats breaker
+    ~state:(match outcome with Drained -> "drained" | Interrupted -> "stopped");
+  (outcome, stats)

@@ -1,0 +1,61 @@
+(** The batch job-queue daemon behind [dse-serve].
+
+    Drains a {!Spool}: claim the oldest queued job (atomic rename),
+    run its exploration under the job's (or the daemon's) wall-clock
+    timeout with bounded retries and {!Repro_util.Backoff} pacing,
+    then file the outcome — a result JSON in [results/] (including
+    degraded ["timed-out"] results carrying best-so-far) or a
+    quarantine in [failed/] for poison jobs.  Repeated failures open a
+    circuit breaker that pauses draining for a cooldown instead of
+    burning the backlog.  A heartbeat JSON is refreshed around every
+    state change.
+
+    Supervision contract:
+    - a per-job timeout reaches the annealer as its cooperative stop
+      probe, so an oversized job yields a ["timed-out"] result with
+      its best-so-far solution — never a hang, never a lost job;
+    - single-restart jobs checkpoint into [work/<base>.ckpt] and
+      resume from it after a crash or shutdown;
+    - a global stop (SIGINT) re-queues the in-flight job with its
+      checkpoint and returns [Interrupted];
+    - an armed [Fault.Job] point crashes the daemon right after a
+      claim — the window {!Spool.recover} must close; [make
+      faultcheck] drills it. *)
+
+type config = {
+  timeout : float option;       (** default per-job wall seconds *)
+  retries : int;                (** extra attempts per job *)
+  backoff : Repro_util.Backoff.policy option;
+                                (** pacing between attempts *)
+  breaker_threshold : int;      (** consecutive failures that open *)
+  breaker_cooldown : float;     (** seconds before half-open *)
+  poll_interval : float;        (** idle / breaker-open sleep *)
+  once : bool;                  (** drain and exit instead of watching *)
+  max_jobs : int option;        (** stop after claiming this many *)
+  jobs : int;                   (** domains for multi-restart jobs *)
+  checkpoint_every : int;       (** iterations between checkpoints *)
+}
+
+val default_config : config
+(** No timeout, 1 retry with default backoff, breaker 5/30 s, 1 s
+    poll, watch mode, 1 domain, checkpoint every 2000 iterations. *)
+
+type stats = {
+  mutable claimed : int;
+  mutable completed : int;     (** results filed, timed-out included *)
+  mutable timed_out : int;
+  mutable quarantined : int;
+  mutable requeued : int;      (** given back on shutdown *)
+  mutable recovered : int;     (** stale claims re-queued at startup *)
+}
+
+type outcome = Drained | Interrupted
+
+val outcome_name : outcome -> string
+
+val run : ?should_stop:(unit -> bool) -> config -> Spool.t -> outcome * stats
+(** Drain the spool.  Returns [Drained] when the queue is empty
+    ([once]) or the [max_jobs] budget is spent, [Interrupted] when
+    [should_stop] turned true.  Raises [Invalid_argument] on a
+    non-positive poll interval; an armed [Fault.Job] point escapes
+    deliberately (that is the crash drill). *)

@@ -1,0 +1,117 @@
+module Atomic_io = Repro_util.Atomic_io
+module Json = Repro_util.Json_lite
+
+type t = {
+  root : string;
+  jobs_dir : string;
+  work_dir : string;
+  results_dir : string;
+  failed_dir : string;
+}
+
+let mkdir_p dir =
+  let rec make dir =
+    if not (Sys.file_exists dir) then begin
+      make (Filename.dirname dir);
+      try Unix.mkdir dir 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let layout root =
+  {
+    root;
+    jobs_dir = Filename.concat root "jobs";
+    work_dir = Filename.concat root "work";
+    results_dir = Filename.concat root "results";
+    failed_dir = Filename.concat root "failed";
+  }
+
+let create root =
+  let t = layout root in
+  List.iter mkdir_p
+    [ t.jobs_dir; t.work_dir; t.results_dir; t.failed_dir ];
+  t
+
+let is_job_file name = Filename.check_suffix name ".json"
+let base name = Filename.remove_extension name
+
+let list_jobs dir =
+  match Sys.readdir dir with
+  | entries ->
+    let jobs = Array.to_list entries |> List.filter is_job_file in
+    List.sort compare jobs
+  | exception Sys_error _ -> []
+
+let pending t = list_jobs t.jobs_dir
+let in_work t = list_jobs t.work_dir
+
+let job_path t name = Filename.concat t.jobs_dir name
+let work_path t name = Filename.concat t.work_dir name
+let result_path t name = Filename.concat t.results_dir name
+let failed_path t name = Filename.concat t.failed_dir name
+let checkpoint_path t name = Filename.concat t.work_dir (base name ^ ".ckpt")
+let heartbeat_path t = Filename.concat t.root "daemon.json"
+
+(* The claim is one atomic rename: exactly one of several competing
+   daemons wins (the losers' renames fail with ENOENT), and a crash
+   leaves the job either still queued or visibly claimed in [work/] —
+   never duplicated, never half-copied. *)
+let claim t name =
+  match Unix.rename (job_path t name) (work_path t name) with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+
+let unclaim t name =
+  match Unix.rename (work_path t name) (job_path t name) with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let read_claimed t name = Atomic_io.read_file (work_path t name)
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+(* Completion order matters for crash safety: the result file lands
+   (atomically) before the claimed job file disappears, so a crash
+   between the two leaves both — recovery then sees the result and
+   drops the stale claim instead of re-running finished work. *)
+let finish t name ~result_json =
+  Atomic_io.write_string (result_path t name) (result_json ^ "\n");
+  remove_if_exists (checkpoint_path t name);
+  remove_if_exists (work_path t name)
+
+let quarantine t name ~reason =
+  let open Json in
+  Atomic_io.write_string
+    (failed_path t (base name ^ ".reason.json"))
+    (obj [ ("job", Str name); ("reason", Str reason) ] ^ "\n");
+  remove_if_exists (checkpoint_path t name);
+  (match Unix.rename (work_path t name) (failed_path t name) with
+   | () -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ())
+
+let recover t =
+  List.filter_map
+    (fun name ->
+      if Sys.file_exists (result_path t name) then begin
+        (* Finished before the crash, only the claim cleanup was lost. *)
+        remove_if_exists (checkpoint_path t name);
+        remove_if_exists (work_path t name);
+        None
+      end
+      else begin
+        (* Interrupted mid-run: back to the queue; any checkpoint the
+           run flushed stays in work/ so the next claim resumes it. *)
+        unclaim t name;
+        Some name
+      end)
+    (in_work t)
+
+let queue_depth t = List.length (pending t)
+
+let write_heartbeat t fields =
+  Atomic_io.write_string (heartbeat_path t) (Json.obj fields ^ "\n")
+
+let read_heartbeat t =
+  Result.bind (Atomic_io.read_file (heartbeat_path t)) Json.parse_obj

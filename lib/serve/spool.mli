@@ -1,0 +1,82 @@
+(** The on-disk job queue: a spool directory with atomic-rename claims.
+
+    Layout under one root:
+    {v
+    <root>/jobs/     queued job files, .json, claimed oldest-first
+    <root>/work/     claimed jobs + their checkpoints (<base>.ckpt)
+    <root>/results/  one result JSON per completed job (same name)
+    <root>/failed/   quarantined poison jobs + <base>.reason.json
+    <root>/daemon.json  heartbeat/status file, atomically replaced
+    v}
+
+    The claim protocol is a single [rename(2)] from [jobs/] to
+    [work/]: atomic on POSIX, so exactly one of several competing
+    daemons wins a job and a crash never duplicates or truncates one.
+    Results are written atomically {e before} the claim file is
+    removed, which makes {!recover} safe: a stale claim with a result
+    is finished cleanup, a stale claim without one is re-queued (its
+    checkpoint kept, so the rerun resumes instead of restarting).
+    Producers enqueue by writing [jobs/<name>.json] — atomically, or
+    via write-then-rename from the same filesystem. *)
+
+type t = {
+  root : string;
+  jobs_dir : string;
+  work_dir : string;
+  results_dir : string;
+  failed_dir : string;
+}
+
+val layout : string -> t
+(** Paths only, no filesystem access. *)
+
+val create : string -> t
+(** {!layout} + [mkdir -p] of the four directories. *)
+
+val pending : t -> string list
+(** Queued job file names, sorted (claim order). *)
+
+val in_work : t -> string list
+(** Currently claimed job file names, sorted. *)
+
+val claim : t -> string -> bool
+(** Atomically move a job from [jobs/] to [work/]; [false] when
+    another daemon won the race (or the file vanished). *)
+
+val unclaim : t -> string -> unit
+(** Return a claimed job to the queue (graceful shutdown mid-job). *)
+
+val read_claimed : t -> string -> (string, string) result
+(** Contents of a claimed job file. *)
+
+val finish : t -> string -> result_json:string -> unit
+(** Write [results/<name>] atomically, then drop the claim and its
+    checkpoint. *)
+
+val quarantine : t -> string -> reason:string -> unit
+(** Move a claimed poison job to [failed/<name>] and record a one-line
+    [failed/<base>.reason.json]. *)
+
+val recover : t -> string list
+(** Crash recovery at daemon startup: sweep [work/]; claims whose
+    result already exists are cleaned up, the rest are re-queued
+    (checkpoints kept).  Returns the re-queued names. *)
+
+val job_path : t -> string -> string
+val work_path : t -> string -> string
+val result_path : t -> string -> string
+val failed_path : t -> string -> string
+
+val checkpoint_path : t -> string -> string
+(** [work/<base>.ckpt] — where a claimed job's engine checkpoint
+    lives. *)
+
+val queue_depth : t -> int
+
+val heartbeat_path : t -> string
+
+val write_heartbeat : t -> (string * Repro_util.Json_lite.t) list -> unit
+(** Atomically replace the heartbeat file with one JSON object. *)
+
+val read_heartbeat :
+  t -> ((string * Repro_util.Json_lite.t) list, string) result

@@ -32,6 +32,22 @@ let write_file path writer =
 let write_string path contents =
   write_file path (fun oc -> output_string oc contents)
 
+(* A single O_APPEND write of one line: POSIX guarantees the append is
+   not interleaved with other appenders for writes of this size, so a
+   JSONL sink shared by several processes stays line-atomic. *)
+let append_line path line =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let data = line ^ "\n" in
+      let len = String.length data in
+      let written = Unix.write_substring fd data 0 len in
+      if written <> len then
+        raise (Sys_error (path ^ ": short append write")))
+
 let read_file path =
   match
     let ic = open_in_bin path in

@@ -16,5 +16,12 @@ val write_file : string -> (out_channel -> unit) -> unit
 val write_string : string -> string -> unit
 (** [write_string path contents] is {!write_file} writing [contents]. *)
 
+val append_line : string -> string -> unit
+(** [append_line path line] appends [line ^ "\n"] in a single
+    [O_APPEND] write, creating the file if needed — line-atomic even
+    with several appending processes (the JSONL log sink).  Unlike
+    {!write_file} this does not fsync: a crash may lose the tail of a
+    log, never corrupt a line boundary of what survives. *)
+
 val read_file : string -> (string, string) result
 (** Read a whole file; [Error] carries a one-line message. *)

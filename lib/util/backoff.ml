@@ -1,0 +1,111 @@
+type policy = {
+  base : float;
+  factor : float;
+  max_delay : float;
+  jitter : float;
+}
+
+let default = { base = 0.05; factor = 2.0; max_delay = 5.0; jitter = 0.5 }
+
+let validate p =
+  if p.base < 0.0 || not (Float.is_finite p.base) then
+    invalid_arg "Backoff: negative base";
+  if p.factor < 1.0 then invalid_arg "Backoff: factor < 1";
+  if p.max_delay < p.base then invalid_arg "Backoff: max_delay < base";
+  if p.jitter < 0.0 || p.jitter > 1.0 then
+    invalid_arg "Backoff: jitter outside [0,1]"
+
+let delay policy rng ~attempt =
+  validate policy;
+  if attempt < 0 then invalid_arg "Backoff.delay: negative attempt";
+  let raw = policy.base *. (policy.factor ** float_of_int attempt) in
+  let capped = Float.min policy.max_delay raw in
+  (* Jitter scales the delay into [1 - jitter, 1] x capped: drawn from
+     the caller's generator, so a seeded run retries at exactly the
+     same (virtual) instants every time. *)
+  if policy.jitter = 0.0 then capped
+  else capped *. (1.0 -. (policy.jitter *. Rng.float rng 1.0))
+
+(* ---- circuit breaker --------------------------------------------- *)
+
+(* Classic three-state breaker, time injected for testability:
+   Closed --(threshold consecutive failures)--> Open
+   Open --(cooldown elapsed, next allow)--> Half_open
+   Half_open --success--> Closed / --failure--> Open (fresh cooldown).
+   All transitions under one mutex: the daemon's drain loop is single
+   threaded today, but worker domains may report failures directly. *)
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  let state_name = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+
+  type t = {
+    threshold : int;
+    cooldown : float;
+    now : unit -> float;
+    lock : Mutex.t;
+    mutable current : state;
+    mutable consecutive : int;
+    mutable opened_at : float;
+    mutable trips : int;
+  }
+
+  let create ?(threshold = 5) ?(cooldown = 30.0) ?(now = Clock.wall) () =
+    if threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+    if cooldown < 0.0 then invalid_arg "Breaker.create: negative cooldown";
+    {
+      threshold;
+      cooldown;
+      now;
+      lock = Mutex.create ();
+      current = Closed;
+      consecutive = 0;
+      opened_at = neg_infinity;
+      trips = 0;
+    }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let state t = locked t (fun () -> t.current)
+  let consecutive_failures t = locked t (fun () -> t.consecutive)
+  let trips t = locked t (fun () -> t.trips)
+
+  let allow t =
+    locked t (fun () ->
+        match t.current with
+        | Closed | Half_open -> true
+        | Open ->
+          if t.now () -. t.opened_at >= t.cooldown then begin
+            (* Half-open: let exactly the next unit of work probe the
+               downstream; its outcome decides the next state. *)
+            t.current <- Half_open;
+            true
+          end
+          else false)
+
+  let success t =
+    locked t (fun () ->
+        t.consecutive <- 0;
+        t.current <- Closed)
+
+  let failure t =
+    locked t (fun () ->
+        t.consecutive <- t.consecutive + 1;
+        match t.current with
+        | Half_open ->
+          (* The probe failed: reopen immediately with a fresh
+             cooldown, whatever the consecutive count. *)
+          t.current <- Open;
+          t.opened_at <- t.now ();
+          t.trips <- t.trips + 1
+        | Closed when t.consecutive >= t.threshold ->
+          t.current <- Open;
+          t.opened_at <- t.now ();
+          t.trips <- t.trips + 1
+        | Closed | Open -> ())
+end

@@ -1,0 +1,64 @@
+(** Retry pacing: exponential backoff with deterministic jitter, and a
+    three-state circuit breaker.
+
+    Delays are computed, never slept, by this module — the caller
+    decides how to wait (or, in tests, not to).  Jitter draws from an
+    explicit {!Rng.t}, so a seeded run retries at the same virtual
+    instants every time; there is no hidden global randomness. *)
+
+type policy = {
+  base : float;       (** delay of attempt 0, seconds *)
+  factor : float;     (** multiplier per attempt, >= 1 *)
+  max_delay : float;  (** cap, seconds *)
+  jitter : float;     (** fraction of the delay randomized, in [0,1] *)
+}
+
+val default : policy
+(** 50 ms base, doubling, capped at 5 s, 50% jitter. *)
+
+val delay : policy -> Rng.t -> attempt:int -> float
+(** [delay policy rng ~attempt] is the wait before retry [attempt]
+    (0-based): [base * factor^attempt] capped at [max_delay], scaled
+    into [[1 - jitter, 1]] by a draw from [rng].  Raises
+    [Invalid_argument] on a malformed policy or negative attempt. *)
+
+module Breaker : sig
+  (** Circuit breaker: opens after a threshold of {e consecutive}
+      failures, rejects work while open, half-opens after a cooldown to
+      let a single probe through, and closes again on its success.
+      Protects a job queue from burning its whole backlog against a
+      persistently failing dependency. *)
+
+  type t
+
+  type state = Closed | Open | Half_open
+
+  val state_name : state -> string
+  (** ["closed"] / ["open"] / ["half-open"], as used in status files. *)
+
+  val create : ?threshold:int -> ?cooldown:float -> ?now:(unit -> float) ->
+    unit -> t
+  (** [threshold] consecutive failures open the breaker (default 5);
+      [cooldown] seconds later the next {!allow} half-opens it
+      (default 30).  [now] injects the clock for deterministic tests
+      (default {!Clock.wall}). *)
+
+  val allow : t -> bool
+  (** Whether the next unit of work may run.  While [Open], answers
+      [false] until the cooldown has elapsed, then transitions to
+      [Half_open] and answers [true] — the caller must then report
+      {!success} or {!failure} for that probe. *)
+
+  val success : t -> unit
+  (** Reset the consecutive-failure count and close the breaker. *)
+
+  val failure : t -> unit
+  (** Count a failure: opens the breaker at the threshold, and reopens
+      it immediately (fresh cooldown) when the half-open probe fails. *)
+
+  val state : t -> state
+  val consecutive_failures : t -> int
+
+  val trips : t -> int
+  (** Times the breaker has transitioned to [Open] since creation. *)
+end

@@ -1,11 +1,14 @@
-type site = Eval | Worker
+type site = Eval | Worker | Job
 
-let site_name = function Eval -> "eval" | Worker -> "worker"
+let site_name = function Eval -> "eval" | Worker -> "worker" | Job -> "job"
 
 let site_of_name = function
   | "eval" -> Some Eval
   | "worker" -> Some Worker
+  | "job" -> Some Job
   | _ -> None
+
+let site_names = "eval|worker|job"
 
 exception Injected of string
 
@@ -36,28 +39,52 @@ let arm_point ~site ~index ~transient =
   Mutex.unlock lock;
   Atomic.set enabled true
 
+(* Each spec entry fails with a one-line message that names the entry
+   and the reason, so a typo in a long $REPRO_FAULTS plan is located
+   without bisection. *)
 let parse_point point =
-  match String.split_on_char ':' (String.trim point) with
-  | [ site; index ] | [ site; index; "" ] -> (
-    match (site_of_name site, int_of_string_opt index) with
-    | Some site, Some index when index >= 0 -> Ok (site, index, false)
-    | _ -> Error (Printf.sprintf "bad fault point %S" point))
-  | [ site; index; "transient" ] -> (
-    match (site_of_name site, int_of_string_opt index) with
-    | Some site, Some index when index >= 0 -> Ok (site, index, true)
-    | _ -> Error (Printf.sprintf "bad fault point %S" point))
-  | _ ->
-    Error
-      (Printf.sprintf "bad fault point %S (want site:index[:transient])" point)
+  let fail fmt =
+    Printf.ksprintf
+      (fun why -> Error (Printf.sprintf "bad fault point %S: %s" point why))
+      fmt
+  in
+  let site_of name =
+    match site_of_name name with
+    | Some site -> Ok site
+    | None -> fail "unknown site %S (want %s)" name site_names
+  in
+  let index_of text =
+    match int_of_string_opt text with
+    | None -> fail "bad index %S (want a non-negative integer)" text
+    | Some i when i < 0 -> fail "negative index %d" i
+    | Some i -> Ok i
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' point with
+  | [ site; index ] ->
+    let* site = site_of site in
+    let* index = index_of index in
+    Ok (site, index, false)
+  | [ site; index; "transient" ] ->
+    let* site = site_of site in
+    let* index = index_of index in
+    Ok (site, index, true)
+  | [ _; _; flag ] -> fail "unknown flag %S (want transient)" flag
+  | _ -> fail "want site:index[:transient]"
 
 let arm spec =
   let points =
     String.split_on_char ',' spec
-    |> List.filter (fun s -> String.trim s <> "")
-    |> List.map (fun point ->
-           match parse_point point with
-           | Ok p -> p
-           | Error msg -> invalid_arg ("Fault.arm: " ^ msg))
+    |> List.map (fun raw ->
+           let point = String.trim raw in
+           if point = "" then
+             invalid_arg
+               (Printf.sprintf
+                  "Fault.arm: empty fault point in %S (stray comma?)" spec)
+           else
+             match parse_point point with
+             | Ok p -> p
+             | Error msg -> invalid_arg ("Fault.arm: " ^ msg))
   in
   List.iter (fun (site, index, transient) -> arm_point ~site ~index ~transient)
     points

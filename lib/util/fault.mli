@@ -1,9 +1,12 @@
 (** Deterministic fault injection for resilience tests.
 
     A fault {e plan} is a set of (site, index) points at which an
-    {!Injected} exception is raised.  Two sites exist: [Eval] indexes
+    {!Injected} exception is raised.  Three sites exist: [Eval] indexes
     the process-wide count of solution evaluations, [Worker] indexes
-    the work items of a [Parallel.map].  Points marked {e transient}
+    the work items of a [Parallel.map], and [Job] indexes the jobs a
+    [dse-serve] daemon claims — an armed [Job] point crashes the daemon
+    mid-queue, the hook the service fault drills use.  Points marked
+    {e transient}
     fire exactly once and then heal — the hook [Parallel.map_retry]
     uses to prove bounded-retry recovery.
 
@@ -14,7 +17,7 @@
     [site:index[:transient]] entries, e.g.
     [REPRO_FAULTS="worker:3,eval:120:transient"]. *)
 
-type site = Eval | Worker
+type site = Eval | Worker | Job
 
 exception Injected of string
 (** Raised at an armed point; the payload names the site and index. *)
@@ -25,7 +28,10 @@ val arm_point : site:site -> index:int -> transient:bool -> unit
 
 val arm : string -> unit
 (** Arm every point of a [site:index[:transient]] comma-separated
-    spec.  Raises [Invalid_argument] on a malformed spec. *)
+    spec.  Raises [Invalid_argument] on a malformed spec with a
+    one-line message naming the offending entry and the reason
+    (unknown site, malformed or negative index, unknown flag, empty
+    entry from a stray comma). *)
 
 val arm_from_env : unit -> unit
 (** {!arm} from [$REPRO_FAULTS] if set and non-empty. *)

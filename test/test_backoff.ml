@@ -1,0 +1,119 @@
+(* Retry pacing and the circuit breaker: exponential growth with a
+   cap, deterministic seeded jitter, and the closed -> open ->
+   half-open -> closed life cycle under an injected clock. *)
+
+module Backoff = Repro_util.Backoff
+module Rng = Repro_util.Rng
+
+let no_jitter = { Backoff.base = 0.1; factor = 2.0; max_delay = 1.0; jitter = 0.0 }
+
+let test_delay_growth_and_cap () =
+  let rng = Rng.create 1 in
+  let d attempt = Backoff.delay no_jitter rng ~attempt in
+  Alcotest.(check (float 1e-12)) "attempt 0" 0.1 (d 0);
+  Alcotest.(check (float 1e-12)) "attempt 1" 0.2 (d 1);
+  Alcotest.(check (float 1e-12)) "attempt 2" 0.4 (d 2);
+  Alcotest.(check (float 1e-12)) "attempt 3" 0.8 (d 3);
+  Alcotest.(check (float 1e-12)) "capped" 1.0 (d 4);
+  Alcotest.(check (float 1e-12)) "stays capped" 1.0 (d 20)
+
+let test_jitter_deterministic_and_bounded () =
+  let policy = { no_jitter with Backoff.jitter = 0.5 } in
+  let draw seed =
+    let rng = Rng.create seed in
+    Array.init 16 (fun attempt -> Backoff.delay policy rng ~attempt)
+  in
+  Alcotest.(check (array (float 0.0))) "same seed, same delays" (draw 7)
+    (draw 7);
+  (* Jittered delay lands in [(1 - jitter) * d, d]. *)
+  let pure = Array.init 16 (fun a -> Backoff.delay no_jitter (Rng.create 1) ~attempt:a) in
+  Array.iteri
+    (fun i jittered ->
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d within band" i)
+        true
+        (jittered >= (0.5 *. pure.(i)) -. 1e-12 && jittered <= pure.(i) +. 1e-12))
+    (draw 3)
+
+let test_delay_validation () =
+  let rng = Rng.create 1 in
+  (match Backoff.delay no_jitter rng ~attempt:(-1) with
+   | _ -> Alcotest.fail "negative attempt accepted"
+   | exception Invalid_argument _ -> ());
+  match Backoff.delay { no_jitter with Backoff.factor = 0.5 } rng ~attempt:0 with
+  | _ -> Alcotest.fail "shrinking factor accepted"
+  | exception Invalid_argument _ -> ()
+
+(* A hand-cranked clock makes the cooldown logic a pure function. *)
+let fake_clock start =
+  let t = ref start in
+  ((fun () -> !t), fun dt -> t := !t +. dt)
+
+let test_breaker_opens_at_threshold () =
+  let now, _advance = fake_clock 0.0 in
+  let b = Backoff.Breaker.create ~threshold:3 ~cooldown:10.0 ~now () in
+  Alcotest.(check bool) "starts closed" true (Backoff.Breaker.allow b);
+  Backoff.Breaker.failure b;
+  Backoff.Breaker.failure b;
+  Alcotest.(check bool) "below threshold still allows" true
+    (Backoff.Breaker.allow b);
+  Alcotest.(check int) "two consecutive" 2
+    (Backoff.Breaker.consecutive_failures b);
+  Backoff.Breaker.failure b;
+  Alcotest.(check string) "open at threshold" "open"
+    (Backoff.Breaker.state_name (Backoff.Breaker.state b));
+  Alcotest.(check bool) "open rejects" false (Backoff.Breaker.allow b);
+  Alcotest.(check int) "one trip" 1 (Backoff.Breaker.trips b)
+
+let test_breaker_half_open_probe () =
+  let now, advance = fake_clock 100.0 in
+  let b = Backoff.Breaker.create ~threshold:1 ~cooldown:10.0 ~now () in
+  Backoff.Breaker.failure b;
+  Alcotest.(check bool) "open" false (Backoff.Breaker.allow b);
+  advance 9.9;
+  Alcotest.(check bool) "cooldown not yet elapsed" false
+    (Backoff.Breaker.allow b);
+  advance 0.2;
+  Alcotest.(check bool) "half-open lets one probe through" true
+    (Backoff.Breaker.allow b);
+  Alcotest.(check string) "half-open" "half-open"
+    (Backoff.Breaker.state_name (Backoff.Breaker.state b));
+  (* Successful probe closes it again. *)
+  Backoff.Breaker.success b;
+  Alcotest.(check string) "closed after success" "closed"
+    (Backoff.Breaker.state_name (Backoff.Breaker.state b));
+  Alcotest.(check int) "failure count reset" 0
+    (Backoff.Breaker.consecutive_failures b)
+
+let test_breaker_reopens_on_failed_probe () =
+  let now, advance = fake_clock 0.0 in
+  let b = Backoff.Breaker.create ~threshold:1 ~cooldown:5.0 ~now () in
+  Backoff.Breaker.failure b;
+  advance 6.0;
+  Alcotest.(check bool) "probe allowed" true (Backoff.Breaker.allow b);
+  Backoff.Breaker.failure b;
+  Alcotest.(check string) "reopened" "open"
+    (Backoff.Breaker.state_name (Backoff.Breaker.state b));
+  (* The cooldown restarts from the failed probe, not the first trip. *)
+  advance 4.0;
+  Alcotest.(check bool) "fresh cooldown running" false
+    (Backoff.Breaker.allow b);
+  advance 1.5;
+  Alcotest.(check bool) "second probe after fresh cooldown" true
+    (Backoff.Breaker.allow b);
+  Alcotest.(check int) "two trips" 2 (Backoff.Breaker.trips b)
+
+let suite =
+  [
+    Alcotest.test_case "delay grows and caps" `Quick test_delay_growth_and_cap;
+    Alcotest.test_case "jitter deterministic and bounded" `Quick
+      test_jitter_deterministic_and_bounded;
+    Alcotest.test_case "delay validates its inputs" `Quick
+      test_delay_validation;
+    Alcotest.test_case "breaker opens at threshold" `Quick
+      test_breaker_opens_at_threshold;
+    Alcotest.test_case "breaker half-open probe closes" `Quick
+      test_breaker_half_open_probe;
+    Alcotest.test_case "failed probe reopens with fresh cooldown" `Quick
+      test_breaker_reopens_on_failed_probe;
+  ]

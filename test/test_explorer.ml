@@ -208,6 +208,103 @@ let test_cost_performance_frontier () =
   in
   check frontier
 
+let test_supervised_restarts_degrade () =
+  let module Fault = Repro_util.Fault in
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  let config = small_budget ~seed:5 ~iterations:800 () in
+  (* Restart 1 dies on every attempt; the campaign must still complete
+     over the survivors and label the loss. *)
+  Fault.arm_point ~site:Fault.Worker ~index:1 ~transient:false;
+  let report =
+    Explorer.explore_restarts_supervised ~restarts:3 config app platform
+  in
+  Alcotest.(check int) "one restart degraded" 1 report.Explorer.degraded;
+  Alcotest.(check (list string)) "statuses" [ "done"; "failed"; "done" ]
+    (Array.to_list report.Explorer.restart_statuses
+     |> List.map Explorer.item_status_name);
+  Alcotest.(check (list int)) "survivor indices" [ 0; 2 ]
+    (List.map fst report.Explorer.restart_costs);
+  Fault.disarm ();
+  (* The degraded winner is exactly the best of the surviving chains
+     run on their own: supervision changes accounting, not results. *)
+  let solo index =
+    let seed = config.Explorer.anneal.Annealer.seed + (index * 65_537) in
+    let config =
+      { config with
+        Explorer.anneal = { config.Explorer.anneal with Annealer.seed } }
+    in
+    (Explorer.explore config app platform).Explorer.best_cost
+  in
+  let expected = Float.min (solo 0) (solo 2) in
+  match report.Explorer.best_result with
+  | None -> Alcotest.fail "no survivor reported"
+  | Some best ->
+    Alcotest.(check (float 0.0)) "best over survivors" expected
+      best.Explorer.best_cost
+
+let test_supervised_restarts_all_lost () =
+  let module Fault = Repro_util.Fault in
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let app = Md.app () in
+  let platform = Md.platform ~n_clb:2000 () in
+  Fault.arm "worker:0, worker:1";
+  let report =
+    Explorer.explore_restarts_supervised ~restarts:2
+      (small_budget ~seed:5 ~iterations:400 ())
+      app platform
+  in
+  Alcotest.(check bool) "no best" true (report.Explorer.best_result = None);
+  Alcotest.(check int) "all degraded" 2 report.Explorer.degraded;
+  (* The strict wrapper surfaces the first failure instead. *)
+  Fault.arm "worker:0, worker:1";
+  match
+    Explorer.explore_restarts ~restarts:2
+      (small_budget ~seed:5 ~iterations:400 ())
+      app platform
+  with
+  | _ -> Alcotest.fail "strict entry point degraded silently"
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the module" true
+      (String.length msg > 25
+       && String.sub msg 0 25 = "Explorer.explore_restarts")
+
+let test_supervised_frontier_matches_a_priori_exclusion () =
+  let module Fault = Repro_util.Fault in
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  let app = Md.app () in
+  let device n = Md.platform ~n_clb:n () in
+  let catalogue = List.map device [ 200; 800; 5000 ] in
+  (* Device index 1 (800 CLBs) is lost; each device explores with the
+     same seed independently, so the degraded frontier must equal the
+     frontier of the catalogue without that device. *)
+  Fault.arm_point ~site:Fault.Worker ~index:1 ~transient:false;
+  let report =
+    Explorer.cost_performance_frontier_supervised ~seed:4 ~iterations:2_000
+      app catalogue
+  in
+  Alcotest.(check int) "one device lost" 1 report.Explorer.devices_lost;
+  Alcotest.(check (list string)) "statuses" [ "done"; "failed"; "done" ]
+    (Array.to_list report.Explorer.device_statuses
+     |> List.map Explorer.item_status_name);
+  Fault.disarm ();
+  let excluded =
+    Explorer.cost_performance_frontier ~seed:4 ~iterations:2_000 app
+      [ device 200; device 5000 ]
+  in
+  let shape frontier =
+    List.map
+      (fun { Explorer.platform; eval; cost; meets } ->
+        ( Repro_arch.Platform.n_clb platform,
+          cost,
+          eval.Repro_sched.Searchgraph.makespan,
+          meets ))
+      frontier
+  in
+  Alcotest.(check bool) "frontier = a-priori exclusion" true
+    (shape report.Explorer.frontier = shape excluded)
+
 let test_quality_config () =
   let c0 = Explorer.quality_config 0.0 in
   let c1 = Explorer.quality_config 1.0 in
@@ -239,5 +336,11 @@ let suite =
     Alcotest.test_case "min-period objective" `Quick test_min_period_objective;
     Alcotest.test_case "cost/performance frontier" `Slow
       test_cost_performance_frontier;
+    Alcotest.test_case "supervised restarts degrade over survivors" `Quick
+      test_supervised_restarts_degrade;
+    Alcotest.test_case "all restarts lost: report vs strict" `Quick
+      test_supervised_restarts_all_lost;
+    Alcotest.test_case "degraded frontier = a-priori exclusion" `Quick
+      test_supervised_frontier_matches_a_priori_exclusion;
     Alcotest.test_case "quality config" `Quick test_quality_config;
   ]

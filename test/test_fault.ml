@@ -94,6 +94,100 @@ let test_spec_parsing () =
   | () -> Alcotest.fail "negative index accepted"
   | exception Invalid_argument _ -> ()
 
+let test_map_retry_attempt_count () =
+  (* Exhaustion is exact: a persistently failing item runs retries + 1
+     times, healthy items exactly once. *)
+  let attempts = Array.init 8 (fun _ -> Atomic.make 0) in
+  let body i =
+    Atomic.incr attempts.(i);
+    if i = 2 then failwith "persistent" else i
+  in
+  (match Parallel.map_retry ~jobs:2 ~retries:3 8 body with
+   | _ -> Alcotest.fail "persistent failure absorbed"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "failing item ran retries+1 times" 4
+    (Atomic.get attempts.(2));
+  Array.iteri
+    (fun i a ->
+      if i <> 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "item %d ran at most once" i)
+          true
+          (Atomic.get a <= 1))
+    attempts
+
+let test_retries_do_not_perturb_rng_streams () =
+  with_faults @@ fun () ->
+  (* Each item derives its randomness from its own index, so a retried
+     item replays the same draws: the healed run must be bit-identical
+     to a run that never faulted. *)
+  let body i =
+    let rng = Repro_util.Rng.create (500 + i) in
+    (Repro_util.Rng.float rng 1.0, Repro_util.Rng.int rng 1_000_000)
+  in
+  Fault.disarm ();
+  let clean = Parallel.map ~jobs:4 32 body in
+  Fault.arm_point ~site:Fault.Worker ~index:3 ~transient:true;
+  let retried = Parallel.map_retry ~jobs:4 ~retries:2 32 body in
+  Alcotest.(check bool) "map_retry bit-identical" true (clean = retried);
+  (* Same contract under the supervised pool with backoff pacing: the
+     jitter draws come from a separate per-index stream, never from the
+     body's. *)
+  Fault.arm_point ~site:Fault.Worker ~index:7 ~transient:true;
+  let policy =
+    { Repro_util.Backoff.base = 1e-6; factor = 2.0; max_delay = 1e-5;
+      jitter = 0.5 }
+  in
+  let supervised =
+    Parallel.map_outcomes ~jobs:4 ~retries:2 ~backoff:policy 32
+      (fun i ~stop:_ -> body i)
+  in
+  let values =
+    Array.map
+      (fun o ->
+        match Parallel.outcome_value o with
+        | Some v -> v
+        | None -> Alcotest.fail "supervised run lost an item")
+      supervised
+  in
+  Alcotest.(check bool) "map_outcomes bit-identical" true (clean = values)
+
+let test_spec_error_fixtures () =
+  (* Malformed $REPRO_FAULTS entries produce one-line messages naming
+     the offending entry — fixture-style exact assertions. *)
+  List.iter
+    (fun (spec, message) ->
+      Alcotest.check_raises spec (Invalid_argument message) (fun () ->
+          Fault.arm spec))
+    [
+      ( "bogus:3",
+        "Fault.arm: bad fault point \"bogus:3\": unknown site \"bogus\" \
+         (want eval|worker|job)" );
+      ( "worker:-2",
+        "Fault.arm: bad fault point \"worker:-2\": negative index -2" );
+      ( "worker:soon",
+        "Fault.arm: bad fault point \"worker:soon\": bad index \"soon\" \
+         (want a non-negative integer)" );
+      ( "worker:1:often",
+        "Fault.arm: bad fault point \"worker:1:often\": unknown flag \
+         \"often\" (want transient)" );
+      ( "worker",
+        "Fault.arm: bad fault point \"worker\": want site:index[:transient]" );
+      ( "worker:1,",
+        "Fault.arm: empty fault point in \"worker:1,\" (stray comma?)" );
+      ( "eval:1,,worker:2",
+        "Fault.arm: empty fault point in \"eval:1,,worker:2\" (stray \
+         comma?)" );
+    ];
+  (* A malformed tail entry must not leave the head armed as a side
+     effect... the whole spec is rejected before any point arms. *)
+  Fault.disarm ();
+  (match Fault.arm "worker:1, bogus:2" with
+   | () -> Alcotest.fail "malformed spec accepted"
+   | exception Invalid_argument _ -> ());
+  Alcotest.(check bool) "nothing armed by a rejected spec" false
+    (Fault.armed ())
+
 let test_many_jobs_no_deadlock () =
   with_faults @@ fun () ->
   (* Several armed points, a wide pool and repeated rounds: every round
@@ -118,6 +212,11 @@ let suite =
       test_map_retry_absorbs_transient;
     Alcotest.test_case "map_retry exhausts on persistent fault" `Quick
       test_map_retry_exhausts_on_persistent;
+    Alcotest.test_case "map_retry attempt count is exact" `Quick
+      test_map_retry_attempt_count;
+    Alcotest.test_case "retries never perturb rng streams" `Quick
+      test_retries_do_not_perturb_rng_streams;
+    Alcotest.test_case "spec error fixtures" `Quick test_spec_error_fixtures;
     Alcotest.test_case "eval site counts evaluations" `Quick
       test_eval_site_counts_evaluations;
     Alcotest.test_case "eval fault reaches the explorer" `Quick
