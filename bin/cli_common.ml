@@ -238,13 +238,24 @@ let report_warnings ~what warnings =
     (fun (index, msg) -> Log.warn "%s %d: %s" what index msg)
     warnings
 
+(* Engine selection, shared by the tools that take --engine/--engines:
+   the registry is populated explicitly (never by linking side
+   effects), and an unknown name dies as a usage error listing what is
+   registered. *)
+let find_engine name =
+  match Repro_dse.Engine_registry.find name with
+  | Ok engine -> engine
+  | Error msg -> fail "%s" msg
+
 (* Wrap a command body: malformed inputs and usage mistakes become a
    one-line error on stderr and exit code 2 — no raw exception ever
    escapes to the user.  Also honours $REPRO_FAULTS so the fault plan
-   can be armed on any tool. *)
+   can be armed on any tool, and registers the search engines so every
+   tool resolves the same names. *)
 let guard body =
   try
     Repro_util.Fault.arm_from_env ();
+    Repro_baseline.Engines.register_all ();
     body ()
   with
   | Usage_error msg | Invalid_argument msg | Failure msg | Sys_error msg ->

@@ -3,20 +3,23 @@
    baselines of this reproduction).
 
      dse-compare --clbs 2000 -j 4
+     dse-compare --engines sa,ga,tabu --seed 7
+     dse-compare --list-engines
 
-   Each method is an independent computation, so the baselines run
-   concurrently on --jobs domains; rows are collected in a fixed order
-   and every method keeps its own seed, so the table is identical for
-   any --jobs.
+   Every method is a registered engine run through the one generic
+   driver (Engine.run with a per-method budget); the only non-engine
+   row is the all-software reference.  Methods are independent
+   computations, so they run concurrently on --jobs domains; rows are
+   collected in registration order and every method gets the same
+   seed, so the table is identical for any --jobs.
 *)
 
 open Cmdliner
 module Md = Repro_workloads.Motion_detection
-module Explorer = Repro_dse.Explorer
+module Engine = Repro_dse.Engine
+module Registry = Repro_dse.Engine_registry
+module Solution = Repro_dse.Solution
 module Ga = Repro_baseline.Ga
-module Greedy = Repro_baseline.Greedy
-module Random_search = Repro_baseline.Random_search
-module Hill_climb = Repro_baseline.Hill_climb
 module Table = Repro_util.Table
 module Parallel = Repro_util.Parallel
 
@@ -45,123 +48,101 @@ let decode_row line =
     }
   | _ -> Cli_common.fail "malformed comparison checkpoint row %S" line
 
-let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
-    time_budget =
+let list_engines () =
+  let table =
+    Table.create
+      [
+        ("engine", Table.Left); ("default budget", Table.Right);
+        ("what it is", Table.Left); ("knobs", Table.Left);
+      ]
+  in
+  List.iter
+    (fun engine ->
+      Table.add_row table
+        [
+          Engine.name engine;
+          string_of_int (Engine.default_iterations engine);
+          Engine.describe engine;
+          Engine.knobs engine;
+        ])
+    (Registry.all ());
+  print_string (Table.render table)
+
+let run clbs seed sa_iters ga_generations ga_population engines_spec
+    list_only jobs checkpoint_path time_budget =
   Cli_common.guard @@ fun () ->
+  (* The GA engines honour --ga-population; re-registration keeps their
+     registry position. *)
+  Registry.register (Ga.engine ~population:ga_population ());
+  Registry.register
+    (Ga.engine ~population:ga_population ~explore_impls:false ());
+  if list_only then begin
+    list_engines ();
+    Cli_common.exit_ok
+  end
+  else begin
+  let selected =
+    match engines_spec with
+    | "" -> Registry.all ()
+    | spec ->
+      String.split_on_char ',' spec
+      |> List.map String.trim
+      |> List.filter (fun name -> name <> "")
+      |> List.map Cli_common.find_engine
+  in
+  if selected = [] then Cli_common.fail "--engines names no engine";
   let app = Md.app () in
   let platform = Md.platform ~n_clb:clbs () in
 
-  (* One thunk per method; they share nothing mutable, so they can run
-     on separate domains.  Row order is the list order, not completion
-     order. *)
+  (* Per-engine iteration budgets.  The historical table gave random
+     sampling a tenth of the SA move budget and the climbers the full
+     one; tabu sweeps a whole neighbourhood per iteration, so its
+     budget is scaled down to roughly the SA evaluation count.
+     Anything else falls back to the engine's own default. *)
+  let budget_for engine =
+    match Engine.name engine with
+    | "sa" | "hill" -> sa_iters
+    | "ga" | "ga-spatial" -> ga_generations
+    | "random" -> sa_iters / 10
+    | "tabu" ->
+      max 1
+        (sa_iters / Repro_baseline.Tabu.default_config.Repro_baseline.Tabu.neighbourhood)
+    | _ -> Engine.default_iterations engine
+  in
+
+  (* One generic row per engine: same seed, same workload, one call
+     into the uniform driver. *)
+  let engine_row engine () =
+    let ctx =
+      Engine.context ~app ~platform ~seed ~iterations:(budget_for engine) ()
+    in
+    let o = Engine.run engine ctx in
+    let contexts =
+      match Repro_sched.Searchgraph.evaluate (Solution.spec o.Engine.best) with
+      | Some eval ->
+        string_of_int eval.Repro_sched.Searchgraph.n_contexts
+      | None -> "-"
+    in
+    {
+      method_name = Engine.name engine;
+      makespan = o.Engine.best_cost;
+      contexts;
+      evaluations = string_of_int o.Engine.evaluations;
+      seconds = o.Engine.wall_seconds;
+    }
+  in
   let methods : (unit -> row) list =
-    [
-      (* All-software reference. *)
-      (fun () ->
-        let all_sw = Repro_dse.Solution.all_software app platform in
-        {
-          method_name = "all-software";
-          makespan = Repro_dse.Solution.makespan all_sw;
-          contexts = "0";
-          evaluations = "1";
-          seconds = 0.0;
-        });
-      (* Adaptive simulated annealing (this paper). *)
-      (fun () ->
-        let sa_config =
-          {
-            (Explorer.default_config ~seed ()) with
-            Explorer.anneal =
-              {
-                (Explorer.default_config ~seed ()).Explorer.anneal with
-                Repro_anneal.Annealer.iterations = sa_iters;
-              };
-          }
-        in
-        let sa = Explorer.explore sa_config app platform in
-        {
-          method_name = "adaptive SA (paper)";
-          makespan = sa.Explorer.best_cost;
-          contexts =
-            string_of_int
-              sa.Explorer.best_eval.Repro_sched.Searchgraph.n_contexts;
-          evaluations = string_of_int sa.Explorer.iterations_run;
-          seconds = sa.Explorer.wall_seconds;
-        });
-      (* Genetic algorithm after Ben Chehida & Auguin. *)
-      (fun () ->
-        let ga_config =
-          { Ga.default_config with population = ga_population;
-            generations = ga_generations; seed }
-        in
-        let ga = Ga.run ga_config app platform in
-        {
-          method_name =
-            Printf.sprintf "GA [6] (pop %d)" ga_config.Ga.population;
-          makespan = ga.Ga.best_eval.Repro_sched.Searchgraph.makespan;
-          contexts =
-            string_of_int ga.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
-          evaluations = string_of_int ga.Ga.evaluations;
-          seconds = ga.Ga.wall_seconds;
-        });
-      (* Spatial-genes-only GA, as [6] describes its chromosome. *)
-      (fun () ->
-        let ga_config =
-          { Ga.default_config with population = ga_population;
-            generations = ga_generations; seed }
-        in
-        let ga_basic =
-          Ga.run { ga_config with Ga.explore_impls = false } app platform
-        in
-        {
-          method_name = "GA [6], spatial genes only";
-          makespan = ga_basic.Ga.best_eval.Repro_sched.Searchgraph.makespan;
-          contexts =
-            string_of_int
-              ga_basic.Ga.best_eval.Repro_sched.Searchgraph.n_contexts;
-          evaluations = string_of_int ga_basic.Ga.evaluations;
-          seconds = ga_basic.Ga.wall_seconds;
-        });
-      (* Greedy compute-to-hardware sweep. *)
-      (fun () ->
-        let greedy = Greedy.run app platform in
-        {
-          method_name =
-            Printf.sprintf "greedy (hw frac %.1f)" greedy.Greedy.hw_fraction;
-          makespan = greedy.Greedy.eval.Repro_sched.Searchgraph.makespan;
-          contexts =
-            string_of_int
-              greedy.Greedy.eval.Repro_sched.Searchgraph.n_contexts;
-          evaluations = "11";
-          seconds = greedy.Greedy.wall_seconds;
-        });
-      (* Random sampling with the SA's evaluation budget. *)
-      (fun () ->
-        let random =
-          Random_search.run ~seed ~samples:(sa_iters / 10) app platform
-        in
-        {
-          method_name = "random search";
-          makespan = random.Random_search.best_makespan;
-          contexts = "-";
-          evaluations = string_of_int random.Random_search.samples;
-          seconds = random.Random_search.wall_seconds;
-        });
-      (* Hill climbing with restarts. *)
-      (fun () ->
-        let hill =
-          Hill_climb.run
-            { Hill_climb.seed; moves_per_climb = sa_iters / 5; restarts = 5 }
-            app platform
-        in
-        {
-          method_name = "hill climbing (5 restarts)";
-          makespan = hill.Hill_climb.best_makespan;
-          contexts = "-";
-          evaluations = string_of_int hill.Hill_climb.moves_tried;
-          seconds = hill.Hill_climb.wall_seconds;
-        });
-    ]
+    (* All-software reference: not a search, kept outside the engines. *)
+    (fun () ->
+      let all_sw = Solution.all_software app platform in
+      {
+        method_name = "all-software";
+        makespan = Solution.makespan all_sw;
+        contexts = "0";
+        evaluations = "1";
+        seconds = 0.0;
+      })
+    :: List.map engine_row selected
   in
   let method_arr = Array.of_list methods in
   let checkpoint =
@@ -172,14 +153,16 @@ let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
           kind = "dse-compare";
           fingerprint =
             Printf.sprintf
-              "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d"
-              clbs seed sa_iters ga_generations ga_population;
+              "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d \
+               engines=%s"
+              clbs seed sa_iters ga_generations ga_population
+              (String.concat "," (List.map Engine.name selected));
           encode = encode_row;
           decode = decode_row;
         })
       checkpoint_path
   in
-  (* The baselines do not poll a stop probe mid-method, so a method
+  (* The engines do not poll a stop probe mid-method here, so a method
      runs to completion; supervision still isolates a raising method
      to its own row instead of losing the whole table. *)
   let outcome =
@@ -233,6 +216,7 @@ let run clbs seed sa_iters ga_generations ga_population jobs checkpoint_path
     clbs;
   print_string (Table.render table);
   Cli_common.exit_ok
+  end
 
 let clbs_arg =
   Arg.(value & opt int 2000 & info [ "clbs" ] ~doc:"FPGA size in CLBs")
@@ -240,7 +224,10 @@ let clbs_arg =
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
 let sa_iters_arg =
-  Arg.(value & opt int 50_000 & info [ "sa-iters" ] ~doc:"SA iterations")
+  Arg.(value & opt int 50_000
+       & info [ "sa-iters" ]
+           ~doc:"Move budget for the sa, hill and tabu engines (random \
+                 sampling gets a tenth of it)")
 
 let ga_generations_arg =
   Arg.(value & opt int 120 & info [ "ga-generations" ] ~doc:"GA generations")
@@ -248,6 +235,19 @@ let ga_generations_arg =
 let ga_population_arg =
   Arg.(value & opt int 300 & info [ "ga-population" ]
        ~doc:"GA population (paper: 300)")
+
+let engines_arg =
+  Arg.(value & opt string ""
+       & info [ "engines" ]
+           ~doc:"Comma-separated engine names to compare, in table order \
+                 (default: every registered engine; see --list-engines)"
+           ~docv:"NAMES")
+
+let list_engines_arg =
+  Arg.(value & flag
+       & info [ "list-engines" ]
+           ~doc:"Print the registered engines (name, default budget, \
+                 description, knobs) and exit")
 
 let jobs_arg =
   Arg.(value & opt int (Parallel.default_jobs ())
@@ -275,6 +275,7 @@ let cmd =
   let doc = "compare the explorer against the baselines (§5 comparison)" in
   Cmd.v (Cmd.info "dse-compare" ~doc ~exits:Cli_common.exits)
     Term.(const run $ clbs_arg $ seed_arg $ sa_iters_arg $ ga_generations_arg
-          $ ga_population_arg $ jobs_arg $ checkpoint_arg $ time_budget_arg)
+          $ ga_population_arg $ engines_arg $ list_engines_arg $ jobs_arg
+          $ checkpoint_arg $ time_budget_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,10 +34,10 @@ let app_of_name name =
       (Printf.sprintf "unknown application %S (try: %s)" name
          (String.concat ", " (List.map fst Repro_workloads.Suite.named)))
 
-let run app_name app_file platform_file clbs iters warmup seed schedule
-    lam_quality serialized trace_path gantt dot_path save_app restarts jobs
-    checkpoint_path checkpoint_every resume_path time_budget restart_timeout
-    result_path =
+let run app_name app_file platform_file clbs engine_name iters warmup seed
+    schedule lam_quality serialized trace_path gantt dot_path save_app
+    restarts jobs checkpoint_path checkpoint_every resume_path time_budget
+    restart_timeout result_path =
   Cli_common.guard @@ fun () ->
   let app =
     match app_file with
@@ -53,12 +53,22 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
       else Repro_workloads.Motion_detection.platform ~n_clb:clbs ()
   in
   Cli_common.validate_inputs app platform;
-  let supervised = restarts > 1 || restart_timeout <> None in
+  (* "sa" keeps its native path (bit-identical to historical runs,
+     checkpointable); any other name runs through the registry and the
+     generic engine driver. *)
+  let engine =
+    if engine_name = "sa" then None
+    else Some (Cli_common.find_engine engine_name)
+  in
+  let supervised = restarts > 1 || restart_timeout <> None || engine <> None in
   if supervised && (checkpoint_path <> None || resume_path <> None) then
     Cli_common.fail
-      "--checkpoint/--resume apply to a single unsupervised chain; \
-       drop --restarts/--restart-timeout (dse-sweep and dse-compare \
-       checkpoint at the restart level)";
+      "--checkpoint/--resume apply to a single unsupervised sa chain; \
+       drop --restarts/--restart-timeout/--engine (dse-sweep and \
+       dse-compare checkpoint at the restart level)";
+  if engine <> None && serialized then
+    Cli_common.fail
+      "--serialized-bus selects an sa objective; drop --engine";
   (match restart_timeout with
    | Some s when s <= 0.0 ->
      Cli_common.fail "--restart-timeout wants a positive number of seconds"
@@ -102,8 +112,13 @@ let run app_name app_file platform_file clbs iters warmup seed schedule
         [],
         0 )
     else begin
+      (match engine with
+       | Some e ->
+         Format.printf "engine: %s — %s@." (Repro_dse.Engine.name e)
+           (Repro_dse.Engine.describe e)
+       | None -> ());
       let report =
-        Explorer.explore_restarts_supervised ~trace ~jobs
+        Explorer.explore_restarts_supervised ~trace ~jobs ?engine
           ?restart_timeout ~should_stop ~restarts config app platform
       in
       let statuses =
@@ -221,6 +236,15 @@ let platform_file_arg =
 let clbs_arg =
   Arg.(value & opt int 2000 & info [ "clbs" ] ~doc:"FPGA size in CLBs")
 
+let engine_arg =
+  Arg.(value & opt string "sa"
+       & info [ "engine" ]
+           ~doc:"Search engine, by registry name: sa (default) | greedy | \
+                 random | hill | tabu | ga | ga-spatial.  Non-sa engines \
+                 take --iters as their iteration budget (see dse-compare \
+                 --list-engines for what one iteration means per engine); \
+                 --warmup/--schedule/--lam-quality apply to sa only")
+
 let iters_arg =
   Arg.(value & opt int 50_000 & info [ "iters" ] ~doc:"Cooling iterations")
 
@@ -321,7 +345,8 @@ let cmd =
   let doc = "explore a workload mapping on a reconfigurable platform" in
   Cmd.v (Cmd.info "dse-run" ~doc ~exits:Cli_common.exits)
     Term.(const run $ app_arg $ app_file_arg $ platform_file_arg $ clbs_arg
-          $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg $ quality_arg
+          $ engine_arg $ iters_arg $ warmup_arg $ seed_arg $ schedule_arg
+          $ quality_arg
           $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg
           $ restarts_arg $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg
           $ resume_arg $ time_budget_arg $ restart_timeout_arg $ result_arg)

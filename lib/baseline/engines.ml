@@ -1,0 +1,13 @@
+module Registry = Repro_dse.Engine_registry
+
+let register_all () =
+  List.iter Registry.register
+    [
+      Repro_dse.Explorer.sa_engine;
+      Greedy.engine;
+      Random_search.engine;
+      Hill_climb.engine;
+      Tabu.engine;
+      Ga.engine ();
+      Ga.engine ~explore_impls:false ();
+    ]

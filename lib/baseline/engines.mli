@@ -1,0 +1,9 @@
+(** One-stop registration of every search engine in the repository.
+
+    Registration is an explicit call rather than a module-initialization
+    side effect so that linking order never decides which engines
+    exist.  Idempotent: re-registering keeps each engine's position. *)
+
+val register_all : unit -> unit
+(** Registers, in presentation order: [sa], [greedy], [random], [hill],
+    [tabu], [ga], [ga-spatial]. *)

@@ -2,6 +2,8 @@ open Repro_taskgraph
 open Repro_arch
 open Repro_sched
 module Rng = Repro_util.Rng
+module Engine = Repro_dse.Engine
+module Solution = Repro_dse.Solution
 
 type config = {
   population : int;
@@ -38,7 +40,10 @@ type result = {
   wall_seconds : float;
 }
 
-let decode app platform individual =
+(* The deterministic realization of a chromosome, shared by the spec
+   decoder and the Solution builder: temporal partitioning by
+   clustering, software order by list scheduling on upward ranks. *)
+let plan app platform individual =
   let limit = Platform.n_clb platform in
   let impl_choice v = individual.impl.(v) in
   let fits v =
@@ -76,8 +81,26 @@ let decode app platform individual =
       ~is_sw:(fun v -> binding v = Searchgraph.Sw)
       ~priority:(fun v -> rank.(v))
   in
+  (contexts, sw_order, binding, impl_choice)
+
+let decode app platform individual =
+  let contexts, sw_order, binding, impl_choice = plan app platform individual in
   Searchgraph.single_processor_spec ~app ~platform ~binding ~impl_choice
     ~sw_order ~contexts
+
+let solution_of app platform individual =
+  let contexts, sw_order, _binding, impl_choice = plan app platform individual in
+  let sw_orders =
+    sw_order
+    :: List.init (Platform.processor_count platform - 1) (fun _ -> [])
+  in
+  let impl = List.init (App.size app) impl_choice in
+  Solution.of_mapping app platform ~sw_orders ~contexts ~impl
+
+let solution_of_exn app platform individual =
+  match solution_of app platform individual with
+  | Ok s -> s
+  | Error msg -> invalid_arg ("Ga.solution_of: " ^ msg)
 
 let fitness app platform individual =
   match Searchgraph.evaluate (decode app platform individual) with
@@ -114,64 +137,114 @@ let mutate rng config app rate individual =
 
 let copy_individual i = { hw = Array.copy i.hw; impl = Array.copy i.impl }
 
-let run ?progress config app platform =
-  if config.population < 2 then invalid_arg "Ga.run: population < 2";
-  if config.elite >= config.population then invalid_arg "Ga.run: elite too big";
-  let start_clock = Sys.time () in
-  let rng = Rng.create config.seed in
-  let evaluations = ref 0 in
-  let score individual =
-    incr evaluations;
-    fitness app platform individual
-  in
-  let population =
-    Array.init config.population (fun _ ->
-        let i = random_individual rng config app in
-        (score i, i))
-  in
-  (* Seed one all-software individual: always feasible, so the final
-     best is finite even if every random spatial partition decodes to a
-     cyclic search graph. *)
-  let n = App.size app in
-  let all_sw = { hw = Array.make n false; impl = Array.make n 0 } in
-  population.(config.population - 1) <- (score all_sw, all_sw);
+(* Evolution through the generic driver: one iteration = one
+   generation.  [config.seed] and [config.generations] are ignored —
+   the seed and the budget come from the engine context.  Returns the
+   outcome plus the final best individual (the elite slots make
+   population.(0) the best ever seen). *)
+let evolve ?progress config (ctx : Engine.context) =
+  if config.population < 2 then invalid_arg "Ga: population < 2";
+  if config.elite >= config.population then invalid_arg "Ga: elite too big";
+  let app = ctx.Engine.app and platform = ctx.Engine.platform in
+  let score individual = fitness app platform individual in
   let by_fitness (fa, _) (fb, _) = compare fa fb in
-  Array.sort by_fitness population;
-  let history = ref [ fst population.(0) ] in
-  let tournament_pick () =
-    let best = ref (Rng.int rng config.population) in
-    for _ = 2 to config.tournament do
-      let candidate = Rng.int rng config.population in
-      if fst population.(candidate) < fst population.(!best) then
-        best := candidate
-    done;
-    snd population.(!best)
+  let final = ref None in
+  let previous_best = ref infinity in
+  let outcome =
+    Engine.drive ctx
+      ~init:(fun rng ->
+        let population =
+          Array.init config.population (fun _ ->
+              let i = random_individual rng config app in
+              (score i, i))
+        in
+        (* Seed one all-software individual: always feasible, so the
+           final best is finite even if every random spatial partition
+           decodes to a cyclic search graph. *)
+        let n = App.size app in
+        let all_sw = { hw = Array.make n false; impl = Array.make n 0 } in
+        population.(config.population - 1) <- (score all_sw, all_sw);
+        Array.sort by_fitness population;
+        final := Some population;
+        previous_best := fst population.(0);
+        (population, fst population.(0), config.population + 1))
+      ~step:(fun rng ~iteration population ->
+        let tournament_pick () =
+          let best = ref (Rng.int rng config.population) in
+          for _ = 2 to config.tournament do
+            let candidate = Rng.int rng config.population in
+            if fst population.(candidate) < fst population.(!best) then
+              best := candidate
+          done;
+          snd population.(!best)
+        in
+        let next =
+          Array.init config.population (fun slot ->
+              if slot < config.elite then
+                let f, i = population.(slot) in
+                (f, copy_individual i)
+              else begin
+                let parent_a = tournament_pick () in
+                let child =
+                  if Rng.bernoulli rng config.crossover_rate then
+                    crossover rng parent_a (tournament_pick ())
+                  else copy_individual parent_a
+                in
+                mutate rng config app config.mutation_rate child;
+                (score child, child)
+              end)
+        in
+        Array.sort by_fitness next;
+        Array.blit next 0 population 0 config.population;
+        let cost = fst population.(0) in
+        let accepted = cost < !previous_best in
+        if accepted then previous_best := cost;
+        (match progress with
+         | Some f -> f ~generation:(iteration + 1) ~best:cost
+         | None -> ());
+        { Engine.state = population; cost; accepted;
+          evaluations = config.population - config.elite })
+      ~snapshot:(fun population ->
+        solution_of_exn app platform (snd population.(0)))
   in
-  for generation = 1 to config.generations do
-    let next =
-      Array.init config.population (fun slot ->
-          if slot < config.elite then
-            let f, i = population.(slot) in
-            (f, copy_individual i)
-          else begin
-            let parent_a = tournament_pick () in
-            let child =
-              if Rng.bernoulli rng config.crossover_rate then
-                crossover rng parent_a (tournament_pick ())
-              else copy_individual parent_a
-            in
-            mutate rng config app config.mutation_rate child;
-            (score child, child)
-          end)
-    in
-    Array.sort by_fitness next;
-    Array.blit next 0 population 0 config.population;
-    history := fst population.(0) :: !history;
-    match progress with
-    | Some f -> f ~generation ~best:(fst population.(0))
-    | None -> ()
-  done;
-  let _, best = population.(0) in
+  match !final with
+  | None -> assert false (* init always runs *)
+  | Some population -> (outcome, snd population.(0))
+
+let engine ?(population = default_config.population) ?(explore_impls = true)
+    () : Engine.t =
+  let config = { default_config with population; explore_impls } in
+  (module struct
+    let name = if explore_impls then "ga" else "ga-spatial"
+
+    let describe =
+      if explore_impls then
+        "genetic algorithm over spatial partitioning and implementation \
+         selection (Ben Chehida & Auguin, CASES'02)"
+      else
+        "genetic algorithm over spatial partitioning only, \
+         implementation genes frozen at the smallest variant"
+
+    let knobs =
+      Printf.sprintf
+        "population %d, crossover 0.9, mutation 0.02, tournament 3, \
+         elite 2; one iteration = one generation" population
+
+    let default_iterations = default_config.generations
+    let run ctx = fst (evolve config ctx)
+  end : Engine.S)
+
+let run ?progress config app platform =
+  let ctx =
+    Engine.context ~app ~platform ~seed:config.seed
+      ~iterations:config.generations ()
+  in
+  let history = ref [] in
+  let record ~generation ~best =
+    history := best :: !history;
+    match progress with Some f -> f ~generation ~best | None -> ()
+  in
+  let outcome, best = evolve ~progress:record config ctx in
   let best_spec = decode app platform best in
   let best_eval =
     match Searchgraph.evaluate best_spec with
@@ -183,8 +256,8 @@ let run ?progress config app platform =
     best;
     best_spec;
     best_eval;
-    evaluations = !evaluations;
-    generations_run = config.generations;
-    history = List.rev !history;
-    wall_seconds = Sys.time () -. start_clock;
+    evaluations = outcome.Engine.evaluations;
+    generations_run = outcome.Engine.iterations_run;
+    history = outcome.Engine.initial_cost :: List.rev !history;
+    wall_seconds = outcome.Engine.wall_seconds;
   }

@@ -42,7 +42,7 @@ type result = {
   evaluations : int;
   generations_run : int;
   history : float list;   (** best makespan per generation *)
-  wall_seconds : float;
+  wall_seconds : float;   (** {!Repro_util.Clock} wall time *)
 }
 
 val decode : App.t -> Platform.t -> individual -> Searchgraph.spec
@@ -50,12 +50,29 @@ val decode : App.t -> Platform.t -> individual -> Searchgraph.spec
     Hardware genes whose implementation cannot fit the device are
     treated as software. *)
 
+val solution_of :
+  App.t -> Platform.t -> individual ->
+  (Repro_dse.Solution.t, string) Stdlib.result
+(** The same realization as {!decode}, materialized as a first-class
+    {!Repro_dse.Solution.t} (via {!Repro_dse.Solution.of_mapping}) so
+    decoded individuals flow through the engine contract. *)
+
 val fitness : App.t -> Platform.t -> individual -> float
 (** Makespan of the decoded individual.  [infinity] when the decoded
     search graph is cyclic (the list-scheduled software order can
     conflict with the clustered context chain on rare partitions);
     such individuals are selected away. *)
 
+val engine :
+  ?population:int -> ?explore_impls:bool -> unit -> Repro_dse.Engine.t
+(** An engine over generations: one budget iteration = one generation.
+    Registered as ["ga"] (implementations explored, the default) and as
+    ["ga-spatial"] ([~explore_impls:false]).  All other knobs keep
+    {!default_config}; the seed and generation budget come from the
+    engine context. *)
+
 val run :
   ?progress:(generation:int -> best:float -> unit) -> config -> App.t ->
   Platform.t -> result
+(** Thin wrapper over the engine; [config.generations] is the iteration
+    budget and [config.seed] the context seed. *)

@@ -1,5 +1,7 @@
 open Repro_taskgraph
 open Repro_sched
+module Engine = Repro_dse.Engine
+module Solution = Repro_dse.Solution
 
 type result = {
   hw_fraction : float;
@@ -8,7 +10,7 @@ type result = {
   wall_seconds : float;
 }
 
-let with_fraction app platform fraction =
+let heaviest_fraction app fraction =
   if fraction < 0.0 || fraction > 1.0 then
     invalid_arg "Greedy.with_fraction: fraction outside [0,1]";
   let n = App.size app in
@@ -22,28 +24,79 @@ let with_fraction app platform fraction =
   let hw = Array.make n false in
   List.iteri (fun position v -> if position < hw_count then hw.(v) <- true)
     by_weight;
-  Ga.decode app platform { Ga.hw; impl = Array.make n 0 }
+  { Ga.hw; impl = Array.make n 0 }
+
+let with_fraction app platform fraction =
+  Ga.decode app platform (heaviest_fraction app fraction)
+
+(* One iteration = one hardware fraction decoded and evaluated.  The
+   init state is the all-software mapping, so the sweep always has a
+   feasible reference; [on_accept] reports each strictly-improving
+   fraction (first feasible fraction wins ties, as the historical
+   fold did). *)
+let engine_run ?on_accept ~fractions (ctx : Engine.context) =
+  let app = ctx.Engine.app and platform = ctx.Engine.platform in
+  let fractions = Array.of_list fractions in
+  let sweep_best = ref infinity in
+  Engine.drive ctx
+    ~init:(fun _rng ->
+      let s = Solution.all_software app platform in
+      (s, Solution.makespan s, 1))
+    ~step:(fun _rng ~iteration state ->
+      let fraction = fractions.(iteration) in
+      match Ga.solution_of app platform (heaviest_fraction app fraction) with
+      | Error _ ->
+        { Engine.state; cost = infinity; accepted = false; evaluations = 0 }
+      | Ok candidate ->
+        let cost = Solution.makespan candidate in
+        let accepted = cost < !sweep_best in
+        if accepted then begin
+          sweep_best := cost;
+          match on_accept with Some f -> f fraction | None -> ()
+        end;
+        { Engine.state = candidate; cost; accepted; evaluations = 1 })
+    ~snapshot:Solution.snapshot
+
+let evenly_spaced n =
+  if n <= 1 then [ 0.0 ]
+  else List.init n (fun i -> float_of_int i /. float_of_int (n - 1))
+
+module Engine_impl : Engine.S = struct
+  let name = "greedy"
+
+  let describe =
+    "heaviest-tasks-to-hardware sweep (Noguera & Badia style partitioning)"
+
+  let knobs =
+    "no randomness; a budget of n iterations sweeps n evenly spaced \
+     hardware fractions in [0,1]"
+
+  let default_iterations = 11
+
+  let run ctx =
+    engine_run ~fractions:(evenly_spaced ctx.Engine.budget.Engine.iterations)
+      ctx
+end
+
+let engine : Engine.t = (module Engine_impl)
 
 let run ?(fractions = List.init 11 (fun i -> float_of_int i /. 10.0)) app
     platform =
-  let start_clock = Sys.time () in
-  let candidates =
-    List.filter_map
-      (fun fraction ->
-        let spec = with_fraction app platform fraction in
-        match Searchgraph.evaluate spec with
-        | Some eval -> Some (fraction, spec, eval)
-        | None -> None)
-      fractions
+  let ctx =
+    Engine.context ~app ~platform ~seed:0
+      ~iterations:(List.length fractions) ()
   in
-  match candidates with
-  | [] -> invalid_arg "Greedy.run: no feasible fraction (empty sweep?)"
-  | first :: rest ->
-    let best =
-      List.fold_left
-        (fun ((_, _, ea) as a) ((_, _, eb) as b) ->
-          if eb.Searchgraph.makespan < ea.Searchgraph.makespan then b else a)
-        first rest
+  let best_fraction = ref None in
+  let o =
+    engine_run ~on_accept:(fun f -> best_fraction := Some f) ~fractions ctx
+  in
+  match !best_fraction with
+  | None -> invalid_arg "Greedy.run: no feasible fraction (empty sweep?)"
+  | Some hw_fraction ->
+    let spec = with_fraction app platform hw_fraction in
+    let eval =
+      match Searchgraph.evaluate spec with
+      | Some eval -> eval
+      | None -> assert false (* accepted, hence finite, hence acyclic *)
     in
-    let hw_fraction, spec, eval = best in
-    { hw_fraction; spec; eval; wall_seconds = Sys.time () -. start_clock }
+    { hw_fraction; spec; eval; wall_seconds = o.Engine.wall_seconds }

@@ -17,12 +17,16 @@ type result = {
   hw_fraction : float;        (** fraction of tasks mapped to hardware *)
   spec : Searchgraph.spec;
   eval : Searchgraph.eval;
-  wall_seconds : float;
+  wall_seconds : float;       (** {!Repro_util.Clock} wall time *)
 }
 
 val with_fraction : App.t -> Platform.t -> float -> Searchgraph.spec
 (** Map the heaviest [fraction] of the tasks to hardware. *)
 
+val engine : Repro_dse.Engine.t
+(** Registered as ["greedy"]; deterministic — a budget of [n]
+    iterations evaluates [n] evenly spaced hardware fractions. *)
+
 val run : ?fractions:float list -> App.t -> Platform.t -> result
 (** Default sweep: 0.0, 0.1, ..., 1.0; infeasible decodes are
-    skipped. *)
+    skipped.  Thin wrapper over the engine. *)

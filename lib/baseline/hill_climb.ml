@@ -1,6 +1,6 @@
 module Solution = Repro_dse.Solution
 module Moves = Repro_dse.Moves
-module Rng = Repro_util.Rng
+module Engine = Repro_dse.Engine
 
 type config = { seed : int; moves_per_climb : int; restarts : int }
 
@@ -13,32 +13,74 @@ type result = {
   wall_seconds : float;
 }
 
-let run config app platform =
-  if config.restarts < 1 then invalid_arg "Hill_climb.run: restarts < 1";
-  let start_clock = Sys.time () in
-  let rng = Rng.create config.seed in
-  let moves_tried = ref 0 in
-  let best = ref (Solution.all_software app platform) in
-  let best_makespan = ref (Solution.makespan !best) in
-  for _ = 1 to config.restarts do
-    let state = Solution.random rng app platform in
-    let current = ref (Solution.makespan state) in
-    for _ = 1 to config.moves_per_climb do
-      incr moves_tried;
+(* One iteration = one proposed move; every [moves_per_climb]
+   iterations the climb restarts from a fresh random solution (the
+   restart shares the iteration with the first move of the new climb,
+   so the total budget is exactly moves_per_climb * restarts).  The
+   driver's best-snapshot bookkeeping subsumes the historical
+   end-of-climb comparison: within a climb the current cost only
+   decreases, so the per-improvement snapshots reach the same optima. *)
+let engine_run ~moves_per_climb (ctx : Engine.context) =
+  if moves_per_climb < 1 then
+    invalid_arg "Hill_climb: moves_per_climb < 1";
+  let app = ctx.Engine.app and platform = ctx.Engine.platform in
+  let current = ref infinity in
+  Engine.drive ctx
+    ~init:(fun _rng ->
+      let s = Solution.all_software app platform in
+      let cost = Solution.makespan s in
+      (s, cost, 1))
+    ~step:(fun rng ~iteration state ->
+      let state, restart_evals =
+        if iteration mod moves_per_climb = 0 then begin
+          let s = Solution.random rng app platform in
+          current := Solution.makespan s;
+          (s, 1)
+        end
+        else (state, 0)
+      in
       match Moves.propose rng Moves.fixed_architecture state with
-      | None -> ()
+      | None ->
+        { Engine.state; cost = !current; accepted = false;
+          evaluations = restart_evals }
       | Some undo ->
         let candidate = Solution.makespan state in
-        if candidate < !current then current := candidate else undo ()
-    done;
-    if !current < !best_makespan then begin
-      best := Solution.snapshot state;
-      best_makespan := !current
-    end
-  done;
+        if candidate < !current then begin
+          current := candidate;
+          { Engine.state; cost = candidate; accepted = true;
+            evaluations = restart_evals + 1 }
+        end
+        else begin
+          undo ();
+          { Engine.state; cost = !current; accepted = false;
+            evaluations = restart_evals + 1 }
+        end)
+    ~snapshot:Solution.snapshot
+
+module Engine_impl : Engine.S = struct
+  let name = "hill"
+  let describe = "first-improvement hill climbing with random restarts"
+
+  let knobs =
+    "restart every 5000 moves; one iteration = one proposed move \
+     (annealer move set, uphill always rejected)"
+
+  let default_iterations = 20_000
+  let run ctx = engine_run ~moves_per_climb:default_config.moves_per_climb ctx
+end
+
+let engine : Engine.t = (module Engine_impl)
+
+let run config app platform =
+  if config.restarts < 1 then invalid_arg "Hill_climb.run: restarts < 1";
+  let ctx =
+    Engine.context ~app ~platform ~seed:config.seed
+      ~iterations:(config.moves_per_climb * config.restarts) ()
+  in
+  let o = engine_run ~moves_per_climb:config.moves_per_climb ctx in
   {
-    best = !best;
-    best_makespan = !best_makespan;
-    moves_tried = !moves_tried;
-    wall_seconds = Sys.time () -. start_clock;
+    best = o.Engine.best;
+    best_makespan = o.Engine.best_cost;
+    moves_tried = o.Engine.iterations_run;
+    wall_seconds = o.Engine.wall_seconds;
   }

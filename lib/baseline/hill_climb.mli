@@ -19,7 +19,13 @@ type result = {
   best : Repro_dse.Solution.t;
   best_makespan : float;
   moves_tried : int;
-  wall_seconds : float;
+  wall_seconds : float;   (** {!Repro_util.Clock} wall time *)
 }
 
+val engine : Repro_dse.Engine.t
+(** Registered as ["hill"]; one budget iteration = one proposed move,
+    with a fresh random restart every 5000 moves. *)
+
 val run : config -> App.t -> Platform.t -> result
+(** Thin wrapper over the engine with an explicit climb length and
+    restart count (budget = [moves_per_climb * restarts]). *)

@@ -1,5 +1,5 @@
 module Solution = Repro_dse.Solution
-module Rng = Repro_util.Rng
+module Engine = Repro_dse.Engine
 
 type result = {
   best : Solution.t;
@@ -8,23 +8,44 @@ type result = {
   wall_seconds : float;
 }
 
+(* One iteration = one independent random sample; the generic driver
+   keeps the best and the budget.  The RNG stream is exactly the
+   historical one: the driver seeds Rng.create ctx.seed and every draw
+   happens inside the step. *)
+let engine_run (ctx : Engine.context) =
+  let app = ctx.Engine.app and platform = ctx.Engine.platform in
+  let best_seen = ref infinity in
+  Engine.drive ctx
+    ~init:(fun _rng ->
+      let s = Solution.all_software app platform in
+      let cost = Solution.makespan s in
+      best_seen := cost;
+      (s, cost, 1))
+    ~step:(fun rng ~iteration:_ _state ->
+      let candidate = Solution.random rng app platform in
+      let cost = Solution.makespan candidate in
+      let accepted = cost < !best_seen in
+      if accepted then best_seen := cost;
+      { Engine.state = candidate; cost; accepted; evaluations = 1 })
+    ~snapshot:Solution.snapshot
+
+module Engine_impl : Engine.S = struct
+  let name = "random"
+  let describe = "uniform random sampling of the solution space (control)"
+  let knobs = "no knobs; one iteration = one random solution evaluated"
+  let default_iterations = 5_000
+  let run = engine_run
+end
+
+let engine : Engine.t = (module Engine_impl)
+
 let run ~seed ~samples app platform =
   if samples < 1 then invalid_arg "Random_search.run: samples < 1";
-  let start_clock = Sys.time () in
-  let rng = Rng.create seed in
-  let best = ref (Solution.all_software app platform) in
-  let best_makespan = ref (Solution.makespan !best) in
-  for _ = 1 to samples do
-    let candidate = Solution.random rng app platform in
-    let makespan = Solution.makespan candidate in
-    if makespan < !best_makespan then begin
-      best := candidate;
-      best_makespan := makespan
-    end
-  done;
+  let ctx = Engine.context ~app ~platform ~seed ~iterations:samples () in
+  let o = engine_run ctx in
   {
-    best = !best;
-    best_makespan = !best_makespan;
-    samples;
-    wall_seconds = Sys.time () -. start_clock;
+    best = o.Engine.best;
+    best_makespan = o.Engine.best_cost;
+    samples = o.Engine.iterations_run;
+    wall_seconds = o.Engine.wall_seconds;
   }

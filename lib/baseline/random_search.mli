@@ -9,9 +9,13 @@ type result = {
   best : Repro_dse.Solution.t;
   best_makespan : float;
   samples : int;
-  wall_seconds : float;
+  wall_seconds : float;   (** {!Repro_util.Clock} wall time *)
 }
+
+val engine : Repro_dse.Engine.t
+(** Registered as ["random"]; one budget iteration = one random
+    solution drawn and evaluated. *)
 
 val run : seed:int -> samples:int -> App.t -> Platform.t -> result
 (** Draw [samples] random solutions ({!Repro_dse.Solution.random}) and
-    keep the best feasible one. *)
+    keep the best feasible one.  Thin wrapper over {!engine}. *)

@@ -1,5 +1,6 @@
 module Solution = Repro_dse.Solution
 module Moves = Repro_dse.Moves
+module Engine = Repro_dse.Engine
 module Rng = Repro_util.Rng
 
 type config = {
@@ -17,6 +18,34 @@ type result = {
   moves_applied : int;
   wall_seconds : float;
 }
+
+(* The tabu list is a multiset: the same state hash can legitimately be
+   remembered twice within one tenure window (the search can revisit a
+   configuration through a different move).  [Hashtbl.add] gives one
+   binding per remembered occurrence and [Hashtbl.remove] drops exactly
+   one, so evicting the older occurrence leaves the newer one tabu.
+   (The previous [Hashtbl.replace]-based version collapsed duplicates
+   into a single binding, so evicting the old copy un-tabooed a state
+   that was still within tenure.) *)
+module Tenure = struct
+  type t = {
+    limit : int;
+    table : (int, unit) Hashtbl.t;
+    order : int Queue.t;
+  }
+
+  let create limit =
+    if limit < 0 then invalid_arg "Tabu.Tenure.create: negative tenure";
+    { limit; table = Hashtbl.create 64; order = Queue.create () }
+
+  let remember t hash =
+    Hashtbl.add t.table hash ();
+    Queue.add hash t.order;
+    if Queue.length t.order > t.limit then
+      Hashtbl.remove t.table (Queue.pop t.order)
+
+  let is_tabu t hash = Hashtbl.mem t.table hash
+end
 
 (* State-hash tabu: a candidate is tabu when its full configuration was
    visited within the last [tenure] applied moves. *)
@@ -37,58 +66,87 @@ let state_hash solution =
     (Solution.contexts solution);
   !acc
 
+(* One iteration = one neighbourhood sweep plus (when some candidate is
+   neither tabu nor infeasible) one applied move. *)
+let engine_run ~neighbourhood ~tenure (ctx : Engine.context) =
+  if neighbourhood < 1 then invalid_arg "Tabu: neighbourhood < 1";
+  let app = ctx.Engine.app and platform = ctx.Engine.platform in
+  let tabu = Tenure.create tenure in
+  let current = ref infinity in
+  Engine.drive ctx
+    ~init:(fun rng ->
+      let solution = Solution.random (Rng.split rng) app platform in
+      let cost = Solution.makespan solution in
+      current := cost;
+      Tenure.remember tabu (state_hash solution);
+      (solution, cost, 1))
+    ~step:(fun rng ~iteration:_ solution ->
+      (* Sample the neighbourhood: each candidate draws its move from a
+         dedicated stream so the winner can be replayed exactly. *)
+      let evals = ref 0 in
+      let best_candidate = ref None in
+      for _ = 1 to neighbourhood do
+        let stream = Rng.split rng in
+        match
+          Moves.propose (Rng.copy stream) Moves.fixed_architecture solution
+        with
+        | None -> ()
+        | Some undo ->
+          incr evals;
+          let cost = Solution.makespan solution in
+          let hash = state_hash solution in
+          undo ();
+          if not (Tenure.is_tabu tabu hash) then begin
+            match !best_candidate with
+            | Some (previous_cost, _, _) when previous_cost <= cost -> ()
+            | Some _ | None -> best_candidate := Some (cost, stream, hash)
+          end
+      done;
+      match !best_candidate with
+      | None ->
+        (* Whole neighbourhood tabu or infeasible: stall. *)
+        { Engine.state = solution; cost = !current; accepted = false;
+          evaluations = !evals }
+      | Some (cost, stream, hash) ->
+        (match Moves.propose stream Moves.fixed_architecture solution with
+         | Some _ -> ()
+         | None -> assert false (* same stream, same (feasible) move *));
+        Tenure.remember tabu hash;
+        current := cost;
+        { Engine.state = solution; cost; accepted = true;
+          evaluations = !evals })
+    ~snapshot:Solution.snapshot
+
+module Engine_impl : Engine.S = struct
+  let name = "tabu"
+  let describe = "steepest-descent tabu search over visited-state hashes"
+
+  let knobs =
+    "neighbourhood 24, tenure 20; one iteration = one neighbourhood \
+     sweep and at most one applied move"
+
+  let default_iterations = 4_000
+
+  let run ctx =
+    engine_run ~neighbourhood:default_config.neighbourhood
+      ~tenure:default_config.tenure ctx
+end
+
+let engine : Engine.t = (module Engine_impl)
+
 let run config app platform =
   if config.iterations < 1 || config.neighbourhood < 1 then
     invalid_arg "Tabu.run: non-positive budget";
-  let start_clock = Sys.time () in
-  let master = Rng.create config.seed in
-  let solution = Solution.random (Rng.split master) app platform in
-  let best = ref (Solution.snapshot solution) in
-  let best_makespan = ref (Solution.makespan solution) in
-  let tabu = Hashtbl.create 64 in
-  let recent = Queue.create () in
-  let remember hash =
-    Hashtbl.replace tabu hash ();
-    Queue.add hash recent;
-    if Queue.length recent > config.tenure then
-      Hashtbl.remove tabu (Queue.pop recent)
+  let ctx =
+    Engine.context ~app ~platform ~seed:config.seed
+      ~iterations:config.iterations ()
   in
-  remember (state_hash solution);
-  let moves_applied = ref 0 in
-  for _ = 1 to config.iterations do
-    (* Sample the neighbourhood: each candidate draws its move from a
-       dedicated stream so the winner can be replayed exactly. *)
-    let best_candidate = ref None in
-    for _ = 1 to config.neighbourhood do
-      let stream = Rng.split master in
-      match Moves.propose (Rng.copy stream) Moves.fixed_architecture solution with
-      | None -> ()
-      | Some undo ->
-        let cost = Solution.makespan solution in
-        let hash = state_hash solution in
-        undo ();
-        if not (Hashtbl.mem tabu hash) then begin
-          match !best_candidate with
-          | Some (previous_cost, _, _) when previous_cost <= cost -> ()
-          | Some _ | None -> best_candidate := Some (cost, stream, hash)
-        end
-    done;
-    match !best_candidate with
-    | None -> () (* whole neighbourhood tabu or infeasible: stall *)
-    | Some (cost, stream, hash) ->
-      (match Moves.propose stream Moves.fixed_architecture solution with
-       | Some _ -> ()
-       | None -> assert false (* same stream, same (feasible) move *));
-      incr moves_applied;
-      remember hash;
-      if cost < !best_makespan then begin
-        best_makespan := cost;
-        best := Solution.snapshot solution
-      end
-  done;
+  let o =
+    engine_run ~neighbourhood:config.neighbourhood ~tenure:config.tenure ctx
+  in
   {
-    best = !best;
-    best_makespan = !best_makespan;
-    moves_applied = !moves_applied;
-    wall_seconds = Sys.time () -. start_clock;
+    best = o.Engine.best;
+    best_makespan = o.Engine.best_cost;
+    moves_applied = o.Engine.accepted;
+    wall_seconds = o.Engine.wall_seconds;
   }

@@ -4,9 +4,9 @@
     that "require tuning, as one can find in tabu search (tabu list
     sizes)".  This baseline makes that contrast measurable: a
     steepest-descent tabu search over the same move space, with the
-    tabu attribute being the (task, resource-kind) of the last
-    migrations.  Its quality is indeed sensitive to [tenure] — the
-    `compare` tooling can sweep it. *)
+    tabu attribute being a hash of the full visited configuration.
+    Its quality is indeed sensitive to [tenure] — the `compare`
+    tooling can sweep it. *)
 
 open Repro_taskgraph
 open Repro_arch
@@ -15,7 +15,7 @@ type config = {
   seed : int;
   iterations : int;       (** outer iterations (one applied move each) *)
   neighbourhood : int;    (** candidate moves sampled per iteration *)
-  tenure : int;           (** iterations a reversed attribute stays tabu *)
+  tenure : int;           (** applied moves a visited state stays tabu *)
 }
 
 val default_config : config
@@ -25,7 +25,26 @@ type result = {
   best : Repro_dse.Solution.t;
   best_makespan : float;
   moves_applied : int;
-  wall_seconds : float;
+  wall_seconds : float;   (** {!Repro_util.Clock} wall time *)
 }
 
+(** Sliding-window tabu list with multiset semantics: remembering the
+    same hash twice keeps it tabu until {e both} occurrences age out.
+    Exposed for the eviction regression test. *)
+module Tenure : sig
+  type t
+
+  val create : int -> t
+  (** [create limit] remembers the last [limit] hashes. *)
+
+  val remember : t -> int -> unit
+  val is_tabu : t -> int -> bool
+end
+
+val engine : Repro_dse.Engine.t
+(** Registered as ["tabu"]; one budget iteration = one neighbourhood
+    sweep (24 sampled candidates) and at most one applied move. *)
+
 val run : config -> App.t -> Platform.t -> result
+(** Thin wrapper over the engine with explicit neighbourhood size and
+    tenure. *)

@@ -1,0 +1,133 @@
+module Rng = Repro_util.Rng
+module Clock = Repro_util.Clock
+
+type budget = { iterations : int; time_limit : float option }
+
+type status = Complete | Interrupted
+
+let status_name = function Complete -> "complete" | Interrupted -> "interrupted"
+
+type probe = { iteration : int; cost : float; best : float; accepted : bool }
+
+type context = {
+  app : Repro_taskgraph.App.t;
+  platform : Repro_arch.Platform.t;
+  seed : int;
+  budget : budget;
+  should_stop : (unit -> bool) option;
+  observe : (probe -> unit) option;
+}
+
+let context ?time_limit ?should_stop ?observe ~app ~platform ~seed ~iterations
+    () =
+  if iterations < 0 then invalid_arg "Engine.context: negative budget";
+  (match time_limit with
+   | Some s when s <= 0.0 ->
+     invalid_arg "Engine.context: non-positive time limit"
+   | Some _ | None -> ());
+  {
+    app;
+    platform;
+    seed;
+    budget = { iterations; time_limit };
+    should_stop;
+    observe;
+  }
+
+type outcome = {
+  best : Solution.t;
+  best_cost : float;
+  initial_cost : float;
+  iterations_run : int;
+  evaluations : int;
+  accepted : int;
+  wall_seconds : float;
+  status : status;
+}
+
+(* Fold the explicit probe and the wall-clock budget into one boundary
+   predicate; the deadline starts when the probe is built, i.e. at the
+   top of the engine's run. *)
+let stop_probe ctx =
+  let deadline =
+    Option.map (fun seconds -> Clock.deadline ~seconds) ctx.budget.time_limit
+  in
+  match (ctx.should_stop, deadline) with
+  | None, None -> fun () -> false
+  | Some stop, None -> stop
+  | None, Some expired -> expired
+  | Some stop, Some expired -> fun () -> stop () || expired ()
+
+module type S = sig
+  val name : string
+  val describe : string
+  val knobs : string
+  val default_iterations : int
+  val run : context -> outcome
+end
+
+type t = (module S)
+
+let name (module E : S) = E.name
+let describe (module E : S) = E.describe
+let knobs (module E : S) = E.knobs
+let default_iterations (module E : S) = E.default_iterations
+let run (module E : S) ctx = E.run ctx
+
+type 'state step = {
+  state : 'state;
+  cost : float;
+  accepted : bool;
+  evaluations : int;
+}
+
+(* The generic search loop: budget accounting, best-snapshot
+   bookkeeping, cooperative interruption and per-iteration observation
+   live here once, instead of once per baseline.  Engines supply the
+   initial state and the single-iteration step; everything the driver
+   does is deterministic given the context, so an engine built on it
+   inherits the determinism contract for free. *)
+let drive ctx ~init ~step ~snapshot =
+  let start_clock = Clock.wall () in
+  let stop = stop_probe ctx in
+  let rng = Rng.create ctx.seed in
+  let state, initial_cost, initial_evals = init rng in
+  let best = ref (snapshot state) in
+  let best_cost = ref initial_cost in
+  let evaluations = ref initial_evals in
+  let accepted = ref 0 in
+  let status = ref Complete in
+  let state = ref state in
+  let g = ref 0 in
+  (try
+     while !g < ctx.budget.iterations do
+       if stop () then begin
+         status := Interrupted;
+         raise Exit
+       end;
+       let r = step rng ~iteration:!g !state in
+       state := r.state;
+       evaluations := !evaluations + r.evaluations;
+       if r.accepted then incr accepted;
+       if r.cost < !best_cost then begin
+         best_cost := r.cost;
+         best := snapshot r.state
+       end;
+       (match ctx.observe with
+        | Some f ->
+          f { iteration = !g; cost = r.cost; best = !best_cost;
+              accepted = r.accepted }
+        | None -> ());
+       incr g
+     done
+   with Exit -> ());
+  {
+    best = !best;
+    best_cost = !best_cost;
+    initial_cost;
+    iterations_run = !g;
+    evaluations = !evaluations;
+    accepted = !accepted;
+    wall_seconds = Clock.wall () -. start_clock;
+    status = !status;
+  }

@@ -1,0 +1,152 @@
+(** The uniform search-engine contract.
+
+    The paper's headline claim is a comparison: adaptive annealing
+    against alternative search methods on the same GTLP search space.
+    That comparison is only fair when every engine runs under identical
+    budgets, seeding and measurement.  This module is the contract that
+    makes it so: every engine — the annealer and each baseline — is a
+    first-class module of signature {!S} whose [run] obeys the same
+    rules:
+
+    - {b determinism}: the engine derives every random decision from a
+      {!Repro_util.Rng} stream seeded with [context.seed]; equal
+      contexts give bit-identical outcomes;
+    - {b budget}: at most [budget.iterations] iterations are run (the
+      engine's natural unit — moves, generations, samples, sweep
+      points), and an optional wall-clock [time_limit] is enforced
+      cooperatively at iteration boundaries;
+    - {b stop probe}: [should_stop] is polled at every iteration
+      boundary; when it answers [true] the engine returns within one
+      iteration, with a valid best-so-far and status {!Interrupted};
+    - {b timing}: [wall_seconds] is {!Repro_util.Clock} wall time
+      (never [Sys.time] CPU time), so the seconds columns of every
+      engine are comparable;
+    - {b observability}: when [observe] is given it fires once per
+      iteration with the current and best cost and the acceptance
+      flag;
+    - {b snapshots}: [outcome.best] is a deep copy; mutating the
+      engine's working state (or the returned best) afterwards cannot
+      corrupt it.
+
+    Engines whose search loop is a plain iterate-and-improve cycle are
+    written against the generic driver {!drive}, which centralizes the
+    budget accounting, best-snapshot bookkeeping, interrupt handling
+    and trace emission; the annealer implements the same contract
+    natively on top of its warmup/cooling loop (see
+    {!Explorer.sa_engine}). *)
+
+open Repro_taskgraph
+open Repro_arch
+
+(** {1 Contract types} *)
+
+type budget = {
+  iterations : int;
+  (** iteration budget, in the engine's natural unit (annealing moves,
+      GA generations, random samples, hill-climbing moves, tabu steps,
+      greedy sweep points) *)
+  time_limit : float option;
+  (** optional wall-clock budget in seconds, enforced cooperatively at
+      iteration boundaries; [None] = unlimited *)
+}
+
+type status =
+  | Complete     (** ran to the end of the iteration budget *)
+  | Interrupted  (** stopped early by the stop probe or the time limit *)
+
+val status_name : status -> string
+(** ["complete"] / ["interrupted"], the strings used in result files. *)
+
+type probe = {
+  iteration : int;    (** 0-based iteration index *)
+  cost : float;       (** cost of the working state after the iteration *)
+  best : float;       (** best cost seen so far *)
+  accepted : bool;    (** the iteration changed the working state *)
+}
+(** One per-iteration observation, delivered to [context.observe]. *)
+
+type context = {
+  app : App.t;
+  platform : Platform.t;
+  seed : int;
+  budget : budget;
+  should_stop : (unit -> bool) option;
+  observe : (probe -> unit) option;
+}
+(** Everything an engine may read.  Engines must not consult any other
+    source of randomness, time or configuration. *)
+
+val context :
+  ?time_limit:float ->
+  ?should_stop:(unit -> bool) ->
+  ?observe:(probe -> unit) ->
+  app:App.t -> platform:Platform.t -> seed:int -> iterations:int -> unit ->
+  context
+
+type outcome = {
+  best : Solution.t;          (** deep copy of the best solution found *)
+  best_cost : float;          (** its makespan (ms) *)
+  initial_cost : float;       (** cost of the engine's initial state *)
+  iterations_run : int;       (** <= [budget.iterations], always *)
+  evaluations : int;          (** cost-function evaluations performed *)
+  accepted : int;             (** iterations that changed the state *)
+  wall_seconds : float;       (** {!Repro_util.Clock} wall time *)
+  status : status;
+}
+
+val stop_probe : context -> (unit -> bool)
+(** The context's [should_stop] and [time_limit] folded into one
+    boundary probe (starts the time budget when called the first
+    time). *)
+
+(** {1 The engine signature} *)
+
+module type S = sig
+  val name : string
+  (** Registry key, as accepted by [--engine]/[--engines]. *)
+
+  val describe : string
+  (** One-line description: method and provenance in the paper. *)
+
+  val knobs : string
+  (** One-line, human-readable account of the engine's fixed knobs and
+      of what one budget iteration means. *)
+
+  val default_iterations : int
+  (** The engine's traditional budget, used when the caller does not
+      choose one. *)
+
+  val run : context -> outcome
+end
+
+type t = (module S)
+
+val name : t -> string
+val describe : t -> string
+val knobs : t -> string
+val default_iterations : t -> int
+val run : t -> context -> outcome
+
+(** {1 Generic driver} *)
+
+type 'state step = {
+  state : 'state;      (** working state after the iteration (a restart
+                           may swap it for a fresh one) *)
+  cost : float;        (** its cost *)
+  accepted : bool;     (** the iteration changed the working state *)
+  evaluations : int;   (** cost evaluations spent by the iteration *)
+}
+
+val drive :
+  context ->
+  init:(Repro_util.Rng.t -> 'state * float * int) ->
+  step:(Repro_util.Rng.t -> iteration:int -> 'state -> 'state step) ->
+  snapshot:('state -> Solution.t) ->
+  outcome
+(** The one loop shared by every driven engine.  [init] builds the
+    initial working state and returns it with its cost and the
+    evaluations spent; the driver snapshots it as the initial best.
+    Each iteration then polls the stop probe, calls [step], keeps the
+    budget and acceptance accounts, snapshots new strict bests and
+    emits the observation.  The initial state's cost must be finite
+    (start from a feasible solution, e.g. all-software). *)

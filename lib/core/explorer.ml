@@ -233,8 +233,8 @@ type frontier_point = {
   meets : bool;
 }
 
-let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
-    platform =
+let explore ?trace ?initial ?checkpoint ?resume ?should_stop ?on_iteration
+    config application platform =
   let module P = struct
     type state = Solution.t
 
@@ -262,11 +262,9 @@ let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
       (solution, P.cost solution)
   in
   let annealer_trace =
-    match trace with
-    | None -> None
-    | Some t ->
-      Some
-        (fun ~iteration ~cost ~best ~temperature ~accepted ->
+    let record =
+      Option.map
+        (fun t ~iteration ~cost ~best ~temperature ~accepted ->
           Trace.record t
             {
               Trace.iteration;
@@ -276,6 +274,16 @@ let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
               accepted;
               n_contexts = Solution.n_contexts solution;
             })
+        trace
+    in
+    match (record, on_iteration) with
+    | None, None -> None
+    | Some f, None | None, Some f -> Some f
+    | Some f, Some g ->
+      Some
+        (fun ~iteration ~cost ~best ~temperature ~accepted ->
+          f ~iteration ~cost ~best ~temperature ~accepted;
+          g ~iteration ~cost ~best ~temperature ~accepted)
   in
   let checkpoint =
     Option.map
@@ -310,6 +318,70 @@ let explore ?trace ?initial ?checkpoint ?resume ?should_stop config application
     status = outcome.Annealer.status;
   }
 
+(* ---- the annealer as a registered engine -------------------------- *)
+
+(* The annealer implements the Engine contract natively: the generic
+   iteration budget is the *total* move count (warmup + cooling), so
+   [iterations_run <= budget.iterations] holds exactly as for the
+   driven engines, and the stop probe / wall timing / observation
+   callbacks are the ones the rest of the system already exercises. *)
+module Sa_engine : Engine.S = struct
+  let name = "sa"
+  let describe = "adaptive simulated annealing (the paper, \xc2\xa74)"
+
+  let knobs =
+    "Lam schedule (quality 0.003); warmup = min(1200, budget/10); one \
+     iteration = one proposed move"
+
+  let default_iterations = 50_000
+
+  let run (ctx : Engine.context) =
+    let total = ctx.Engine.budget.Engine.iterations in
+    if total < 2 then invalid_arg "sa engine: budget below 2 iterations";
+    let warmup = max 1 (min 1_200 (total / 10)) in
+    let config =
+      {
+        anneal =
+          {
+            Annealer.default_config with
+            Annealer.iterations = total - warmup;
+            warmup_iterations = warmup;
+            seed = ctx.Engine.seed;
+          };
+        moves = Moves.fixed_architecture;
+        objective = Makespan;
+      }
+    in
+    let on_iteration =
+      Option.map
+        (fun f ~iteration ~cost ~best ~temperature:_ ~accepted ->
+          (* Warmup iterations count from -warmup; present the engine's
+             uniform 0-based index instead. *)
+          f { Engine.iteration = iteration + warmup; cost; best; accepted })
+        ctx.Engine.observe
+    in
+    let result =
+      explore
+        ~should_stop:(Engine.stop_probe ctx)
+        ?on_iteration config ctx.Engine.app ctx.Engine.platform
+    in
+    {
+      Engine.best = result.best;
+      best_cost = result.best_cost;
+      initial_cost = result.initial_cost;
+      iterations_run = result.iterations_run;
+      evaluations = result.iterations_run - result.infeasible;
+      accepted = result.accepted;
+      wall_seconds = result.wall_seconds;
+      status =
+        (match result.status with
+         | Annealer.Complete -> Engine.Complete
+         | Annealer.Interrupted -> Engine.Interrupted);
+    }
+end
+
+let sa_engine : Engine.t = (module Sa_engine)
+
 (* ---- supervised restarts ----------------------------------------- *)
 
 type item_status =
@@ -337,25 +409,78 @@ type restarts_report = {
   degraded : int;
 }
 
+(* A generic engine's outcome, dressed as the explorer's result record:
+   the eval is recomputed from the (feasible) best solution, and the
+   annealer-specific infeasible counter is 0. *)
+let result_of_outcome (o : Engine.outcome) =
+  let best_eval =
+    match Solution.evaluate o.Engine.best with
+    | Some eval -> eval
+    | None -> failwith "Explorer: engine returned an infeasible best solution"
+  in
+  {
+    best = o.Engine.best;
+    best_eval;
+    best_cost = o.Engine.best_cost;
+    initial_cost = o.Engine.initial_cost;
+    iterations_run = o.Engine.iterations_run;
+    accepted = o.Engine.accepted;
+    infeasible = 0;
+    wall_seconds = o.Engine.wall_seconds;
+    status =
+      (match o.Engine.status with
+       | Engine.Complete -> Annealer.Complete
+       | Engine.Interrupted -> Annealer.Interrupted);
+  }
+
 let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
-    ?(retries = 0) ~restarts config application platform =
+    ?(retries = 0) ?engine ~restarts config application platform =
   if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
   (* Each chain's seed is a pure function of its index, and results are
      collected in index order, so the winner (first strict minimum) and
      the cost list are identical for every [jobs] value. *)
+  let run_chain index ~stop =
+    let seed = config.anneal.Annealer.seed + (index * 65_537) in
+    let trace = if index = 0 then trace else None in
+    match engine with
+    | None ->
+      (* Native annealer path, bit-identical to the historical one. *)
+      let config =
+        { config with anneal = { config.anneal with Annealer.seed } }
+      in
+      (* The per-restart deadline reaches the annealer as its stop
+         probe: a chain out of budget returns best-so-far at the next
+         iteration boundary instead of being torn down. *)
+      explore ?trace ~should_stop:stop config application platform
+    | Some engine ->
+      (* Any registered engine gets the same supervision: derived
+         seeds, the anneal iteration budget, and the stop probe wired
+         to its boundary polls.  Restart 0 streams its observations
+         into the trace (engines other than the annealer have no
+         temperature or context count; both are recorded as 0). *)
+      let observe =
+        Option.map
+          (fun t { Engine.iteration; cost; best; accepted } ->
+            Trace.record t
+              {
+                Trace.iteration;
+                cost;
+                best;
+                temperature = 0.0;
+                accepted;
+                n_contexts = 0;
+              })
+          trace
+      in
+      let ctx =
+        Engine.context ~should_stop:stop ?observe ~app:application ~platform
+          ~seed ~iterations:config.anneal.Annealer.iterations ()
+      in
+      result_of_outcome (Engine.run engine ctx)
+  in
   let outcomes =
     Parallel.map_outcomes ~jobs ~retries ?timeout:restart_timeout ?should_stop
-      restarts
-      (fun index ~stop ->
-        let seed = config.anneal.Annealer.seed + (index * 65_537) in
-        let config =
-          { config with anneal = { config.anneal with Annealer.seed } }
-        in
-        let trace = if index = 0 then trace else None in
-        (* The per-restart deadline reaches the annealer as its stop
-           probe: a chain out of budget returns best-so-far at the next
-           iteration boundary instead of being torn down. *)
-        explore ?trace ~should_stop:stop config application platform)
+      restarts run_chain
   in
   let statuses = Array.map status_of_outcome outcomes in
   let survivors =
@@ -386,9 +511,11 @@ let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
 
 let explore_restarts_supervised = supervise_restarts
 
-let explore_restarts ?trace ?jobs ~restarts config application platform =
+let explore_restarts ?trace ?jobs ?engine ~restarts config application
+    platform =
   let report =
-    supervise_restarts ?trace ?jobs ~restarts config application platform
+    supervise_restarts ?trace ?jobs ?engine ~restarts config application
+      platform
   in
   match report.best_result with
   | Some best -> (best, List.map snd report.restart_costs)

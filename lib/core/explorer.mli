@@ -56,6 +56,11 @@ type result = {
   (** [Interrupted] when [should_stop] ended the run early; the best
       solution is still the best seen so far. *)
 }
+(** For results produced by a generic engine (see [engine] below),
+    [iterations_run]/[accepted] come from the engine's outcome,
+    [infeasible] is 0 (only the annealer counts structurally invalid
+    proposals) and [initial_cost] is the cost of the engine's initial
+    state. *)
 
 val cost_of : objective -> Solution.t -> float
 (** The scalar the annealer minimizes. *)
@@ -82,16 +87,31 @@ val load_snapshot :
 val explore :
   ?trace:Trace.t -> ?initial:Solution.t -> ?checkpoint:run_checkpoint ->
   ?resume:Solution.t Repro_anneal.Annealer.snapshot ->
-  ?should_stop:(unit -> bool) -> config -> App.t -> Platform.t -> result
+  ?should_stop:(unit -> bool) ->
+  ?on_iteration:(iteration:int -> cost:float -> best:float ->
+                 temperature:float -> accepted:bool -> unit) ->
+  config -> App.t -> Platform.t -> result
 (** Run one exploration.  The initial solution defaults to
     {!Solution.random} drawn from the annealing seed.  [resume]
     continues a checkpointed run instead of starting fresh ([initial]
     is then ignored); the resumed run replays the uninterrupted one bit
     for bit.  [should_stop] is polled at iteration boundaries — on
     [true] the run flushes a final checkpoint (when [checkpoint] is
-    given) and returns with status [Interrupted].  Raises
-    [Invalid_argument] when [Cost_under_deadline] is used on an
-    application without a deadline. *)
+    given) and returns with status [Interrupted].  [on_iteration] is a
+    streaming observation callback firing once per annealing iteration
+    (warmup iterations carry negative indices), independent of [trace]
+    recording.  Raises [Invalid_argument] when [Cost_under_deadline] is
+    used on an application without a deadline. *)
+
+val sa_engine : Engine.t
+(** The annealer behind the uniform {!Engine.S} contract, under the
+    name ["sa"].  The generic iteration budget is the run's {e total}
+    move count: a tenth (capped at the paper's 1200, at least 1) is
+    spent as infinite-temperature warmup and the rest cools under the
+    default Lam schedule, so [iterations_run <= budget.iterations]
+    holds like for every other engine.  The stop probe, wall timing and
+    per-iteration observations follow the contract; the objective is
+    the makespan. *)
 
 val meets_deadline : App.t -> Searchgraph.eval -> bool
 (** True when the application declares no deadline or the evaluated
@@ -125,20 +145,30 @@ type restarts_report = {
 
 val explore_restarts_supervised :
   ?trace:Trace.t -> ?jobs:int -> ?restart_timeout:float ->
-  ?should_stop:(unit -> bool) -> ?retries:int -> restarts:int -> config ->
-  App.t -> Platform.t -> restarts_report
+  ?should_stop:(unit -> bool) -> ?retries:int -> ?engine:Engine.t ->
+  restarts:int -> config -> App.t -> Platform.t -> restarts_report
 (** Supervised multi-start exploration: one raising or overrunning
     chain never costs the others their results.  Each restart runs
     under [restart_timeout] wall seconds (cooperatively — the deadline
-    is the annealer's stop probe, so an over-budget chain flushes and
+    is the engine's stop probe, so an over-budget chain flushes and
     yields best-so-far at an iteration boundary), is retried [retries]
     extra times on failure, and resolves to its own {!item_status}.
     The report aggregates over survivors; consumers must treat
-    [degraded > 0] as a partial (still deterministic) answer. *)
+    [degraded > 0] as a partial (still deterministic) answer.
+
+    [engine] selects the search engine (default: the annealer through
+    its native path, preserving the historical bit-exact streams).
+    Every engine gets the same treatment: per-restart derived seeds
+    ([config.anneal.seed + 65537 * index]), parallel chains over
+    [jobs] domains, per-restart timeouts and degradation.  Generic
+    engines take [config.anneal.iterations] as their iteration budget
+    and run on the makespan objective; restart 0 feeds [trace] through
+    the engine's observation callback (temperature and context count
+    are not defined for them and recorded as 0). *)
 
 val explore_restarts :
-  ?trace:Trace.t -> ?jobs:int -> restarts:int -> config -> App.t ->
-  Platform.t -> result * float list
+  ?trace:Trace.t -> ?jobs:int -> ?engine:Engine.t -> restarts:int ->
+  config -> App.t -> Platform.t -> result * float list
 (** Run [restarts] independent explorations (seeds derived from the
     configured one) and return the best result together with every
     run's best cost — the usual defense against annealing variance,

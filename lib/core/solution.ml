@@ -513,7 +513,73 @@ let random rng application platform =
     topo;
   t
 
-let check_invariants t =
+let rec of_mapping application platform ~sw_orders ~contexts ~impl =
+  let n = App.size application in
+  let procs = Platform.processor_count platform in
+  if List.length sw_orders <> procs then
+    Error
+      (Printf.sprintf "of_mapping: %d processor orders, platform has %d"
+         (List.length sw_orders) procs)
+  else if List.length impl <> n then
+    Error
+      (Printf.sprintf "of_mapping: %d implementation choices, %d tasks"
+         (List.length impl) n)
+  else begin
+    let in_range v = v >= 0 && v < n in
+    if
+      not
+        (List.for_all (List.for_all in_range) sw_orders
+         && List.for_all (List.for_all in_range) contexts)
+    then Error "of_mapping: task index out of range"
+    else begin
+      let assign = Array.make n min_int in
+      let clash = ref None in
+      let place v a =
+        if assign.(v) <> min_int then clash := Some v else assign.(v) <- a
+      in
+      List.iteri
+        (fun j members -> List.iter (fun v -> place v j) members)
+        contexts;
+      List.iteri
+        (fun p order -> List.iter (fun v -> place v (-(p + 1))) order)
+        sw_orders;
+      match !clash with
+      | Some v -> Error (Printf.sprintf "of_mapping: task %d placed twice" v)
+      | None ->
+        if Array.exists (fun a -> a = min_int) assign then
+          Error "of_mapping: some task is neither scheduled nor in a context"
+        else begin
+          let t =
+            {
+              app = application;
+              clo = closure_of_app application;
+              platform;
+              assign;
+              impl = Array.of_list impl;
+              sw = Array.of_list sw_orders;
+              ctxs = List.mapi (fun j members -> (j, members)) contexts;
+              next_ctx = List.length contexts;
+              cached = None;
+              incr = None;
+              structure_version = 0;
+              next_version = 0;
+              stats =
+                {
+                  full_evals = 0;
+                  full_nodes = 0;
+                  incr_evals = 0;
+                  incr_nodes = 0;
+                };
+            }
+          in
+          match check_invariants t with
+          | Ok () -> Ok t
+          | Error msg -> Error ("of_mapping: " ^ msg)
+        end
+    end
+  end
+
+and check_invariants t =
   let problems = ref [] in
   let note msg = problems := msg :: !problems in
   let n = size t in

@@ -40,6 +40,21 @@ val random : Repro_util.Rng.t -> App.t -> Platform.t -> t
 
 val copy : t -> t
 
+val of_mapping :
+  App.t -> Platform.t ->
+  sw_orders:int list list ->
+  contexts:int list list ->
+  impl:int list ->
+  (t, string) result
+(** Build a solution directly from mapping decisions: per-processor
+    execution orders (primary first; together they must list exactly
+    the tasks in no context), contexts in execution order with their
+    exact member order, and one implementation index per task.  The
+    constructed solution passes {!check_invariants} or an error is
+    returned.  Used by the decoded baselines (GA, greedy) to express
+    their answers as first-class solutions behind the common engine
+    interface. *)
+
 (** {1 Inspection} *)
 
 val size : t -> int

@@ -183,6 +183,27 @@ let test_tabu () =
         -. result.Repro_baseline.Tabu.best_makespan)
      < 1e-9)
 
+(* Regression for the tenure-eviction bug: remembering the same state
+   hash twice within one tenure window, then evicting the *older*
+   occurrence, must keep the newer occurrence tabu.  (The original
+   Hashtbl.replace-based list collapsed the duplicate, so the eviction
+   un-tabooed a state that was still within tenure.) *)
+let test_tabu_tenure_eviction () =
+  let module Tenure = Repro_baseline.Tabu.Tenure in
+  let t = Tenure.create 3 in
+  Tenure.remember t 1;
+  Tenure.remember t 2;
+  Tenure.remember t 1;
+  (* Window is [1; 2; 1]; the next remember evicts the older 1. *)
+  Tenure.remember t 3;
+  Alcotest.(check bool) "newer occurrence of 1 still tabu" true
+    (Tenure.is_tabu t 1);
+  Tenure.remember t 4;
+  Alcotest.(check bool) "2 aged out" false (Tenure.is_tabu t 2);
+  Tenure.remember t 5;
+  Alcotest.(check bool) "1 fully aged out" false (Tenure.is_tabu t 1);
+  Alcotest.(check bool) "3 still within tenure" true (Tenure.is_tabu t 3)
+
 let test_tabu_deterministic () =
   let app = app () in
   let config =
@@ -228,6 +249,7 @@ let suite =
     Alcotest.test_case "greedy run" `Quick test_greedy_run;
     Alcotest.test_case "random search" `Quick test_random_search;
     Alcotest.test_case "tabu search" `Quick test_tabu;
+    Alcotest.test_case "tabu tenure eviction" `Quick test_tabu_tenure_eviction;
     Alcotest.test_case "tabu deterministic" `Quick test_tabu_deterministic;
     Alcotest.test_case "hill climb" `Quick test_hill_climb;
   ]
