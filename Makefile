@@ -50,6 +50,33 @@ faultcheck: build
 	    --resume $$ck >/dev/null; \
 	  rm -f $$ck; \
 	done; echo "faultcheck resume drill OK"
+	@set -e; for spec in sa:5000:2500 greedy:40:10 random:200:100 \
+	    hill:200:100 tabu:20:100 ga:4:700 ga-spatial:4:700; do \
+	  engine=$${spec%%:*}; rest=$${spec#*:}; \
+	  iters=$${rest%%:*}; fault=$${rest#*:}; \
+	  ck=$$(mktemp -u); clean=$$(mktemp); resumed=$$(mktemp); \
+	  echo "faultcheck: engine $$engine kill/resume" \
+	       "(iters $$iters, REPRO_FAULTS=eval:$$fault)"; \
+	  dune exec -- bin/dse_run.exe --engine $$engine --seed 7 \
+	    --iters $$iters --warmup 200 --result $$clean >/dev/null; \
+	  if REPRO_FAULTS=eval:$$fault dune exec -- bin/dse_run.exe \
+	       --engine $$engine --seed 7 --iters $$iters --warmup 200 \
+	       --checkpoint $$ck --checkpoint-every 1 >/dev/null 2>&1; then \
+	    echo "faultcheck: $$engine: injected fault did not fire"; exit 1; \
+	  fi; \
+	  dune exec -- bin/dse_run.exe --engine $$engine --seed 7 \
+	    --iters $$iters --warmup 200 --resume $$ck --result $$resumed \
+	    >/dev/null; \
+	  sed 's/"wall_seconds": [^,]*, //' $$clean > $$clean.cmp; \
+	  sed 's/"wall_seconds": [^,]*, //' $$resumed > $$resumed.cmp; \
+	  if ! diff $$clean.cmp $$resumed.cmp >/dev/null; then \
+	    echo "faultcheck: $$engine: resumed result differs from clean run"; \
+	    sed 's/"wall_seconds": [^,]*, //' $$clean; \
+	    sed 's/"wall_seconds": [^,]*, //' $$resumed; \
+	    exit 1; \
+	  fi; \
+	  rm -f $$ck $$clean $$clean.cmp $$resumed $$resumed.cmp; \
+	done; echo "faultcheck all-engine kill/resume drill OK"
 	@set -e; for seed in 1 2 3; do \
 	  spool=$$(mktemp -d); \
 	  echo "faultcheck: serve drill seed $$seed (REPRO_FAULTS=job:1)"; \

@@ -32,6 +32,7 @@ module Greedy = Repro_baseline.Greedy
 module Random_search = Repro_baseline.Random_search
 module Hill_climb = Repro_baseline.Hill_climb
 module Tabu = Repro_baseline.Tabu
+module Engine = Repro_dse.Engine
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
 module Rng = Repro_util.Rng
@@ -333,7 +334,8 @@ let compare_methods () =
     hill.Hill_climb.wall_seconds;
   let tabu =
     Tabu.run
-      { Tabu.seed = 1; iterations = tabu_iters; neighbourhood = 24; tenure = 20 }
+      { Tabu.seed = 1; iterations = tabu_iters; neighbourhood = 24;
+        tenure = 20; aspiration = false }
       app platform
   in
   row "tabu search (tenure 20)" tabu.Tabu.best_makespan "-" tabu.Tabu.wall_seconds;
@@ -609,15 +611,18 @@ let ablation_tabu () =
   in
   List.iter
     (fun tenure ->
+      (* Each tenure point is its own engine instance, run through the
+         uniform contract — the same driver every other comparison
+         uses. *)
+      let engine = Tabu.engine_with ~tenure () in
       let stats = Stats.Running.create () in
       for run = 0 to runs_per_point - 1 do
-        let result =
-          Tabu.run
-            { Tabu.seed = 300 + run; iterations = tabu_iters / 2;
-              neighbourhood = 24; tenure }
-            app platform
+        let ctx =
+          Engine.context ~app ~platform ~seed:(300 + run)
+            ~iterations:(tabu_iters / 2) ()
         in
-        Stats.Running.add stats result.Tabu.best_makespan
+        let outcome = Engine.run engine ctx in
+        Stats.Running.add stats outcome.Engine.best_cost
       done;
       Table.add_row table
         [

@@ -97,6 +97,13 @@ let write_result ?(restart_statuses = []) ?(degraded = 0) path
       ("accepted", num_int result.Explorer.accepted);
       ("infeasible", num_int result.Explorer.infeasible);
       ("wall_seconds", Num result.Explorer.wall_seconds);
+      (* CRC of the canonical solution text: lets two runs (e.g. a
+         clean one and a kill/resume one) be compared for bit-identity
+         without shipping the whole solution. *)
+      ( "solution",
+        Str
+          (Repro_util.Checkpoint.crc32_hex
+             (Repro_dse.Solution.encode result.Explorer.best)) );
     ]
     @
     match restart_statuses with

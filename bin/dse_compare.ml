@@ -68,9 +68,13 @@ let list_engines () =
     (Registry.all ());
   print_string (Table.render table)
 
-let run clbs seed sa_iters ga_generations ga_population engines_spec
+let run clbs seed sa_iters ga_generations ga_population evals engines_spec
     list_only jobs checkpoint_path time_budget =
   Cli_common.guard @@ fun () ->
+  (match evals with
+   | Some n when n < 1 ->
+     Cli_common.fail "--evals wants a positive evaluation count"
+   | _ -> ());
   (* The GA engines honour --ga-population; re-registration keeps their
      registry position. *)
   Registry.register (Ga.engine ~population:ga_population ());
@@ -98,23 +102,34 @@ let run clbs seed sa_iters ga_generations ga_population engines_spec
      sampling a tenth of the SA move budget and the climbers the full
      one; tabu sweeps a whole neighbourhood per iteration, so its
      budget is scaled down to roughly the SA evaluation count.
-     Anything else falls back to the engine's own default. *)
+     Anything else falls back to the engine's own default.  --evals
+     replaces all of this with one engine-neutral currency: every
+     engine stops at the first iteration boundary reaching the same
+     cost-evaluation budget (the iteration cap is then just a
+     backstop, since every engine spends at least one evaluation per
+     iteration). *)
   let budget_for engine =
-    match Engine.name engine with
-    | "sa" | "hill" -> sa_iters
-    | "ga" | "ga-spatial" -> ga_generations
-    | "random" -> sa_iters / 10
-    | "tabu" ->
-      max 1
-        (sa_iters / Repro_baseline.Tabu.default_config.Repro_baseline.Tabu.neighbourhood)
-    | _ -> Engine.default_iterations engine
+    match evals with
+    | Some n -> n
+    | None -> (
+      match Engine.name engine with
+      | "sa" | "hill" -> sa_iters
+      | "ga" | "ga-spatial" -> ga_generations
+      | "random" -> sa_iters / 10
+      | "tabu" ->
+        max 1
+          (sa_iters
+           / Repro_baseline.Tabu.default_config.Repro_baseline.Tabu
+             .neighbourhood)
+      | _ -> Engine.default_iterations engine)
   in
 
   (* One generic row per engine: same seed, same workload, one call
      into the uniform driver. *)
   let engine_row engine () =
     let ctx =
-      Engine.context ~app ~platform ~seed ~iterations:(budget_for engine) ()
+      Engine.context ?max_evaluations:evals ~app ~platform ~seed
+        ~iterations:(budget_for engine) ()
     in
     let o = Engine.run engine ctx in
     let contexts =
@@ -154,8 +169,9 @@ let run clbs seed sa_iters ga_generations ga_population engines_spec
           fingerprint =
             Printf.sprintf
               "compare clbs=%d seed=%d sa_iters=%d ga_gen=%d ga_pop=%d \
-               engines=%s"
+               evals=%s engines=%s"
               clbs seed sa_iters ga_generations ga_population
+              (match evals with None -> "-" | Some n -> string_of_int n)
               (String.concat "," (List.map Engine.name selected));
           encode = encode_row;
           decode = decode_row;
@@ -236,6 +252,16 @@ let ga_population_arg =
   Arg.(value & opt int 300 & info [ "ga-population" ]
        ~doc:"GA population (paper: 300)")
 
+let evals_arg =
+  Arg.(value & opt (some int) None
+       & info [ "evals" ]
+           ~doc:"Give every engine the same cost-evaluation budget $(docv) \
+                 instead of the per-engine iteration heuristics: each run \
+                 completes at the first iteration boundary where the count \
+                 reaches $(docv) (so it may overshoot by one iteration's \
+                 evaluations) — the engine-neutral fairness knob"
+           ~docv:"N")
+
 let engines_arg =
   Arg.(value & opt string ""
        & info [ "engines" ]
@@ -275,7 +301,7 @@ let cmd =
   let doc = "compare the explorer against the baselines (§5 comparison)" in
   Cmd.v (Cmd.info "dse-compare" ~doc ~exits:Cli_common.exits)
     Term.(const run $ clbs_arg $ seed_arg $ sa_iters_arg $ ga_generations_arg
-          $ ga_population_arg $ engines_arg $ list_engines_arg $ jobs_arg
-          $ checkpoint_arg $ time_budget_arg)
+          $ ga_population_arg $ evals_arg $ engines_arg $ list_engines_arg
+          $ jobs_arg $ checkpoint_arg $ time_budget_arg)
 
 let () = exit (Cmd.eval' cmd)

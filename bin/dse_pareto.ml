@@ -10,7 +10,7 @@ module Md = Repro_workloads.Motion_detection
 module Explorer = Repro_dse.Explorer
 module Table = Repro_util.Table
 
-let run sizes iterations seed jobs device_timeout =
+let run sizes iterations seed engine_name jobs device_timeout =
   Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
@@ -18,10 +18,14 @@ let run sizes iterations seed jobs device_timeout =
    | Some s when s <= 0.0 ->
      Cli_common.fail "--device-timeout wants a positive number of seconds"
    | _ -> ());
+  let engine =
+    if engine_name = "sa" then None
+    else Some (Cli_common.find_engine engine_name)
+  in
   let catalogue = List.map (fun n_clb -> Md.platform ~n_clb ()) sizes in
   let report =
     Explorer.cost_performance_frontier_supervised ~seed ~iterations ~jobs
-      ?device_timeout
+      ?device_timeout ?engine
       ~should_stop:(Cli_common.should_stop ~time_budget:None)
       app catalogue
   in
@@ -77,6 +81,14 @@ let iters_arg =
 
 let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed")
 
+let engine_arg =
+  Arg.(value & opt string "sa"
+       & info [ "engine" ]
+           ~doc:"Search engine per catalogue device, by registry name \
+                 (default sa, the native annealer; see dse-compare \
+                 --list-engines); every device keeps the same seed and \
+                 iteration budget")
+
 let jobs_arg =
   Arg.(value & opt int (Repro_util.Parallel.default_jobs ())
        & info [ "jobs"; "j" ]
@@ -94,7 +106,7 @@ let device_timeout_arg =
 let cmd =
   let doc = "cost/performance Pareto frontier over a device catalogue" in
   Cmd.v (Cmd.info "dse-pareto" ~doc ~exits:Cli_common.exits)
-    Term.(const run $ sizes_arg $ iters_arg $ seed_arg $ jobs_arg
+    Term.(const run $ sizes_arg $ iters_arg $ seed_arg $ engine_arg $ jobs_arg
           $ device_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

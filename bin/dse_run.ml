@@ -61,11 +61,11 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
     else Some (Cli_common.find_engine engine_name)
   in
   let supervised = restarts > 1 || restart_timeout <> None || engine <> None in
-  if supervised && (checkpoint_path <> None || resume_path <> None) then
+  if restarts > 1 && resume_path <> None then
     Cli_common.fail
-      "--checkpoint/--resume apply to a single unsupervised sa chain; \
-       drop --restarts/--restart-timeout/--engine (dse-sweep and \
-       dse-compare checkpoint at the restart level)";
+      "--resume names a single chain's checkpoint; multi-restart runs \
+       resume opportunistically from their per-chain files (rerun with \
+       the same --checkpoint PATH, which keeps PATH.r<i> per chain)";
   if engine <> None && serialized then
     Cli_common.fail
       "--serialized-bus selects an sa objective; drop --engine";
@@ -96,12 +96,54 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
       checkpoint_path
   in
   let resume =
-    Option.map
-      (fun path ->
-        match Explorer.load_snapshot config app platform path with
-        | Ok snapshot -> snapshot
-        | Error msg -> Cli_common.fail "%s" msg)
-      resume_path
+    if supervised then None
+    else
+      Option.map
+        (fun path ->
+          match Explorer.load_snapshot config app platform path with
+          | Ok snapshot -> snapshot
+          | Error msg -> Cli_common.fail "%s" msg)
+        resume_path
+  in
+  (* Supervised runs (any engine, any restart count) checkpoint through
+     the uniform engine contract: one file per chain.  A single chain
+     uses the given path exactly (--resume makes the load mandatory); a
+     multi-restart run keeps PATH.r<i> per chain and resumes each one
+     opportunistically on rerun. *)
+  let restart_checkpoint =
+    if (not supervised) || (checkpoint_path = None && resume_path = None) then
+      None
+    else begin
+      let module Engine = Repro_dse.Engine in
+      let single_path =
+        match (checkpoint_path, resume_path) with
+        | Some p, Some r when p <> r ->
+          Cli_common.fail
+            "an engine run reads and writes one checkpoint file; pass the \
+             same path to --checkpoint and --resume (or drop one)"
+        | Some p, _ -> p
+        | None, Some r -> r
+        | None, None -> assert false
+      in
+      let single_mode =
+        if resume_path <> None then Engine.Resume_required
+        else Engine.Resume_never
+      in
+      Some
+        (fun index ->
+          if restarts <= 1 then
+            {
+              Engine.path = single_path;
+              every = checkpoint_every;
+              resume = single_mode;
+            }
+          else
+            {
+              Engine.path = Printf.sprintf "%s.r%d" single_path index;
+              every = checkpoint_every;
+              resume = Engine.Resume_if_exists;
+            })
+    end
   in
   let should_stop = Cli_common.should_stop ~time_budget in
   let trace = Repro_dse.Trace.create ~every:10 () in
@@ -119,7 +161,8 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
        | None -> ());
       let report =
         Explorer.explore_restarts_supervised ~trace ~jobs ?engine
-          ?restart_timeout ~should_stop ~restarts config app platform
+          ?restart_timeout ?restart_checkpoint ~should_stop ~restarts config
+          app platform
       in
       let statuses =
         Array.to_list report.Explorer.restart_statuses
@@ -139,9 +182,27 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
           report.Explorer.degraded restarts;
       match report.Explorer.best_result with
       | Some best -> (best, statuses, report.Explorer.degraded)
-      | None ->
-        Cli_common.fail "all %d restart(s) failed; no result to report"
-          restarts
+      | None -> (
+        (* Surface the actual failure (e.g. a --resume checkpoint that
+           does not load) instead of a generic count. *)
+        match
+          Array.to_list report.Explorer.restart_statuses
+          |> List.find_map (function
+               | Explorer.Item_failed msg -> Some msg
+               | _ -> None)
+        with
+        | Some msg ->
+          (* Supervision stringifies exceptions; unwrap the Failure
+             constructor so the diagnostic reads like our own. *)
+          let msg =
+            match Scanf.sscanf_opt msg "Failure(%S)" (fun s -> s) with
+            | Some inner -> inner
+            | None -> msg
+          in
+          Cli_common.fail "%s" msg
+        | None ->
+          Cli_common.fail "all %d restart(s) failed; no result to report"
+            restarts)
     end
   in
   let eval = result.Explorer.best_eval in
@@ -301,7 +362,9 @@ let checkpoint_arg =
        & info [ "checkpoint" ]
            ~doc:"Write a crash-safe engine checkpoint to $(docv) every \
                  --checkpoint-every iterations (and once more on \
-                 interruption)"
+                 interruption).  Works with every --engine; a \
+                 multi-restart run keeps $(docv).r<i> per chain and a \
+                 rerun resumes each chain opportunistically"
            ~docv:"FILE")
 
 let checkpoint_every_arg =
@@ -313,8 +376,10 @@ let resume_arg =
   Arg.(value & opt (some string) None
        & info [ "resume" ]
            ~doc:"Resume from a checkpoint written by --checkpoint; the \
-                 application, platform and annealing flags must match the \
-                 checkpointed run, which then replays bit-identically"
+                 application, platform, engine and budget flags must match \
+                 the checkpointed run, which then replays bit-identically.  \
+                 With a non-sa --engine the same file keeps receiving the \
+                 periodic checkpoints"
            ~docv:"FILE")
 
 let time_budget_arg =

@@ -34,23 +34,38 @@ type point = {
    [stop] is the supervisor's probe (global stop or this cell's
    deadline): an over-budget cell flushes best-so-far at an iteration
    boundary instead of hanging the sweep. *)
-let sweep_cell app ~n_clb ~iters ~base_seed ~run ~stop =
+let sweep_cell ?engine app ~n_clb ~iters ~base_seed ~run ~stop =
   let platform = Md.platform ~n_clb () in
-  let config =
-    {
-      Explorer.anneal =
+  let seed = base_seed + (run * 7919) + n_clb in
+  let result =
+    match engine with
+    | Some e ->
+      (* Generic engine per cell: same coordinate-derived seed, same
+         iteration budget, makespan objective through the uniform
+         driver. *)
+      let ctx =
+        Repro_dse.Engine.context ~should_stop:stop ~app ~platform ~seed
+          ~iterations:iters ()
+      in
+      Explorer.result_of_outcome (Repro_dse.Engine.run e ctx)
+    | None ->
+      let config =
         {
-          Annealer.iterations = iters;
-          warmup_iterations = 1_200;
-          schedule = Schedule.lam ~quality:(150.0 /. float_of_int iters) ();
-          seed = base_seed + (run * 7919) + n_clb;
-          frozen_window = None;
-        };
-      moves = Repro_dse.Moves.fixed_architecture;
-      objective = Explorer.Makespan;
-    }
+          Explorer.anneal =
+            {
+              Annealer.iterations = iters;
+              warmup_iterations = 1_200;
+              schedule =
+                Schedule.lam ~quality:(150.0 /. float_of_int iters) ();
+              seed;
+              frozen_window = None;
+            };
+          moves = Repro_dse.Moves.fixed_architecture;
+          objective = Explorer.Makespan;
+        }
+      in
+      Explorer.explore ~should_stop:stop config app platform
   in
-  let result = Explorer.explore ~should_stop:stop config app platform in
   let eval = result.Explorer.best_eval in
   ( eval.Repro_sched.Searchgraph.makespan,
     eval.Repro_sched.Searchgraph.initial_reconfig,
@@ -120,8 +135,8 @@ let decode_cell line =
       int_of_string n_contexts, bool_of_string meets )
   | _ -> Cli_common.fail "malformed sweep checkpoint cell %S" line
 
-let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget
-    restart_timeout =
+let run runs iters base_seed sizes engine_name csv_path jobs checkpoint_path
+    time_budget restart_timeout =
   Cli_common.guard @@ fun () ->
   let app = Md.app () in
   let sizes = match sizes with [] -> Md.fig3_sizes | s -> s in
@@ -129,10 +144,14 @@ let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget
    | Some s when s <= 0.0 ->
      Cli_common.fail "--restart-timeout wants a positive number of seconds"
    | _ -> ());
+  let engine =
+    if engine_name = "sa" then None
+    else Some (Cli_common.find_engine engine_name)
+  in
   Printf.printf
-    "Fig. 3 sweep: %d run(s) per size, %d iterations each, %d job(s) \
-     (paper: 100 runs)\n%!"
-    runs iters jobs;
+    "Fig. 3 sweep: %d run(s) per size, %d iterations each, %d job(s), \
+     engine %s (paper: 100 runs)\n%!"
+    runs iters jobs engine_name;
   (* Flatten the (size x run) grid into one supervised parallel map;
      cell i is size i/runs, run i mod runs, so the work distribution
      does not affect which seed any cell uses — and a checkpointed
@@ -142,7 +161,7 @@ let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget
   let size_arr = Array.of_list sizes in
   let n_cells = Array.length size_arr * runs in
   let cell i ~stop =
-    sweep_cell app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
+    sweep_cell ?engine app ~n_clb:size_arr.(i / runs) ~iters ~base_seed
       ~run:(i mod runs) ~stop
   in
   let checkpoint =
@@ -152,8 +171,8 @@ let run runs iters base_seed sizes csv_path jobs checkpoint_path time_budget
           Cli_common.ckpt_path = path;
           kind = "dse-sweep";
           fingerprint =
-            Printf.sprintf "sweep runs=%d iters=%d seed=%d sizes=%s" runs
-              iters base_seed
+            Printf.sprintf "sweep runs=%d iters=%d seed=%d engine=%s sizes=%s"
+              runs iters base_seed engine_name
               (String.concat "," (List.map string_of_int sizes));
           encode = encode_cell;
           decode = decode_cell;
@@ -244,6 +263,14 @@ let sizes_arg =
   Arg.(value & opt (list int) [] & info [ "sizes" ]
        ~doc:"Comma-separated CLB sizes (default: the paper's sweep)")
 
+let engine_arg =
+  Arg.(value & opt string "sa"
+       & info [ "engine" ]
+           ~doc:"Search engine per sweep cell, by registry name (default \
+                 sa, the native annealer; see dse-compare --list-engines); \
+                 every cell keeps its coordinate-derived seed, so the sweep \
+                 stays reproducible per engine")
+
 let csv_arg =
   Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write CSV to $(docv)"
        ~docv:"FILE")
@@ -282,7 +309,8 @@ let restart_timeout_arg =
 let cmd =
   let doc = "sweep the FPGA size (reproduces Fig. 3)" in
   Cmd.v (Cmd.info "dse-sweep" ~doc ~exits:Cli_common.exits)
-    Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ csv_arg
-          $ jobs_arg $ checkpoint_arg $ time_budget_arg $ restart_timeout_arg)
+    Term.(const run $ runs_arg $ iters_arg $ seed_arg $ sizes_arg $ engine_arg
+          $ csv_arg $ jobs_arg $ checkpoint_arg $ time_budget_arg
+          $ restart_timeout_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -103,6 +103,10 @@ let solution_of_exn app platform individual =
   | Error msg -> invalid_arg ("Ga.solution_of: " ^ msg)
 
 let fitness app platform individual =
+  (* One scored individual = one evaluation, same as Solution.evaluate's
+     accounting — keeps fault injection (REPRO_FAULTS=eval:N) able to
+     kill a GA run mid-campaign like any other engine. *)
+  Repro_util.Fault.tick_eval ();
   match Searchgraph.evaluate (decode app platform individual) with
   | Some eval -> eval.Searchgraph.makespan
   | None -> infinity
@@ -150,8 +154,90 @@ let evolve ?progress config (ctx : Engine.context) =
   let by_fitness (fa, _) (fb, _) = compare fa fb in
   let final = ref None in
   let previous_best = ref infinity in
+  (* The full scored population crosses the checkpoint: one header
+     line per run plus one "ind <fitness> <hw-genes> <impl-genes>"
+     line per individual, fitness in %h so the sort order (and hence
+     every later tournament) is reproduced bit-exactly. *)
+  let codec =
+    let name = if config.explore_impls then "ga" else "ga-spatial" in
+    {
+      Engine.engine = name;
+      version = 1;
+      encode =
+        (fun population ->
+          let b = Buffer.create 4096 in
+          Printf.bprintf b "ga %d %h\n" config.population !previous_best;
+          Array.iter
+            (fun (fit, i) ->
+              Printf.bprintf b "ind %h " fit;
+              Array.iter
+                (fun g -> Buffer.add_char b (if g then '1' else '0'))
+                i.hw;
+              Array.iter (fun g -> Printf.bprintf b " %d" g) i.impl;
+              Buffer.add_char b '\n')
+            population;
+          Buffer.contents b);
+      decode =
+        (fun text ->
+          let ( let* ) = Result.bind in
+          let n = App.size app in
+          let* header, ind_lines =
+            match String.split_on_char '\n' text with
+            | header :: rest -> Ok (header, List.filter (( <> ) "") rest)
+            | [] -> Error "empty state"
+          in
+          let* prev =
+            match String.split_on_char ' ' header with
+            | [ "ga"; pop; prev ] -> (
+              match (int_of_string_opt pop, float_of_string_opt prev) with
+              | Some p, _ when p <> config.population ->
+                Error
+                  (Printf.sprintf
+                     "taken with population %d — this engine is configured \
+                      with %d"
+                     p config.population)
+              | Some _, Some prev -> Ok prev
+              | _ -> Error "bad ga line")
+            | _ -> Error "expected a ga line"
+          in
+          let parse_individual line =
+            match String.split_on_char ' ' line with
+            | "ind" :: fit :: genes :: impls
+              when String.length genes = n && List.length impls = n -> (
+              let impl_opt = List.map int_of_string_opt impls in
+              match (float_of_string_opt fit, String.for_all (fun c -> c = '0' || c = '1') genes,
+                     List.for_all Option.is_some impl_opt) with
+              | Some fit, true, true ->
+                Ok
+                  ( fit,
+                    {
+                      hw = Array.init n (fun v -> genes.[v] = '1');
+                      impl = Array.of_list (List.map Option.get impl_opt);
+                    } )
+              | _ -> Error "bad ind line"
+            )
+            | _ -> Error "bad ind line"
+          in
+          let* individuals =
+            List.fold_left
+              (fun acc line ->
+                let* acc = acc in
+                let* i = parse_individual line in
+                Ok (i :: acc))
+              (Ok []) ind_lines
+          in
+          if List.length individuals <> config.population then
+            Error "wrong number of individuals"
+          else begin
+            let population = Array.of_list (List.rev individuals) in
+            previous_best := prev;
+            final := Some population;
+            Ok population
+          end);
+    }
+  in
   let outcome =
-    Engine.drive ctx
+    Engine.drive ~codec ctx
       ~init:(fun rng ->
         let population =
           Array.init config.population (fun _ ->

@@ -38,7 +38,11 @@ let engine_run ?on_accept ~fractions (ctx : Engine.context) =
   let app = ctx.Engine.app and platform = ctx.Engine.platform in
   let fractions = Array.of_list fractions in
   let sweep_best = ref infinity in
-  Engine.drive ctx
+  let codec =
+    State_codec.solution_plus ~engine:"greedy" ~version:1 ~tag:"sweep"
+      sweep_best app platform
+  in
+  Engine.drive ~codec ctx
     ~init:(fun _rng ->
       let s = Solution.all_software app platform in
       (s, Solution.makespan s, 1))

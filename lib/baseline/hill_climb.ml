@@ -25,7 +25,11 @@ let engine_run ~moves_per_climb (ctx : Engine.context) =
     invalid_arg "Hill_climb: moves_per_climb < 1";
   let app = ctx.Engine.app and platform = ctx.Engine.platform in
   let current = ref infinity in
-  Engine.drive ctx
+  let codec =
+    State_codec.solution_plus ~engine:"hill" ~version:1 ~tag:"climb" current
+      app platform
+  in
+  Engine.drive ~codec ctx
     ~init:(fun _rng ->
       let s = Solution.all_software app platform in
       let cost = Solution.makespan s in

@@ -15,7 +15,11 @@ type result = {
 let engine_run (ctx : Engine.context) =
   let app = ctx.Engine.app and platform = ctx.Engine.platform in
   let best_seen = ref infinity in
-  Engine.drive ctx
+  let codec =
+    State_codec.solution_plus ~engine:"random" ~version:1 ~tag:"incumbent"
+      best_seen app platform
+  in
+  Engine.drive ~codec ctx
     ~init:(fun _rng ->
       let s = Solution.all_software app platform in
       let cost = Solution.makespan s in

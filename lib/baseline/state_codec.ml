@@ -1,0 +1,33 @@
+module Engine = Repro_dse.Engine
+module Solution = Repro_dse.Solution
+
+(* Greedy, random search and hill climbing all have the same
+   checkpoint shape: the working solution plus one float of auxiliary
+   search memory kept in a ref by the engine closure (the sweep/climb
+   incumbent).  The codec serializes both and, on decode, writes the
+   float back into the closure's ref. *)
+let solution_plus ~engine ~version ~tag aux app platform =
+  {
+    Engine.engine;
+    version;
+    encode =
+      (fun s -> Printf.sprintf "%s %h\n%s" tag !aux (Solution.encode s));
+    decode =
+      (fun text ->
+        match String.index_opt text '\n' with
+        | None -> Error (Printf.sprintf "missing %s line" tag)
+        | Some i ->
+          let first = String.sub text 0 i in
+          let rest = String.sub text (i + 1) (String.length text - i - 1) in
+          (match String.split_on_char ' ' first with
+           | [ t; v ] when t = tag -> (
+             match float_of_string_opt v with
+             | None -> Error (Printf.sprintf "bad %s value" tag)
+             | Some x -> (
+               match Solution.decode app platform rest with
+               | Ok s ->
+                 aux := x;
+                 Ok s
+               | Error _ as e -> e))
+           | _ -> Error (Printf.sprintf "expected a %s line" tag)));
+  }

@@ -1,0 +1,16 @@
+(** Checkpoint-codec helper shared by the driven baselines whose
+    working state is a {!Repro_dse.Solution.t} plus one float of
+    auxiliary search memory (the greedy sweep incumbent, the
+    random-search incumbent, the hill-climbing current cost). *)
+
+val solution_plus :
+  engine:string ->
+  version:int ->
+  tag:string ->
+  float ref ->
+  Repro_taskgraph.App.t ->
+  Repro_arch.Platform.t ->
+  Repro_dse.Solution.t Repro_dse.Engine.codec
+(** [solution_plus ~engine ~version ~tag aux app platform] encodes the
+    state as a ["<tag> %h"] line holding [!aux] followed by
+    {!Repro_dse.Solution.encode}; decoding restores [aux] in place. *)

@@ -8,9 +8,17 @@ type config = {
   iterations : int;
   neighbourhood : int;
   tenure : int;
+  aspiration : bool;
 }
 
-let default_config = { seed = 1; iterations = 4_000; neighbourhood = 24; tenure = 20 }
+let default_config =
+  {
+    seed = 1;
+    iterations = 4_000;
+    neighbourhood = 24;
+    tenure = 20;
+    aspiration = false;
+  }
 
 type result = {
   best : Solution.t;
@@ -45,6 +53,12 @@ module Tenure = struct
       Hashtbl.remove t.table (Queue.pop t.order)
 
   let is_tabu t hash = Hashtbl.mem t.table hash
+
+  (* Oldest first, i.e. the order [remember] was called in; replaying
+     the list through [remember] on a fresh window rebuilds an
+     identical multiset (the list is at most [limit] long, so the
+     replay never evicts). *)
+  let to_list t = List.of_seq (Queue.to_seq t.order)
 end
 
 (* State-hash tabu: a candidate is tabu when its full configuration was
@@ -67,17 +81,92 @@ let state_hash solution =
   !acc
 
 (* One iteration = one neighbourhood sweep plus (when some candidate is
-   neither tabu nor infeasible) one applied move. *)
-let engine_run ~neighbourhood ~tenure (ctx : Engine.context) =
+   admissible — not tabu, or tabu but beating the global best when the
+   aspiration criterion is on — and feasible) one applied move. *)
+let engine_run ~neighbourhood ~tenure ~aspiration (ctx : Engine.context) =
   if neighbourhood < 1 then invalid_arg "Tabu: neighbourhood < 1";
   let app = ctx.Engine.app and platform = ctx.Engine.platform in
   let tabu = Tenure.create tenure in
   let current = ref infinity in
-  Engine.drive ctx
+  let incumbent = ref infinity in
+  let codec =
+    {
+      Engine.engine = "tabu";
+      version = 1;
+      encode =
+        (fun solution ->
+          let b = Buffer.create 512 in
+          Printf.bprintf b "knobs %d %d %d\n" neighbourhood tenure
+            (Bool.to_int aspiration);
+          Printf.bprintf b "current %h\n" !current;
+          Printf.bprintf b "incumbent %h\n" !incumbent;
+          Buffer.add_string b "window";
+          List.iter (fun h -> Printf.bprintf b " %d" h) (Tenure.to_list tabu);
+          Buffer.add_char b '\n';
+          Buffer.add_string b (Solution.encode solution);
+          Buffer.contents b);
+      decode =
+        (fun text ->
+          let ( let* ) = Result.bind in
+          let take tag = function
+            | [] -> Error (Printf.sprintf "missing %s line" tag)
+            | line :: rest -> (
+              match String.split_on_char ' ' line with
+              | t :: fields when t = tag -> Ok (fields, rest)
+              | _ -> Error (Printf.sprintf "expected a %s line" tag))
+          in
+          let lines = String.split_on_char '\n' text in
+          let* fields, lines = take "knobs" lines in
+          let* () =
+            match List.map int_of_string_opt fields with
+            | [ Some n; Some t; Some a ] ->
+              if (n, t, a) <> (neighbourhood, tenure, Bool.to_int aspiration)
+              then
+                Error
+                  (Printf.sprintf
+                     "taken with neighbourhood %d, tenure %d, aspiration %s \
+                      — this engine is configured differently"
+                     n t
+                     (if a <> 0 then "on" else "off"))
+              else Ok ()
+            | _ -> Error "bad knobs line"
+          in
+          let* fields, lines = take "current" lines in
+          let* current' =
+            match List.map float_of_string_opt fields with
+            | [ Some c ] -> Ok c
+            | _ -> Error "bad current line"
+          in
+          let* fields, lines = take "incumbent" lines in
+          let* incumbent' =
+            match List.map float_of_string_opt fields with
+            | [ Some c ] -> Ok c
+            | _ -> Error "bad incumbent line"
+          in
+          let* fields, lines = take "window" lines in
+          let* hashes =
+            let parsed = List.map int_of_string_opt fields in
+            if List.for_all Option.is_some parsed then
+              Ok (List.map Option.get parsed)
+            else Error "bad window line"
+          in
+          let* solution =
+            Solution.decode app platform (String.concat "\n" lines)
+          in
+          current := current';
+          incumbent := incumbent';
+          Hashtbl.reset tabu.Tenure.table;
+          Queue.clear tabu.Tenure.order;
+          List.iter (Tenure.remember tabu) hashes;
+          Ok solution);
+    }
+  in
+  Engine.drive ~codec ctx
     ~init:(fun rng ->
       let solution = Solution.random (Rng.split rng) app platform in
       let cost = Solution.makespan solution in
       current := cost;
+      incumbent := cost;
       Tenure.remember tabu (state_hash solution);
       (solution, cost, 1))
     ~step:(fun rng ~iteration:_ solution ->
@@ -96,7 +185,18 @@ let engine_run ~neighbourhood ~tenure (ctx : Engine.context) =
           let cost = Solution.makespan solution in
           let hash = state_hash solution in
           undo ();
-          if not (Tenure.is_tabu tabu hash) then begin
+          (* Aspiration, in its state-tabu form: a tabu candidate is
+             re-admitted when it strictly improves on the current
+             working cost, i.e. the search may backtrack to a strictly
+             better configuration it is otherwise forbidden to revisit.
+             (The textbook better-than-best-known criterion is provably
+             inert under visited-state hashing: any tabu state was
+             visited, so the incumbent is already <= its cost.) *)
+          let admissible =
+            (not (Tenure.is_tabu tabu hash))
+            || (aspiration && cost < !current)
+          in
+          if admissible then begin
             match !best_candidate with
             | Some (previous_cost, _, _) when previous_cost <= cost -> ()
             | Some _ | None -> best_candidate := Some (cost, stream, hash)
@@ -113,26 +213,30 @@ let engine_run ~neighbourhood ~tenure (ctx : Engine.context) =
          | None -> assert false (* same stream, same (feasible) move *));
         Tenure.remember tabu hash;
         current := cost;
+        if cost < !incumbent then incumbent := cost;
         { Engine.state = solution; cost; accepted = true;
           evaluations = !evals })
     ~snapshot:Solution.snapshot
 
-module Engine_impl : Engine.S = struct
-  let name = "tabu"
-  let describe = "steepest-descent tabu search over visited-state hashes"
+let engine_with ?(neighbourhood = default_config.neighbourhood)
+    ?(tenure = default_config.tenure)
+    ?(aspiration = default_config.aspiration) () : Engine.t =
+  (module struct
+    let name = "tabu"
+    let describe = "steepest-descent tabu search over visited-state hashes"
 
-  let knobs =
-    "neighbourhood 24, tenure 20; one iteration = one neighbourhood \
-     sweep and at most one applied move"
+    let knobs =
+      Printf.sprintf
+        "neighbourhood %d, tenure %d, aspiration %s; one iteration = one \
+         neighbourhood sweep and at most one applied move"
+        neighbourhood tenure
+        (if aspiration then "on" else "off")
 
-  let default_iterations = 4_000
+    let default_iterations = 4_000
+    let run ctx = engine_run ~neighbourhood ~tenure ~aspiration ctx
+  end : Engine.S)
 
-  let run ctx =
-    engine_run ~neighbourhood:default_config.neighbourhood
-      ~tenure:default_config.tenure ctx
-end
-
-let engine : Engine.t = (module Engine_impl)
+let engine : Engine.t = engine_with ()
 
 let run config app platform =
   if config.iterations < 1 || config.neighbourhood < 1 then
@@ -142,7 +246,8 @@ let run config app platform =
       ~iterations:config.iterations ()
   in
   let o =
-    engine_run ~neighbourhood:config.neighbourhood ~tenure:config.tenure ctx
+    engine_run ~neighbourhood:config.neighbourhood ~tenure:config.tenure
+      ~aspiration:config.aspiration ctx
   in
   {
     best = o.Engine.best;

@@ -16,10 +16,19 @@ type config = {
   iterations : int;       (** outer iterations (one applied move each) *)
   neighbourhood : int;    (** candidate moves sampled per iteration *)
   tenure : int;           (** applied moves a visited state stays tabu *)
+  aspiration : bool;
+  (** aspiration criterion, in its state-tabu form: a tabu candidate
+      is admissible anyway when it strictly improves on the current
+      working cost, so the search may backtrack to a strictly better
+      configuration it is otherwise forbidden to revisit.  (The
+      textbook better-than-best-known form is provably inert when the
+      tabu attribute is the full visited state: any tabu candidate was
+      visited, so the incumbent is already at most its cost.) *)
 }
 
 val default_config : config
-(** seed 1, 4000 iterations, 24 candidates, tenure 20. *)
+(** seed 1, 4000 iterations, 24 candidates, tenure 20, aspiration
+    off (the historical behaviour). *)
 
 type result = {
   best : Repro_dse.Solution.t;
@@ -39,11 +48,22 @@ module Tenure : sig
 
   val remember : t -> int -> unit
   val is_tabu : t -> int -> bool
+
+  val to_list : t -> int list
+  (** The remembered hashes, oldest first; replaying them through
+      {!remember} on a fresh window rebuilds an identical multiset
+      (used by the checkpoint codec). *)
 end
 
 val engine : Repro_dse.Engine.t
 (** Registered as ["tabu"]; one budget iteration = one neighbourhood
     sweep (24 sampled candidates) and at most one applied move. *)
+
+val engine_with :
+  ?neighbourhood:int -> ?tenure:int -> ?aspiration:bool -> unit ->
+  Repro_dse.Engine.t
+(** The same engine with explicit knobs (still named ["tabu"]); the
+    tenure-ablation bench and the aspiration tests go through this. *)
 
 val run : config -> App.t -> Platform.t -> result
 (** Thin wrapper over the engine with explicit neighbourhood size and

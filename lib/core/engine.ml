@@ -1,13 +1,25 @@
 module Rng = Repro_util.Rng
 module Clock = Repro_util.Clock
+module Checkpoint = Repro_util.Checkpoint
+module Log = Repro_util.Log
+module App_io = Repro_taskgraph.App_io
+module Platform_io = Repro_arch.Platform_io
 
-type budget = { iterations : int; time_limit : float option }
+type budget = {
+  iterations : int;
+  time_limit : float option;
+  max_evaluations : int option;
+}
 
 type status = Complete | Interrupted
 
 let status_name = function Complete -> "complete" | Interrupted -> "interrupted"
 
 type probe = { iteration : int; cost : float; best : float; accepted : bool }
+
+type resume_mode = Resume_never | Resume_if_exists | Resume_required
+
+type checkpoint = { path : string; every : int; resume : resume_mode }
 
 type context = {
   app : Repro_taskgraph.App.t;
@@ -16,22 +28,33 @@ type context = {
   budget : budget;
   should_stop : (unit -> bool) option;
   observe : (probe -> unit) option;
+  checkpoint : checkpoint option;
 }
 
-let context ?time_limit ?should_stop ?observe ~app ~platform ~seed ~iterations
-    () =
+let context ?time_limit ?max_evaluations ?should_stop ?observe ?checkpoint ~app
+    ~platform ~seed ~iterations () =
   if iterations < 0 then invalid_arg "Engine.context: negative budget";
   (match time_limit with
    | Some s when s <= 0.0 ->
      invalid_arg "Engine.context: non-positive time limit"
    | Some _ | None -> ());
+  (match max_evaluations with
+   | Some m when m <= 0 ->
+     invalid_arg "Engine.context: non-positive evaluation budget"
+   | Some _ | None -> ());
+  (match checkpoint with
+   | Some { path = ""; _ } -> invalid_arg "Engine.context: empty checkpoint path"
+   | Some { every; _ } when every <= 0 ->
+     invalid_arg "Engine.context: non-positive checkpoint cadence"
+   | Some _ | None -> ());
   {
     app;
     platform;
     seed;
-    budget = { iterations; time_limit };
+    budget = { iterations; time_limit; max_evaluations };
     should_stop;
     observe;
+    checkpoint;
   }
 
 type outcome = {
@@ -81,30 +104,255 @@ type 'state step = {
   evaluations : int;
 }
 
+type 'state codec = {
+  engine : string;
+  version : int;
+  encode : 'state -> string;
+  decode : string -> ('state, string) result;
+}
+
+(* ---- driver checkpoints ------------------------------------------- *)
+
+let checkpoint_kind = "dse-engine"
+
+(* A checkpoint only resumes against the inputs, seed and budget it was
+   taken under; the fingerprint ties the file to them.  The engine name
+   and codec version are separate header lines so their mismatches get
+   their own (more helpful) diagnostics. *)
+let drive_fingerprint ctx =
+  Checkpoint.crc32_hex
+    (String.concat "\n"
+       [
+         App_io.to_string ctx.app;
+         Platform_io.to_string ctx.platform;
+         Printf.sprintf "drive %d %d %s" ctx.seed ctx.budget.iterations
+           (match ctx.budget.max_evaluations with
+            | None -> "-"
+            | Some m -> string_of_int m);
+       ])
+
+type 'state resumed = {
+  r_iteration : int;
+  r_evaluations : int;
+  r_accepted : int;
+  r_initial_cost : float;
+  r_best_cost : float;
+  r_elapsed : float;
+  r_rng : Rng.t;
+  r_best : Solution.t;
+  r_state : 'state;
+}
+
+(* Driver payload: line-oriented, floats in "%h" so every value
+   round-trips bit-exactly.  The best solution and the engine's own
+   state block close the file; [best]/[state] marker lines separate
+   them (no line of {!Solution.encode} or of a codec in this repo is a
+   bare "best"/"state"). *)
+let payload_of codec ctx ~iteration ~evaluations ~accepted ~initial_cost
+    ~best_cost ~elapsed ~rng ~best state =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "engine %s %d\n" codec.engine codec.version;
+  Printf.bprintf b "fingerprint %s\n" (drive_fingerprint ctx);
+  Printf.bprintf b "driver %d %d %d\n" iteration evaluations accepted;
+  Printf.bprintf b "costs %h %h\n" initial_cost best_cost;
+  Printf.bprintf b "wall %h\n" elapsed;
+  Buffer.add_string b "rng";
+  Array.iter (fun w -> Printf.bprintf b " %Lx" w) (Rng.state rng);
+  Buffer.add_char b '\n';
+  Buffer.add_string b "best\n";
+  Buffer.add_string b (Solution.encode best);
+  Buffer.add_string b "state\n";
+  Buffer.add_string b (codec.encode state);
+  Buffer.contents b
+
+let resumed_of_payload codec ctx payload =
+  let ( let* ) = Result.bind in
+  let fail fmt = Printf.ksprintf (fun m -> Error ("checkpoint: " ^ m)) fmt in
+  let lines = String.split_on_char '\n' payload in
+  let take tag = function
+    | [] -> fail "missing %s line" tag
+    | line :: rest -> (
+      match String.split_on_char ' ' line with
+      | t :: fields when t = tag -> Ok (fields, rest)
+      | _ -> fail "expected a %s line" tag)
+  in
+  let* fields, lines = take "engine" lines in
+  let* () =
+    match fields with
+    | [ name; version ] ->
+      if name <> codec.engine then
+        fail "written by engine %s, not %s" name codec.engine
+      else if int_of_string_opt version <> Some codec.version then
+        fail "engine %s state codec version %s, this build reads %d" name
+          version codec.version
+      else Ok ()
+    | _ -> fail "bad engine line"
+  in
+  let* fields, lines = take "fingerprint" lines in
+  let* () =
+    match fields with
+    | [ fp ] when fp = drive_fingerprint ctx -> Ok ()
+    | [ _ ] -> fail "produced under a different application/platform/seed/budget"
+    | _ -> fail "bad fingerprint line"
+  in
+  let* fields, lines = take "driver" lines in
+  let* iteration, evaluations, accepted =
+    match List.map int_of_string_opt fields with
+    | [ Some g; Some e; Some a ] -> Ok (g, e, a)
+    | _ -> fail "bad driver line"
+  in
+  let* fields, lines = take "costs" lines in
+  let* initial_cost, best_cost =
+    match List.map float_of_string_opt fields with
+    | [ Some i; Some b ] -> Ok (i, b)
+    | _ -> fail "bad costs line"
+  in
+  let* fields, lines = take "wall" lines in
+  let* elapsed =
+    match List.map float_of_string_opt fields with
+    | [ Some w ] -> Ok w
+    | _ -> fail "bad wall line"
+  in
+  let* fields, lines = take "rng" lines in
+  let* rng_words =
+    let parsed = List.map (fun s -> Int64.of_string_opt ("0x" ^ s)) fields in
+    if List.length parsed = 4 && List.for_all Option.is_some parsed then
+      Ok (Array.of_list (List.map Option.get parsed))
+    else fail "bad rng line"
+  in
+  let* best_lines, state_lines =
+    match lines with
+    | "best" :: rest -> (
+      let rec split acc = function
+        | "state" :: tail -> Ok (List.rev acc, tail)
+        | line :: tail -> split (line :: acc) tail
+        | [] -> fail "missing state section"
+      in
+      split [] rest)
+    | _ -> fail "missing best section"
+  in
+  let* best =
+    Solution.decode ctx.app ctx.platform (String.concat "\n" best_lines)
+  in
+  let* state =
+    match codec.decode (String.concat "\n" state_lines) with
+    | Ok s -> Ok s
+    | Error m -> fail "%s state: %s" codec.engine m
+  in
+  Ok
+    {
+      r_iteration = iteration;
+      r_evaluations = evaluations;
+      r_accepted = accepted;
+      r_initial_cost = initial_cost;
+      r_best_cost = best_cost;
+      r_elapsed = elapsed;
+      r_rng = Rng.of_state rng_words;
+      r_best = best;
+      r_state = state;
+    }
+
+let load_resume codec ctx path =
+  match Checkpoint.load path ~kind:checkpoint_kind with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match resumed_of_payload codec ctx payload with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (path ^ ": " ^ msg))
+
 (* The generic search loop: budget accounting, best-snapshot
-   bookkeeping, cooperative interruption and per-iteration observation
-   live here once, instead of once per baseline.  Engines supply the
-   initial state and the single-iteration step; everything the driver
+   bookkeeping, cooperative interruption, per-iteration observation —
+   and now crash safety — live here once, instead of once per
+   baseline.  Engines supply the initial state, the single-iteration
+   step and (for checkpointing) a state codec; everything the driver
    does is deterministic given the context, so an engine built on it
-   inherits the determinism contract for free. *)
-let drive ctx ~init ~step ~snapshot =
+   inherits the determinism and resume contracts for free. *)
+let drive ?codec ctx ~init ~step ~snapshot =
   let start_clock = Clock.wall () in
   let stop = stop_probe ctx in
-  let rng = Rng.create ctx.seed in
-  let state, initial_cost, initial_evals = init rng in
-  let best = ref (snapshot state) in
-  let best_cost = ref initial_cost in
-  let evaluations = ref initial_evals in
-  let accepted = ref 0 in
+  (match (ctx.checkpoint, codec) with
+   | Some _, None ->
+     invalid_arg
+       "Engine.drive: checkpointing requested but the engine has no state \
+        codec"
+   | _ -> ());
+  let resumed =
+    match (ctx.checkpoint, codec) with
+    | Some ck, Some codec -> (
+      match ck.resume with
+      | Resume_never -> None
+      | Resume_required -> (
+        match load_resume codec ctx ck.path with
+        | Ok r -> Some r
+        | Error msg -> failwith msg)
+      | Resume_if_exists ->
+        if not (Sys.file_exists ck.path) then None
+        else (
+          match load_resume codec ctx ck.path with
+          | Ok r -> Some r
+          | Error msg ->
+            Log.warn "ignoring unusable checkpoint: %s" msg;
+            None))
+    | _ -> None
+  in
+  let rng, state0, initial_cost, start_iteration, wall_offset =
+    match resumed with
+    | None ->
+      let rng = Rng.create ctx.seed in
+      (rng, None, None, 0, 0.0)
+    | Some r -> (r.r_rng, Some r.r_state, Some r.r_initial_cost, r.r_iteration, r.r_elapsed)
+  in
+  (* [init] runs only on a fresh start; a resumed run restores the
+     engine's working state through the codec instead. *)
+  let state, initial_cost, initial_evals =
+    match (state0, initial_cost) with
+    | Some s, Some c -> (s, c, 0)
+    | _ ->
+      let s, c, e = init rng in
+      (s, c, e)
+  in
+  let best =
+    ref (match resumed with Some r -> r.r_best | None -> snapshot state)
+  in
+  let best_cost =
+    ref (match resumed with Some r -> r.r_best_cost | None -> initial_cost)
+  in
+  let evaluations =
+    ref
+      (match resumed with Some r -> r.r_evaluations | None -> initial_evals)
+  in
+  let accepted = ref (match resumed with Some r -> r.r_accepted | None -> 0) in
   let status = ref Complete in
   let state = ref state in
-  let g = ref 0 in
+  let g = ref start_iteration in
+  let save_checkpoint () =
+    match (ctx.checkpoint, codec) with
+    | Some ck, Some codec ->
+      Checkpoint.save ck.path ~kind:checkpoint_kind
+        (payload_of codec ctx ~iteration:!g ~evaluations:!evaluations
+           ~accepted:!accepted ~initial_cost ~best_cost:!best_cost
+           ~elapsed:(wall_offset +. Clock.wall () -. start_clock)
+           ~rng ~best:!best !state)
+    | _ -> ()
+  in
   (try
      while !g < ctx.budget.iterations do
        if stop () then begin
          status := Interrupted;
+         (* Flush the boundary state so a kill right after the stop
+            probe loses no work. *)
+         save_checkpoint ();
          raise Exit
        end;
+       (match ctx.budget.max_evaluations with
+        | Some m when !evaluations >= m -> raise Exit
+        | _ -> ());
+       (match ctx.checkpoint with
+        | Some ck
+          when !g > start_iteration && (!g - start_iteration) mod ck.every = 0
+          ->
+          save_checkpoint ()
+        | _ -> ());
        let r = step rng ~iteration:!g !state in
        state := r.state;
        evaluations := !evaluations + r.evaluations;
@@ -128,6 +376,6 @@ let drive ctx ~init ~step ~snapshot =
     iterations_run = !g;
     evaluations = !evaluations;
     accepted = !accepted;
-    wall_seconds = Clock.wall () -. start_clock;
+    wall_seconds = wall_offset +. Clock.wall () -. start_clock;
     status = !status;
   }

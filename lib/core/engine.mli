@@ -48,6 +48,13 @@ type budget = {
   time_limit : float option;
   (** optional wall-clock budget in seconds, enforced cooperatively at
       iteration boundaries; [None] = unlimited *)
+  max_evaluations : int option;
+  (** optional cost-evaluation budget, the engine-neutral currency:
+      the run completes at the first iteration boundary where
+      [evaluations >= max_evaluations], so the final count may
+      overshoot by at most one iteration's evaluations.  [None] =
+      unlimited.  Lets [dse-compare] hand every engine the same number
+      of cost evaluations instead of per-name iteration heuristics. *)
 }
 
 type status =
@@ -65,6 +72,22 @@ type probe = {
 }
 (** One per-iteration observation, delivered to [context.observe]. *)
 
+type resume_mode =
+  | Resume_never      (** start fresh; only write checkpoints *)
+  | Resume_if_exists  (** resume when a usable checkpoint exists; warn
+                          and start fresh on a missing or unusable one *)
+  | Resume_required   (** fail (one-line [Failure]) unless the
+                          checkpoint loads and validates *)
+
+type checkpoint = {
+  path : string;  (** checkpoint file, written atomically *)
+  every : int;    (** cadence in iterations between periodic saves; a
+                      final save also happens on interruption *)
+  resume : resume_mode;
+}
+(** Crash-safety contract for a run: where the driver persists its
+    state, how often, and whether to continue from an existing file. *)
+
 type context = {
   app : App.t;
   platform : Platform.t;
@@ -72,14 +95,17 @@ type context = {
   budget : budget;
   should_stop : (unit -> bool) option;
   observe : (probe -> unit) option;
+  checkpoint : checkpoint option;
 }
 (** Everything an engine may read.  Engines must not consult any other
     source of randomness, time or configuration. *)
 
 val context :
   ?time_limit:float ->
+  ?max_evaluations:int ->
   ?should_stop:(unit -> bool) ->
   ?observe:(probe -> unit) ->
+  ?checkpoint:checkpoint ->
   app:App.t -> platform:Platform.t -> seed:int -> iterations:int -> unit ->
   context
 
@@ -137,7 +163,36 @@ type 'state step = {
   evaluations : int;   (** cost evaluations spent by the iteration *)
 }
 
+type 'state codec = {
+  engine : string;
+  (** the engine's registry name; stamped into checkpoints so a file is
+      never resumed by a different engine *)
+  version : int;
+  (** state-format version; bump whenever [encode]'s layout changes so
+      stale files are rejected with a one-line diagnostic instead of
+      misparsed *)
+  encode : 'state -> string;
+  (** serialize the working state, including any auxiliary search
+      memory the engine keeps outside the state value (incumbents,
+      tabu tenure, populations).  Line-oriented text with ["%h"]
+      floats, by the repo's checkpoint convention; must not contain a
+      bare ["best"] or ["state"] line. *)
+  decode : string -> ('state, string) result;
+  (** inverse of [encode]; must also restore that auxiliary memory.
+      After [decode] the engine must behave bit-identically to the run
+      that produced the snapshot. *)
+}
+(** How a driven engine's working state crosses a process boundary.
+    The driver owns everything else (counters, RNG words, best
+    snapshot, wall-clock offset). *)
+
+val checkpoint_kind : string
+(** The {!Repro_util.Checkpoint} kind tag of driver checkpoints,
+    ["dse-engine"].  (The annealer's native snapshots keep their own
+    ["dse-run"] kind; {!Checkpoint.inspect} tells them apart.) *)
+
 val drive :
+  ?codec:'state codec ->
   context ->
   init:(Repro_util.Rng.t -> 'state * float * int) ->
   step:(Repro_util.Rng.t -> iteration:int -> 'state -> 'state step) ->
@@ -149,4 +204,19 @@ val drive :
     Each iteration then polls the stop probe, calls [step], keeps the
     budget and acceptance accounts, snapshots new strict bests and
     emits the observation.  The initial state's cost must be finite
-    (start from a feasible solution, e.g. all-software). *)
+    (start from a feasible solution, e.g. all-software).
+
+    When [context.checkpoint] is set, [codec] is mandatory
+    ([Invalid_argument] otherwise) and the driver persists a snapshot
+    — its counters, the RNG words, the best solution and
+    [codec.encode state] — into the versioned [REPRO-CKPT] container
+    at every [every] iteration boundary and on interruption.  Saves
+    and loads happen only at iteration boundaries, before the step
+    runs, so a resumed run replays the exact remaining iterations: the
+    outcome (best solution, costs, counters) is bit-identical to the
+    uninterrupted run.  [resume] says whether an existing file is
+    ignored, opportunistically continued, or required; a required
+    checkpoint that is missing, corrupt, of the wrong kind, from a
+    different engine or codec version, or fingerprint-mismatched
+    (different app/platform/seed/budget) raises a one-line
+    [Failure]. *)

@@ -7,6 +7,7 @@ module Rng = Repro_util.Rng
 module Parallel = Repro_util.Parallel
 module Clock = Repro_util.Clock
 module Checkpoint = Repro_util.Checkpoint
+module Log = Repro_util.Log
 
 type objective =
   | Makespan
@@ -320,6 +321,30 @@ let explore ?trace ?initial ?checkpoint ?resume ?should_stop ?on_iteration
 
 (* ---- the annealer as a registered engine -------------------------- *)
 
+(* Translate the engine-layer checkpoint contract into the annealer's
+   native snapshot machinery (kind "dse-run", annealing-config
+   fingerprint), so `--checkpoint --engine sa` and the daemon speak the
+   same protocol as the historical native flags. *)
+let native_checkpoint config application platform (ck : Engine.checkpoint) =
+  let sink = { path = ck.Engine.path; every = ck.Engine.every } in
+  let resume =
+    match ck.Engine.resume with
+    | Engine.Resume_never -> None
+    | Engine.Resume_required -> (
+      match load_snapshot config application platform ck.Engine.path with
+      | Ok snap -> Some snap
+      | Error msg -> failwith msg)
+    | Engine.Resume_if_exists ->
+      if not (Sys.file_exists ck.Engine.path) then None
+      else (
+        match load_snapshot config application platform ck.Engine.path with
+        | Ok snap -> Some snap
+        | Error msg ->
+          Log.warn "ignoring unusable checkpoint: %s" msg;
+          None)
+  in
+  (sink, resume)
+
 (* The annealer implements the Engine contract natively: the generic
    iteration budget is the *total* move count (warmup + cooling), so
    [iterations_run <= budget.iterations] holds exactly as for the
@@ -337,6 +362,14 @@ module Sa_engine : Engine.S = struct
 
   let run (ctx : Engine.context) =
     let total = ctx.Engine.budget.Engine.iterations in
+    (* The annealer spends at most one evaluation per iteration, so an
+       evaluation budget is enforced exactly by capping the move
+       count. *)
+    let total =
+      match ctx.Engine.budget.Engine.max_evaluations with
+      | Some m -> min total m
+      | None -> total
+    in
     if total < 2 then invalid_arg "sa engine: budget below 2 iterations";
     let warmup = max 1 (min 1_200 (total / 10)) in
     let config =
@@ -360,10 +393,20 @@ module Sa_engine : Engine.S = struct
           f { Engine.iteration = iteration + warmup; cost; best; accepted })
         ctx.Engine.observe
     in
+    let checkpoint, resume =
+      match ctx.Engine.checkpoint with
+      | None -> (None, None)
+      | Some ck ->
+        let sink, resume =
+          native_checkpoint config ctx.Engine.app ctx.Engine.platform ck
+        in
+        (Some sink, resume)
+    in
     let result =
       explore
         ~should_stop:(Engine.stop_probe ctx)
-        ?on_iteration config ctx.Engine.app ctx.Engine.platform
+        ?on_iteration ?checkpoint ?resume config ctx.Engine.app
+        ctx.Engine.platform
     in
     {
       Engine.best = result.best;
@@ -434,7 +477,8 @@ let result_of_outcome (o : Engine.outcome) =
   }
 
 let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
-    ?(retries = 0) ?engine ~restarts config application platform =
+    ?(retries = 0) ?engine ?restart_checkpoint ~restarts config application
+    platform =
   if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
   (* Each chain's seed is a pure function of its index, and results are
      collected in index order, so the winner (first strict minimum) and
@@ -442,16 +486,29 @@ let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
   let run_chain index ~stop =
     let seed = config.anneal.Annealer.seed + (index * 65_537) in
     let trace = if index = 0 then trace else None in
+    let checkpoint =
+      Option.map (fun path_of -> path_of index) restart_checkpoint
+    in
     match engine with
     | None ->
       (* Native annealer path, bit-identical to the historical one. *)
       let config =
         { config with anneal = { config.anneal with Annealer.seed } }
       in
+      let checkpoint, resume =
+        match checkpoint with
+        | None -> (None, None)
+        | Some ck ->
+          let sink, resume =
+            native_checkpoint config application platform ck
+          in
+          (Some sink, resume)
+      in
       (* The per-restart deadline reaches the annealer as its stop
          probe: a chain out of budget returns best-so-far at the next
          iteration boundary instead of being torn down. *)
-      explore ?trace ~should_stop:stop config application platform
+      explore ?trace ?checkpoint ?resume ~should_stop:stop config application
+        platform
     | Some engine ->
       (* Any registered engine gets the same supervision: derived
          seeds, the anneal iteration budget, and the stop probe wired
@@ -473,8 +530,9 @@ let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
           trace
       in
       let ctx =
-        Engine.context ~should_stop:stop ?observe ~app:application ~platform
-          ~seed ~iterations:config.anneal.Annealer.iterations ()
+        Engine.context ~should_stop:stop ?observe ?checkpoint
+          ~app:application ~platform ~seed
+          ~iterations:config.anneal.Annealer.iterations ()
       in
       result_of_outcome (Engine.run engine ctx)
   in
@@ -553,8 +611,8 @@ type frontier_report = {
 }
 
 let cost_performance_frontier_supervised ?(seed = 1) ?(iterations = 20_000)
-    ?(jobs = 1) ?device_timeout ?should_stop ?(retries = 0) application
-    catalogue =
+    ?(jobs = 1) ?device_timeout ?should_stop ?(retries = 0) ?engine
+    application catalogue =
   (* One independent exploration per catalogue device: a natural
      parallel grid (same seed per device as sequentially).  A device
      whose exploration fails or runs out of budget drops out of the
@@ -567,15 +625,28 @@ let cost_performance_frontier_supervised ?(seed = 1) ?(iterations = 20_000)
       (Array.length devices)
       (fun i ~stop ->
         let platform = devices.(i) in
-        let config =
-          {
-            anneal =
-              { Annealer.default_config with Annealer.iterations; seed };
-            moves = Moves.fixed_architecture;
-            objective = Makespan;
-          }
+        let result =
+          match engine with
+          | None ->
+            let config =
+              {
+                anneal =
+                  { Annealer.default_config with Annealer.iterations; seed };
+                moves = Moves.fixed_architecture;
+                objective = Makespan;
+              }
+            in
+            explore ~should_stop:stop config application platform
+          | Some engine ->
+            (* Same per-device treatment for any registered engine:
+               identical seed and iteration budget for every device,
+               the stop probe carrying the per-device deadline. *)
+            let ctx =
+              Engine.context ~should_stop:stop ~app:application ~platform
+                ~seed ~iterations ()
+            in
+            result_of_outcome (Engine.run engine ctx)
         in
-        let result = explore ~should_stop:stop config application platform in
         {
           platform;
           eval = result.best_eval;
@@ -596,7 +667,8 @@ let cost_performance_frontier_supervised ?(seed = 1) ?(iterations = 20_000)
         0 statuses;
   }
 
-let cost_performance_frontier ?seed ?iterations ?jobs application catalogue =
-  (cost_performance_frontier_supervised ?seed ?iterations ?jobs application
-     catalogue)
+let cost_performance_frontier ?seed ?iterations ?jobs ?engine application
+    catalogue =
+  (cost_performance_frontier_supervised ?seed ?iterations ?jobs ?engine
+     application catalogue)
     .frontier

@@ -111,7 +111,24 @@ val sa_engine : Engine.t
     default Lam schedule, so [iterations_run <= budget.iterations]
     holds like for every other engine.  The stop probe, wall timing and
     per-iteration observations follow the contract; the objective is
-    the makespan. *)
+    the makespan.
+
+    [context.checkpoint] is honoured through the annealer's native
+    snapshot machinery (kind ["dse-run"], annealing-config
+    fingerprint), so [dse-run --checkpoint --engine sa] resumes
+    bit-identically like every driven engine; an evaluation budget is
+    enforced exactly by capping the move count (the annealer spends at
+    most one evaluation per move).  One caveat inherited from the
+    native snapshot format: a resumed run reports the checkpoint's
+    {e current} cost as [initial_cost] (the original initial cost does
+    not cross the file), while all other outcome fields resume
+    bit-identically. *)
+
+val result_of_outcome : Engine.outcome -> result
+(** A generic engine's outcome dressed as the explorer's {!result}:
+    the eval is recomputed from the (feasible) best solution,
+    [infeasible] is 0.  Raises [Failure] if the engine returned an
+    infeasible best. *)
 
 val meets_deadline : App.t -> Searchgraph.eval -> bool
 (** True when the application declares no deadline or the evaluated
@@ -146,6 +163,7 @@ type restarts_report = {
 val explore_restarts_supervised :
   ?trace:Trace.t -> ?jobs:int -> ?restart_timeout:float ->
   ?should_stop:(unit -> bool) -> ?retries:int -> ?engine:Engine.t ->
+  ?restart_checkpoint:(int -> Engine.checkpoint) ->
   restarts:int -> config -> App.t -> Platform.t -> restarts_report
 (** Supervised multi-start exploration: one raising or overrunning
     chain never costs the others their results.  Each restart runs
@@ -164,7 +182,14 @@ val explore_restarts_supervised :
     engines take [config.anneal.iterations] as their iteration budget
     and run on the makespan objective; restart 0 feeds [trace] through
     the engine's observation callback (temperature and context count
-    are not defined for them and recorded as 0). *)
+    are not defined for them and recorded as 0).
+
+    [restart_checkpoint] makes the supervised run crash-safe: it maps
+    a restart index to that chain's {!Engine.checkpoint} (path,
+    cadence, resume mode).  Generic engines receive it through their
+    context; the native annealer translates it onto its own snapshot
+    machinery.  Because per-restart seeds are derived from the index,
+    each chain's checkpoint resumes exactly that chain. *)
 
 val explore_restarts :
   ?trace:Trace.t -> ?jobs:int -> ?engine:Engine.t -> restarts:int ->
@@ -205,17 +230,20 @@ type frontier_report = {
 
 val cost_performance_frontier_supervised :
   ?seed:int -> ?iterations:int -> ?jobs:int -> ?device_timeout:float ->
-  ?should_stop:(unit -> bool) -> ?retries:int -> App.t -> Platform.t list ->
-  frontier_report
+  ?should_stop:(unit -> bool) -> ?retries:int -> ?engine:Engine.t ->
+  App.t -> Platform.t list -> frontier_report
 (** Supervised {!cost_performance_frontier}: each device explores under
     its own [device_timeout] and failure isolation, and the report
     labels exactly which devices the frontier covers.  Candidates never
     interact before the final dominance pass, so the degraded frontier
-    is the exact frontier of the surviving sub-catalogue. *)
+    is the exact frontier of the surviving sub-catalogue.  [engine]
+    selects the search engine per device (default: the annealer's
+    native path); every device gets the same seed and iteration
+    budget, whichever engine runs. *)
 
 val cost_performance_frontier :
-  ?seed:int -> ?iterations:int -> ?jobs:int -> App.t -> Platform.t list ->
-  frontier_point list
+  ?seed:int -> ?iterations:int -> ?jobs:int -> ?engine:Engine.t ->
+  App.t -> Platform.t list -> frontier_point list
 (** Explore the application once per catalogue platform (makespan
     objective) and keep the Pareto-dominant (platform cost, makespan)
     points, sorted by increasing cost — the designer-facing output of

@@ -5,6 +5,8 @@ module Json = Repro_util.Json_lite
 module Log = Repro_util.Log
 module Rng = Repro_util.Rng
 module Explorer = Repro_dse.Explorer
+module Engine = Repro_dse.Engine
+module Engine_registry = Repro_dse.Engine_registry
 
 type config = {
   timeout : float option;
@@ -69,6 +71,9 @@ let result_json job ~status ~attempts ~(result : Explorer.result)
        ("restarts", num_int job.Job.restarts);
        ("attempts", num_int attempts);
      ]
+     @ (match job.Job.engine with
+        | Some e -> [ ("engine", Str e) ]
+        | None -> [])
      @
      match restart_statuses with
      | [] -> []
@@ -91,53 +96,107 @@ let run_attempt config spool job ~attempts ~stop ~deadline_expired =
   | Error msg -> failwith msg
   | Ok (app, platform) ->
     let explorer_config = Job.explorer_config job in
+    (* An unknown engine name is poison, not a transient failure; the
+       registry error already lists every known name. *)
+    let engine =
+      match job.Job.engine with
+      | None -> None
+      | Some name -> (
+        match Engine_registry.find name with
+        | Ok e -> Some e
+        | Error msg -> failwith msg)
+    in
     if job.Job.restarts <= 1 then begin
       let ckpt = Spool.checkpoint_path spool name in
-      let resume =
-        if Sys.file_exists ckpt then
-          match Explorer.load_snapshot explorer_config app platform ckpt with
-          | Ok snapshot ->
-            Log.info ~fields:[ ("job", Json.Str job.Job.name) ]
-              "resuming from checkpoint";
-            Some snapshot
-          | Error msg ->
-            (* A stale or foreign checkpoint must not poison the job:
-               start the run over from the seed. *)
-            Log.warn ~fields:[ ("job", Json.Str job.Job.name) ]
-              "ignoring unusable checkpoint: %s" msg;
-            None
-        else None
-      in
-      let result =
-        Explorer.explore
-          ~checkpoint:{ Explorer.path = ckpt; every = config.checkpoint_every }
-          ?resume ~should_stop:stop explorer_config app platform
-      in
-      match result.Explorer.status with
-      | Repro_anneal.Annealer.Interrupted when not (deadline_expired ()) ->
-        Shutdown
-      | status ->
-        let status =
-          match status with
-          | Repro_anneal.Annealer.Complete -> "complete"
-          | Repro_anneal.Annealer.Interrupted -> "timed-out"
+      match engine with
+      | Some engine ->
+        (* Uniform engine path: the driver owns resume (opportunistic —
+           a stale or foreign checkpoint is warned about and ignored)
+           and flushes a final checkpoint when the deadline interrupts
+           the run, which the timed-out retry contract relies on. *)
+        let ctx =
+          Engine.context ~should_stop:stop
+            ~checkpoint:
+              {
+                Engine.path = ckpt;
+                every = config.checkpoint_every;
+                resume = Engine.Resume_if_exists;
+              }
+            ~app ~platform ~seed:job.Job.seed ~iterations:job.Job.iters ()
         in
-        Finished
-          {
-            status;
-            json =
-              result_json job ~status ~attempts ~result ~restart_statuses:[]
-                ~degraded:0;
-          }
+        let outcome = Engine.run engine ctx in
+        (match outcome.Engine.status with
+         | Engine.Interrupted when not (deadline_expired ()) -> Shutdown
+         | status ->
+           let status =
+             match status with
+             | Engine.Complete -> "complete"
+             | Engine.Interrupted -> "timed-out"
+           in
+           let result = Explorer.result_of_outcome outcome in
+           Finished
+             {
+               status;
+               json =
+                 result_json job ~status ~attempts ~result
+                   ~restart_statuses:[] ~degraded:0;
+             })
+      | None ->
+        let resume =
+          if Sys.file_exists ckpt then
+            match Explorer.load_snapshot explorer_config app platform ckpt with
+            | Ok snapshot ->
+              Log.info ~fields:[ ("job", Json.Str job.Job.name) ]
+                "resuming from checkpoint";
+              Some snapshot
+            | Error msg ->
+              (* A stale or foreign checkpoint must not poison the job:
+                 start the run over from the seed. *)
+              Log.warn ~fields:[ ("job", Json.Str job.Job.name) ]
+                "ignoring unusable checkpoint: %s" msg;
+              None
+          else None
+        in
+        let result =
+          Explorer.explore
+            ~checkpoint:
+              { Explorer.path = ckpt; every = config.checkpoint_every }
+            ?resume ~should_stop:stop explorer_config app platform
+        in
+        (match result.Explorer.status with
+         | Repro_anneal.Annealer.Interrupted when not (deadline_expired ()) ->
+           Shutdown
+         | status ->
+           let status =
+             match status with
+             | Repro_anneal.Annealer.Complete -> "complete"
+             | Repro_anneal.Annealer.Interrupted -> "timed-out"
+           in
+           Finished
+             {
+               status;
+               json =
+                 result_json job ~status ~attempts ~result
+                   ~restart_statuses:[] ~degraded:0;
+             })
     end
     else begin
       (* Multi-restart jobs run under the supervised pool: the job
          deadline is every chain's stop probe, chains that overrun
-         yield best-so-far, chains that never started are skipped. *)
+         yield best-so-far, chains that never started are skipped.
+         Each chain checkpoints to its own work/<base>.r<i>.ckpt, so a
+         crash or timeout resumes every chain where it stopped. *)
+      let restart_checkpoint index =
+        {
+          Engine.path = Spool.restart_checkpoint_path spool name index;
+          every = config.checkpoint_every;
+          resume = Engine.Resume_if_exists;
+        }
+      in
       let report =
         Explorer.explore_restarts_supervised ~jobs:config.jobs
-          ~should_stop:stop ~restarts:job.Job.restarts explorer_config app
-          platform
+          ~should_stop:stop ?engine ~restart_checkpoint
+          ~restarts:job.Job.restarts explorer_config app platform
       in
       match report.Explorer.best_result with
       | None when not (deadline_expired ()) && stop () -> Shutdown
@@ -294,7 +353,10 @@ let run ?(should_stop = fun () -> false) config spool =
           in
           (match verdict with
            | Ok_result { status; json } ->
-             Spool.finish spool name ~result_json:json;
+             (* A timed-out job keeps its checkpoints: re-enqueueing the
+                same name resumes the search instead of restarting. *)
+             Spool.finish ~keep_checkpoints:(status = "timed-out") spool name
+               ~result_json:json;
              Backoff.Breaker.success breaker;
              stats.completed <- stats.completed + 1;
              if status = "timed-out" then

@@ -16,12 +16,13 @@ type t = {
   restarts : int;
   timeout : float option;
   serialized : bool;
+  engine : string option;
 }
 
 let known_fields =
   [
     "app"; "app_file"; "platform_file"; "clbs"; "iters"; "warmup"; "seed";
-    "restarts"; "timeout"; "serialized";
+    "restarts"; "timeout"; "serialized"; "engine";
   ]
 
 (* A job file is one flat JSON object.  Unknown keys and ill-typed
@@ -89,16 +90,28 @@ let of_json ~name text =
       | Some b -> Ok b
       | None -> Error "job field \"serialized\" wants a boolean")
   in
+  let* engine =
+    match Json.find fields "engine" with
+    | None -> Ok None
+    | Some v -> (
+      match Json.get_str v with
+      | Some "" -> Error "job field \"engine\" wants a non-empty name"
+      | Some s -> Ok (Some s)
+      | None -> Error "job field \"engine\" wants a string")
+  in
   let* () =
     if iters < 1 || warmup < 0 then Error "job wants iters >= 1, warmup >= 0"
     else if restarts < 1 then Error "job wants restarts >= 1"
     else if clbs < 1 then Error "job wants clbs >= 1"
+    else if serialized && engine <> None then
+      Error "job field \"serialized\" only applies to the native annealer \
+             (drop the \"engine\" field)"
     else Ok ()
   in
   Ok
     {
       name; app; platform_file; clbs; iters; warmup; seed; restarts; timeout;
-      serialized;
+      serialized; engine;
     }
 
 let to_json job =
@@ -118,7 +131,8 @@ let to_json job =
         ("restarts", num_int job.restarts);
       ]
     @ (match job.timeout with Some t -> [ ("timeout", Num t) ] | None -> [])
-    @ if job.serialized then [ ("serialized", Bool true) ] else []
+    @ (match job.serialized with true -> [ ("serialized", Bool true) ] | false -> [])
+    @ (match job.engine with Some e -> [ ("engine", Str e) ] | None -> [])
   in
   obj fields
 

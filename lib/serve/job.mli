@@ -14,7 +14,15 @@
       ["seed"] (default 1), ["restarts"] (default 1)
     - ["timeout"] — per-job wall seconds, overriding the daemon's
       default
-    - ["serialized"] — optimize under the serialized bus model *)
+    - ["serialized"] — optimize under the serialized bus model (native
+      annealer only; incompatible with ["engine"])
+    - ["engine"] — a registered engine name; the job then runs through
+      the uniform engine interface (budget = ["iters"], makespan
+      objective; ["warmup"] is annealer-specific and ignored) with the
+      driver's checkpointing, so a timed-out engine job records
+      best-so-far {e and} keeps its resume checkpoint for a retry.
+      Without the field the job takes the historical native-annealer
+      path. *)
 
 type source = Named of string | From_file of string
 
@@ -29,6 +37,7 @@ type t = {
   restarts : int;
   timeout : float option;
   serialized : bool;
+  engine : string option;  (** registered engine name; [None] = native *)
 }
 
 val of_json : name:string -> string -> (t, string) result

@@ -52,6 +52,9 @@ let work_path t name = Filename.concat t.work_dir name
 let result_path t name = Filename.concat t.results_dir name
 let failed_path t name = Filename.concat t.failed_dir name
 let checkpoint_path t name = Filename.concat t.work_dir (base name ^ ".ckpt")
+
+let restart_checkpoint_path t name index =
+  Filename.concat t.work_dir (Printf.sprintf "%s.r%d.ckpt" (base name) index)
 let heartbeat_path t = Filename.concat t.root "daemon.json"
 
 (* The claim is one atomic rename: exactly one of several competing
@@ -72,13 +75,33 @@ let read_claimed t name = Atomic_io.read_file (work_path t name)
 
 let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
+(* Every checkpoint a job may own: the single-chain one plus the
+   per-restart ones (<base>.r<i>.ckpt) of supervised multi-restart
+   runs. *)
+let remove_checkpoints t name =
+  remove_if_exists (checkpoint_path t name);
+  let prefix = base name ^ ".r" in
+  match Sys.readdir t.work_dir with
+  | entries ->
+    Array.iter
+      (fun entry ->
+        if
+          Filename.check_suffix entry ".ckpt"
+          && String.starts_with ~prefix entry
+        then remove_if_exists (Filename.concat t.work_dir entry))
+      entries
+  | exception Sys_error _ -> ()
+
 (* Completion order matters for crash safety: the result file lands
    (atomically) before the claimed job file disappears, so a crash
    between the two leaves both — recovery then sees the result and
-   drops the stale claim instead of re-running finished work. *)
-let finish t name ~result_json =
+   drops the stale claim instead of re-running finished work.
+   [keep_checkpoints] is the timed-out contract: the best-so-far
+   result is recorded, and the checkpoints stay in [work/] so
+   re-enqueueing the same job resumes instead of restarting. *)
+let finish ?(keep_checkpoints = false) t name ~result_json =
   Atomic_io.write_string (result_path t name) (result_json ^ "\n");
-  remove_if_exists (checkpoint_path t name);
+  if not keep_checkpoints then remove_checkpoints t name;
   remove_if_exists (work_path t name)
 
 let quarantine t name ~reason =
@@ -86,7 +109,7 @@ let quarantine t name ~reason =
   Atomic_io.write_string
     (failed_path t (base name ^ ".reason.json"))
     (obj [ ("job", Str name); ("reason", Str reason) ] ^ "\n");
-  remove_if_exists (checkpoint_path t name);
+  remove_checkpoints t name;
   (match Unix.rename (work_path t name) (failed_path t name) with
    | () -> ()
    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ())
@@ -96,7 +119,7 @@ let recover t =
     (fun name ->
       if Sys.file_exists (result_path t name) then begin
         (* Finished before the crash, only the claim cleanup was lost. *)
-        remove_if_exists (checkpoint_path t name);
+        remove_checkpoints t name;
         remove_if_exists (work_path t name);
         None
       end

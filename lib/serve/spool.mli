@@ -49,9 +49,12 @@ val unclaim : t -> string -> unit
 val read_claimed : t -> string -> (string, string) result
 (** Contents of a claimed job file. *)
 
-val finish : t -> string -> result_json:string -> unit
+val finish : ?keep_checkpoints:bool -> t -> string -> result_json:string -> unit
 (** Write [results/<name>] atomically, then drop the claim and its
-    checkpoint. *)
+    checkpoints.  [~keep_checkpoints:true] (default false) leaves the
+    checkpoints in [work/]: the timed-out contract — the best-so-far
+    result is recorded, and re-enqueueing the same job name resumes
+    the search from where the deadline cut it. *)
 
 val quarantine : t -> string -> reason:string -> unit
 (** Move a claimed poison job to [failed/<name>] and record a one-line
@@ -70,6 +73,10 @@ val failed_path : t -> string -> string
 val checkpoint_path : t -> string -> string
 (** [work/<base>.ckpt] — where a claimed job's engine checkpoint
     lives. *)
+
+val restart_checkpoint_path : t -> string -> int -> string
+(** [work/<base>.r<i>.ckpt] — restart [i]'s checkpoint of a
+    multi-restart job. *)
 
 val queue_depth : t -> int
 

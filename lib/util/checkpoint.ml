@@ -45,7 +45,7 @@ let save path ~kind payload =
 
 let ( let* ) = Result.bind
 
-let load path ~kind =
+let inspect path =
   let* contents = Atomic_io.read_file path in
   let* header, payload =
     match String.index_opt contents '\n' with
@@ -62,11 +62,15 @@ let load path ~kind =
       Error
         (Printf.sprintf "%s: unsupported checkpoint version %s (want %d)" path v
            version)
-    else if k <> kind then
-      Error (Printf.sprintf "%s: checkpoint kind %S, expected %S" path k kind)
     else if int_of_string_opt len <> Some (String.length payload) then
       Error (path ^ ": truncated checkpoint (length mismatch)")
     else if crc <> crc32_hex payload then
       Error (path ^ ": corrupt checkpoint (CRC mismatch)")
-    else Ok payload
+    else Ok (k, payload)
   | _ -> Error (path ^ ": not a checkpoint file (malformed header)")
+
+let load path ~kind =
+  let* k, payload = inspect path in
+  if k <> kind then
+    Error (Printf.sprintf "%s: checkpoint kind %S, expected %S" path k kind)
+  else Ok payload

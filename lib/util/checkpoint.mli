@@ -23,6 +23,13 @@ val load : string -> kind:string -> (string, string) result
     version, kind, length and CRC; every failure mode is a one-line
     [Error]. *)
 
+val inspect : string -> (string * string, string) result
+(** [inspect path] is {!load} without pinning the kind: it returns
+    [(kind, payload)] after the same magic/version/length/CRC checks.
+    Lets a tool identify which producer wrote a checkpoint — for
+    example, to tell a user resuming with the wrong [--engine] which
+    flag the file actually matches. *)
+
 val crc32 : string -> int32
 (** CRC-32 (IEEE) of a string; exposed for fingerprinting inputs. *)
 

@@ -170,7 +170,7 @@ let test_tabu () =
   let app = app () in
   let config =
     { Repro_baseline.Tabu.seed = 4; iterations = 300; neighbourhood = 12;
-      tenure = 15 }
+      tenure = 15; aspiration = false }
   in
   let result = Repro_baseline.Tabu.run config app (platform ()) in
   Alcotest.(check bool) "beats all-software" true
@@ -208,13 +208,47 @@ let test_tabu_deterministic () =
   let app = app () in
   let config =
     { Repro_baseline.Tabu.seed = 9; iterations = 100; neighbourhood = 8;
-      tenure = 10 }
+      tenure = 10; aspiration = false }
   in
   let run () =
     (Repro_baseline.Tabu.run config app (platform ()))
       .Repro_baseline.Tabu.best_makespan
   in
   Alcotest.(check (float 1e-12)) "same seed same result" (run ()) (run ())
+
+(* Aspiration regression: with everything else fixed, switching the
+   aspiration criterion on strictly improves the best cost on this
+   seed (sobel, neighbourhood 4, tenure 8, 30 iterations, seed 12:
+   18.71 ms off vs 16.84 ms on).  A tabu candidate that strictly
+   improves on the current working cost is re-admitted, letting the
+   search backtrack out of a stalled window it is otherwise forbidden
+   to re-enter. *)
+let test_tabu_aspiration_improves () =
+  let module Engine = Repro_dse.Engine in
+  let app = (List.assoc "sobel" Repro_workloads.Suite.named) () in
+  let platform = Repro_workloads.Suite.platform_for app in
+  let best aspiration =
+    let engine =
+      Repro_baseline.Tabu.engine_with ~neighbourhood:4 ~tenure:8 ~aspiration ()
+    in
+    let ctx = Engine.context ~app ~platform ~seed:12 ~iterations:30 () in
+    (Engine.run engine ctx).Engine.best_cost
+  in
+  let off = best false and on_ = best true in
+  Alcotest.(check bool)
+    (Printf.sprintf "aspiration strictly improves best cost (%.4f vs %.4f)"
+       on_ off)
+    true (on_ < off);
+  (* The knob defaults to off: the registry engine and the explicit
+     aspiration-off engine produce the same stream. *)
+  let default_best =
+    let ctx = Engine.context ~app ~platform ~seed:12 ~iterations:30 () in
+    (Engine.run
+       (Repro_baseline.Tabu.engine_with ~neighbourhood:4 ~tenure:8 ())
+       ctx)
+      .Engine.best_cost
+  in
+  Alcotest.(check (float 0.0)) "off is the default" off default_best
 
 (* --- hill climbing --- *)
 
@@ -251,5 +285,7 @@ let suite =
     Alcotest.test_case "tabu search" `Quick test_tabu;
     Alcotest.test_case "tabu tenure eviction" `Quick test_tabu_tenure_eviction;
     Alcotest.test_case "tabu deterministic" `Quick test_tabu_deterministic;
+    Alcotest.test_case "tabu aspiration improves this seed" `Quick
+      test_tabu_aspiration_improves;
     Alcotest.test_case "hill climb" `Quick test_hill_climb;
   ]

@@ -40,9 +40,9 @@ let platform () =
    (sa needs at least 2). *)
 let budget = 40
 
-let context ?should_stop ~seed ~iterations () =
-  Engine.context ?should_stop ~app:(app ()) ~platform:(platform ()) ~seed
-    ~iterations ()
+let context ?should_stop ?max_evaluations ~seed ~iterations () =
+  Engine.context ?should_stop ?max_evaluations ~app:(app ())
+    ~platform:(platform ()) ~seed ~iterations ()
 
 let check_valid what solution =
   match Solution.check_invariants solution with
@@ -104,6 +104,26 @@ let conformance_tests engine =
           true
           (o.Engine.iterations_run <= 3);
         check_valid name o.Engine.best);
+    Alcotest.test_case (name ^ ": evaluation budget honoured") `Quick
+      (fun () ->
+        let unlimited = run () in
+        let m = max 1 (unlimited.Engine.evaluations / 2) in
+        if unlimited.Engine.evaluations > m then begin
+          let limited () =
+            Engine.run engine
+              (context ~max_evaluations:m ~seed:11 ~iterations:budget ())
+          in
+          let a = limited () and b = limited () in
+          Alcotest.(check bool) "same budget, bit-identical" true
+            (fingerprint a = fingerprint b);
+          Alcotest.(check bool) "completes (not interrupted)" true
+            (a.Engine.status = Engine.Complete);
+          Alcotest.(check bool) "spends no more than the unlimited run" true
+            (a.Engine.evaluations <= unlimited.Engine.evaluations);
+          Alcotest.(check bool) "stops in fewer iterations" true
+            (a.Engine.iterations_run < unlimited.Engine.iterations_run);
+          check_valid name a.Engine.best
+        end);
     Alcotest.test_case (name ^ ": best is consistent with its cost") `Quick
       (fun () ->
         let o = run () in

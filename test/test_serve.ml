@@ -267,6 +267,140 @@ let test_daemon_crash_drill_loses_nothing () =
   Alcotest.(check int) "queue empty" 0 (Spool.queue_depth spool);
   Alcotest.(check (list string)) "no stale claims" [] (Spool.in_work spool)
 
+(* ---- engine jobs -------------------------------------------------- *)
+
+let () = Repro_baseline.Engines.register_all ()
+
+let test_job_engine_field () =
+  (match Job.of_json ~name:"e" "{\"app\": \"sobel\", \"engine\": \"greedy\"}" with
+   | Error msg -> Alcotest.fail msg
+   | Ok job ->
+     Alcotest.(check (option string)) "engine parsed" (Some "greedy")
+       job.Job.engine;
+     (match Job.of_json ~name:"e" (Job.to_json job) with
+      | Ok again ->
+        Alcotest.(check bool) "re-parses equal" true (again = job)
+      | Error msg -> Alcotest.fail msg));
+  let expect_error text =
+    match Job.of_json ~name:"e" text with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" text)
+    | Error msg ->
+      Alcotest.(check bool) "one line" false (String.contains msg '\n')
+  in
+  expect_error "{\"app\": \"sobel\", \"engine\": \"\"}";
+  expect_error "{\"app\": \"sobel\", \"engine\": 3}";
+  expect_error "{\"app\": \"sobel\", \"engine\": \"greedy\", \"serialized\": true}"
+
+let test_daemon_engine_job () =
+  with_spool @@ fun spool ->
+  enqueue spool "gj.json"
+    "{\"app\": \"sobel\", \"engine\": \"greedy\", \"iters\": 300, \"seed\": 4}";
+  let _outcome, stats = Daemon.run quiet_config spool in
+  Alcotest.(check int) "completed" 1 stats.Daemon.completed;
+  let fields = read_result spool "gj.json" in
+  Alcotest.(check (option string)) "status complete" (Some "complete")
+    (Json.str_field fields "status");
+  Alcotest.(check (option string)) "engine recorded" (Some "greedy")
+    (Json.str_field fields "engine");
+  (* The result matches an in-process run of the same engine under the
+     same inputs, seed and budget. *)
+  let module Engine = Repro_dse.Engine in
+  let app = (List.assoc "sobel" Repro_workloads.Suite.named) () in
+  let platform = Repro_workloads.Suite.platform_for app in
+  let engine =
+    match Repro_dse.Engine_registry.find "greedy" with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let o =
+    Engine.run engine
+      (Engine.context ~app ~platform ~seed:4 ~iterations:300 ())
+  in
+  (* Result JSON prints costs with %g (6 significant digits) — the
+     bit-exact state lives in checkpoints, not results. *)
+  match Json.num_field fields "best_cost" with
+  | Some cost ->
+    Alcotest.(check (float 1e-3)) "same best cost as a direct run"
+      o.Engine.best_cost cost
+  | None -> Alcotest.fail "engine result lost its best_cost"
+
+let test_daemon_unknown_engine_quarantined () =
+  with_spool @@ fun spool ->
+  enqueue spool "ue.json" "{\"app\": \"sobel\", \"engine\": \"bogus\"}";
+  let _outcome, stats = Daemon.run quiet_config spool in
+  Alcotest.(check int) "quarantined" 1 stats.Daemon.quarantined;
+  Alcotest.(check bool) "job preserved in failed/" true
+    (Sys.file_exists (Spool.failed_path spool "ue.json"))
+
+let test_daemon_engine_timeout_resumes_on_retry () =
+  with_spool @@ fun spool ->
+  (* First pass: a budget far beyond the wall-clock timeout.  The job
+     files a timed-out best-so-far result AND keeps its checkpoint in
+     work/, which is the retry contract. *)
+  enqueue spool "rz.json"
+    "{\"app\": \"sobel\", \"engine\": \"greedy\", \"iters\": 5000, \
+     \"seed\": 6, \"timeout\": 0.01}";
+  let config = { quiet_config with Daemon.checkpoint_every = 25 } in
+  let _outcome, stats = Daemon.run config spool in
+  Alcotest.(check int) "counted as timed out" 1 stats.Daemon.timed_out;
+  Alcotest.(check (option string)) "first pass timed out" (Some "timed-out")
+    (Json.str_field (read_result spool "rz.json") "status");
+  Alcotest.(check bool) "checkpoint kept for the retry" true
+    (Sys.file_exists (Spool.checkpoint_path spool "rz.json"));
+  (* Retry: the same job name without the timeout resumes from the
+     kept checkpoint and completes with the clean-run outcome. *)
+  enqueue spool "rz.json"
+    "{\"app\": \"sobel\", \"engine\": \"greedy\", \"iters\": 5000, \
+     \"seed\": 6}";
+  let _outcome, _stats = Daemon.run config spool in
+  let fields = read_result spool "rz.json" in
+  Alcotest.(check (option string)) "retry completes" (Some "complete")
+    (Json.str_field fields "status");
+  Alcotest.(check bool) "checkpoint cleaned up after completion" false
+    (Sys.file_exists (Spool.checkpoint_path spool "rz.json"));
+  let module Engine = Repro_dse.Engine in
+  let app = (List.assoc "sobel" Repro_workloads.Suite.named) () in
+  let platform = Repro_workloads.Suite.platform_for app in
+  let engine =
+    match Repro_dse.Engine_registry.find "greedy" with
+    | Ok e -> e
+    | Error msg -> Alcotest.fail msg
+  in
+  let clean =
+    Engine.run engine
+      (Engine.context ~app ~platform ~seed:6 ~iterations:5000 ())
+  in
+  (match Json.num_field fields "best_cost" with
+   | Some cost ->
+     Alcotest.(check (float 1e-3)) "resumed run equals the clean run"
+       clean.Engine.best_cost cost
+   | None -> Alcotest.fail "retry result lost its best_cost");
+  match Json.num_field fields "iterations_run" with
+  | Some n ->
+    Alcotest.(check (float 0.0)) "full budget accounted across the kill"
+      5000.0 n
+  | None -> Alcotest.fail "retry result lost its iterations_run"
+
+let test_daemon_engine_multi_restart () =
+  with_spool @@ fun spool ->
+  enqueue spool "mr.json"
+    "{\"app\": \"sobel\", \"engine\": \"hill\", \"iters\": 200, \
+     \"restarts\": 2, \"seed\": 3}";
+  let _outcome, stats = Daemon.run quiet_config spool in
+  Alcotest.(check int) "completed" 1 stats.Daemon.completed;
+  let fields = read_result spool "mr.json" in
+  Alcotest.(check (option string)) "complete" (Some "complete")
+    (Json.str_field fields "status");
+  Alcotest.(check (option string)) "engine recorded" (Some "hill")
+    (Json.str_field fields "engine");
+  (match Json.find fields "restart_statuses" with
+   | Some (Json.Arr statuses) ->
+     Alcotest.(check int) "one status per restart" 2 (List.length statuses)
+   | _ -> Alcotest.fail "engine multi-restart result lists no statuses");
+  (* Per-restart checkpoints do not outlive a completed job. *)
+  Alcotest.(check bool) "restart checkpoints cleaned" false
+    (Sys.file_exists (Spool.restart_checkpoint_path spool "mr.json" 0))
+
 let test_daemon_shutdown_requeues () =
   with_spool @@ fun spool ->
   enqueue spool "a.json" (tiny_job ());
@@ -302,4 +436,14 @@ let suite =
       test_daemon_crash_drill_loses_nothing;
     Alcotest.test_case "shutdown before claiming re-queues" `Quick
       test_daemon_shutdown_requeues;
+    Alcotest.test_case "job engine field parses and round-trips" `Quick
+      test_job_engine_field;
+    Alcotest.test_case "engine job runs through the registry" `Quick
+      test_daemon_engine_job;
+    Alcotest.test_case "unknown engine is quarantined" `Quick
+      test_daemon_unknown_engine_quarantined;
+    Alcotest.test_case "timed-out engine job resumes on retry" `Quick
+      test_daemon_engine_timeout_resumes_on_retry;
+    Alcotest.test_case "engine multi-restart job" `Quick
+      test_daemon_engine_multi_restart;
   ]
