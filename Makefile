@@ -17,7 +17,7 @@ bench-smoke:
 	BENCH_RUNS=1 BENCH_ITERS=300 BENCH_FIG2_ITERS=1500 \
 	BENCH_COMPARE_ITERS=2000 BENCH_GA_GENERATIONS=5 BENCH_GA_POPULATION=30 \
 	BENCH_RANDOM_SAMPLES=500 BENCH_HILL_MOVES=1000 BENCH_TABU_ITERS=200 \
-	BENCH_RESTARTS_ITERS=1500 dune exec bench/main.exe
+	BENCH_RESTARTS_ITERS=1500 BENCH_MICRO_MOVES=2000 dune exec bench/main.exe
 
 # Paper-scale Fig. 3 protocol (100 runs per device size)
 bench-full:
@@ -67,12 +67,12 @@ faultcheck: build
 	  dune exec -- bin/dse_run.exe --engine $$engine --seed 7 \
 	    --iters $$iters --warmup 200 --resume $$ck --result $$resumed \
 	    >/dev/null; \
-	  sed 's/"wall_seconds": [^,]*, //' $$clean > $$clean.cmp; \
-	  sed 's/"wall_seconds": [^,]*, //' $$resumed > $$resumed.cmp; \
+	  sed -e 's/, "eval_stats": .*/}/' -e 's/"wall_seconds": [^,]*, //' $$clean > $$clean.cmp; \
+	  sed -e 's/, "eval_stats": .*/}/' -e 's/"wall_seconds": [^,]*, //' $$resumed > $$resumed.cmp; \
 	  if ! diff $$clean.cmp $$resumed.cmp >/dev/null; then \
 	    echo "faultcheck: $$engine: resumed result differs from clean run"; \
-	    sed 's/"wall_seconds": [^,]*, //' $$clean; \
-	    sed 's/"wall_seconds": [^,]*, //' $$resumed; \
+	    sed -e 's/, "eval_stats": .*/}/' -e 's/"wall_seconds": [^,]*, //' $$clean; \
+	    sed -e 's/, "eval_stats": .*/}/' -e 's/"wall_seconds": [^,]*, //' $$resumed; \
 	    exit 1; \
 	  fi; \
 	  rm -f $$ck $$clean $$clean.cmp $$resumed $$resumed.cmp; \

@@ -39,6 +39,7 @@ module Rng = Repro_util.Rng
 module Parallel = Repro_util.Parallel
 module Clock = Repro_util.Clock
 module App = Repro_taskgraph.App
+module Task = Repro_taskgraph.Task
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -55,6 +56,7 @@ let random_samples = env_int "BENCH_RANDOM_SAMPLES" 5_000
 let hill_moves = env_int "BENCH_HILL_MOVES" 10_000
 let tabu_iters = env_int "BENCH_TABU_ITERS" 2_000
 let restarts_iters = env_int "BENCH_RESTARTS_ITERS" 20_000
+let micro_moves = env_int "BENCH_MICRO_MOVES" 20_000
 let bench_jobs = env_int "BENCH_JOBS" (Parallel.default_jobs ())
 
 let header title =
@@ -815,6 +817,134 @@ let multiproc () =
 (* Bechamel micro-benchmarks of the evaluation primitives.             *)
 (* ------------------------------------------------------------------ *)
 
+(* Moves/sec per move kind, incremental vs forced-rebuild evaluation.
+   Each arm runs the annealer's rejected-move cycle — save, mutate,
+   evaluate, undo — against the same starting solution with the same
+   draw stream, using the annealer's own per-kind generators
+   ([Moves.propose_kind]); the rebuild arm calls [Solution.invalidate]
+   before every proposal so its evaluations are full builds.  Always
+   undoing keeps the state (hence the kinds' preconditions) fixed, so
+   the two arms walk identically and their final solutions must agree
+   bit-for-bit. *)
+let micro_move_matrix () =
+  header
+    (Printf.sprintf
+       "Structural-move matrix — %d draws/kind, incremental vs rebuild \
+        (BENCH_MICRO_MOVES)"
+       micro_moves);
+  let app = Md.app () in
+  let platform = Md.platform () in
+  let alt_platform = Md.platform ~n_clb:2000 () in
+  (* A starting point with software tasks and several contexts.
+     [Solution.random] packs hardware into as few contexts as the
+     device allows (one, here), so the structural kinds need a richer
+     start: move two mutually independent software tasks into fresh
+     singleton contexts — independence keeps at least the swap of
+     those two contexts acyclic, so every kind has feasible draws.
+     The seed search keeps the recipe deterministic. *)
+  let prepare s =
+    let clo = Solution.closure s in
+    let order = Solution.sw_order s in
+    let independent a b =
+      (not (Repro_sched.Closure.reaches clo a b))
+      && not (Repro_sched.Closure.reaches clo b a)
+    in
+    let pair =
+      List.find_map
+        (fun a ->
+          List.find_map
+            (fun b -> if a < b && independent a b then Some (a, b) else None)
+            order)
+        order
+    in
+    match pair with
+    | Some (a, b) when Solution.n_contexts s >= 1 ->
+      Solution.insert_context s ~task:a ~at:(Solution.n_contexts s);
+      Solution.insert_context s ~task:b ~at:(Solution.n_contexts s);
+      Solution.n_contexts s >= 3
+      && List.length (Solution.sw_order s) >= 4
+      && Float.is_finite (Solution.makespan s)
+    | _ -> false
+  in
+  let base_seed =
+    let rec find seed =
+      if prepare (Solution.random (Rng.create seed) app platform) then seed
+      else find (seed + 1)
+    in
+    find 1
+  in
+  let mconfig = Moves.exploration [ platform; alt_platform ] in
+  let kinds =
+    [
+      ("impl", Solution.Impl);
+      ("sw_reorder", Solution.Sw_reorder);
+      ("sw_migrate", Solution.Sw_migrate);
+      ("ctx_migrate", Solution.Ctx_migrate);
+      ("ctx_create", Solution.Ctx_create);
+      ("ctx_swap", Solution.Ctx_swap);
+      ("device", Solution.Platform_swap);
+    ]
+  in
+  let run_arm ~rebuild kind =
+    let rng = Rng.create 101 in
+    let s = Solution.random (Rng.create base_seed) app platform in
+    let ok = prepare s in
+    assert ok;
+    ignore (Solution.makespan s);
+    let applied = ref 0 in
+    let t0 = Clock.wall () in
+    for _ = 1 to micro_moves do
+      if rebuild then Solution.invalidate s;
+      match Moves.propose_kind rng mconfig s kind with
+      | Some undo ->
+        incr applied;
+        undo ()
+      | None -> ()
+    done;
+    let wall = Clock.wall () -. t0 in
+    (wall, !applied, Solution.eval_stats s, Solution.encode s)
+  in
+  Printf.printf
+    "  %-12s %14s %14s %8s %12s %11s\n" "kind" "incr moves/s" "rebld moves/s"
+    "speedup" "nodes/refresh" "edges/move";
+  let metrics =
+    List.concat_map
+      (fun (name, kind) ->
+        let wall_i, applied_i, stats_i, final_i = run_arm ~rebuild:false kind in
+        let wall_r, applied_r, _stats_r, final_r = run_arm ~rebuild:true kind in
+        if applied_i <> applied_r || final_i <> final_r then
+          failwith
+            (Printf.sprintf
+               "micro: %s: incremental and rebuild arms diverged" name);
+        let ks = Solution.kind_stats stats_i kind in
+        let rate applied wall =
+          float_of_int applied /. Float.max wall 1e-9
+        in
+        let per num den =
+          if den = 0 then 0.0 else float_of_int num /. float_of_int den
+        in
+        let incr_rate = rate applied_i wall_i in
+        let rebuild_rate = rate applied_r wall_r in
+        let speedup = incr_rate /. Float.max rebuild_rate 1e-9 in
+        Printf.printf "  %-12s %14.0f %14.0f %7.2fx %12.1f %11.1f\n" name
+          incr_rate rebuild_rate speedup
+          (per ks.Solution.k_incr_nodes ks.Solution.k_incr_evals)
+          (per ks.Solution.k_edges_edited applied_i);
+        [
+          (name ^ "_moves_per_s_incr", incr_rate);
+          (name ^ "_moves_per_s_rebuild", rebuild_rate);
+          (name ^ "_speedup", speedup);
+          (name ^ "_incr_evals", float_of_int ks.Solution.k_incr_evals);
+          (name ^ "_nodes_per_incr_eval",
+           per ks.Solution.k_incr_nodes ks.Solution.k_incr_evals);
+          (name ^ "_edges_per_move",
+           per ks.Solution.k_edges_edited applied_i);
+        ])
+      kinds
+  in
+  Printf.printf "\n";
+  metrics
+
 let micro () =
   header "Micro-benchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -913,7 +1043,7 @@ let micro () =
           Printf.printf "  %-40s %12.1f ns/run\n" name nanoseconds)
         results)
     tests;
-  []
+  micro_move_matrix ()
 
 (* ------------------------------------------------------------------ *)
 (* Parallel restarts: wall-clock of jobs=1 vs jobs=4 on the same four
@@ -963,11 +1093,12 @@ let restarts_bench () =
     best1.Explorer.best_cost;
   Printf.printf
     "incremental evaluation on the winning chain: %d full evals \
-     (%.1f nodes/eval), %d incremental (%.1f nodes/eval)\n"
+     (%.1f nodes/eval), %d incremental (%.1f nodes/eval), %d edges edited\n"
     stats.Solution.full_evals
     (per_eval stats.Solution.full_evals stats.Solution.full_nodes)
     stats.Solution.incr_evals
-    (per_eval stats.Solution.incr_evals stats.Solution.incr_nodes);
+    (per_eval stats.Solution.incr_evals stats.Solution.incr_nodes)
+    stats.Solution.edges_edited;
   [
     ("wall_jobs1", wall1);
     ("wall_jobs4", wall4);
@@ -980,6 +1111,7 @@ let restarts_bench () =
      per_eval stats.Solution.full_evals stats.Solution.full_nodes);
     ("incr_nodes_per_eval",
      per_eval stats.Solution.incr_evals stats.Solution.incr_nodes);
+    ("edges_edited", float_of_int stats.Solution.edges_edited);
   ]
 
 (* ------------------------------------------------------------------ *)

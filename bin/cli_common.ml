@@ -83,6 +83,39 @@ let exit_code_of_status = function
    so a consumer can tell a finished campaign from a partial one.
    Supervised multi-restart runs additionally list the per-restart
    statuses and how many restarts were lost. *)
+(* The evaluation counters of a run, per move kind — the perf
+   trajectory of the incremental evaluator, machine-readable across
+   PRs.  Kinds that never evaluated are omitted. *)
+let eval_stats_json (stats : Solution.eval_stats) =
+  let open Json in
+  let by_kind =
+    List.filter_map
+      (fun kind ->
+        let ks = Solution.kind_stats stats kind in
+        if ks.Solution.k_full_evals = 0 && ks.Solution.k_incr_evals = 0 then
+          None
+        else
+          Some
+            ( Solution.move_kind_label kind,
+              Obj
+                [
+                  ("full_evals", num_int ks.Solution.k_full_evals);
+                  ("incr_evals", num_int ks.Solution.k_incr_evals);
+                  ("incr_nodes", num_int ks.Solution.k_incr_nodes);
+                  ("edges_edited", num_int ks.Solution.k_edges_edited);
+                ] ))
+      Solution.move_kinds
+  in
+  Obj
+    [
+      ("full_evals", num_int stats.Solution.full_evals);
+      ("full_nodes", num_int stats.Solution.full_nodes);
+      ("incr_evals", num_int stats.Solution.incr_evals);
+      ("incr_nodes", num_int stats.Solution.incr_nodes);
+      ("edges_edited", num_int stats.Solution.edges_edited);
+      ("by_kind", Obj by_kind);
+    ]
+
 let write_result ?(restart_statuses = []) ?(degraded = 0) path
     ~(status : string) ~(result : Explorer.result) =
   let eval = result.Explorer.best_eval in
@@ -105,13 +138,19 @@ let write_result ?(restart_statuses = []) ?(degraded = 0) path
           (Repro_util.Checkpoint.crc32_hex
              (Repro_dse.Solution.encode result.Explorer.best)) );
     ]
-    @
-    match restart_statuses with
-    | [] -> []
-    | statuses ->
-      [
-        ("restart_statuses", Arr (List.map (fun s -> Str s) statuses));
-        ("degraded_restarts", num_int degraded);
+    @ (match restart_statuses with
+       | [] -> []
+       | statuses ->
+         [
+           ("restart_statuses", Arr (List.map (fun s -> Str s) statuses));
+           ("degraded_restarts", num_int degraded);
+         ])
+    (* Keep this the last field: the faultcheck drill strips it (the
+       counters are process-local, so a clean run and a kill/resume
+       run legitimately differ here). *)
+    @ [
+        ( "eval_stats",
+          eval_stats_json (Solution.eval_stats result.Explorer.best) );
       ]
   in
   Atomic_io.write_string path (obj fields ^ "\n")

@@ -48,7 +48,12 @@ let engine_run ?on_accept ~fractions (ctx : Engine.context) =
       (s, Solution.makespan s, 1))
     ~step:(fun _rng ~iteration state ->
       let fraction = fractions.(iteration) in
-      match Ga.solution_of app platform (heaviest_fraction app fraction) with
+      (* The previous step's solution retires here: donate its
+         evaluation storage to the incoming candidate. *)
+      match
+        Ga.solution_of ~scratch:state app platform
+          (heaviest_fraction app fraction)
+      with
       | Error _ ->
         { Engine.state; cost = infinity; accepted = false; evaluations = 0 }
       | Ok candidate ->

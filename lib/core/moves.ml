@@ -193,6 +193,42 @@ let main_move rng solution =
          assignment is future work, as in the paper). *)
       None
 
+(* One generator per move kind, for the per-kind benchmark matrix:
+   the same draws and validation as [propose], minus the lottery.
+   [Sw_reorder] and [Ctx_migrate] re-draw the (vs, vd) pair of
+   [main_move] conditioned on landing in the requested kind. *)
+let propose_kind rng config solution (kind : Solution.move_kind) =
+  match kind with
+  | Solution.Init -> None
+  | Solution.Impl -> impl_move rng solution
+  | Solution.Ctx_create -> new_context_move rng solution
+  | Solution.Ctx_swap -> swap_contexts_move rng solution
+  | Solution.Platform_swap -> device_move rng config solution
+  | Solution.Sw_migrate -> hw_to_sw_move rng solution
+  | Solution.Sw_reorder -> (
+    match Solution.sw_orders solution with
+    | [] -> None
+    | orders ->
+      let proc = Rng.int rng (List.length orders) in
+      let order = Array.of_list (List.nth orders proc) in
+      if Array.length order < 2 then None
+      else
+        let vs = order.(Rng.int rng (Array.length order)) in
+        let vd = order.(Rng.int rng (Array.length order)) in
+        if vs = vd then None else reorder_move solution vs vd)
+  | Solution.Ctx_migrate -> (
+    match Solution.hw_tasks solution with
+    | [] -> None
+    | hw ->
+      let vd = Rng.choice_list rng hw in
+      let vs = Rng.int rng (Solution.size solution) in
+      if vs = vd then None
+      else
+        match (Solution.binding solution vs, Solution.binding solution vd) with
+        | Searchgraph.Hw a, Searchgraph.Hw b when a = b -> None
+        | _, Searchgraph.Hw _ -> to_context_move solution vs vd
+        | _, (Searchgraph.Sw | Searchgraph.On_asic _) -> None)
+
 let propose rng config solution =
   let draw = Rng.float rng 1.0 in
   let threshold1 = config.p_device in

@@ -58,3 +58,12 @@ val propose : Repro_util.Rng.t -> config -> Solution.t -> (unit -> unit) option
 (** Draw, realize, and validate one move; [Some undo] on success,
     [None] when the drawn move is infeasible or void (the annealer
     counts it and retries at the next iteration). *)
+
+val propose_kind :
+  Repro_util.Rng.t -> config -> Solution.t -> Solution.move_kind ->
+  (unit -> unit) option
+(** Like {!propose} but restricted to one {!Solution.move_kind}: the
+    same generators, targeting draws, static closure checks and
+    validation as the mixed proposal, without the kind lottery.  Feeds
+    the per-kind micro-benchmark matrix; [Solution.Init] never
+    proposes. *)

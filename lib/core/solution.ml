@@ -3,27 +3,124 @@ open Repro_arch
 open Repro_sched
 module Rng = Repro_util.Rng
 
+(* The move vocabulary, for attribution of evaluation work: every
+   mutator stamps the solution with the kind of the last mutation, and
+   the next evaluation books its cost (full vs incremental, nodes
+   touched, edges edited) against that kind. *)
+type move_kind =
+  | Init
+  | Impl
+  | Sw_reorder
+  | Sw_migrate
+  | Ctx_migrate
+  | Ctx_create
+  | Ctx_swap
+  | Platform_swap
+
+let move_kinds =
+  [ Init; Impl; Sw_reorder; Sw_migrate; Ctx_migrate; Ctx_create; Ctx_swap;
+    Platform_swap ]
+
+let move_kind_label = function
+  | Init -> "init"
+  | Impl -> "impl"
+  | Sw_reorder -> "sw_reorder"
+  | Sw_migrate -> "sw_migrate"
+  | Ctx_migrate -> "ctx_migrate"
+  | Ctx_create -> "ctx_create"
+  | Ctx_swap -> "ctx_swap"
+  | Platform_swap -> "platform"
+
+let kind_index = function
+  | Init -> 0
+  | Impl -> 1
+  | Sw_reorder -> 2
+  | Sw_migrate -> 3
+  | Ctx_migrate -> 4
+  | Ctx_create -> 5
+  | Ctx_swap -> 6
+  | Platform_swap -> 7
+
+let n_kinds = 8
+
+type kind_stats = {
+  mutable k_full_evals : int;
+  mutable k_incr_evals : int;
+  mutable k_incr_nodes : int;
+  mutable k_edges_edited : int;
+}
+
 type eval_stats = {
   mutable full_evals : int;
   mutable full_nodes : int;
   mutable incr_evals : int;
   mutable incr_nodes : int;
+  mutable edges_edited : int;
+  by_kind : kind_stats array;
 }
 
-(* Incremental-evaluation state: the built search graph and its
-   longest-path solution, kept alive across implementation-selection
-   moves.  [weights] is the node-weight store the longest path reads
-   through; [dirty] lists the tasks whose weight may disagree with it.
-   The state is valid only while the solution's structure (bindings,
-   contexts, orders, platform) is the one it was built for, which
-   [built_for] records as a version number. *)
+let fresh_stats () =
+  {
+    full_evals = 0;
+    full_nodes = 0;
+    incr_evals = 0;
+    incr_nodes = 0;
+    edges_edited = 0;
+    by_kind =
+      Array.init n_kinds (fun _ ->
+          {
+            k_full_evals = 0;
+            k_incr_evals = 0;
+            k_incr_nodes = 0;
+            k_edges_edited = 0;
+          });
+  }
+
+let kind_stats stats kind = stats.by_kind.(kind_index kind)
+
+(* One entry of the incremental state's delta log.  Every mutation of
+   the live search graph, its weights, the slot allocation, the cached
+   pair list or the boundary-traffic total is recorded here, so an undo
+   closure can replay the inverse ops (LIFO) instead of forcing a
+   rebuild. *)
+type op =
+  | W of int * float * float       (* node, old weight, new weight *)
+  | E_add of int * int
+  | E_del of int * int
+  | Comm of float * float          (* old total, new total *)
+  | Slot_alloc of int * int        (* context id, slot *)
+  | Slot_free of int * int
+  | Pairs of int list * int list   (* old, new (sorted, packed u·2n+v) *)
+  | Touch of int list              (* nodes whose edge weights changed *)
+
+(* Incremental-evaluation state: a live search graph over n task nodes
+   plus [cap = n] configuration-node *slots*, its longest-path solution
+   (dynamic: edges are edited in place), and the bookkeeping that turns
+   a structural mutation into an edge-delta set.  Contexts come and go
+   as moves execute, so each live context id owns a slot for its
+   configuration node; free slots stay isolated (no edges, weight 0)
+   and are excluded from the canonical evaluation.  [pairs] caches the
+   sorted Esw ∪ Ehw pair list the graph currently realizes, each pair
+   (u, v) packed as the int u·2n+v so the per-move re-sort and diff
+   run on immediate ints; [resync] diffs a regenerated list against
+   it.  [valid = false] keeps the
+   state alive as a storage donor only (next evaluation rebuilds);
+   [desync] flags a move whose sequencing contradicts the application
+   precedences (infeasible until undone). *)
 type incr = {
   sg : Graph.t;
   lp : Longest_path.t;
   weights : float array;
-  built_for : int;
-  comm : float;
+  slot_of : (int, int) Hashtbl.t;
+  mutable free_slots : int list;
+  mutable pairs : int list;
+  mutable comm : float;
+  mutable log : op array;
+  mutable log_len : int;
+  mutable epoch : int;             (* bumped when the log is truncated *)
   mutable dirty : int list;
+  mutable desync : bool;
+  mutable valid : bool;
 }
 
 (* assign.(v) = -(p+1) when the task runs in software on processor p
@@ -42,8 +139,7 @@ type t = {
   mutable next_ctx : int;
   mutable cached : Searchgraph.eval option option;
   mutable incr : incr option;
-  mutable structure_version : int;
-  mutable next_version : int;  (* monotonic; never rolled back by undo *)
+  mutable last_kind : move_kind;
   stats : eval_stats;
 }
 
@@ -57,14 +153,15 @@ let platform t = t.platform
 let closure t = t.clo
 let size t = App.size t.app
 
-(* A structural mutation (bindings, contexts, orders, platform) makes
-   the incremental state stale; versions are drawn from a monotonic
-   counter so an undo can restore a version without ever colliding with
-   a later structure. *)
+(* Contexts are never empty, so a solution over n tasks has at most n
+   of them: n slots always suffice. *)
+let cap_of t = size t
+
+(* Retire the incremental state to storage-donor duty: the next
+   evaluation rebuilds from scratch (recycling the arrays). *)
 let invalidate t =
-  t.next_version <- t.next_version + 1;
-  t.structure_version <- t.next_version;
-  t.cached <- None
+  t.cached <- None;
+  match t.incr with Some inc -> inc.valid <- false | None -> ()
 
 let eval_stats t = t.stats
 
@@ -89,9 +186,8 @@ let all_software application platform =
     next_ctx = 0;
     cached = None;
     incr = None;
-    structure_version = 0;
-    next_version = 0;
-    stats = { full_evals = 0; full_nodes = 0; incr_evals = 0; incr_nodes = 0 };
+    last_kind = Init;
+    stats = fresh_stats ();
   }
 
 (* Copies never share the incremental state: it tracks one solution's
@@ -109,6 +205,59 @@ let copy t =
 
 let snapshot = copy
 
+(* --- delta-log plumbing --- *)
+
+let log_push inc op =
+  if inc.log_len = Array.length inc.log then begin
+    let grown = Array.make (max 64 (2 * Array.length inc.log)) op in
+    Array.blit inc.log 0 grown 0 inc.log_len;
+    inc.log <- grown
+  end;
+  inc.log.(inc.log_len) <- op;
+  inc.log_len <- inc.log_len + 1
+
+let mark_dirty inc v = inc.dirty <- v :: inc.dirty
+
+let set_weight inc v w =
+  if w <> inc.weights.(v) then begin
+    log_push inc (W (v, inc.weights.(v), w));
+    inc.weights.(v) <- w;
+    mark_dirty inc v
+  end
+
+(* Replay the inverse ops down to [mark].  Re-inserting a deleted edge
+   restores a historical (acyclic) graph, so it can never fail. *)
+let rollback inc ~mark =
+  while inc.log_len > mark do
+    inc.log_len <- inc.log_len - 1;
+    match inc.log.(inc.log_len) with
+    | W (v, old, _) ->
+      inc.weights.(v) <- old;
+      mark_dirty inc v
+    | E_add (u, v) ->
+      Longest_path.delete_edge inc.lp u v;
+      mark_dirty inc v
+    | E_del (u, v) ->
+      if not (Longest_path.insert_edge inc.lp u v) then assert false;
+      mark_dirty inc v
+    | Comm (old, _) -> inc.comm <- old
+    | Slot_alloc (cid, slot) ->
+      Hashtbl.remove inc.slot_of cid;
+      inc.free_slots <- slot :: inc.free_slots
+    | Slot_free (cid, slot) ->
+      (match inc.free_slots with
+       | s :: rest when s = slot -> inc.free_slots <- rest
+       | _ -> assert false);
+      Hashtbl.replace inc.slot_of cid slot
+    | Pairs (old, _) -> inc.pairs <- old
+    | Touch vs -> List.iter (mark_dirty inc) vs
+  done
+
+(* Undo closures outliving this many log entries are long dead (undo is
+   LIFO and one-shot), so [save] resets the log once it grows past the
+   threshold. *)
+let log_truncate_threshold = 8192
+
 let save t =
   let assign = Array.copy t.assign in
   let impl = Array.copy t.impl in
@@ -117,17 +266,31 @@ let save t =
   let next_ctx = t.next_ctx in
   let cached = t.cached in
   let platform = t.platform in
-  let structure_version = t.structure_version in
+  let last_kind = t.last_kind in
+  let mark =
+    match t.incr with
+    | Some inc when inc.valid && not inc.desync ->
+      if inc.log_len > log_truncate_threshold then begin
+        inc.log_len <- 0;
+        inc.epoch <- inc.epoch + 1
+      end;
+      Some (inc, inc.epoch, inc.log_len)
+    | Some _ | None -> None
+  in
   fun () ->
-    (* Any task whose implementation is about to roll back may leave a
-       stale weight in the incremental state: mark it dirty before the
-       blit (the refresh re-reads weights from the restored state). *)
-    (match t.incr with
-     | Some inc ->
-       for v = 0 to Array.length impl - 1 do
-         if t.impl.(v) <> impl.(v) then inc.dirty <- v :: inc.dirty
-       done
-     | None -> ());
+    (* The incremental state rolls its delta log back to the save
+       point when it is still the same generation; any mismatch (a
+       rebuild happened in between, the log was truncated, undos ran
+       out of order) degrades it to storage-donor duty — the solution
+       arrays are restored either way. *)
+    (match (t.incr, mark) with
+     | Some inc, Some (saved, epoch, len)
+       when inc == saved && inc.epoch = epoch && inc.log_len >= len
+            && inc.valid ->
+       rollback inc ~mark:len;
+       inc.desync <- false
+     | Some inc, _ -> inc.valid <- false
+     | None, _ -> ());
     Array.blit assign 0 t.assign 0 (Array.length assign);
     Array.blit impl 0 t.impl 0 (Array.length impl);
     t.sw <- Array.copy sw;
@@ -135,7 +298,7 @@ let save t =
     t.next_ctx <- next_ctx;
     t.cached <- cached;
     t.platform <- platform;
-    t.structure_version <- structure_version
+    t.last_kind <- last_kind
 
 let binding t v =
   if t.assign.(v) < 0 then Searchgraph.Sw
@@ -184,100 +347,309 @@ let capacity_ok t =
   List.for_all (fun (_, members) -> members_clbs t members <= limit) t.ctxs
 
 (* Mirror of [Searchgraph.exec_time] reading the solution directly, so
-   the weight-only fast path does not rebuild a spec per move. *)
+   the incremental path does not rebuild a spec per move. *)
 let exec_time_of t v =
   let task = App.task t.app v in
   if t.assign.(v) < 0 then
     task.Task.sw_time /. Platform.processor_speed t.platform (processor_index t v)
   else (Task.impl task t.impl.(v)).Task.hw_time
 
+(* Mirror of [Searchgraph.crossing] under this solution's bindings:
+   both software -> distinct processors cross; mixed always crosses;
+   both hardware never does (ASIC bindings do not arise here). *)
+let crossing_of t u v =
+  let a = t.assign.(u) and b = t.assign.(v) in
+  if a < 0 && b < 0 then a <> b else a < 0 || b < 0
+
+(* Exact mirror of [Searchgraph.comm_cost] — same fold, same order —
+   so the incrementally-maintained total is bit-identical to what a
+   rebuild would compute (resume replay depends on it). *)
+let comm_cost_of t =
+  List.fold_left
+    (fun acc { App.src; dst; kbytes } ->
+      if crossing_of t src dst then
+        acc +. Platform.transfer_time t.platform kbytes
+      else acc)
+    0.0 (App.edges t.app)
+
+let edge_weight_of t =
+  let n = size t in
+  fun u v ->
+    if u < n && v < n && crossing_of t u v then
+      Platform.transfer_time t.platform (App.kbytes t.app u v)
+    else 0.0
+
+(* The canonical dynamic pair list (Esw ∪ Ehw) the live graph must
+   realize for the current solution state, with configuration nodes
+   addressed through the slot allocation.  Each pair is packed into a
+   single int (u·2n+v) and the list sorted with the int comparator:
+   this runs once per structural move, and a polymorphic sort over
+   boxed tuples would cost as much as the full rebuild it replaces. *)
+let pack_pairs t pairs =
+  let stride = 2 * size t in
+  List.sort Int.compare (List.map (fun (u, v) -> (u * stride) + v) pairs)
+
+let slot_pairs t inc =
+  let n = size t in
+  let slots =
+    Array.of_list
+      (List.map (fun (cid, _) -> n + Hashtbl.find inc.slot_of cid) t.ctxs)
+  in
+  Searchgraph.sequencing_pairs
+    ~cfg:(fun j -> slots.(j))
+    ~sw_order:t.sw.(0)
+    ~extra_sw_orders:(List.tl (Array.to_list t.sw))
+    ~contexts:(List.map snd t.ctxs)
+  |> pack_pairs t
+
+(* [a \ b] for sorted int lists. *)
+let rec diff_sorted a b =
+  match (a, b) with
+  | [], _ -> []
+  | _, [] -> a
+  | x :: xs, y :: ys ->
+    if x = y then diff_sorted xs ys
+    else if (x : int) < y then x :: diff_sorted xs b
+    else diff_sorted a ys
+
+(* Re-synchronize the live search graph with the mutated solution: the
+   slot allocation follows the live context set, the regenerated pair
+   list is diffed against the cached one and applied as edge deletions
+   then insertions (each intermediate edge set is a subset of the
+   union of two acyclic sets realized over the same order-maintained
+   graph, so a genuine cycle is detected by some insertion failing —
+   never spuriously), weights are re-read eagerly, and the boundary
+   traffic is recomputed exactly when bindings changed.  [rebound]
+   lists the tasks whose binding the move touched. *)
+let resync ?(rebound = []) t kind =
+  t.cached <- None;
+  t.last_kind <- kind;
+  match t.incr with
+  | None -> ()
+  | Some inc when not inc.valid -> ()
+  | Some inc when inc.desync ->
+    (* Mutating on top of an unresolved desync loses the diff base. *)
+    inc.valid <- false
+  | Some inc ->
+    let mark = inc.log_len in
+    let n = size t in
+    let appg = t.app.App.graph in
+    (* 1. Slots follow the live context set. *)
+    let dead =
+      Hashtbl.fold
+        (fun cid slot acc ->
+          if List.mem_assoc cid t.ctxs then acc else (cid, slot) :: acc)
+        inc.slot_of []
+    in
+    List.iter
+      (fun (cid, slot) ->
+        log_push inc (Slot_free (cid, slot));
+        Hashtbl.remove inc.slot_of cid;
+        inc.free_slots <- slot :: inc.free_slots;
+        set_weight inc (n + slot) 0.0)
+      (List.sort compare dead);
+    List.iter
+      (fun (cid, _) ->
+        if not (Hashtbl.mem inc.slot_of cid) then
+          match inc.free_slots with
+          | [] -> assert false (* cap = n >= number of non-empty contexts *)
+          | slot :: rest ->
+            inc.free_slots <- rest;
+            log_push inc (Slot_alloc (cid, slot));
+            Hashtbl.replace inc.slot_of cid slot)
+      t.ctxs;
+    (* 2. Edge delta against the cached canonical pair list. *)
+    let fresh = slot_pairs t inc in
+    let removals = diff_sorted inc.pairs fresh in
+    let additions = diff_sorted fresh inc.pairs in
+    let stride = 2 * n in
+    let edited = ref 0 in
+    List.iter
+      (fun p ->
+        let u = p / stride and v = p mod stride in
+        (* An Esw chain pair can coincide with a static application
+           edge; the shared arc must survive its removal. *)
+        if not (u < n && v < n && Graph.has_edge appg u v) then begin
+          Longest_path.delete_edge inc.lp u v;
+          log_push inc (E_del (u, v));
+          mark_dirty inc v;
+          incr edited
+        end)
+      removals;
+    let cyclic = ref false in
+    (try
+       List.iter
+         (fun p ->
+           let u = p / stride and v = p mod stride in
+           if not (Graph.has_edge inc.sg u v) then
+             if Longest_path.insert_edge inc.lp u v then begin
+               log_push inc (E_add (u, v));
+               mark_dirty inc v;
+               incr edited
+             end
+             else raise Exit)
+         additions
+     with Exit -> cyclic := true);
+    if !cyclic then begin
+      (* The new sequencing contradicts the precedences: a fresh build
+         of the same edge set would be cyclic too.  Leave the graph at
+         the pre-move state and report infeasible until the move is
+         undone. *)
+      rollback inc ~mark;
+      inc.desync <- true
+    end
+    else begin
+      log_push inc (Pairs (inc.pairs, fresh));
+      inc.pairs <- fresh;
+      (* 3. Weights: rebound tasks re-read their execution time (and
+         their application successors see changed edge weights); every
+         live configuration node tracks its context's area. *)
+      List.iter
+        (fun v ->
+          set_weight inc v (exec_time_of t v);
+          let touched = v :: Graph.succs appg v in
+          log_push inc (Touch touched);
+          List.iter (mark_dirty inc) touched)
+        rebound;
+      List.iter
+        (fun (cid, members) ->
+          set_weight inc
+            (n + Hashtbl.find inc.slot_of cid)
+            (Platform.reconfiguration_time t.platform (members_clbs t members)))
+        t.ctxs;
+      (* 4. Boundary traffic changes only with bindings; recompute it
+         exactly rather than patching it. *)
+      if rebound <> [] then begin
+        let c = comm_cost_of t in
+        if c <> inc.comm then begin
+          log_push inc (Comm (inc.comm, c));
+          inc.comm <- c
+        end
+      end;
+      t.stats.edges_edited <- t.stats.edges_edited + !edited;
+      let ks = kind_stats t.stats kind in
+      ks.k_edges_edited <- ks.k_edges_edited + !edited
+    end
+
+(* Assemble the evaluation from the live state, reading only the
+   canonical nodes (tasks, then live configuration slots in context
+   execution order) so retired slots are invisible.  The folds run in
+   the same order as [Searchgraph.evaluate]'s, keeping the result
+   bit-identical to a rebuild. *)
 let eval_from_incr t inc =
   let n = size t in
-  let total = Graph.size inc.sg in
+  let k = List.length t.ctxs in
+  let slot = Array.make (max k 1) 0 in
+  List.iteri (fun j (cid, _) -> slot.(j) <- Hashtbl.find inc.slot_of cid) t.ctxs;
+  let finish =
+    Array.init (n + k) (fun v ->
+        if v < n then Longest_path.finish inc.lp v
+        else Longest_path.finish inc.lp (n + slot.(v - n)))
+  in
+  let makespan = Array.fold_left Float.max 0.0 finish in
+  let initial_reconfig = if k > 0 then inc.weights.(n + slot.(0)) else 0.0 in
   let dynamic_reconfig = ref 0.0 in
-  for j = n + 1 to total - 1 do
-    dynamic_reconfig := !dynamic_reconfig +. inc.weights.(j)
+  for j = 1 to k - 1 do
+    dynamic_reconfig := !dynamic_reconfig +. inc.weights.(n + slot.(j))
   done;
   Some
     {
-      Searchgraph.makespan = Longest_path.makespan inc.lp;
-      initial_reconfig = (if total > n then inc.weights.(n) else 0.0);
+      Searchgraph.makespan;
+      initial_reconfig;
       dynamic_reconfig = !dynamic_reconfig;
       comm = inc.comm;
-      n_contexts = total - n;
-      finish = Array.init total (Longest_path.finish inc.lp);
+      n_contexts = k;
+      finish;
     }
 
-(* Full (re)build: construct the search graph and longest-path state,
-   recycling the previous incremental state's storage when the sizes
-   still match, and keep them alive for subsequent weight-only moves. *)
+(* Full (re)build: construct the slotted search graph and longest-path
+   state directly (contexts take slots 0..k-1), recycling the retired
+   state's storage when the sizes match, and keep the result alive for
+   the incremental path. *)
 let evaluate_full t =
-  let spec = spec t in
-  let reuse, scratch, old_weights =
-    match t.incr with
-    | Some inc -> (Some inc.sg, Some inc.lp, Some inc.weights)
-    | None -> (None, None, None)
-  in
+  let n = size t in
+  let total = n + cap_of t in
+  let k = List.length t.ctxs in
+  let retired = t.incr in
   t.incr <- None;
-  let g, node_weight, edge_weight = Searchgraph.build ?reuse spec in
-  let total = Graph.size g in
-  let weights =
-    match old_weights with
-    | Some w when Array.length w = total -> w
-    | Some _ | None -> Array.make total 0.0
+  let g, weights, slot_of, log, scratch =
+    match retired with
+    | Some inc when Graph.size inc.sg = total ->
+      Graph.clear inc.sg;
+      Hashtbl.reset inc.slot_of;
+      (inc.sg, inc.weights, inc.slot_of, inc.log, Some inc.lp)
+    | Some _ | None ->
+      (Graph.create total, Array.make total 0.0, Hashtbl.create 16, [||], None)
   in
-  for v = 0 to total - 1 do
-    weights.(v) <- node_weight v
+  List.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
+    (App.edges t.app);
+  let pairs_raw =
+    Searchgraph.sequencing_pairs
+      ~cfg:(fun j -> n + j)
+      ~sw_order:t.sw.(0)
+      ~extra_sw_orders:(List.tl (Array.to_list t.sw))
+      ~contexts:(List.map snd t.ctxs)
+  in
+  List.iter (fun (a, b) -> Graph.add_edge g a b) pairs_raw;
+  List.iteri (fun j (cid, _) -> Hashtbl.replace slot_of cid j) t.ctxs;
+  for v = 0 to n - 1 do
+    weights.(v) <- exec_time_of t v
+  done;
+  List.iteri
+    (fun j (_, members) ->
+      weights.(n + j) <-
+        Platform.reconfiguration_time t.platform (members_clbs t members))
+    t.ctxs;
+  for s = k to cap_of t - 1 do
+    weights.(n + s) <- 0.0
   done;
   match
     Longest_path.create ?scratch g
       ~node_weight:(fun v -> weights.(v))
-      ~edge_weight
+      ~edge_weight:(edge_weight_of t)
   with
   | None -> None
   | Some lp ->
     t.stats.full_evals <- t.stats.full_evals + 1;
-    t.stats.full_nodes <- t.stats.full_nodes + total;
+    t.stats.full_nodes <- t.stats.full_nodes + n + k;
+    (kind_stats t.stats t.last_kind).k_full_evals <-
+      (kind_stats t.stats t.last_kind).k_full_evals + 1;
     let inc =
       {
         sg = g;
         lp;
         weights;
-        built_for = t.structure_version;
-        comm = Searchgraph.comm_cost spec;
+        slot_of;
+        free_slots = List.init (cap_of t - k) (fun i -> k + i);
+        pairs = pack_pairs t pairs_raw;
+        comm = comm_cost_of t;
+        log;
+        log_len = 0;
+        epoch = 0;
         dirty = [];
+        desync = false;
+        valid = true;
       }
     in
     t.incr <- Some inc;
     eval_from_incr t inc
 
-(* Weight-only fast path: the structure (hence the graph, its edge
-   weights and the boundary traffic) is unchanged; re-read the weights
-   of the dirty tasks and of their contexts' configuration nodes and
-   propagate through the affected cones only. *)
+(* Incremental path: the live graph already realizes the mutated
+   structure (resync applied the edge delta and weights eagerly);
+   propagate through the dirty cones only. *)
 let evaluate_incremental t inc =
   (match inc.dirty with
    | [] -> ()
    | dirty ->
      inc.dirty <- [];
-     let n = size t in
-     let nodes =
-       List.fold_left
-         (fun acc v ->
-           inc.weights.(v) <- exec_time_of t v;
-           match binding t v with
-           | Searchgraph.Hw j ->
-             let cfg = n + j in
-             inc.weights.(cfg) <-
-               Platform.reconfiguration_time t.platform (context_clbs t j);
-             cfg :: v :: acc
-           | Searchgraph.Sw | Searchgraph.On_asic _ -> v :: acc)
-         [] dirty
-     in
-     Longest_path.refresh inc.lp nodes;
-     t.stats.incr_nodes <-
-       t.stats.incr_nodes + Longest_path.touched_last_refresh inc.lp);
+     Longest_path.refresh inc.lp dirty;
+     let touched = Longest_path.touched_last_refresh inc.lp in
+     t.stats.incr_nodes <- t.stats.incr_nodes + touched;
+     let ks = kind_stats t.stats t.last_kind in
+     ks.k_incr_nodes <- ks.k_incr_nodes + touched);
   t.stats.incr_evals <- t.stats.incr_evals + 1;
+  (kind_stats t.stats t.last_kind).k_incr_evals <-
+    (kind_stats t.stats t.last_kind).k_incr_evals + 1;
   eval_from_incr t inc
 
 let evaluate t =
@@ -286,12 +658,13 @@ let evaluate t =
   | Some result -> result
   | None ->
     let result =
-      if not (capacity_ok t) then None
-      else
-        match t.incr with
-        | Some inc when inc.built_for = t.structure_version ->
-          evaluate_incremental t inc
-        | Some _ | None -> evaluate_full t
+      match t.incr with
+      | Some inc when inc.valid ->
+        if inc.desync then None
+        else if not (capacity_ok t) then None
+        else evaluate_incremental t inc
+      | Some _ | None ->
+        if not (capacity_ok t) then None else evaluate_full t
     in
     t.cached <- Some result;
     result
@@ -304,18 +677,26 @@ let makespan t =
 (* --- mutations --- *)
 
 (* Implementation selection is the structure-preserving move: bindings,
-   contexts and orders are untouched, only node weights (and the
-   context capacity check) change — so the incremental state survives,
-   with the task marked dirty. *)
+   contexts and orders are untouched, only the task's weight (and its
+   context's configuration weight) change. *)
 let set_impl t v k =
   if k < 0 || k >= Task.impl_count (App.task t.app v) then
     invalid_arg "Solution.set_impl: implementation index out of range";
   if t.impl.(v) <> k then begin
     t.impl.(v) <- k;
     t.cached <- None;
+    t.last_kind <- Impl;
     match t.incr with
-    | Some inc -> inc.dirty <- v :: inc.dirty
-    | None -> ()
+    | Some inc when inc.valid && not inc.desync ->
+      set_weight inc v (exec_time_of t v);
+      if t.assign.(v) >= 0 then begin
+        let members = List.assoc t.assign.(v) t.ctxs in
+        set_weight inc
+          (size t + Hashtbl.find inc.slot_of t.assign.(v))
+          (Platform.reconfiguration_time t.platform (members_clbs t members))
+      end
+    | Some inc when inc.desync -> inc.valid <- false
+    | Some _ | None -> ()
   end
 
 let remove_from_context t v =
@@ -359,7 +740,7 @@ let move_to_sw ?(proc = 0) t ~task ~before =
      if not (List.mem anchor t.sw.(proc)) then
        invalid_arg "Solution.move_to_sw: anchor not in that processor's order";
      t.sw.(proc) <- insert_before task anchor t.sw.(proc));
-  invalidate t
+  resync ~rebound:[ task ] t Sw_migrate
 
 let move_to_context t ~task ~dest =
   let dest_id = t.assign.(dest) in
@@ -393,7 +774,7 @@ let move_to_context t ~task ~dest =
         else [ (cid, members) ])
       t.ctxs;
   assert !placed;
-  invalidate t
+  resync ~rebound:[ task ] t Ctx_migrate
 
 let insert_context t ~task ~at =
   let k = List.length t.ctxs in
@@ -410,7 +791,7 @@ let insert_context t ~task ~at =
     | c :: rest -> c :: insert (j + 1) rest
   in
   t.ctxs <- insert 0 t.ctxs;
-  invalidate t
+  resync ~rebound:[ task ] t Ctx_create
 
 let append_context t ~task =
   insert_context t ~task ~at:(List.length t.ctxs)
@@ -424,7 +805,7 @@ let swap_contexts t ~at =
     | [] -> assert false (* bound checked above *)
   in
   t.ctxs <- swap 0 t.ctxs;
-  invalidate t
+  resync t Ctx_swap
 
 let reorder_sw t ~task ~before =
   if t.assign.(task) >= 0 || t.assign.(before) >= 0 then
@@ -435,7 +816,7 @@ let reorder_sw t ~task ~before =
   if task <> before then begin
     t.sw.(p) <-
       insert_before task before (List.filter (fun w -> w <> task) t.sw.(p));
-    invalidate t
+    resync t Sw_reorder
   end
 
 let replace_platform t platform =
@@ -444,6 +825,8 @@ let replace_platform t platform =
       "Solution.replace_platform: platforms must have the same number of \
        processors";
   t.platform <- platform;
+  t.last_kind <- Platform_swap;
+  (* Every weight and transfer time may change: rebuild. *)
   invalidate t
 
 let random rng application platform =
@@ -513,7 +896,23 @@ let random rng application platform =
     topo;
   t
 
-let rec of_mapping application platform ~sw_orders ~contexts ~impl =
+(* Move a retired solution's incremental state into [t] as a storage
+   donor: the next evaluation rebuilds in place instead of
+   reallocating the graph, the weight store and the position/finish
+   arrays (the rebuild-heavy engines decode or remap every step). *)
+let adopt_scratch t scratch =
+  match scratch with
+  | None -> ()
+  | Some donor -> (
+    match donor.incr with
+    | Some inc when Graph.size inc.sg = size t + cap_of t ->
+      donor.incr <- None;
+      inc.valid <- false;
+      inc.desync <- false;
+      t.incr <- Some inc
+    | Some _ | None -> ())
+
+let rec of_mapping ?scratch application platform ~sw_orders ~contexts ~impl =
   let n = App.size application in
   let procs = Platform.processor_count platform in
   if List.length sw_orders <> procs then
@@ -561,19 +960,14 @@ let rec of_mapping application platform ~sw_orders ~contexts ~impl =
               next_ctx = List.length contexts;
               cached = None;
               incr = None;
-              structure_version = 0;
-              next_version = 0;
-              stats =
-                {
-                  full_evals = 0;
-                  full_nodes = 0;
-                  incr_evals = 0;
-                  incr_nodes = 0;
-                };
+              last_kind = Init;
+              stats = fresh_stats ();
             }
           in
           match check_invariants t with
-          | Ok () -> Ok t
+          | Ok () ->
+            adopt_scratch t scratch;
+            Ok t
           | Error msg -> Error ("of_mapping: " ^ msg)
         end
     end
@@ -670,7 +1064,7 @@ let encode t =
   List.iter (fun (_, members) -> add_ints "ctx" members) t.ctxs;
   Buffer.contents b
 
-let decode application platform text =
+let decode ?scratch application platform text =
   let ( let* ) = Result.bind in
   let ints_after tag line =
     match String.split_on_char ' ' line with
@@ -743,14 +1137,14 @@ let decode application platform text =
               next_ctx = k;
               cached = None;
               incr = None;
-              structure_version = 0;
-              next_version = 0;
-              stats =
-                { full_evals = 0; full_nodes = 0; incr_evals = 0; incr_nodes = 0 };
+              last_kind = Init;
+              stats = fresh_stats ();
             }
           in
           match check_invariants t with
-          | Ok () -> Ok t
+          | Ok () ->
+            adopt_scratch t scratch;
+            Ok t
           | Error msg -> Error ("solution codec: " ^ msg)
         end)
 

@@ -41,6 +41,7 @@ val random : Repro_util.Rng.t -> App.t -> Platform.t -> t
 val copy : t -> t
 
 val of_mapping :
+  ?scratch:t ->
   App.t -> Platform.t ->
   sw_orders:int list list ->
   contexts:int list list ->
@@ -53,7 +54,9 @@ val of_mapping :
     constructed solution passes {!check_invariants} or an error is
     returned.  Used by the decoded baselines (GA, greedy) to express
     their answers as first-class solutions behind the common engine
-    interface. *)
+    interface.  [scratch] donates a retiring solution of the same
+    problem size whose evaluation storage (graph, weights, positions)
+    is recycled by the first evaluation instead of reallocated. *)
 
 (** {1 Inspection} *)
 
@@ -84,27 +87,63 @@ val context_clbs : t -> int -> int
 val spec : t -> Searchgraph.spec
 
 val evaluate : t -> Searchgraph.eval option
-(** Cached; [None] if the current order is infeasible (cyclic).
+(** Cached; [None] if the current order is infeasible (cyclic) or a
+    context exceeds the device capacity.
 
     Evaluation keeps the built search graph and its longest-path state
-    alive inside the solution.  A structure-preserving mutation
-    ({!set_impl}: bindings, contexts and orders unchanged) only marks
-    the task dirty, and the next evaluation refreshes the affected
-    downstream cone ({!Repro_sched.Longest_path.refresh}) instead of
-    rebuilding the graph; structural mutations fall back to a full
-    rebuild that recycles the previous state's storage. *)
+    alive inside the solution, and the graph is {e dynamic}: both the
+    structure-preserving mutation ({!set_impl}) and the structural
+    moves ({!reorder_sw}, {!move_to_sw}, {!move_to_context},
+    {!insert_context}/{!append_context}, {!swap_contexts}) edit it in
+    place — a handful of Esw/Ehw sequentialization edges and node
+    weights — and the next evaluation refreshes only the affected
+    downstream cones ({!Repro_sched.Longest_path.refresh}).  Every
+    edit lands in a delta log so {!save}'s undo closure restores the
+    live graph by replaying inverses.  {!replace_platform}, {!decode}
+    and cycle detection fall back to a full rebuild that recycles the
+    previous state's storage.  Incremental results are bit-identical
+    to a rebuild (the longest-path fixpoint is exact and the
+    boundary-traffic total is recomputed, not patched). *)
+
+(** {1 Evaluation statistics} *)
+
+type move_kind =
+  | Init          (** first evaluation after construction *)
+  | Impl          (** implementation selection (weight-only) *)
+  | Sw_reorder    (** m1: software order *)
+  | Sw_migrate    (** m2/m3: task moved to a processor *)
+  | Ctx_migrate   (** m2: task moved into an existing context *)
+  | Ctx_create    (** m4: fresh context inserted *)
+  | Ctx_swap      (** context execution order exchange *)
+  | Platform_swap (** device/architecture exploration *)
+
+val move_kinds : move_kind list
+val move_kind_label : move_kind -> string
+
+type kind_stats = {
+  mutable k_full_evals : int;
+  mutable k_incr_evals : int;
+  mutable k_incr_nodes : int;
+  mutable k_edges_edited : int;
+}
 
 type eval_stats = {
   mutable full_evals : int;   (** evaluations that rebuilt the graph *)
   mutable full_nodes : int;   (** nodes evaluated across full rebuilds *)
   mutable incr_evals : int;   (** evaluations served by the fast path *)
   mutable incr_nodes : int;   (** nodes re-evaluated across refreshes *)
+  mutable edges_edited : int; (** in-place edge insertions/deletions *)
+  by_kind : kind_stats array; (** indexed per {!move_kind} *)
 }
 
 val eval_stats : t -> eval_stats
 (** Counters shared by a solution and its snapshots — the measured
     locality win of the incremental path (see the bench harness and
     the solution tests). *)
+
+val kind_stats : eval_stats -> move_kind -> kind_stats
+(** Evaluation work booked against the kind of the mutation that
+    preceded it. *)
 
 val makespan : t -> float
 (** Makespan of a feasible solution; [infinity] when infeasible. *)
@@ -121,15 +160,21 @@ val snapshot : t -> t
 
 val save : t -> (unit -> unit)
 (** Capture the full mutable state; the returned closure restores it
-    (move undo). *)
+    (move undo).  The live search graph is restored by replaying the
+    delta log backwards to the save point, so rejecting a structural
+    move costs a few inverse edge edits rather than a rebuild.  Undo
+    closures are one-shot and LIFO; out-of-order use degrades safely
+    to a full rebuild at the next evaluation. *)
 
 val invalidate : t -> unit
-(** Drop the cached evaluation after a manual structural mutation (also
-    retires the incremental longest-path state). *)
+(** Force the next evaluation to rebuild from scratch (the retired
+    incremental state is kept as a storage donor).  Escape hatch for
+    manual surgery on the solution — and the forced-rebuild arm of the
+    micro benchmark. *)
 
 val set_impl : t -> int -> int -> unit
-(** Structure-preserving: keeps the incremental evaluation state and
-    only marks the task's weight dirty. *)
+(** Structure-preserving: updates the task's weight (and its context's
+    configuration weight) in the live evaluation state. *)
 
 val move_to_sw : ?proc:int -> t -> task:int -> before:int option -> unit
 (** Detach [task] from wherever it runs (dropping its context if
@@ -175,10 +220,12 @@ val encode : t -> string
     positionally, which no move can observe, so a decoded solution
     replays the same proposal stream as the original. *)
 
-val decode : App.t -> Platform.t -> string -> (t, string) result
+val decode : ?scratch:t -> App.t -> Platform.t -> string -> (t, string) result
 (** Rebuild a solution from {!encode} output against the same
     application and platform; validates shape and
     {!check_invariants}.  Evaluation caches start cold — the exact
-    longest-path refresh guarantees re-evaluation is bit-identical. *)
+    longest-path refresh guarantees re-evaluation is bit-identical.
+    [scratch] donates a retiring solution's evaluation storage as in
+    {!of_mapping}. *)
 
 val pp : Format.formatter -> t -> unit

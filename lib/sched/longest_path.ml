@@ -1,5 +1,6 @@
 open Repro_taskgraph
 module Pqueue = Repro_util.Pqueue
+module Bitset = Repro_util.Bitset
 
 type t = {
   graph : Graph.t;
@@ -51,10 +52,10 @@ let recompute t =
    its updated predecessors, so it is processed at most once. *)
 let refresh t dirty =
   let queue = Pqueue.create () in
-  let queued = Hashtbl.create 16 in
+  let queued = Bitset.create (Array.length t.position) in
   let push v =
-    if not (Hashtbl.mem queued v) then begin
-      Hashtbl.add queued v ();
+    if not (Bitset.mem queued v) then begin
+      Bitset.add queued v;
       Pqueue.push queue (float_of_int t.position.(v)) v
     end
   in
@@ -64,7 +65,7 @@ let refresh t dirty =
     match Pqueue.pop queue with
     | None -> ()
     | Some (_, v) ->
-      Hashtbl.remove queued v;
+      Bitset.remove queued v;
       t.touched <- t.touched + 1;
       let fresh = evaluate_node t v in
       (* Exact comparison, not a tolerance: incremental refresh must
@@ -80,3 +81,67 @@ let refresh t dirty =
   drain ()
 
 let touched_last_refresh t = t.touched
+
+(* Dynamic topological-order maintenance (Pearce & Kelly): an edge
+   u -> v with pos(u) < pos(v) is order-compatible and costs nothing;
+   otherwise the nodes reaching u from v's position range and the nodes
+   reachable from v up to u's position range swap position pools.  The
+   two discovery DFSs run before any mutation, so a rejected (cyclic)
+   insertion leaves the state untouched. *)
+let insert_edge t u v =
+  let n = Array.length t.position in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Longest_path.insert_edge";
+  if u = v then false
+  else if Graph.has_edge t.graph u v then true
+  else if t.position.(u) < t.position.(v) then begin
+    Graph.add_edge t.graph u v;
+    true
+  end
+  else begin
+    let lb = t.position.(v) and ub = t.position.(u) in
+    let fwd = Bitset.create n in
+    let cycle = ref false in
+    let rec forward w =
+      if not !cycle then begin
+        Bitset.add fwd w;
+        List.iter
+          (fun x ->
+            if x = u then cycle := true
+            else if t.position.(x) < ub && not (Bitset.mem fwd x) then
+              forward x)
+          (Graph.succs t.graph w)
+      end
+    in
+    forward v;
+    if !cycle then false
+    else begin
+      let bwd = Bitset.create n in
+      let rec backward w =
+        Bitset.add bwd w;
+        List.iter
+          (fun x ->
+            if t.position.(x) > lb && not (Bitset.mem bwd x) then backward x)
+          (Graph.preds t.graph w)
+      in
+      backward u;
+      (* Positions increase along every path, so the forward frontier
+         bounded by pos(u) cannot miss a cycle, and the two sets are
+         disjoint whenever no cycle was found.  Reassign the merged
+         position pool: ancestors of [u] first (keeping their relative
+         order), then descendants of [v]. *)
+      let by_pos l =
+        List.sort (fun a b -> Int.compare t.position.(a) t.position.(b)) l
+      in
+      let affected = by_pos (Bitset.to_list bwd) @ by_pos (Bitset.to_list fwd) in
+      let pool =
+        List.sort Int.compare (List.map (fun w -> t.position.(w)) affected)
+      in
+      List.iter2 (fun w p -> t.position.(w) <- p) affected pool;
+      Graph.add_edge t.graph u v;
+      true
+    end
+  end
+
+(* Removing an edge never breaks a topological order. *)
+let delete_edge t u v = Graph.remove_edge t.graph u v

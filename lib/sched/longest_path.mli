@@ -8,9 +8,13 @@
     downstream cone is recomputed (in topological order, stopping as
     soon as values stabilize).
 
-    The graph structure is fixed at creation; node weights are read
-    through the provided callback, so the caller mutates its own weight
-    store and then calls {!refresh}. *)
+    The graph is dynamic: {!insert_edge} and {!delete_edge} edit the
+    underlying structure while maintaining a valid topological order
+    in-place (Pearce–Kelly), so structural moves on the search graph
+    are served by the same {!refresh} worklist as weight changes.
+    Node and edge weights are read through the provided callbacks, so
+    the caller mutates its own weight store and then calls {!refresh}
+    with the affected nodes. *)
 
 open Repro_taskgraph
 
@@ -21,10 +25,21 @@ val create :
   Graph.t -> node_weight:(int -> float) -> edge_weight:(int -> int -> float) ->
   t option
 (** Builds the state and computes all completion times; [None] when the
-    graph is cyclic.  The graph must not be mutated afterwards.
-    [scratch] donates the internal arrays of a retired state of the
-    same size, avoiding reallocation on rebuild-heavy paths (the donor
-    must no longer be used). *)
+    graph is cyclic.  The graph must only be mutated afterwards through
+    {!insert_edge} / {!delete_edge}.  [scratch] donates the internal
+    arrays of a retired state of the same size, avoiding reallocation
+    on rebuild-heavy paths (the donor must no longer be used). *)
+
+val insert_edge : t -> int -> int -> bool
+(** [insert_edge t u v] adds edge [u -> v] to the graph, restoring a
+    valid topological order if needed.  Returns [false] — with the
+    graph and order left untouched — when the edge would create a
+    cycle; returns [true] if the edge was added (or already present).
+    Completion times are {e not} updated: pass [v] to {!refresh}. *)
+
+val delete_edge : t -> int -> int -> unit
+(** Removes edge [u -> v] (no-op if absent).  The maintained order
+    stays valid; pass [v] to {!refresh} to update completion times. *)
 
 val finish : t -> int -> float
 (** Completion time of a node. *)

@@ -68,6 +68,38 @@ let comm_cost spec =
       else acc)
     0.0 (App.edges spec.app)
 
+(* The sequentialization edge families as explicit pair lists, emitted
+   in the exact order [build] inserts them.  [Solution]'s incremental
+   path derives per-move edge deltas from these same generators (with a
+   slot-based [cfg] labelling), so the edited live graph and a fresh
+   build can never disagree on the edge set. *)
+let chain_pairs order =
+  let rec walk acc = function
+    | a :: (b :: _ as rest) -> walk ((a, b) :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  walk [] order
+
+let ehw_pairs ~cfg contexts =
+  let contexts = Array.of_list contexts in
+  let k = Array.length contexts in
+  let acc = ref [] in
+  let add p = acc := p :: !acc in
+  for j = 0 to k - 1 do
+    let c = cfg j in
+    if j > 0 then begin
+      add (cfg (j - 1), c);
+      List.iter (fun v -> add (v, c)) contexts.(j - 1)
+    end;
+    List.iter (fun v -> add (c, v)) contexts.(j)
+  done;
+  List.rev !acc
+
+let sequencing_pairs ~cfg ~sw_order ~extra_sw_orders ~contexts =
+  chain_pairs sw_order
+  @ List.concat_map chain_pairs extra_sw_orders
+  @ ehw_pairs ~cfg contexts
+
 let build ?reuse spec =
   let n = App.size spec.app in
   let contexts = Array.of_list spec.contexts in
@@ -82,26 +114,16 @@ let build ?reuse spec =
   (* Application edges. *)
   List.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
     (App.edges spec.app);
-  (* Software sequentialization edges (Esw), one chain per processor. *)
-  let rec chain = function
-    | a :: (b :: _ as rest) ->
-      Graph.add_edge g a b;
-      chain rest
-    | [ _ ] | [] -> ()
-  in
-  chain spec.sw_order;
-  List.iter chain spec.extra_sw_orders;
-  (* Context sequentialization (Ehw): configuration node n+j waits for
-     all members of context j-1 (and the previous configuration) and
-     precedes all members of context j. *)
-  for j = 0 to k - 1 do
-    let cfg = n + j in
-    if j > 0 then begin
-      Graph.add_edge g (n + j - 1) cfg;
-      List.iter (fun v -> Graph.add_edge g v cfg) contexts.(j - 1)
-    end;
-    List.iter (fun v -> Graph.add_edge g cfg v) contexts.(j)
-  done;
+  (* Software sequentialization edges (Esw, one chain per processor)
+     followed by the context sequentialization (Ehw): configuration
+     node n+j waits for all members of context j-1 (and the previous
+     configuration) and precedes all members of context j. *)
+  List.iter
+    (fun (a, b) -> Graph.add_edge g a b)
+    (sequencing_pairs
+       ~cfg:(fun j -> n + j)
+       ~sw_order:spec.sw_order ~extra_sw_orders:spec.extra_sw_orders
+       ~contexts:spec.contexts);
   let node_weight v =
     if v < n then exec_time spec v
     else

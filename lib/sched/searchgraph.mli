@@ -79,6 +79,25 @@ val comm_cost : spec -> float
     {!eval}); depends only on bindings and processor assignments, not
     on implementation choices. *)
 
+val chain_pairs : int list -> (int * int) list
+(** Consecutive pairs of a software execution order: the Esw chain
+    edges, in emission order. *)
+
+val ehw_pairs : cfg:(int -> int) -> int list list -> (int * int) list
+(** The Ehw context-sequentialization edges for the given context list,
+    with configuration-node ids supplied by [cfg] (positional index →
+    node id), in the exact order {!build} inserts them. *)
+
+val sequencing_pairs :
+  cfg:(int -> int) ->
+  sw_order:int list ->
+  extra_sw_orders:int list list ->
+  contexts:int list list ->
+  (int * int) list
+(** All Esw ∪ Ehw pairs in {!build}'s emission order.  The incremental
+    evaluator diffs two of these lists to turn a structural move into
+    an edge-delta set. *)
+
 val build :
   ?reuse:Graph.t -> spec -> Graph.t * (int -> float) * (int -> int -> float)
 (** The raw search graph with its node- and edge-weight functions

@@ -194,6 +194,122 @@ let qcheck_repeated_refresh_rounds =
         done;
         !ok)
 
+let test_insert_edge_reorders () =
+  (* Node 2 sits after the chain in the initial order; inserting
+     2 -> 0 forces the Pearce-Kelly reordering path. *)
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  let weights = [| 1.0; 1.0; 5.0 |] in
+  match
+    Longest_path.create g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight:(fun _ _ -> 0.0)
+  with
+  | None -> Alcotest.fail "DAG"
+  | Some lp ->
+    Alcotest.(check bool) "insert accepted" true
+      (Longest_path.insert_edge lp 2 0);
+    Alcotest.(check bool) "edge present" true (Graph.has_edge g 2 0);
+    Longest_path.refresh lp [ 0 ];
+    Alcotest.(check (float 1e-9)) "finish 1 via 2" 7.0
+      (Longest_path.finish lp 1);
+    (* Re-inserting an existing edge is a no-op success. *)
+    Alcotest.(check bool) "idempotent" true (Longest_path.insert_edge lp 2 0)
+
+let test_insert_edge_rejects_cycle () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  let weights = [| 1.0; 2.0; 3.0 |] in
+  match
+    Longest_path.create g
+      ~node_weight:(fun v -> weights.(v))
+      ~edge_weight:(fun _ _ -> 0.0)
+  with
+  | None -> Alcotest.fail "DAG"
+  | Some lp ->
+    let edges_before = Graph.edge_count g in
+    Alcotest.(check bool) "cycle rejected" false
+      (Longest_path.insert_edge lp 2 0);
+    Alcotest.(check bool) "self-loop rejected" false
+      (Longest_path.insert_edge lp 1 1);
+    Alcotest.(check int) "graph untouched" edges_before (Graph.edge_count g);
+    (* The state must still be usable: delete the middle edge and
+       check against a fresh reference solve. *)
+    Longest_path.delete_edge lp 0 1;
+    Longest_path.refresh lp [ 1 ];
+    let reference =
+      Graph.longest_path g
+        ~node_weight:(fun v -> weights.(v))
+        ~edge_weight:(fun _ _ -> 0.0)
+    in
+    Array.iteri
+      (fun v r ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "finish %d" v)
+          r (Longest_path.finish lp v))
+      reference
+
+let qcheck_dynamic_edges =
+  (* The structural-move usage pattern: edges come and go and weights
+     drift on one live state.  After every operation the state must
+     match an independent full solve, and a rejected (cyclic) insertion
+     must leave the graph untouched. *)
+  QCheck.Test.make ~name:"dynamic edge edits track full recomputation"
+    ~count:200
+    QCheck.(triple small_int (int_range 3 12) (int_range 1 40))
+    (fun (seed, n, ops) ->
+      let rng = Rng.create (seed + 29) in
+      let g = Graph.create n in
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Rng.bernoulli rng 0.2 then Graph.add_edge g u v
+        done
+      done;
+      let weights = Array.init n (fun _ -> Rng.float rng 10.0) in
+      match
+        Longest_path.create g
+          ~node_weight:(fun v -> weights.(v))
+          ~edge_weight:(fun _ _ -> 0.0)
+      with
+      | None -> false
+      | Some lp ->
+        let ok = ref true in
+        for _ = 1 to ops do
+          let u = Rng.int rng n and v = Rng.int rng n in
+          let dirty =
+            if Rng.bernoulli rng 0.5 then
+              if u <> v && Graph.has_edge g u v then begin
+                Longest_path.delete_edge lp u v;
+                [ v ]
+              end
+              else if Longest_path.insert_edge lp u v then [ v ]
+              else begin
+                (* Rejected: the edge must not have been added. *)
+                if Graph.has_edge g u v then ok := false;
+                []
+              end
+            else begin
+              weights.(u) <- Rng.float rng 10.0;
+              [ u ]
+            end
+          in
+          Longest_path.refresh lp dirty;
+          let reference =
+            Graph.longest_path g
+              ~node_weight:(fun v -> weights.(v))
+              ~edge_weight:(fun _ _ -> 0.0)
+          in
+          if
+            not
+              (Array.for_all
+                 (fun w ->
+                   abs_float (reference.(w) -. Longest_path.finish lp w) < 1e-9)
+                 (Array.init n Fun.id))
+          then ok := false
+        done;
+        !ok)
+
 let suite =
   [
     Alcotest.test_case "create matches reference" `Quick
@@ -201,7 +317,11 @@ let suite =
     Alcotest.test_case "create rejects cycle" `Quick test_create_rejects_cycle;
     Alcotest.test_case "refresh propagates" `Quick test_refresh_propagates;
     Alcotest.test_case "refresh stops early" `Quick test_refresh_stops_early;
+    Alcotest.test_case "insert_edge reorders" `Quick test_insert_edge_reorders;
+    Alcotest.test_case "insert_edge rejects cycle" `Quick
+      test_insert_edge_rejects_cycle;
     QCheck_alcotest.to_alcotest qcheck_refresh_equals_recompute;
     QCheck_alcotest.to_alcotest qcheck_multi_dirty;
     QCheck_alcotest.to_alcotest qcheck_repeated_refresh_rounds;
+    QCheck_alcotest.to_alcotest qcheck_dynamic_edges;
   ]

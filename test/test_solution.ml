@@ -237,9 +237,9 @@ let test_incremental_undo () =
   Alcotest.(check (float 1e-9)) "undo restores the makespan through the \
                                  incremental path"
     original (Solution.makespan s);
-  (* A structural mutation after incremental activity falls back to a
-     full rebuild and stays correct (insert before task 4 to keep the
-     software order precedence-consistent). *)
+  (* A structural mutation after incremental activity is served by the
+     dynamic-edge refresh and stays correct (insert before task 4 to
+     keep the software order precedence-consistent). *)
   Solution.move_to_sw s ~task:3 ~before:(Some 4);
   match (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s)) with
   | Some got, Some want ->
@@ -276,6 +276,100 @@ let test_incremental_matches_reference_random () =
   Alcotest.(check bool) "incremental path exercised" true
     (stats.Solution.incr_evals > 0)
 
+(* Every structural move kind must be served by the dynamic-edge
+   refresh — no full rebuild — and each evaluation must equal a
+   from-scratch [Searchgraph.evaluate] of the same spec bitwise. *)
+let test_structural_moves_incremental () =
+  let s = Solution.all_software (app ()) (platform ~n_clb:200 ()) in
+  Alcotest.(check bool) "warm" true (Solution.evaluate s <> None);
+  let stats = Solution.eval_stats s in
+  let full_before = stats.Solution.full_evals in
+  let check_move name kind mutate =
+    mutate ();
+    (match (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s)) with
+     | Some got, Some want ->
+       Alcotest.(check bool)
+         (name ^ ": bit-identical to scratch evaluation")
+         true
+         (got.Searchgraph.makespan = want.Searchgraph.makespan
+          && got.Searchgraph.initial_reconfig = want.Searchgraph.initial_reconfig
+          && got.Searchgraph.dynamic_reconfig = want.Searchgraph.dynamic_reconfig
+          && got.Searchgraph.comm = want.Searchgraph.comm
+          && got.Searchgraph.finish = want.Searchgraph.finish)
+     | _ -> Alcotest.failf "%s: expected a feasible evaluation" name);
+    Alcotest.(check int) (name ^ ": no rebuild") full_before
+      stats.Solution.full_evals;
+    Alcotest.(check bool) (name ^ ": incremental eval recorded") true
+      ((Solution.kind_stats stats kind).Solution.k_incr_evals > 0)
+  in
+  check_move "sw_reorder" Solution.Sw_reorder (fun () ->
+      Solution.reorder_sw s ~task:2 ~before:1);
+  check_move "ctx_create" Solution.Ctx_create (fun () ->
+      Solution.insert_context s ~task:1 ~at:0);
+  check_move "ctx_create2" Solution.Ctx_create (fun () ->
+      Solution.insert_context s ~task:2 ~at:1);
+  check_move "ctx_swap" Solution.Ctx_swap (fun () ->
+      Solution.swap_contexts s ~at:0);
+  check_move "ctx_migrate" Solution.Ctx_migrate (fun () ->
+      Solution.move_to_context s ~task:2 ~dest:1);
+  check_move "sw_migrate" Solution.Sw_migrate (fun () ->
+      Solution.move_to_sw s ~task:1 ~before:(Some 3));
+  check_move "impl" Solution.Impl (fun () -> Solution.set_impl s 1 1);
+  (* Undo of a structural move replays the delta log — still no
+     rebuild, still the exact pre-move value. *)
+  let before = Solution.makespan s in
+  let restore = Solution.save s in
+  Solution.append_context s ~task:3;
+  ignore (Solution.makespan s);
+  restore ();
+  Alcotest.(check bool) "undo restores exactly" true
+    (Solution.makespan s = before);
+  Alcotest.(check int) "undo avoided rebuilds" full_before
+    stats.Solution.full_evals
+
+let qcheck_incremental_exact =
+  (* Random move sequences with interleaved undo: the incrementally
+     maintained evaluation must stay bitwise equal to a from-scratch
+     evaluation, and an encode/decode round trip mid-sequence must
+     replay bit-identically. *)
+  QCheck.Test.make ~name:"incremental evaluation bit-identical to scratch"
+    ~count:60
+    QCheck.(pair small_int (int_range 10 60))
+    (fun (seed, steps) ->
+      let application = app () in
+      let plat = platform ~n_clb:200 () in
+      let rng = Rng.create (seed + 3) in
+      let s = Solution.random rng application plat in
+      let ok = ref true in
+      for _ = 1 to steps do
+        (match
+           Repro_dse.Moves.propose rng Repro_dse.Moves.fixed_architecture s
+         with
+        | Some undo -> if Rng.bernoulli rng 0.4 then undo ()
+        | None -> ());
+        (match (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s)) with
+        | None, None -> ()
+        | Some got, Some want ->
+          if
+            not
+              (got.Searchgraph.makespan = want.Searchgraph.makespan
+               && got.Searchgraph.initial_reconfig
+                  = want.Searchgraph.initial_reconfig
+               && got.Searchgraph.dynamic_reconfig
+                  = want.Searchgraph.dynamic_reconfig
+               && got.Searchgraph.comm = want.Searchgraph.comm)
+          then ok := false
+        | _ -> ok := false);
+        if Rng.bernoulli rng 0.2 then begin
+          match Solution.decode application plat (Solution.encode s) with
+          | Error _ -> ok := false
+          | Ok d ->
+            if Solution.encode d <> Solution.encode s then ok := false;
+            if Solution.makespan d <> Solution.makespan s then ok := false
+        end
+      done;
+      !ok)
+
 let test_replace_platform () =
   let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
   Solution.append_context s ~task:3;
@@ -309,5 +403,8 @@ let suite =
     Alcotest.test_case "incremental undo" `Quick test_incremental_undo;
     Alcotest.test_case "incremental matches reference (random moves)" `Quick
       test_incremental_matches_reference_random;
+    Alcotest.test_case "structural moves served incrementally" `Quick
+      test_structural_moves_incremental;
+    QCheck_alcotest.to_alcotest qcheck_incremental_exact;
     Alcotest.test_case "replace platform" `Quick test_replace_platform;
   ]
