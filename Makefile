@@ -100,7 +100,37 @@ faultcheck: build
 	  if [ -n "$$(find $$spool/jobs $$spool/work -type f)" ]; then \
 	    echo "faultcheck: spool not drained"; exit 1; fi; \
 	  rm -rf $$spool; \
-	done; echo "faultcheck OK"
+	done; echo "faultcheck serve drill OK"
+	@set -e; \
+	  spool=$$(mktemp -d); clean=$$(mktemp -d); \
+	  job='{"app": "motion_detection", "engine": "sa", "iters": 5000, "seed": 9}'; \
+	  echo "faultcheck: lease-reclaim drill (REPRO_FAULTS=eval:700)"; \
+	  mkdir -p $$spool/jobs $$clean/jobs; \
+	  echo "$$job" > $$spool/jobs/drill.json; \
+	  echo "$$job" > $$clean/jobs/drill.json; \
+	  dune exec -- bin/dse_serve.exe $$clean --once --checkpoint-every 50 \
+	    >/dev/null 2>&1; \
+	  if REPRO_FAULTS=eval:700 dune exec -- bin/dse_serve.exe $$spool --once \
+	       --lease-ttl 2 --checkpoint-every 50 >/dev/null 2>&1; then \
+	    echo "faultcheck: injected eval fault did not kill the daemon"; exit 1; \
+	  fi; \
+	  if [ ! -e $$spool/work/drill.json ] || [ ! -e $$spool/work/drill.claim ]; then \
+	    echo "faultcheck: crash left no stamped claim behind"; exit 1; fi; \
+	  if [ ! -e $$spool/work/drill.ckpt ]; then \
+	    echo "faultcheck: crash left no checkpoint behind"; exit 1; fi; \
+	  dune exec -- bin/dse_serve.exe $$spool --once --checkpoint-every 50 \
+	    >/dev/null 2>&1; \
+	  if [ ! -e $$spool/results/drill.json ]; then \
+	    echo "faultcheck: reclaimed job never completed"; exit 1; fi; \
+	  crc() { sed -n 's/.*"solution": "\([0-9a-f]*\)".*/\1/p' $$1; }; \
+	  a=$$(crc $$spool/results/drill.json); b=$$(crc $$clean/results/drill.json); \
+	  if [ -z "$$a" ] || [ "$$a" != "$$b" ]; then \
+	    echo "faultcheck: reclaimed result differs from clean run ($$a vs $$b)"; \
+	    exit 1; \
+	  fi; \
+	  rm -rf $$spool $$clean; \
+	  echo "faultcheck lease-reclaim drill OK"; \
+	echo "faultcheck OK"
 
 clean:
 	dune clean

@@ -1,12 +1,20 @@
-(* Batch job-queue daemon: drain a spool directory of exploration jobs.
+(* Fleet-safe batch job-queue service: drain, inspect and aggregate a
+   spool directory of exploration jobs.
 
-     dse-serve ./spool --once            # drain the queue and exit
-     dse-serve ./spool --timeout 30      # per-job wall-clock budget
-     dse-serve ./spool --max-jobs 100 -j 4
+     dse-serve ./spool --once               # drain the queue and exit
+     dse-serve ./spool --timeout 30         # per-job wall-clock budget
+     dse-serve ./spool --lease-ttl 10 &     # several daemons, one spool
+     dse-serve status ./spool               # live daemons + claims
+     dse-serve submit ./spool CAMPAIGN.json # idempotent bulk enqueue
+     dse-serve report ./spool CAMPAIGN.json # one aggregate JSON
 
-   Producers enqueue by dropping one-line JSON job files into
-   <spool>/jobs/; results land in <spool>/results/, poison jobs in
-   <spool>/failed/, and <spool>/daemon.json carries the heartbeat.
+   Any number of daemons may drain one spool: each owns a lease file
+   under <spool>/daemons/ (refreshed with a monotonic sequence number)
+   and stamps its claims with it, so peers reclaim a dead daemon's
+   jobs — checkpoints kept, reruns resume — without stealing live
+   work.  Producers enqueue by dropping one-line JSON job files into
+   <spool>/jobs/ (or `dse-serve submit` with a campaign manifest);
+   results land in <spool>/results/, poison jobs in <spool>/failed/.
    SIGINT re-queues the in-flight job (checkpoint kept) and exits 3.
 
    Exit codes: 0 queue drained (--once) or job budget spent, 2 bad
@@ -14,14 +22,21 @@
 *)
 
 open Cmdliner
+module Campaign = Repro_serve.Campaign
 module Daemon = Repro_serve.Daemon
+module Lease = Repro_serve.Lease
 module Spool = Repro_serve.Spool
 module Backoff = Repro_util.Backoff
+module Clock = Repro_util.Clock
 module Interrupt = Repro_util.Interrupt
+module Json = Repro_util.Json_lite
 module Log = Repro_util.Log
 
-let run spool_dir timeout retries no_backoff breaker_failures breaker_cooldown
-    poll once max_jobs jobs checkpoint_every log_file =
+(* ---- watch (the default command) ---------------------------------- *)
+
+let watch spool_dir timeout retries no_backoff breaker_failures
+    breaker_cooldown poll once max_jobs jobs checkpoint_every lease_ttl
+    daemon_id log_file =
   Cli_common.guard @@ fun () ->
   if retries < 0 then Cli_common.fail "--retries wants a non-negative count";
   if jobs <= 0 then Cli_common.fail "--jobs wants a positive domain count";
@@ -32,6 +47,14 @@ let run spool_dir timeout retries no_backoff breaker_failures breaker_cooldown
     Cli_common.fail "--breaker-cooldown wants a positive number of seconds";
   if checkpoint_every <= 0 then
     Cli_common.fail "--checkpoint-every wants a positive iteration count";
+  if lease_ttl <= 0.0 then
+    Cli_common.fail "--lease-ttl wants a positive number of seconds";
+  (match daemon_id with
+   | Some id -> (
+     match Lease.validate_id id with
+     | Ok _ -> ()
+     | Error msg -> Cli_common.fail "--daemon-id: %s" msg)
+   | None -> ());
   (match timeout with
    | Some s when s <= 0.0 ->
      Cli_common.fail "--timeout wants a positive number of seconds"
@@ -52,13 +75,15 @@ let run spool_dir timeout retries no_backoff breaker_failures breaker_cooldown
       max_jobs;
       jobs;
       checkpoint_every;
+      lease_ttl;
+      daemon_id;
     }
   in
   Interrupt.install ();
   let outcome, stats = Daemon.run ~should_stop:Interrupt.pending config spool in
   Printf.printf
     "%s: %d claimed, %d completed (%d timed out), %d quarantined, %d \
-     re-queued, %d recovered\n"
+     re-queued, %d reclaimed\n"
     (Daemon.outcome_name outcome)
     stats.Daemon.claimed stats.Daemon.completed stats.Daemon.timed_out
     stats.Daemon.quarantined stats.Daemon.requeued stats.Daemon.recovered;
@@ -66,11 +91,115 @@ let run spool_dir timeout retries no_backoff breaker_failures breaker_cooldown
   | Daemon.Drained -> Cli_common.exit_ok
   | Daemon.Interrupted -> Cli_common.exit_interrupted
 
+(* ---- status ------------------------------------------------------- *)
+
+let status spool_dir =
+  Cli_common.guard @@ fun () ->
+  let spool = Spool.layout spool_dir in
+  if not (Sys.file_exists spool.Spool.jobs_dir) then
+    Cli_common.fail "%s is not a spool (no jobs/ directory)" spool_dir;
+  let now = Clock.wall () in
+  let pending = Spool.pending spool in
+  let claimed = Spool.in_work spool in
+  let count dir =
+    match Sys.readdir dir with
+    | entries ->
+      Array.to_list entries
+      |> List.filter (fun n ->
+             Filename.check_suffix n ".json"
+             && not (Filename.check_suffix n ".reason.json"))
+      |> List.length
+    | exception Sys_error _ -> 0
+  in
+  Printf.printf "queue: %d queued, %d claimed, %d results, %d failed\n"
+    (List.length pending) (List.length claimed)
+    (count spool.Spool.results_dir)
+    (count spool.Spool.failed_dir);
+  let leases = Lease.list ~dir:spool.Spool.daemons_dir in
+  Printf.printf "daemons: %d\n" (List.length leases);
+  List.iter
+    (fun (file, view) ->
+      match view with
+      | Error msg -> Printf.printf "  %-24s damaged: %s\n" file msg
+      | Ok (v : Lease.view) ->
+        let verdict =
+          if v.Lease.released then "exited"
+          else if Lease.alive ~now v then "live"
+          else "stale"
+        in
+        Printf.printf "  %-24s %-6s seq %-6d age %6.1fs  state %s\n"
+          v.Lease.id verdict v.Lease.seq
+          (now -. v.Lease.updated)
+          (Option.value ~default:"?" (Json.str_field v.Lease.fields "state")))
+    leases;
+  let live_ids =
+    List.filter_map
+      (fun (_, view) ->
+        match view with
+        | Ok (v : Lease.view) when Lease.alive ~now v -> Some v.Lease.id
+        | _ -> None)
+      leases
+  in
+  if claimed <> [] then begin
+    Printf.printf "claims:\n";
+    List.iter
+      (fun name ->
+        match Spool.read_claim_stamp spool name with
+        | Ok stamp ->
+          let owner =
+            Option.value ~default:"?" (Json.str_field stamp "owner")
+          in
+          Printf.printf "  %-24s owner %s (%s)\n" name owner
+            (if List.mem owner live_ids then "live" else "stale")
+        | Error _ -> Printf.printf "  %-24s unstamped\n" name)
+      claimed
+  end;
+  Cli_common.exit_ok
+
+(* ---- submit / report ---------------------------------------------- *)
+
+let load_campaign path =
+  match Campaign.load path with
+  | Ok campaign -> campaign
+  | Error msg -> Cli_common.fail "%s" msg
+
+let submit spool_dir campaign_file =
+  Cli_common.guard @@ fun () ->
+  let campaign = load_campaign campaign_file in
+  let spool = Spool.create spool_dir in
+  let { Campaign.enqueued; skipped } = Campaign.submit campaign spool in
+  Printf.printf
+    "campaign %s: enqueued %d, skipped %d (already queued, claimed or \
+     filed)\n"
+    campaign.Campaign.name (List.length enqueued) (List.length skipped);
+  Cli_common.exit_ok
+
+let report spool_dir campaign_file out =
+  Cli_common.guard @@ fun () ->
+  let campaign = load_campaign campaign_file in
+  let spool = Spool.layout spool_dir in
+  if not (Sys.file_exists spool.Spool.jobs_dir) then
+    Cli_common.fail "%s is not a spool (no jobs/ directory)" spool_dir;
+  let json = Json.to_string (Campaign.report spool campaign) in
+  (match out with
+   | None -> print_endline json
+   | Some path -> Repro_util.Atomic_io.write_string path (json ^ "\n"));
+  Cli_common.exit_ok
+
+(* ---- terms -------------------------------------------------------- *)
+
 let spool_arg =
   Arg.(required & pos 0 (some string) None
        & info [] ~docv:"SPOOL"
            ~doc:"Spool directory (created if missing): jobs/, work/, \
-                 results/, failed/, daemon.json")
+                 results/, failed/, daemons/")
+
+let campaign_arg =
+  Arg.(required & pos 1 (some string) None
+       & info [] ~docv:"CAMPAIGN"
+           ~doc:"Campaign manifest: {\"campaign\": NAME, \"jobs\": \
+                 [{\"name\": ..., job fields...}, ...], optional \
+                 \"complete_when\": \"all-filed\"|\"all-results\"}")
 
 let timeout_arg =
   Arg.(value & opt (some float) None
@@ -104,11 +233,16 @@ let breaker_cooldown_arg =
 
 let poll_arg =
   Arg.(value & opt float 1.0
-       & info [ "poll" ] ~doc:"Idle sleep between queue scans" ~docv:"SECS")
+       & info [ "poll" ]
+           ~doc:"Idle sleep between queue scans (jittered per daemon so a \
+                 fleet never polls in lock-step)"
+           ~docv:"SECS")
 
 let once_arg =
   Arg.(value & flag
-       & info [ "once" ] ~doc:"Drain the queue and exit instead of watching")
+       & info [ "once" ] ~doc:"Drain the queue (plus anything reclaimed \
+                               from dead peers) and exit instead of \
+                               watching")
 
 let max_jobs_arg =
   Arg.(value & opt (some int) None
@@ -127,6 +261,22 @@ let checkpoint_every_arg =
                  jobs (work/<base>.ckpt; resumed after a crash)"
            ~docv:"N")
 
+let lease_ttl_arg =
+  Arg.(value & opt float 30.0
+       & info [ "lease-ttl" ]
+           ~doc:"Seconds of freshness each lease refresh buys.  A daemon \
+                 silent for $(docv) seconds (or whose pid died, on the \
+                 same host) is considered dead and its claims are \
+                 reclaimed by any peer; keep well above --poll"
+           ~docv:"SECS")
+
+let daemon_id_arg =
+  Arg.(value & opt (some string) None
+       & info [ "daemon-id" ]
+           ~doc:"Explicit lease id (letters, digits, dot, underscore, \
+                 dash); default host-pid-nonce, unique per incarnation"
+           ~docv:"ID")
+
 let log_arg =
   Arg.(value & opt (some string) None
        & info [ "log" ]
@@ -134,11 +284,57 @@ let log_arg =
                  stderr keeps the human-readable lines)"
            ~docv:"FILE")
 
-let cmd =
-  let doc = "drain a spool of exploration jobs with supervision" in
-  Cmd.v (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits)
-    Term.(const run $ spool_arg $ timeout_arg $ retries_arg $ no_backoff_arg
-          $ breaker_failures_arg $ breaker_cooldown_arg $ poll_arg $ once_arg
-          $ max_jobs_arg $ jobs_arg $ checkpoint_every_arg $ log_arg)
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "out" ]
+           ~doc:"Write the report JSON to $(docv) (atomically) instead of \
+                 stdout"
+           ~docv:"FILE")
 
-let () = exit (Cmd.eval' cmd)
+let watch_term =
+  Term.(const watch $ spool_arg $ timeout_arg $ retries_arg $ no_backoff_arg
+        $ breaker_failures_arg $ breaker_cooldown_arg $ poll_arg $ once_arg
+        $ max_jobs_arg $ jobs_arg $ checkpoint_every_arg $ lease_ttl_arg
+        $ daemon_id_arg $ log_arg)
+
+let watch_cmd =
+  let doc = "drain the spool as one daemon of the fleet (the default)" in
+  Cmd.v (Cmd.info "watch" ~doc ~exits:Cli_common.exits) watch_term
+
+let status_cmd =
+  let doc = "show the fleet: daemons (live/stale/exited), queue, claims" in
+  Cmd.v (Cmd.info "status" ~doc ~exits:Cli_common.exits)
+    Term.(const status $ spool_arg)
+
+let submit_cmd =
+  let doc = "idempotently enqueue a campaign manifest's jobs" in
+  Cmd.v (Cmd.info "submit" ~doc ~exits:Cli_common.exits)
+    Term.(const submit $ spool_arg $ campaign_arg)
+
+let report_cmd =
+  let doc = "fold a campaign's results into one aggregate report JSON" in
+  Cmd.v (Cmd.info "report" ~doc ~exits:Cli_common.exits)
+    Term.(const report $ spool_arg $ campaign_arg $ out_arg)
+
+let doc = "fleet-safe spool of exploration jobs with supervision"
+
+let group_cmd =
+  Cmd.group ~default:watch_term
+    (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits)
+    [ watch_cmd; status_cmd; submit_cmd; report_cmd ]
+
+(* The historical shape stays valid: [dse-serve SPOOL --once ...]
+   (spool first, no subcommand).  A first argument that is a known
+   subcommand name or an option goes through the group; anything else
+   is a spool path for the default watch command. *)
+let legacy_cmd =
+  Cmd.v (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits) watch_term
+
+let () =
+  let subcommands = [ "watch"; "status"; "submit"; "report" ] in
+  let grouped =
+    Array.length Sys.argv < 2
+    || List.mem Sys.argv.(1) subcommands
+    || (Sys.argv.(1) <> "" && Sys.argv.(1).[0] = '-')
+  in
+  exit (Cmd.eval' (if grouped then group_cmd else legacy_cmd))

@@ -1,4 +1,5 @@
 module Backoff = Repro_util.Backoff
+module Checkpoint = Repro_util.Checkpoint
 module Clock = Repro_util.Clock
 module Fault = Repro_util.Fault
 module Json = Repro_util.Json_lite
@@ -7,6 +8,7 @@ module Rng = Repro_util.Rng
 module Explorer = Repro_dse.Explorer
 module Engine = Repro_dse.Engine
 module Engine_registry = Repro_dse.Engine_registry
+module Solution = Repro_dse.Solution
 
 type config = {
   timeout : float option;
@@ -19,6 +21,8 @@ type config = {
   max_jobs : int option;
   jobs : int;
   checkpoint_every : int;
+  lease_ttl : float;
+  daemon_id : string option;
 }
 
 let default_config =
@@ -33,6 +37,8 @@ let default_config =
     max_jobs = None;
     jobs = 1;
     checkpoint_every = 2_000;
+    lease_ttl = 30.0;
+    daemon_id = None;
   }
 
 type stats = {
@@ -70,6 +76,11 @@ let result_json job ~status ~attempts ~(result : Explorer.result)
        ("seed", num_int job.Job.seed);
        ("restarts", num_int job.Job.restarts);
        ("attempts", num_int attempts);
+       (* CRC of the canonical solution text: lets a reclaimed-and-
+          resumed run be compared for bit-identity against an
+          uninterrupted one without shipping the whole solution. *)
+       ( "solution",
+         Str (Checkpoint.crc32_hex (Solution.encode result.Explorer.best)) );
      ]
      @ (match job.Job.engine with
         | Some e -> [ ("engine", Str e) ]
@@ -224,20 +235,26 @@ let run_attempt config spool job ~attempts ~stop ~deadline_expired =
 
 type job_verdict =
   | Ok_result of { status : string; json : string }
-  | Poison of string
+  | Poison of { reason : string; attempts : int }
   | Stop_requested
 
-let process config spool ~should_stop name text =
+let process config spool ~should_stop ~lease ~lease_fields name text =
   let job_name = Filename.remove_extension name in
   match Job.of_json ~name:job_name text with
-  | Error msg -> Poison msg
+  | Error msg -> Poison { reason = msg; attempts = 0 }
   | Ok job ->
     let deadline_expired =
       match (job.Job.timeout, config.timeout) with
       | Some seconds, _ | None, Some seconds -> Clock.deadline ~seconds
       | None, None -> fun () -> false
     in
-    let stop () = should_stop () || deadline_expired () in
+    (* The stop probe doubles as the mid-job lease keeper: it fires at
+       every iteration boundary, so a job longer than the lease ttl
+       never lets the lease lapse into a peer's reclaim window. *)
+    let stop () =
+      Lease.maybe_refresh ~fields:lease_fields lease;
+      should_stop () || deadline_expired ()
+    in
     let jitter = Rng.create (Hashtbl.hash job_name) in
     let rec attempt k =
       match
@@ -245,6 +262,12 @@ let process config spool ~should_stop name text =
       with
       | Finished { status; json } -> Ok_result { status; json }
       | Shutdown -> Stop_requested
+      | exception (Fault.Injected _ as crash) ->
+        (* An injected fault is a simulated crash: it must kill the
+           daemon — leaving lease file, claim stamp and checkpoints
+           behind for the reclaim drills — never be absorbed by the
+           retry loop as an ordinary job failure. *)
+        raise crash
       | exception exn ->
         let error = Printexc.to_string exn in
         if k < config.retries && not (stop ()) then begin
@@ -263,36 +286,45 @@ let process config spool ~should_stop name text =
              Unix.sleepf pause);
           attempt (k + 1)
         end
-        else Poison (Printf.sprintf "%s (after %d attempt(s))" error (k + 1))
+        else
+          Poison
+            {
+              reason =
+                Printf.sprintf "%s (after %d attempt(s))" error (k + 1);
+              attempts = k + 1;
+            }
     in
     attempt 0
 
 (* ---- the drain loop ---------------------------------------------- *)
 
-let heartbeat spool stats breaker ~state =
+let status_fields spool stats breaker ~state =
   let open Json in
-  Spool.write_heartbeat spool
-    [
-      ("pid", num_int (Unix.getpid ()));
-      ("updated", Num (Clock.wall ()));
-      ("state", Str state);
-      ("queued", num_int (Spool.queue_depth spool));
-      ("claimed", num_int stats.claimed);
-      ("completed", num_int stats.completed);
-      ("timed_out", num_int stats.timed_out);
-      ("quarantined", num_int stats.quarantined);
-      ("requeued", num_int stats.requeued);
-      ("recovered", num_int stats.recovered);
-      ( "breaker",
-        Str (Backoff.Breaker.state_name (Backoff.Breaker.state breaker)) );
-      ( "consecutive_failures",
-        num_int (Backoff.Breaker.consecutive_failures breaker) );
-      ("breaker_trips", num_int (Backoff.Breaker.trips breaker));
-    ]
+  [
+    ("state", Str state);
+    ("queued", num_int (Spool.queue_depth spool));
+    ("claimed", num_int stats.claimed);
+    ("completed", num_int stats.completed);
+    ("timed_out", num_int stats.timed_out);
+    ("quarantined", num_int stats.quarantined);
+    ("requeued", num_int stats.requeued);
+    ("recovered", num_int stats.recovered);
+    ( "breaker",
+      Str (Backoff.Breaker.state_name (Backoff.Breaker.state breaker)) );
+    ( "consecutive_failures",
+      num_int (Backoff.Breaker.consecutive_failures breaker) );
+    ("breaker_trips", num_int (Backoff.Breaker.trips breaker));
+  ]
 
 let run ?(should_stop = fun () -> false) config spool =
   if config.poll_interval <= 0.0 then
     invalid_arg "Daemon.run: poll interval wants to be positive";
+  if config.lease_ttl <= 0.0 then
+    invalid_arg "Daemon.run: lease ttl wants to be positive";
+  let lease =
+    Lease.acquire ?id:config.daemon_id ~dir:spool.Spool.daemons_dir
+      ~ttl:config.lease_ttl ()
+  in
   let stats =
     {
       claimed = 0;
@@ -307,49 +339,89 @@ let run ?(should_stop = fun () -> false) config spool =
     Backoff.Breaker.create ~threshold:config.breaker_threshold
       ~cooldown:config.breaker_cooldown ()
   in
-  let recovered = Spool.recover spool in
-  stats.recovered <- List.length recovered;
-  List.iter
-    (fun name ->
-      Log.info ~fields:[ ("job", Json.Str name) ]
-        "recovered interrupted job back to the queue")
-    recovered;
-  heartbeat spool stats breaker ~state:"starting";
+  let heartbeat ~state =
+    Lease.refresh ~fields:(status_fields spool stats breaker ~state) lease
+  in
+  (* Reclaim is continuously runnable: at startup, then again whenever
+     a lease period has elapsed (even while busy) and on every idle
+     tick — so a daemon that dies mid-job is healed by any surviving
+     peer within about one lease period, not only at the next daemon
+     startup.  Live peers' stamped claims are never touched. *)
+  let last_reclaim = ref neg_infinity in
+  let reclaim_now () =
+    last_reclaim := Clock.wall ();
+    let requeued =
+      Spool.reclaim ~self:(Lease.id lease) ~now:(Clock.wall ())
+        ~grace:config.lease_ttl spool
+    in
+    stats.recovered <- stats.recovered + List.length requeued;
+    List.iter
+      (fun name ->
+        Log.info ~fields:[ ("job", Json.Str name) ]
+          "reclaimed orphaned claim back to the queue")
+      requeued;
+    requeued
+  in
+  let reclaim_due () = Clock.wall () -. !last_reclaim >= config.lease_ttl in
+  ignore (reclaim_now () : string list);
+  heartbeat ~state:"starting";
+  (* Deterministic per-daemon poll jitter (the Backoff per-index RNG
+     stream idiom): a fleet sharing one spool must not thundering-herd
+     the directory on every tick. *)
+  let poll_rng = Rng.create (Hashtbl.hash (Lease.id lease)) in
+  let poll_policy =
+    {
+      Backoff.base = config.poll_interval;
+      factor = 1.0;
+      max_delay = config.poll_interval;
+      jitter = 0.25;
+    }
+  in
+  let poll_pause () = Backoff.delay poll_policy poll_rng ~attempt:0 in
   let budget_left () =
     match config.max_jobs with None -> true | Some m -> stats.claimed < m
   in
   let rec drain () =
     if should_stop () then Interrupted
     else if not (budget_left ()) then Drained
-    else
+    else begin
+      if reclaim_due () then ignore (reclaim_now () : string list);
       match Spool.pending spool with
       | [] ->
-        if config.once then Drained
+        (* An empty queue may still hide orphans in work/: reclaim
+           before concluding — in --once mode the daemon drains what it
+           heals instead of abandoning a dead peer's jobs. *)
+        if reclaim_now () <> [] then drain ()
+        else if config.once then Drained
         else begin
-          heartbeat spool stats breaker ~state:"idle";
-          Unix.sleepf config.poll_interval;
+          heartbeat ~state:"idle";
+          Unix.sleepf (poll_pause ());
           drain ()
         end
       | name :: _ ->
         if not (Backoff.Breaker.allow breaker) then begin
           (* Open breaker: stop burning the backlog against a failing
              dependency; wake up again after a poll tick. *)
-          heartbeat spool stats breaker ~state:"breaker-open";
-          Unix.sleepf config.poll_interval;
+          heartbeat ~state:"breaker-open";
+          Unix.sleepf (poll_pause ());
           drain ()
         end
-        else if not (Spool.claim spool name) then drain ()
+        else if not (Spool.claim ~owner:lease spool name) then drain ()
         else begin
           (* The crash-drill site: an armed job:<k> point kills the
-             daemon here, with job k claimed but unprocessed — exactly
-             the window recovery must handle. *)
+             daemon here, with job k claimed (and lease-stamped) but
+             unprocessed — exactly the window reclaim must handle. *)
           Fault.check Fault.Job stats.claimed;
           stats.claimed <- stats.claimed + 1;
-          heartbeat spool stats breaker ~state:"running";
+          heartbeat ~state:"running";
           let verdict =
             match Spool.read_claimed spool name with
-            | Error msg -> Poison msg
-            | Ok text -> process config spool ~should_stop name text
+            | Error msg -> Poison { reason = msg; attempts = 0 }
+            | Ok text ->
+              process config spool ~should_stop ~lease
+                ~lease_fields:(fun () ->
+                  status_fields spool stats breaker ~state:"running")
+                name text
           in
           (match verdict with
            | Ok_result { status; json } ->
@@ -368,8 +440,8 @@ let run ?(should_stop = fun () -> false) config spool =
                    ("status", Json.Str status);
                  ]
                "job finished"
-           | Poison reason ->
-             Spool.quarantine spool name ~reason;
+           | Poison { reason; attempts } ->
+             Spool.quarantine ~owner:lease ~attempts spool name ~reason;
              Backoff.Breaker.failure breaker;
              stats.quarantined <- stats.quarantined + 1;
              Log.error
@@ -381,11 +453,19 @@ let run ?(should_stop = fun () -> false) config spool =
              Log.info
                ~fields:[ ("job", Json.Str (Filename.remove_extension name)) ]
                "shutdown requested: job re-queued with its checkpoint");
-          heartbeat spool stats breaker ~state:"running";
+          heartbeat ~state:"running";
           drain ()
         end
+    end
   in
   let outcome = drain () in
-  heartbeat spool stats breaker
-    ~state:(match outcome with Drained -> "drained" | Interrupted -> "stopped");
+  (* A clean exit releases the lease in place: the file stays as the
+     daemon's last heartbeat (status shows it as exited) but no longer
+     protects anything.  A crash skips this — that is the point. *)
+  Lease.release
+    ~fields:
+      (status_fields spool stats breaker
+         ~state:
+           (match outcome with Drained -> "drained" | Interrupted -> "stopped"))
+    lease;
   (outcome, stats)

@@ -1,26 +1,43 @@
-(** The batch job-queue daemon behind [dse-serve].
+(** The batch job-queue daemon behind [dse-serve] — fleet-safe: any
+    number of daemons may drain one {!Spool} concurrently.
 
-    Drains a {!Spool}: claim the oldest queued job (atomic rename),
-    run its exploration under the job's (or the daemon's) wall-clock
-    timeout with bounded retries and {!Repro_util.Backoff} pacing,
-    then file the outcome — a result JSON in [results/] (including
-    degraded ["timed-out"] results carrying best-so-far) or a
-    quarantine in [failed/] for poison jobs.  Repeated failures open a
+    Each daemon owns a {!Lease} (a per-daemon file under
+    [<root>/daemons/], refreshed with a monotonic sequence number) that
+    doubles as its heartbeat; every claim is stamped with the owning
+    lease, so a peer's {!Spool.reclaim} can re-queue a dead daemon's
+    orphaned claims — checkpoints kept, so the rerun resumes — without
+    ever stealing a live peer's work.  Reclaim runs at startup, then
+    again about once per lease period and on every idle tick, so a
+    daemon that dies mid-job is healed by any surviving peer within
+    roughly one lease ttl.
+
+    Draining: claim the oldest queued job (atomic rename), run its
+    exploration under the job's (or the daemon's) wall-clock timeout
+    with bounded retries and {!Repro_util.Backoff} pacing, then file
+    the outcome — a result JSON in [results/] (including degraded
+    ["timed-out"] results carrying best-so-far) or a quarantine in
+    [failed/] for poison jobs (the reason file records the daemon id,
+    lease sequence and attempt count).  Repeated failures open a
     circuit breaker that pauses draining for a cooldown instead of
-    burning the backlog.  A heartbeat JSON is refreshed around every
-    state change.
+    burning the backlog.  Idle polling is jittered per daemon
+    (deterministically, from the lease id) so a fleet never
+    thundering-herds the spool directory.
 
     Supervision contract:
-    - a per-job timeout reaches the annealer as its cooperative stop
+    - a per-job timeout reaches the engine as its cooperative stop
       probe, so an oversized job yields a ["timed-out"] result with
       its best-so-far solution — never a hang, never a lost job;
+    - the same stop probe keeps the lease fresh mid-job, so a job
+      longer than the lease ttl never lapses into a reclaim window;
     - single-restart jobs checkpoint into [work/<base>.ckpt] and
       resume from it after a crash or shutdown;
     - a global stop (SIGINT) re-queues the in-flight job with its
       checkpoint and returns [Interrupted];
     - an armed [Fault.Job] point crashes the daemon right after a
-      claim — the window {!Spool.recover} must close; [make
-      faultcheck] drills it. *)
+      claim, an armed [Fault.Lease] point at the matching lease
+      refresh, and any {!Repro_util.Fault.Injected} reaching the job
+      retry loop is re-raised as a crash — the windows
+      {!Spool.reclaim} must close; [make faultcheck] drills them. *)
 
 type config = {
   timeout : float option;       (** default per-job wall seconds *)
@@ -29,16 +46,19 @@ type config = {
                                 (** pacing between attempts *)
   breaker_threshold : int;      (** consecutive failures that open *)
   breaker_cooldown : float;     (** seconds before half-open *)
-  poll_interval : float;        (** idle / breaker-open sleep *)
+  poll_interval : float;        (** idle / breaker-open sleep (jittered) *)
   once : bool;                  (** drain and exit instead of watching *)
   max_jobs : int option;        (** stop after claiming this many *)
   jobs : int;                   (** domains for multi-restart jobs *)
   checkpoint_every : int;       (** iterations between checkpoints *)
+  lease_ttl : float;            (** lease freshness window, seconds *)
+  daemon_id : string option;    (** explicit lease id; default unique *)
 }
 
 val default_config : config
 (** No timeout, 1 retry with default backoff, breaker 5/30 s, 1 s
-    poll, watch mode, 1 domain, checkpoint every 2000 iterations. *)
+    poll, watch mode, 1 domain, checkpoint every 2000 iterations,
+    30 s lease ttl, auto-generated daemon id. *)
 
 type stats = {
   mutable claimed : int;
@@ -46,7 +66,8 @@ type stats = {
   mutable timed_out : int;
   mutable quarantined : int;
   mutable requeued : int;      (** given back on shutdown *)
-  mutable recovered : int;     (** stale claims re-queued at startup *)
+  mutable recovered : int;     (** orphaned claims reclaimed (startup
+                                   and ongoing sweeps) *)
 }
 
 type outcome = Drained | Interrupted
@@ -57,5 +78,6 @@ val run : ?should_stop:(unit -> bool) -> config -> Spool.t -> outcome * stats
 (** Drain the spool.  Returns [Drained] when the queue is empty
     ([once]) or the [max_jobs] budget is spent, [Interrupted] when
     [should_stop] turned true.  Raises [Invalid_argument] on a
-    non-positive poll interval; an armed [Fault.Job] point escapes
-    deliberately (that is the crash drill). *)
+    non-positive poll interval or lease ttl, or an invalid
+    [daemon_id]; an armed fault point escapes deliberately (that is
+    the crash drill). *)

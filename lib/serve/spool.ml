@@ -1,4 +1,5 @@
 module Atomic_io = Repro_util.Atomic_io
+module Clock = Repro_util.Clock
 module Json = Repro_util.Json_lite
 
 type t = {
@@ -7,6 +8,7 @@ type t = {
   work_dir : string;
   results_dir : string;
   failed_dir : string;
+  daemons_dir : string;
 }
 
 let mkdir_p dir =
@@ -26,12 +28,13 @@ let layout root =
     work_dir = Filename.concat root "work";
     results_dir = Filename.concat root "results";
     failed_dir = Filename.concat root "failed";
+    daemons_dir = Filename.concat root "daemons";
   }
 
 let create root =
   let t = layout root in
   List.iter mkdir_p
-    [ t.jobs_dir; t.work_dir; t.results_dir; t.failed_dir ];
+    [ t.jobs_dir; t.work_dir; t.results_dir; t.failed_dir; t.daemons_dir ];
   t
 
 let is_job_file name = Filename.check_suffix name ".json"
@@ -55,25 +58,52 @@ let checkpoint_path t name = Filename.concat t.work_dir (base name ^ ".ckpt")
 
 let restart_checkpoint_path t name index =
   Filename.concat t.work_dir (Printf.sprintf "%s.r%d.ckpt" (base name) index)
+
+(* The claim stamp deliberately does not end in ".json": work/ listings
+   must see claimed jobs only, never their sidecars. *)
+let claim_stamp_path t name = Filename.concat t.work_dir (base name ^ ".claim")
 let heartbeat_path t = Filename.concat t.root "daemon.json"
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
 (* The claim is one atomic rename: exactly one of several competing
    daemons wins (the losers' renames fail with ENOENT), and a crash
    leaves the job either still queued or visibly claimed in [work/] —
-   never duplicated, never half-copied. *)
-let claim t name =
+   never duplicated, never half-copied.  The winner then stamps the
+   claim with its lease identity; the stamp is what lets a peer's
+   reclaim distinguish "owned by a live daemon" from "orphaned by a
+   dead one". *)
+let claim ?owner t name =
   match Unix.rename (job_path t name) (work_path t name) with
-  | () -> true
+  | () ->
+    (match owner with
+     | None -> ()
+     | Some lease ->
+       let open Json in
+       Atomic_io.write_string (claim_stamp_path t name)
+         (obj
+            [
+              ("owner", Str (Lease.id lease));
+              ("seq", num_int (Lease.seq lease));
+              ("claimed_at", Num (Clock.wall ()));
+            ]
+         ^ "\n"));
+    true
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
 
+let read_claim_stamp t name =
+  Result.bind (Atomic_io.read_file (claim_stamp_path t name)) Json.parse_obj
+
+(* Stamp first, rename second: once the job is back in [jobs/] another
+   daemon may claim and stamp it instantly, and that fresh stamp must
+   never be the one we remove. *)
 let unclaim t name =
+  remove_if_exists (claim_stamp_path t name);
   match Unix.rename (work_path t name) (job_path t name) with
   | () -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
 let read_claimed t name = Atomic_io.read_file (work_path t name)
-
-let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
 
 (* Every checkpoint a job may own: the single-chain one plus the
    per-restart ones (<base>.r<i>.ckpt) of supervised multi-restart
@@ -98,43 +128,146 @@ let remove_checkpoints t name =
    drops the stale claim instead of re-running finished work.
    [keep_checkpoints] is the timed-out contract: the best-so-far
    result is recorded, and the checkpoints stay in [work/] so
-   re-enqueueing the same job resumes instead of restarting. *)
+   the rerun resumes instead of restarting. *)
 let finish ?(keep_checkpoints = false) t name ~result_json =
   Atomic_io.write_string (result_path t name) (result_json ^ "\n");
   if not keep_checkpoints then remove_checkpoints t name;
+  remove_if_exists (claim_stamp_path t name);
   remove_if_exists (work_path t name)
 
-let quarantine t name ~reason =
+let quarantine ?owner ?attempts t name ~reason =
   let open Json in
+  let forensics =
+    (match attempts with
+     | Some n -> [ ("attempts", num_int n) ]
+     | None -> [])
+    @
+    (* Which daemon gave the job up, and at which lease sequence — the
+       poison-job forensics trail. *)
+    match owner with
+    | Some lease ->
+      [
+        ("daemon_id", Str (Lease.id lease));
+        ("lease_seq", num_int (Lease.seq lease));
+      ]
+    | None -> []
+  in
   Atomic_io.write_string
     (failed_path t (base name ^ ".reason.json"))
-    (obj [ ("job", Str name); ("reason", Str reason) ] ^ "\n");
+    (obj ([ ("job", Str name); ("reason", Str reason) ] @ forensics) ^ "\n");
   remove_checkpoints t name;
+  remove_if_exists (claim_stamp_path t name);
   (match Unix.rename (work_path t name) (failed_path t name) with
    | () -> ()
    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ())
 
-let recover t =
+(* Reclaim: the continuously-runnable sweep of [work/].  Safety rests
+   on three rules.  (1) A claim whose result exists is finished
+   cleanup, never re-run.  (2) A claim stamped by an owner whose lease
+   is alive belongs to a live peer and is never touched; the stamp of
+   a dead or missing lease is removed and the job re-queued with its
+   checkpoints, so the rerun resumes.  (3) A stamp-less claim (the
+   crash window between rename and stamp, or a legacy claimer) is
+   re-queued only once its work file is older than [grace] — a live
+   claimer stamps within microseconds of winning the rename, so after
+   a full lease period of silence the claimer is dead. *)
+(* Atomic-write temp files ([<path>.tmp.<pid>.<domain>]) orphaned in
+   [work/] by a hard kill mid-checkpoint: a live writer renames within
+   milliseconds, so any temp more than a minute old is garbage —
+   floored well above any writer's hold time because a zero-grace
+   {!recover} must never delete a live peer's in-flight write. *)
+let sweep_orphan_temps ~now ~grace t =
+  let grace = Float.max grace 60.0 in
+  let is_temp name =
+    let marker = ".tmp." in
+    let nn = String.length name and nm = String.length marker in
+    let rec scan i =
+      i + nm <= nn && (String.sub name i nm = marker || scan (i + 1))
+    in
+    scan 0
+  in
+  match Sys.readdir t.work_dir with
+  | exception Sys_error _ -> ()
+  | entries ->
+    Array.iter
+      (fun entry ->
+        if is_temp entry then
+          let path = Filename.concat t.work_dir entry in
+          match Unix.stat path with
+          | stat when now -. stat.Unix.st_mtime >= grace ->
+            remove_if_exists path
+          | _ -> ()
+          | exception Unix.Unix_error _ -> ())
+      entries
+
+let reclaim ?self ~now ~grace t =
+  sweep_orphan_temps ~now ~grace t;
+  let leases = Hashtbl.create 7 in
+  List.iter
+    (fun (_file, view) ->
+      match view with
+      | Ok (v : Lease.view) -> Hashtbl.replace leases v.Lease.id v
+      | Error _ -> ())
+    (Lease.list ~dir:t.daemons_dir);
   List.filter_map
     (fun name ->
       if Sys.file_exists (result_path t name) then begin
         (* Finished before the crash, only the claim cleanup was lost. *)
         remove_checkpoints t name;
+        remove_if_exists (claim_stamp_path t name);
         remove_if_exists (work_path t name);
         None
       end
-      else begin
-        (* Interrupted mid-run: back to the queue; any checkpoint the
-           run flushed stays in work/ so the next claim resumes it. *)
-        unclaim t name;
-        Some name
-      end)
+      else
+        let requeue () =
+          (* Back to the queue; any checkpoint the run flushed stays in
+             work/ so the next claim resumes it. *)
+          unclaim t name;
+          Some name
+        in
+        match read_claim_stamp t name with
+        | Ok stamp -> (
+          match Json.str_field stamp "owner" with
+          | Some owner when Some owner = self -> None
+          | Some owner -> (
+            match Hashtbl.find_opt leases owner with
+            | Some view when Lease.alive ~now view -> None
+            | Some _ | None -> requeue ())
+          | None -> requeue ())
+        | Error _ -> (
+          (* Stamp-less (or damaged stamp): age-gate on the work file. *)
+          match Unix.stat (work_path t name) with
+          | stat when now -. stat.Unix.st_mtime >= grace -> requeue ()
+          | _ -> None
+          | exception Unix.Unix_error _ -> None))
     (in_work t)
+
+(* Startup-time recovery, kept for single-daemon callers: an immediate
+   sweep (no stamp-less grace) that still honours live peers' stamped
+   claims, so it is fleet-safe to call at any time. *)
+let recover t = reclaim ~now:(Clock.wall ()) ~grace:0.0 t
 
 let queue_depth t = List.length (pending t)
 
 let write_heartbeat t fields =
   Atomic_io.write_string (heartbeat_path t) (Json.obj fields ^ "\n")
 
+(* The freshest per-daemon lease file wins; the legacy shared
+   [daemon.json] remains readable for pre-fleet producers. *)
 let read_heartbeat t =
-  Result.bind (Atomic_io.read_file (heartbeat_path t)) Json.parse_obj
+  let freshest =
+    List.fold_left
+      (fun best (_file, view) ->
+        match view with
+        | Error _ -> best
+        | Ok (v : Lease.view) -> (
+          match best with
+          | Some (b : Lease.view) when b.Lease.updated >= v.Lease.updated ->
+            best
+          | _ -> Some v))
+      None
+      (Lease.list ~dir:t.daemons_dir)
+  in
+  match freshest with
+  | Some v -> Ok v.Lease.fields
+  | None -> Result.bind (Atomic_io.read_file (heartbeat_path t)) Json.parse_obj

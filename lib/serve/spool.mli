@@ -1,23 +1,29 @@
-(** The on-disk job queue: a spool directory with atomic-rename claims.
+(** The on-disk job queue: a spool directory with atomic-rename claims
+    and lease-fenced ownership.
 
     Layout under one root:
     {v
     <root>/jobs/     queued job files, .json, claimed oldest-first
-    <root>/work/     claimed jobs + their checkpoints (<base>.ckpt)
+    <root>/work/     claimed jobs + checkpoints (<base>.ckpt) and
+                     claim stamps (<base>.claim)
     <root>/results/  one result JSON per completed job (same name)
     <root>/failed/   quarantined poison jobs + <base>.reason.json
-    <root>/daemon.json  heartbeat/status file, atomically replaced
+    <root>/daemons/  one lease/heartbeat file per daemon ({!Lease})
+    <root>/daemon.json  legacy single-daemon heartbeat (read-compat)
     v}
 
     The claim protocol is a single [rename(2)] from [jobs/] to
     [work/]: atomic on POSIX, so exactly one of several competing
     daemons wins a job and a crash never duplicates or truncates one.
-    Results are written atomically {e before} the claim file is
-    removed, which makes {!recover} safe: a stale claim with a result
-    is finished cleanup, a stale claim without one is re-queued (its
-    checkpoint kept, so the rerun resumes instead of restarting).
-    Producers enqueue by writing [jobs/<name>.json] — atomically, or
-    via write-then-rename from the same filesystem. *)
+    The winner stamps the claim ([work/<base>.claim]) with its lease
+    identity and sequence number; {!reclaim} uses the stamp to
+    distinguish a live peer's claim (never touched) from a dead
+    daemon's orphan (re-queued, checkpoints kept, so the rerun
+    resumes).  Results are written atomically {e before} the claim
+    file is removed, which makes reclaim safe: a stale claim with a
+    result is finished cleanup, never a re-run.  Producers enqueue by
+    writing [jobs/<name>.json] — atomically, or via write-then-rename
+    from the same filesystem. *)
 
 type t = {
   root : string;
@@ -25,45 +31,69 @@ type t = {
   work_dir : string;
   results_dir : string;
   failed_dir : string;
+  daemons_dir : string;
 }
 
 val layout : string -> t
 (** Paths only, no filesystem access. *)
 
 val create : string -> t
-(** {!layout} + [mkdir -p] of the four directories. *)
+(** {!layout} + [mkdir -p] of the five directories. *)
 
 val pending : t -> string list
 (** Queued job file names, sorted (claim order). *)
 
 val in_work : t -> string list
-(** Currently claimed job file names, sorted. *)
+(** Currently claimed job file names, sorted (sidecars excluded). *)
 
-val claim : t -> string -> bool
+val claim : ?owner:Lease.t -> t -> string -> bool
 (** Atomically move a job from [jobs/] to [work/]; [false] when
-    another daemon won the race (or the file vanished). *)
+    another daemon won the race (or the file vanished).  With [owner],
+    the winner stamps the claim with its lease id and current sequence
+    number — fleet daemons always pass their lease; a stamp-less claim
+    is only re-queued by {!reclaim} after a full grace period. *)
 
 val unclaim : t -> string -> unit
-(** Return a claimed job to the queue (graceful shutdown mid-job). *)
+(** Return a claimed job to the queue (graceful shutdown mid-job);
+    removes the claim stamp first. *)
 
 val read_claimed : t -> string -> (string, string) result
 (** Contents of a claimed job file. *)
 
-val finish : ?keep_checkpoints:bool -> t -> string -> result_json:string -> unit
-(** Write [results/<name>] atomically, then drop the claim and its
-    checkpoints.  [~keep_checkpoints:true] (default false) leaves the
-    checkpoints in [work/]: the timed-out contract — the best-so-far
-    result is recorded, and re-enqueueing the same job name resumes
-    the search from where the deadline cut it. *)
+val read_claim_stamp :
+  t -> string -> ((string * Repro_util.Json_lite.t) list, string) result
+(** The claim stamp of a claimed job: [owner] (lease id), [seq],
+    [claimed_at]. *)
 
-val quarantine : t -> string -> reason:string -> unit
+val finish : ?keep_checkpoints:bool -> t -> string -> result_json:string -> unit
+(** Write [results/<name>] atomically, then drop the claim, its stamp
+    and its checkpoints.  [~keep_checkpoints:true] (default false)
+    leaves the checkpoints in [work/]: the timed-out contract — the
+    best-so-far result is recorded, and re-enqueueing the same job
+    name resumes the search from where the deadline cut it. *)
+
+val quarantine :
+  ?owner:Lease.t -> ?attempts:int -> t -> string -> reason:string -> unit
 (** Move a claimed poison job to [failed/<name>] and record a one-line
-    [failed/<base>.reason.json]. *)
+    [failed/<base>.reason.json].  [owner] and [attempts] add the
+    forensics trail: which daemon gave up ([daemon_id], [lease_seq])
+    and after how many tries. *)
+
+val reclaim : ?self:string -> now:float -> grace:float -> t -> string list
+(** The continuously-runnable sweep of [work/]; safe to call from any
+    daemon at any time.  Claims whose result exists are finished
+    cleanup; claims stamped by an owner whose lease ({!Lease.alive})
+    is live — or by [self] — are left alone; claims of dead or
+    missing owners are re-queued (checkpoints kept); stamp-less
+    claims are re-queued only once their work file is older than
+    [grace] seconds (use the lease ttl).  Atomic-write temp files
+    orphaned in [work/] by a hard kill are swept too (once older than
+    [max grace 60] seconds, so a live peer's in-flight write is never
+    deleted).  Returns the re-queued names. *)
 
 val recover : t -> string list
-(** Crash recovery at daemon startup: sweep [work/]; claims whose
-    result already exists are cleaned up, the rest are re-queued
-    (checkpoints kept).  Returns the re-queued names. *)
+(** Startup-time sweep for single-daemon callers: {!reclaim} with zero
+    stamp-less grace.  Still honours live peers' stamped claims. *)
 
 val job_path : t -> string -> string
 val work_path : t -> string -> string
@@ -78,12 +108,20 @@ val restart_checkpoint_path : t -> string -> int -> string
 (** [work/<base>.r<i>.ckpt] — restart [i]'s checkpoint of a
     multi-restart job. *)
 
+val claim_stamp_path : t -> string -> string
+(** [work/<base>.claim] — the claim's ownership stamp. *)
+
 val queue_depth : t -> int
 
 val heartbeat_path : t -> string
+(** The legacy shared heartbeat path, [<root>/daemon.json]. *)
 
 val write_heartbeat : t -> (string * Repro_util.Json_lite.t) list -> unit
-(** Atomically replace the heartbeat file with one JSON object. *)
+(** Atomically replace the {e legacy} heartbeat file with one JSON
+    object.  Fleet daemons heartbeat through their {!Lease} instead —
+    concurrent daemons would clobber this shared file. *)
 
 val read_heartbeat :
   t -> ((string * Repro_util.Json_lite.t) list, string) result
+(** The freshest per-daemon lease file's fields; falls back to the
+    legacy [daemon.json] when no daemon has ever leased here. *)

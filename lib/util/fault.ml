@@ -1,14 +1,19 @@
-type site = Eval | Worker | Job
+type site = Eval | Worker | Job | Lease
 
-let site_name = function Eval -> "eval" | Worker -> "worker" | Job -> "job"
+let site_name = function
+  | Eval -> "eval"
+  | Worker -> "worker"
+  | Job -> "job"
+  | Lease -> "lease"
 
 let site_of_name = function
   | "eval" -> Some Eval
   | "worker" -> Some Worker
   | "job" -> Some Job
+  | "lease" -> Some Lease
   | _ -> None
 
-let site_names = "eval|worker|job"
+let site_names = "eval|worker|job|lease"
 
 exception Injected of string
 

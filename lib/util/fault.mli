@@ -1,11 +1,14 @@
 (** Deterministic fault injection for resilience tests.
 
     A fault {e plan} is a set of (site, index) points at which an
-    {!Injected} exception is raised.  Three sites exist: [Eval] indexes
+    {!Injected} exception is raised.  Four sites exist: [Eval] indexes
     the process-wide count of solution evaluations, [Worker] indexes
-    the work items of a [Parallel.map], and [Job] indexes the jobs a
+    the work items of a [Parallel.map], [Job] indexes the jobs a
     [dse-serve] daemon claims — an armed [Job] point crashes the daemon
-    mid-queue, the hook the service fault drills use.  Points marked
+    mid-queue, the hook the service fault drills use — and [Lease]
+    indexes a daemon's lease refreshes, so an armed point kills a
+    daemon {e while it holds its lease} (and possibly a claimed job),
+    the window the fleet reclaim drills exercise.  Points marked
     {e transient}
     fire exactly once and then heal — the hook [Parallel.map_retry]
     uses to prove bounded-retry recovery.
@@ -17,7 +20,7 @@
     [site:index[:transient]] entries, e.g.
     [REPRO_FAULTS="worker:3,eval:120:transient"]. *)
 
-type site = Eval | Worker | Job
+type site = Eval | Worker | Job | Lease
 
 exception Injected of string
 (** Raised at an armed point; the payload names the site and index. *)

@@ -29,12 +29,19 @@ let escape s =
 let quote s = "\"" ^ escape s ^ "\""
 
 (* Integral floats print without a fractional part so counters stay
-   readable; everything else uses %g (plenty for result summaries —
-   bit-exact state lives in checkpoints, not JSON). *)
+   readable; everything else uses the shortest decimal that parses
+   back to the same double.  Round-tripping exactly matters: lease
+   heartbeats and claim stamps carry epoch timestamps, where six
+   significant digits would be off by thousands of seconds. *)
 let number x =
   if Float.is_integer x && Float.abs x < 1e15 then
     Printf.sprintf "%.0f" x
-  else Printf.sprintf "%g" x
+  else
+    let rec shortest p =
+      let s = Printf.sprintf "%.*g" p x in
+      if p >= 17 || float_of_string s = x then s else shortest (p + 1)
+    in
+    shortest 12
 
 let rec to_string = function
   | Null -> "null"

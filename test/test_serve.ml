@@ -23,6 +23,9 @@ let with_spool f =
 let enqueue spool name text =
   Atomic_io.write_string (Spool.job_path spool name) text
 
+(* A short lease ttl: the crash drills below simulate a dead daemon
+   inside this live test process, so the dead-pid shortcut never
+   applies — staleness has to come from ttl expiry. *)
 let quiet_config =
   {
     Daemon.default_config with
@@ -30,6 +33,7 @@ let quiet_config =
     retries = 0;
     backoff = None;
     poll_interval = 0.01;
+    lease_ttl = 0.05;
   }
 
 let tiny_job ?(seed = 2) () =
@@ -250,8 +254,11 @@ let test_daemon_crash_drill_loses_nothing () =
   Alcotest.(check (list string)) "crash left a stale claim" [ "b.json" ]
     (Spool.in_work spool);
   Fault.disarm ();
-  (* The restarted daemon recovers the claim and finishes the queue:
-     every job ends in exactly one of results/ or failed/. *)
+  (* Wait out the dead daemon's lease ttl (its simulated crash left a
+     lease naming this very process, so the pid check says alive), then
+     restart: the claim is reclaimed and the queue finishes — every job
+     ends in exactly one of results/ or failed/. *)
+  Unix.sleepf 0.1;
   let outcome, stats = Daemon.run quiet_config spool in
   Alcotest.(check string) "drained after restart" "drained"
     (Daemon.outcome_name outcome);
@@ -316,8 +323,8 @@ let test_daemon_engine_job () =
     Engine.run engine
       (Engine.context ~app ~platform ~seed:4 ~iterations:300 ())
   in
-  (* Result JSON prints costs with %g (6 significant digits) — the
-     bit-exact state lives in checkpoints, not results. *)
+  (* Result JSON prints floats with the shortest round-tripping
+     decimal — the bit-exact state still lives in checkpoints. *)
   match Json.num_field fields "best_cost" with
   | Some cost ->
     Alcotest.(check (float 1e-3)) "same best cost as a direct run"
