@@ -33,6 +33,7 @@ module Random_search = Repro_baseline.Random_search
 module Hill_climb = Repro_baseline.Hill_climb
 module Tabu = Repro_baseline.Tabu
 module Engine = Repro_dse.Engine
+module Portfolio = Repro_dse.Portfolio
 module Stats = Repro_util.Stats
 module Table = Repro_util.Table
 module Rng = Repro_util.Rng
@@ -341,12 +342,26 @@ let compare_methods () =
       app platform
   in
   row "tabu search (tenure 20)" tabu.Tabu.best_makespan "-" tabu.Tabu.wall_seconds;
+  Repro_baseline.Engines.register_all ();
+  let portfolio =
+    let engine =
+      match Portfolio.of_spec "portfolio:race:sa+tabu" with
+      | Ok e -> e
+      | Error msg -> failwith msg
+    in
+    Engine.run engine
+      (Engine.context ~app ~platform ~seed:1 ~iterations:compare_iters ())
+  in
+  row "racing portfolio (sa+tabu)" portfolio.Engine.best_cost "-"
+    portfolio.Engine.wall_seconds;
   print_string (Table.render table);
   [
     ("sa_best_ms", sa.Explorer.best_cost);
     ("sa_seconds", sa.Explorer.wall_seconds);
     ("ga_best_ms", ga.Ga.best_eval.Searchgraph.makespan);
     ("ga_seconds", ga.Ga.wall_seconds);
+    ("portfolio_best_ms", portfolio.Engine.best_cost);
+    ("portfolio_seconds", portfolio.Engine.wall_seconds);
     ("iterations_per_second",
      float_of_int sa.Explorer.iterations_run
      /. Float.max sa.Explorer.wall_seconds 1e-9);

@@ -287,9 +287,16 @@ let report_warnings ~what warnings =
 (* Engine selection, shared by the tools that take --engine/--engines:
    the registry is populated explicitly (never by linking side
    effects), and an unknown name dies as a usage error listing what is
-   registered. *)
-let find_engine name =
-  match Repro_dse.Engine_registry.find name with
+   registered.  Portfolio specs (portfolio:race:sa+tabu:...) build the
+   meta-engine on the fly; [report] receives its final per-lane
+   verdicts. *)
+let find_engine ?report name =
+  let resolved =
+    if Repro_dse.Portfolio.is_spec name then
+      Repro_dse.Portfolio.of_spec ?report name
+    else Repro_dse.Engine_registry.find name
+  in
+  match resolved with
   | Ok engine -> engine
   | Error msg -> fail "%s" msg
 

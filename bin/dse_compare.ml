@@ -68,8 +68,23 @@ let list_engines () =
     (Registry.all ());
   print_string (Table.render table)
 
+(* The tenure × aspiration grid behind --grid tabu: the bench's
+   tenure-sensitivity ablation promoted to a user-facing table (the
+   paper's argument that tabu needs the tuning the adaptive schedule
+   does not). *)
+let tabu_grid () =
+  List.concat_map
+    (fun tenure ->
+      List.map
+        (fun aspiration ->
+          ( Printf.sprintf "tabu[t=%d%s]" tenure
+              (if aspiration then ",asp" else ""),
+            Repro_baseline.Tabu.engine_with ~tenure ~aspiration () ))
+        [ false; true ])
+    [ 5; 10; 20; 40; 80 ]
+
 let run clbs seed sa_iters ga_generations ga_population evals engines_spec
-    list_only jobs checkpoint_path time_budget =
+    grid list_only jobs checkpoint_path time_budget =
   Cli_common.guard @@ fun () ->
   (match evals with
    | Some n when n < 1 ->
@@ -85,14 +100,24 @@ let run clbs seed sa_iters ga_generations ga_population evals engines_spec
     Cli_common.exit_ok
   end
   else begin
+  (* Rows are (label, engine): the label distinguishes grid points that
+     share one registry name. *)
   let selected =
-    match engines_spec with
-    | "" -> Registry.all ()
-    | spec ->
+    match (grid, engines_spec) with
+    | Some _, spec when spec <> "" ->
+      Cli_common.fail "--grid and --engines conflict; pick one"
+    | Some "tabu", _ -> tabu_grid ()
+    | Some other, _ ->
+      Cli_common.fail "--grid supports: tabu (got %S)" other
+    | None, "" ->
+      List.map (fun e -> (Engine.name e, e)) (Registry.all ())
+    | None, spec ->
       String.split_on_char ',' spec
       |> List.map String.trim
       |> List.filter (fun name -> name <> "")
-      |> List.map Cli_common.find_engine
+      |> List.map (fun name ->
+             let e = Cli_common.find_engine name in
+             (Engine.name e, e))
   in
   if selected = [] then Cli_common.fail "--engines names no engine";
   let app = Md.app () in
@@ -126,7 +151,7 @@ let run clbs seed sa_iters ga_generations ga_population evals engines_spec
 
   (* One generic row per engine: same seed, same workload, one call
      into the uniform driver. *)
-  let engine_row engine () =
+  let engine_row (label, engine) () =
     let ctx =
       Engine.context ?max_evaluations:evals ~app ~platform ~seed
         ~iterations:(budget_for engine) ()
@@ -139,7 +164,7 @@ let run clbs seed sa_iters ga_generations ga_population evals engines_spec
       | None -> "-"
     in
     {
-      method_name = Engine.name engine;
+      method_name = label;
       makespan = o.Engine.best_cost;
       contexts;
       evaluations = string_of_int o.Engine.evaluations;
@@ -172,7 +197,7 @@ let run clbs seed sa_iters ga_generations ga_population evals engines_spec
                evals=%s engines=%s"
               clbs seed sa_iters ga_generations ga_population
               (match evals with None -> "-" | Some n -> string_of_int n)
-              (String.concat "," (List.map Engine.name selected));
+              (String.concat "," (List.map fst selected));
           encode = encode_row;
           decode = decode_row;
         })
@@ -269,6 +294,15 @@ let engines_arg =
                  (default: every registered engine; see --list-engines)"
            ~docv:"NAMES")
 
+let grid_arg =
+  Arg.(value & opt (some string) None
+       & info [ "grid" ]
+           ~doc:"Compare a knob grid of one engine instead of distinct \
+                 engines.  $(docv) = tabu sweeps tenure x aspiration \
+                 (rows tabu[t=5] .. tabu[t=80,asp]); conflicts with \
+                 --engines"
+           ~docv:"ENGINE")
+
 let list_engines_arg =
   Arg.(value & flag
        & info [ "list-engines" ]
@@ -301,7 +335,7 @@ let cmd =
   let doc = "compare the explorer against the baselines (§5 comparison)" in
   Cmd.v (Cmd.info "dse-compare" ~doc ~exits:Cli_common.exits)
     Term.(const run $ clbs_arg $ seed_arg $ sa_iters_arg $ ga_generations_arg
-          $ ga_population_arg $ evals_arg $ engines_arg $ list_engines_arg
-          $ jobs_arg $ checkpoint_arg $ time_budget_arg)
+          $ ga_population_arg $ evals_arg $ engines_arg $ grid_arg
+          $ list_engines_arg $ jobs_arg $ checkpoint_arg $ time_budget_arg)
 
 let () = exit (Cmd.eval' cmd)

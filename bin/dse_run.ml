@@ -37,7 +37,7 @@ let app_of_name name =
 let run app_name app_file platform_file clbs engine_name iters warmup seed
     schedule lam_quality serialized trace_path gantt dot_path save_app
     restarts jobs checkpoint_path checkpoint_every resume_path time_budget
-    restart_timeout result_path =
+    restart_timeout result_path race chain target_cost seed_from =
   Cli_common.guard @@ fun () ->
   let app =
     match app_file with
@@ -53,12 +53,49 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
       else Repro_workloads.Motion_detection.platform ~n_clb:clbs ()
   in
   Cli_common.validate_inputs app platform;
+  (* --race/--chain/--target-cost compose onto a portfolio spec; the
+     spec grammar accepts the same tokens inline, the flags just read
+     better in a shell line. *)
+  if race && chain then Cli_common.fail "--race and --chain conflict";
+  let engine_name =
+    let extras =
+      (if race then [ ":race" ] else [])
+      @ (if chain then [ ":chain" ] else [])
+      @
+      match target_cost with
+      | Some c -> [ Printf.sprintf ":target=%.12g" c ]
+      | None -> []
+    in
+    if extras = [] then engine_name
+    else if not (Repro_dse.Portfolio.is_spec engine_name) then
+      Cli_common.fail
+        "--race/--chain/--target-cost shape a portfolio; pass --engine \
+         portfolio:e1+e2+..."
+    else String.concat "" (engine_name :: extras)
+  in
   (* "sa" keeps its native path (bit-identical to historical runs,
      checkpointable); any other name runs through the registry and the
      generic engine driver. *)
+  let lanes_seen = ref None in
   let engine =
     if engine_name = "sa" then None
-    else Some (Cli_common.find_engine engine_name)
+    else
+      Some
+        (Cli_common.find_engine
+           ~report:(fun lanes -> lanes_seen := Some lanes)
+           engine_name)
+  in
+  let warm_start =
+    match seed_from with
+    | None -> None
+    | Some path ->
+      if resume_path <> None then
+        Cli_common.fail
+          "--seed-from conflicts with --resume: a resumed run already \
+           carries its state, the warm start is baked in";
+      (match Explorer.read_incumbent path app platform with
+       | Ok solution -> Some solution
+       | Error msg -> Cli_common.fail "%s" msg)
   in
   let supervised = restarts > 1 || restart_timeout <> None || engine <> None in
   if restarts > 1 && resume_path <> None then
@@ -149,8 +186,8 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
   let trace = Repro_dse.Trace.create ~every:10 () in
   let result, restart_statuses, degraded =
     if not supervised then
-      ( Explorer.explore ~trace ?checkpoint ?resume ~should_stop config app
-          platform,
+      ( Explorer.explore ~trace ?initial:warm_start ?checkpoint ?resume
+          ~should_stop config app platform,
         [],
         0 )
     else begin
@@ -161,8 +198,8 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
        | None -> ());
       let report =
         Explorer.explore_restarts_supervised ~trace ~jobs ?engine
-          ?restart_timeout ?restart_checkpoint ~should_stop ~restarts config
-          app platform
+          ?restart_timeout ?restart_checkpoint ?warm_start ~should_stop
+          ~restarts config app platform
       in
       let statuses =
         Array.to_list report.Explorer.restart_statuses
@@ -205,6 +242,21 @@ let run app_name app_file platform_file clbs engine_name iters warmup seed
             restarts)
     end
   in
+  (* Portfolio runs also show the per-lane verdicts: who won the race,
+     who was cancelled, who faulted and was salvaged. *)
+  (match !lanes_seen with
+   | None -> ()
+   | Some lanes ->
+     Format.printf "portfolio lanes:@.";
+     Array.iter
+       (fun l ->
+         Format.printf "  %-12s %-10s %7d iters %9d evals  best %s@."
+           l.Repro_dse.Portfolio.member l.Repro_dse.Portfolio.state
+           l.Repro_dse.Portfolio.iterations l.Repro_dse.Portfolio.evaluations
+           (if Float.is_finite l.Repro_dse.Portfolio.best then
+              Printf.sprintf "%.2f" l.Repro_dse.Portfolio.best
+            else "-"))
+       lanes);
   let eval = result.Explorer.best_eval in
   Format.printf "%a@." App.pp_summary app;
   Format.printf
@@ -301,10 +353,11 @@ let engine_arg =
   Arg.(value & opt string "sa"
        & info [ "engine" ]
            ~doc:"Search engine, by registry name: sa (default) | greedy | \
-                 random | hill | tabu | ga | ga-spatial.  Non-sa engines \
-                 take --iters as their iteration budget (see dse-compare \
-                 --list-engines for what one iteration means per engine); \
-                 --warmup/--schedule/--lam-quality apply to sa only")
+                 random | hill | tabu | ga | ga-spatial | \
+                 portfolio[:rr|race|chain][:e1+e2+...][:slice=N][:target=C].  \
+                 Non-sa engines take --iters as their iteration budget (see \
+                 dse-compare --list-engines for what one iteration means per \
+                 engine); --warmup/--schedule/--lam-quality apply to sa only")
 
 let iters_arg =
   Arg.(value & opt int 50_000 & info [ "iters" ] ~doc:"Cooling iterations")
@@ -406,6 +459,42 @@ let result_arg =
                  per-restart statuses under supervision) to $(docv)"
            ~docv:"FILE")
 
+let race_arg =
+  Arg.(value & flag
+       & info [ "race" ]
+           ~doc:"Run the portfolio's members as concurrent racing lanes, \
+                 each with the full --iters budget (shorthand for the :race \
+                 spec token).  With --target-cost the race is hedged: the \
+                 first lane to reach the target wins and the others are \
+                 cancelled at their next iteration boundary")
+
+let chain_arg =
+  Arg.(value & flag
+       & info [ "chain" ]
+           ~doc:"Run the portfolio's members in order, each warm-started \
+                 from the best incumbent of the stages before it (shorthand \
+                 for the :chain spec token) — e.g. \
+                 portfolio:greedy+sa seeds the annealer with the greedy \
+                 mapping")
+
+let target_cost_arg =
+  Arg.(value & opt (some float) None
+       & info [ "target-cost" ]
+           ~doc:"Portfolio target: stop as soon as some lane's best reaches \
+                 $(docv) (milliseconds of makespan); losing lanes are \
+                 cancelled within one member iteration"
+           ~docv:"COST")
+
+let seed_from_arg =
+  Arg.(value & opt (some string) None
+       & info [ "seed-from" ]
+           ~doc:"Warm-start the search from the best solution stored in \
+                 checkpoint $(docv) — any engine's file works (only the \
+                 application and platform must match; seed, budget and \
+                 donor engine are free), so a greedy incumbent can seed sa \
+                 or a whole portfolio"
+           ~docv:"CKPT")
+
 let cmd =
   let doc = "explore a workload mapping on a reconfigurable platform" in
   Cmd.v (Cmd.info "dse-run" ~doc ~exits:Cli_common.exits)
@@ -414,6 +503,7 @@ let cmd =
           $ quality_arg
           $ serialized_arg $ trace_arg $ gantt_arg $ dot_arg $ save_app_arg
           $ restarts_arg $ jobs_arg $ checkpoint_arg $ checkpoint_every_arg
-          $ resume_arg $ time_budget_arg $ restart_timeout_arg $ result_arg)
+          $ resume_arg $ time_budget_arg $ restart_timeout_arg $ result_arg
+          $ race_arg $ chain_arg $ target_cost_arg $ seed_from_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -127,10 +127,25 @@ let status spool_dir =
           else if Lease.alive ~now v then "live"
           else "stale"
         in
-        Printf.printf "  %-24s %-6s seq %-6d age %6.1fs  state %s\n"
+        (* The circuit breaker travels in the heartbeat fields: a
+           closed breaker is healthy, open means the daemon paused
+           draining against consecutive failures, half-open is its
+           recovery probe.  Trips count lifetime openings. *)
+        let breaker =
+          match Json.str_field v.Lease.fields "breaker" with
+          | None -> ""
+          | Some state ->
+            Printf.sprintf "  breaker %s%s" state
+              (match Json.int_field v.Lease.fields "breaker_trips" with
+               | Some trips when trips > 0 ->
+                 Printf.sprintf " (%d trip(s))" trips
+               | _ -> "")
+        in
+        Printf.printf "  %-24s %-6s seq %-6d age %6.1fs  state %s%s\n"
           v.Lease.id verdict v.Lease.seq
           (now -. v.Lease.updated)
-          (Option.value ~default:"?" (Json.str_field v.Lease.fields "state")))
+          (Option.value ~default:"?" (Json.str_field v.Lease.fields "state"))
+          breaker)
     leases;
   let live_ids =
     List.filter_map

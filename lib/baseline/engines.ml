@@ -10,4 +10,6 @@ let register_all () =
       Tabu.engine;
       Ga.engine ();
       Ga.engine ~explore_impls:false ();
-    ]
+    ];
+  (* Last: the portfolio's default members must already be findable. *)
+  Registry.register (Repro_dse.Portfolio.engine ())

@@ -250,10 +250,28 @@ let evolve ?progress config (ctx : Engine.context) =
         let n = App.size app in
         let all_sw = { hw = Array.make n false; impl = Array.make n 0 } in
         population.(config.population - 1) <- (score all_sw, all_sw);
+        (* A warm start enters the gene pool as one more seeded
+           individual (never displacing the all-software safety net),
+           so the evolved best can only match or beat the donor. *)
+        let warm_evals =
+          match ctx.Engine.warm_start with
+          | None -> 0
+          | Some w ->
+            let genome =
+              {
+                hw =
+                  Array.init n (fun v ->
+                      Solution.binding w v <> Searchgraph.Sw);
+                impl = Array.init n (fun v -> Solution.impl_index w v);
+              }
+            in
+            population.(0) <- (score genome, genome);
+            1
+        in
         Array.sort by_fitness population;
         final := Some population;
         previous_best := fst population.(0);
-        (population, fst population.(0), config.population + 1))
+        (population, fst population.(0), config.population + 1 + warm_evals))
       ~step:(fun rng ~iteration population ->
         let tournament_pick () =
           let best = ref (Rng.int rng config.population) in

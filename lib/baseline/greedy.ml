@@ -44,7 +44,13 @@ let engine_run ?on_accept ~fractions (ctx : Engine.context) =
   in
   Engine.drive ~codec ctx
     ~init:(fun _rng ->
-      let s = Solution.all_software app platform in
+      (* A warm start replaces the all-software reference: the sweep
+         then only has to beat the donated incumbent. *)
+      let s =
+        match ctx.Engine.warm_start with
+        | Some w -> Solution.snapshot w
+        | None -> Solution.all_software app platform
+      in
       (s, Solution.makespan s, 1))
     ~step:(fun _rng ~iteration state ->
       let fraction = fractions.(iteration) in

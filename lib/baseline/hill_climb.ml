@@ -31,7 +31,13 @@ let engine_run ~moves_per_climb (ctx : Engine.context) =
   in
   Engine.drive ~codec ctx
     ~init:(fun _rng ->
-      let s = Solution.all_software app platform in
+      (* A warm start becomes the initial best the climbs must beat;
+         the iteration-0 restart still draws its own fresh state. *)
+      let s =
+        match ctx.Engine.warm_start with
+        | Some w -> Solution.snapshot w
+        | None -> Solution.all_software app platform
+      in
       let cost = Solution.makespan s in
       (s, cost, 1))
     ~step:(fun rng ~iteration state ->

@@ -21,7 +21,11 @@ let engine_run (ctx : Engine.context) =
   in
   Engine.drive ~codec ctx
     ~init:(fun _rng ->
-      let s = Solution.all_software app platform in
+      let s =
+        match ctx.Engine.warm_start with
+        | Some w -> Solution.snapshot w
+        | None -> Solution.all_software app platform
+      in
       let cost = Solution.makespan s in
       best_seen := cost;
       (s, cost, 1))

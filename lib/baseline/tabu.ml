@@ -163,7 +163,11 @@ let engine_run ~neighbourhood ~tenure ~aspiration (ctx : Engine.context) =
   in
   Engine.drive ~codec ctx
     ~init:(fun rng ->
-      let solution = Solution.random (Rng.split rng) app platform in
+      let solution =
+        match ctx.Engine.warm_start with
+        | Some w -> Solution.snapshot w
+        | None -> Solution.random (Rng.split rng) app platform
+      in
       let cost = Solution.makespan solution in
       current := cost;
       incumbent := cost;

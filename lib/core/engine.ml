@@ -29,10 +29,11 @@ type context = {
   should_stop : (unit -> bool) option;
   observe : (probe -> unit) option;
   checkpoint : checkpoint option;
+  warm_start : Solution.t option;
 }
 
-let context ?time_limit ?max_evaluations ?should_stop ?observe ?checkpoint ~app
-    ~platform ~seed ~iterations () =
+let context ?time_limit ?max_evaluations ?should_stop ?observe ?checkpoint
+    ?warm_start ~app ~platform ~seed ~iterations () =
   if iterations < 0 then invalid_arg "Engine.context: negative budget";
   (match time_limit with
    | Some s when s <= 0.0 ->
@@ -55,6 +56,7 @@ let context ?time_limit ?max_evaluations ?should_stop ?observe ?checkpoint ~app
     should_stop;
     observe;
     checkpoint;
+    warm_start;
   }
 
 type outcome = {
@@ -130,6 +132,8 @@ let drive_fingerprint ctx =
             | None -> "-"
             | Some m -> string_of_int m);
        ])
+
+let fingerprint = drive_fingerprint
 
 type 'state resumed = {
   r_iteration : int;

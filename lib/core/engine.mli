@@ -96,6 +96,12 @@ type context = {
   should_stop : (unit -> bool) option;
   observe : (probe -> unit) option;
   checkpoint : checkpoint option;
+  warm_start : Solution.t option;
+  (** optional incumbent to start from instead of the engine's native
+      initial state (cross-engine warm starts: [--seed-from], portfolio
+      chain mode).  Engines adopt it as their initial working state /
+      seed member; determinism still holds — equal contexts (including
+      equal warm starts) give bit-identical outcomes. *)
 }
 (** Everything an engine may read.  Engines must not consult any other
     source of randomness, time or configuration. *)
@@ -106,6 +112,7 @@ val context :
   ?should_stop:(unit -> bool) ->
   ?observe:(probe -> unit) ->
   ?checkpoint:checkpoint ->
+  ?warm_start:Solution.t ->
   app:App.t -> platform:Platform.t -> seed:int -> iterations:int -> unit ->
   context
 
@@ -185,6 +192,12 @@ type 'state codec = {
 (** How a driven engine's working state crosses a process boundary.
     The driver owns everything else (counters, RNG words, best
     snapshot, wall-clock offset). *)
+
+val fingerprint : context -> string
+(** CRC fingerprint tying a driver checkpoint to its inputs, seed and
+    budget (application text, platform text, seed, iteration and
+    evaluation budgets).  Exposed so meta-engines (the portfolio) can
+    stamp their own native checkpoints with the same binding. *)
 
 val checkpoint_kind : string
 (** The {!Repro_util.Checkpoint} kind tag of driver checkpoints,

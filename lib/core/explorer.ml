@@ -200,6 +200,49 @@ let load_snapshot config application platform path =
       | Ok _ as ok -> ok
       | Error msg -> Error (path ^ ": " ^ msg))
 
+(* The incumbent of any checkpoint, for cross-engine warm starts
+   (--seed-from).  Deliberately *not* fingerprint-checked: the donor
+   may be a different engine under a different seed or budget — the
+   only requirement is that its best solution decodes against the
+   current application and platform (the "inputs-only" rule).  Both
+   checkpoint dialects carry the best solution behind a bare marker
+   line no solution encoding can contain: the annealer's "dse-run"
+   files close with it ([current]…[best]…), the driver's and the
+   portfolio's "dse-engine" files hold it between [best] and
+   [state]. *)
+let read_incumbent path application platform =
+  let ( let* ) = Result.bind in
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (path ^ ": checkpoint: " ^ m)) fmt
+  in
+  let* kind, payload = Checkpoint.inspect path in
+  let lines = String.split_on_char '\n' payload in
+  let rec drop_to marker = function
+    | [] -> None
+    | l :: tail -> if l = marker then Some tail else drop_to marker tail
+  in
+  let rec take_until marker acc = function
+    | [] -> List.rev acc
+    | l :: _ when l = marker -> List.rev acc
+    | l :: tail -> take_until marker (l :: acc) tail
+  in
+  let* best_lines =
+    if kind = run_checkpoint_kind then
+      match Option.bind (drop_to "current" lines) (drop_to "best") with
+      | Some ls -> Ok ls
+      | None -> fail "missing best section"
+    else if kind = Engine.checkpoint_kind then
+      match drop_to "best" lines with
+      | Some ls -> Ok (take_until "state" [] ls)
+      | None -> fail "missing best section"
+    else fail "kind %S holds no incumbent solution" kind
+  in
+  match
+    Solution.decode application platform (String.concat "\n" best_lines)
+  with
+  | Ok s -> Ok s
+  | Error m -> fail "incumbent does not fit these inputs: %s" m
+
 let cost_of objective solution =
   match objective with
   | Makespan -> Solution.makespan solution
@@ -405,6 +448,7 @@ module Sa_engine : Engine.S = struct
     let result =
       explore
         ~should_stop:(Engine.stop_probe ctx)
+        ?initial:(Option.map Solution.snapshot ctx.Engine.warm_start)
         ?on_iteration ?checkpoint ?resume config ctx.Engine.app
         ctx.Engine.platform
     in
@@ -477,8 +521,8 @@ let result_of_outcome (o : Engine.outcome) =
   }
 
 let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
-    ?(retries = 0) ?engine ?restart_checkpoint ~restarts config application
-    platform =
+    ?(retries = 0) ?engine ?restart_checkpoint ?warm_start ~restarts config
+    application platform =
   if restarts < 1 then invalid_arg "Explorer.explore_restarts: restarts < 1";
   (* Each chain's seed is a pure function of its index, and results are
      collected in index order, so the winner (first strict minimum) and
@@ -507,8 +551,9 @@ let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
       (* The per-restart deadline reaches the annealer as its stop
          probe: a chain out of budget returns best-so-far at the next
          iteration boundary instead of being torn down. *)
-      explore ?trace ?checkpoint ?resume ~should_stop:stop config application
-        platform
+      explore ?trace ?checkpoint ?resume ~should_stop:stop
+        ?initial:(Option.map Solution.snapshot warm_start)
+        config application platform
     | Some engine ->
       (* Any registered engine gets the same supervision: derived
          seeds, the anneal iteration budget, and the stop probe wired
@@ -531,6 +576,7 @@ let supervise_restarts ?trace ?(jobs = 1) ?restart_timeout ?should_stop
       in
       let ctx =
         Engine.context ~should_stop:stop ?observe ?checkpoint
+          ?warm_start:(Option.map Solution.snapshot warm_start)
           ~app:application ~platform ~seed
           ~iterations:config.anneal.Annealer.iterations ()
       in

@@ -84,6 +84,18 @@ val load_snapshot :
     sink); fails with a one-line message when the file is damaged or
     was produced under different inputs or configuration. *)
 
+val read_incumbent :
+  string -> App.t -> Platform.t -> (Solution.t, string) Stdlib.result
+(** [read_incumbent path app platform] extracts the best-so-far
+    solution from any checkpoint file — the annealer's native
+    ["dse-run"] snapshots and the engine driver's (or the portfolio's)
+    ["dse-engine"] files alike — and decodes it against [app] and
+    [platform].  This is the [--seed-from] primitive: unlike
+    {!load_snapshot}, no fingerprint is checked, so an incumbent found
+    by one engine (any seed, any budget) can warm-start any other; the
+    only contract is that the donor ran on the same inputs (the
+    decode fails otherwise). *)
+
 val explore :
   ?trace:Trace.t -> ?initial:Solution.t -> ?checkpoint:run_checkpoint ->
   ?resume:Solution.t Repro_anneal.Annealer.snapshot ->
@@ -164,6 +176,7 @@ val explore_restarts_supervised :
   ?trace:Trace.t -> ?jobs:int -> ?restart_timeout:float ->
   ?should_stop:(unit -> bool) -> ?retries:int -> ?engine:Engine.t ->
   ?restart_checkpoint:(int -> Engine.checkpoint) ->
+  ?warm_start:Solution.t ->
   restarts:int -> config -> App.t -> Platform.t -> restarts_report
 (** Supervised multi-start exploration: one raising or overrunning
     chain never costs the others their results.  Each restart runs
@@ -189,7 +202,13 @@ val explore_restarts_supervised :
     cadence, resume mode).  Generic engines receive it through their
     context; the native annealer translates it onto its own snapshot
     machinery.  Because per-restart seeds are derived from the index,
-    each chain's checkpoint resumes exactly that chain. *)
+    each chain's checkpoint resumes exactly that chain.
+
+    [warm_start] hands every restart the same donated incumbent
+    (see {!read_incumbent}): generic engines receive it through
+    [context.warm_start], the native annealer as its initial
+    solution.  A resumed chain ignores it — the warm start is baked
+    into the checkpointed state. *)
 
 val explore_restarts :
   ?trace:Trace.t -> ?jobs:int -> ?engine:Engine.t -> restarts:int ->

@@ -48,6 +48,9 @@ type stats = {
   mutable quarantined : int;
   mutable requeued : int;
   mutable recovered : int;
+  mutable fenced : int;
+      (* results aborted at the commit point because the claim was
+         reclaimed from under this daemon (stall past the lease ttl) *)
 }
 
 type outcome = Drained | Interrupted
@@ -108,12 +111,16 @@ let run_attempt config spool job ~attempts ~stop ~deadline_expired =
   | Ok (app, platform) ->
     let explorer_config = Job.explorer_config job in
     (* An unknown engine name is poison, not a transient failure; the
-       registry error already lists every known name. *)
+       registry error already lists every known name.  Portfolio specs
+       (portfolio:race:sa+tabu:...) build the meta-engine on the fly —
+       a portfolio job's checkpoint nests the member states inside the
+       regular work/<base>.ckpt file, plus one .ckpt.m<i> scratch per
+       live member. *)
     let engine =
       match job.Job.engine with
       | None -> None
       | Some name -> (
-        match Engine_registry.find name with
+        match Repro_dse.Portfolio.resolve name with
         | Ok e -> Some e
         | Error msg -> failwith msg)
     in
@@ -309,6 +316,7 @@ let status_fields spool stats breaker ~state =
     ("quarantined", num_int stats.quarantined);
     ("requeued", num_int stats.requeued);
     ("recovered", num_int stats.recovered);
+    ("fenced", num_int stats.fenced);
     ( "breaker",
       Str (Backoff.Breaker.state_name (Backoff.Breaker.state breaker)) );
     ( "consecutive_failures",
@@ -333,6 +341,7 @@ let run ?(should_stop = fun () -> false) config spool =
       quarantined = 0;
       requeued = 0;
       recovered = 0;
+      fenced = 0;
     }
   in
   let breaker =
@@ -408,6 +417,11 @@ let run ?(should_stop = fun () -> false) config spool =
         end
         else if not (Spool.claim ~owner:lease spool name) then drain ()
         else begin
+          (* The fencing token: the sequence number stamped into the
+             claim.  Captured now — every later refresh bumps the
+             lease seq, so only this snapshot can validate the stamp
+             at result-write time. *)
+          let claim_seq = Lease.seq lease in
           (* The crash-drill site: an armed job:<k> point kills the
              daemon here, with job k claimed (and lease-stamped) but
              unprocessed — exactly the window reclaim must handle. *)
@@ -426,20 +440,35 @@ let run ?(should_stop = fun () -> false) config spool =
           (match verdict with
            | Ok_result { status; json } ->
              (* A timed-out job keeps its checkpoints: re-enqueueing the
-                same name resumes the search instead of restarting. *)
-             Spool.finish ~keep_checkpoints:(status = "timed-out") spool name
-               ~result_json:json;
-             Backoff.Breaker.success breaker;
-             stats.completed <- stats.completed + 1;
-             if status = "timed-out" then
-               stats.timed_out <- stats.timed_out + 1;
-             Log.info
-               ~fields:
-                 [
-                   ("job", Json.Str (Filename.remove_extension name));
-                   ("status", Json.Str status);
-                 ]
-               "job finished"
+                same name resumes the search instead of restarting.
+                The write is fenced: if the claim stamp no longer names
+                this lease at this claim's sequence number, the job was
+                reclaimed from under us mid-run and someone else owns
+                it — drop our result instead of clobbering theirs. *)
+             if
+               Spool.finish_fenced ~keep_checkpoints:(status = "timed-out")
+                 spool name ~owner:lease ~claim_seq ~result_json:json
+             then begin
+               Backoff.Breaker.success breaker;
+               stats.completed <- stats.completed + 1;
+               if status = "timed-out" then
+                 stats.timed_out <- stats.timed_out + 1;
+               Log.info
+                 ~fields:
+                   [
+                     ("job", Json.Str (Filename.remove_extension name));
+                     ("status", Json.Str status);
+                   ]
+                 "job finished"
+             end
+             else begin
+               stats.fenced <- stats.fenced + 1;
+               Log.warn
+                 ~fields:[ ("job", Json.Str (Filename.remove_extension name)) ]
+                 "fencing check failed at result-write time: the claim was \
+                  reclaimed mid-run (lease seq moved on); result dropped, \
+                  the current owner's run stands"
+             end
            | Poison { reason; attempts } ->
              Spool.quarantine ~owner:lease ~attempts spool name ~reason;
              Backoff.Breaker.failure breaker;

@@ -68,6 +68,10 @@ type stats = {
   mutable requeued : int;      (** given back on shutdown *)
   mutable recovered : int;     (** orphaned claims reclaimed (startup
                                    and ongoing sweeps) *)
+  mutable fenced : int;        (** results dropped at the commit point:
+                                   the claim stamp no longer carried
+                                   this lease's claim-time sequence
+                                   number ({!Spool.finish_fenced}) *)
 }
 
 type outcome = Drained | Interrupted

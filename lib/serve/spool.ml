@@ -105,19 +105,29 @@ let unclaim t name =
 
 let read_claimed t name = Atomic_io.read_file (work_path t name)
 
-(* Every checkpoint a job may own: the single-chain one plus the
+(* Every checkpoint a job may own: the single-chain one, the
    per-restart ones (<base>.r<i>.ckpt) of supervised multi-restart
-   runs. *)
+   runs, and the portfolio member files either may grow
+   (<...>.ckpt.m<j>). *)
 let remove_checkpoints t name =
   remove_if_exists (checkpoint_path t name);
-  let prefix = base name ^ ".r" in
+  let ckpt_prefix = base name ^ ".ckpt" in
+  let restart_prefix = base name ^ ".r" in
+  let contains_ckpt entry =
+    let n = String.length entry in
+    let rec scan i =
+      i + 5 <= n && (String.sub entry i 5 = ".ckpt" || scan (i + 1))
+    in
+    scan 0
+  in
   match Sys.readdir t.work_dir with
   | entries ->
     Array.iter
       (fun entry ->
         if
-          Filename.check_suffix entry ".ckpt"
-          && String.starts_with ~prefix entry
+          String.starts_with ~prefix:ckpt_prefix entry
+          || (String.starts_with ~prefix:restart_prefix entry
+              && contains_ckpt entry)
         then remove_if_exists (Filename.concat t.work_dir entry))
       entries
   | exception Sys_error _ -> ()
@@ -134,6 +144,29 @@ let finish ?(keep_checkpoints = false) t name ~result_json =
   if not keep_checkpoints then remove_checkpoints t name;
   remove_if_exists (claim_stamp_path t name);
   remove_if_exists (work_path t name)
+
+(* The fencing token, checked at the commit point.  A daemon that
+   stalled long enough for a peer's [reclaim] to re-queue (and a third
+   daemon to re-claim) its job must not overwrite that fresher run's
+   result: immediately before writing, the claim stamp is re-read and
+   must still name this lease as owner with the sequence number
+   captured at claim time.  Any mismatch — stamp gone, different
+   owner, different seq (every lease refresh bumps it, so even a
+   reissue to the same daemon id is caught) — aborts the write and
+   reports [false]; nothing under [results/] or [work/] is touched,
+   so the current owner finishes undisturbed and the job is never
+   lost.  A small TOCTOU window between this read and the result
+   rename remains (see DESIGN.md); the atomic write keeps it benign. *)
+let finish_fenced ?keep_checkpoints t name ~owner ~claim_seq ~result_json =
+  let fence_holds =
+    match read_claim_stamp t name with
+    | Error _ -> false
+    | Ok fields ->
+      Json.str_field fields "owner" = Some (Lease.id owner)
+      && Json.int_field fields "seq" = Some claim_seq
+  in
+  if fence_holds then finish ?keep_checkpoints t name ~result_json;
+  fence_holds
 
 let quarantine ?owner ?attempts t name ~reason =
   let open Json in

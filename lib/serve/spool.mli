@@ -72,6 +72,19 @@ val finish : ?keep_checkpoints:bool -> t -> string -> result_json:string -> unit
     best-so-far result is recorded, and re-enqueueing the same job
     name resumes the search from where the deadline cut it. *)
 
+val finish_fenced :
+  ?keep_checkpoints:bool -> t -> string -> owner:Lease.t -> claim_seq:int ->
+  result_json:string -> bool
+(** {!finish} behind the fencing token: re-reads the claim stamp
+    immediately before committing and only writes when it still names
+    [owner]'s lease id with the sequence number captured at claim time
+    ([claim_seq], i.e. {!Lease.seq} right after the winning
+    {!claim}).  [false] means the fence failed — the job was reclaimed
+    from this daemon while it was working (a stall past the lease ttl)
+    and someone else owns it now; nothing is written, the caller
+    drops the job.  Requeue-safe: the fresher owner's claim, result
+    and checkpoints are untouched. *)
+
 val quarantine :
   ?owner:Lease.t -> ?attempts:int -> t -> string -> reason:string -> unit
 (** Move a claimed poison job to [failed/<name>] and record a one-line

@@ -1,0 +1,28 @@
+(* Latched cancellation token: an atomic "fired" bit (cross-domain)
+   plus a latched view over joined probes (polling-domain only).  The
+   two are separate so [fired] can report an explicit cancellation
+   distinctly from a probe-triggered stop. *)
+
+type t = {
+  fired_bit : bool Atomic.t;
+  latched : bool ref;           (* polling-domain latch over probes *)
+  mutable probes : (unit -> bool) list;
+}
+
+let create () = { fired_bit = Atomic.make false; latched = ref false; probes = [] }
+
+let fire t = Atomic.set t.fired_bit true
+
+let join t p = t.probes <- p :: t.probes
+
+let test t =
+  Atomic.get t.fired_bit
+  || !(t.latched)
+  ||
+  let hit = List.exists (fun p -> p ()) t.probes in
+  if hit then t.latched := true;
+  hit
+
+let probe t () = test t
+
+let fired t = Atomic.get t.fired_bit

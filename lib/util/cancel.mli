@@ -1,0 +1,39 @@
+(** Latched cancellation tokens.
+
+    A token joins several stop sources — an explicit {!fire} (hedged
+    racing: the winner cancels the losers), any number of boolean
+    probes registered with {!join} (external stop flags, deadlines,
+    target-cost predicates) — into one boundary predicate, {!probe}.
+
+    Tokens latch: once {!test} has observed [true] (from a fire or any
+    probe), every later call answers [true] without re-running the
+    probes, so a transiently-true probe still cancels permanently.
+    [fire] is an atomic set and [test] an atomic read, so a token may
+    be fired from one domain and polled from another; joined probes
+    themselves run only in the polling domain. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, unfired token with no probes. *)
+
+val fire : t -> unit
+(** Latch the token; every later {!test}/{!probe} answers [true].
+    Safe from any domain, idempotent. *)
+
+val join : t -> (unit -> bool) -> unit
+(** Add a stop source.  The probe runs on {!test} until the token
+    latches.  Not thread-safe against concurrent {!join}s — register
+    all sources before sharing the token. *)
+
+val test : t -> bool
+(** [true] once fired or once any joined probe has answered [true]. *)
+
+val probe : t -> unit -> bool
+(** {!test} partially applied — the shape [Engine.context.should_stop]
+    wants. *)
+
+val fired : t -> bool
+(** [true] only when {!fire} was called explicitly (not when a joined
+    probe latched the token) — lets a racing portfolio tell "cancelled
+    by the winner" apart from "stopped by its own probe". *)

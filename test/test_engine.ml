@@ -149,10 +149,11 @@ let conformance_tests engine =
 
 let suite =
   Repro_baseline.Engines.register_all ();
-  Alcotest.test_case "registry: all six engines registered by name" `Quick
+  Alcotest.test_case "registry: all engines registered by name" `Quick
     (fun () ->
       Alcotest.(check (list string)) "names in presentation order"
-        [ "sa"; "greedy"; "random"; "hill"; "tabu"; "ga"; "ga-spatial" ]
+        [ "sa"; "greedy"; "random"; "hill"; "tabu"; "ga"; "ga-spatial";
+          "portfolio" ]
         (Registry.names ());
       List.iter
         (fun name ->
