@@ -841,15 +841,14 @@ let multiproc () =
    undoing keeps the state (hence the kinds' preconditions) fixed, so
    the two arms walk identically and their final solutions must agree
    bit-for-bit. *)
-let micro_move_matrix () =
+let micro_move_matrix_for ~tag app platform alt_platform =
+  let prefix = if tag = "" then "" else tag ^ "_" in
   header
     (Printf.sprintf
-       "Structural-move matrix — %d draws/kind, incremental vs rebuild \
-        (BENCH_MICRO_MOVES)"
-       micro_moves);
-  let app = Md.app () in
-  let platform = Md.platform () in
-  let alt_platform = Md.platform ~n_clb:2000 () in
+       "Structural-move matrix%s — %d tasks, %d draws/kind, incremental vs \
+        rebuild (BENCH_MICRO_MOVES)"
+       (if tag = "" then "" else " [" ^ tag ^ "]")
+       (App.size app) micro_moves);
   (* A starting point with software tasks and several contexts.
      [Solution.random] packs hardware into as few contexts as the
      device allows (one, here), so the structural kinds need a richer
@@ -900,37 +899,63 @@ let micro_move_matrix () =
       ("device", Solution.Platform_swap);
     ]
   in
-  let run_arm ~rebuild kind =
+  (* Each arm is a resumable closure over its own solution and RNG;
+     the driver alternates chunks of the two arms so both sample the
+     same machine conditions (frequency drift otherwise dominates the
+     per-kind ratios). *)
+  let make_arm ~rebuild kind =
     let rng = Rng.create 101 in
     let s = Solution.random (Rng.create base_seed) app platform in
     let ok = prepare s in
     assert ok;
     ignore (Solution.makespan s);
     let applied = ref 0 in
-    let t0 = Clock.wall () in
-    for _ = 1 to micro_moves do
-      if rebuild then Solution.invalidate s;
-      match Moves.propose_kind rng mconfig s kind with
-      | Some undo ->
-        incr applied;
-        undo ()
-      | None -> ()
-    done;
-    let wall = Clock.wall () -. t0 in
-    (wall, !applied, Solution.eval_stats s, Solution.encode s)
+    let wall = ref 0.0 in
+    let run chunk =
+      let t0 = Clock.wall () in
+      for _ = 1 to chunk do
+        if rebuild then Solution.invalidate s;
+        match Moves.propose_kind rng mconfig s kind with
+        | Some undo ->
+          incr applied;
+          undo ()
+        | None -> ()
+      done;
+      wall := !wall +. (Clock.wall () -. t0)
+    in
+    (run, wall, applied, s)
+  in
+  let run_arms kind =
+    let run_i, wall_i, applied_i, s_i = make_arm ~rebuild:false kind in
+    let run_r, wall_r, applied_r, s_r = make_arm ~rebuild:true kind in
+    let chunk = max 1 (micro_moves / 10) in
+    let rec go left =
+      if left > 0 then begin
+        let c = min chunk left in
+        run_i c;
+        run_r c;
+        go (left - c)
+      end
+    in
+    go micro_moves;
+    ( (!wall_i, !applied_i, Solution.eval_stats s_i, Solution.encode s_i),
+      (!wall_r, !applied_r, Solution.eval_stats s_r, Solution.encode s_r) )
   in
   Printf.printf
-    "  %-12s %14s %14s %8s %12s %11s\n" "kind" "incr moves/s" "rebld moves/s"
-    "speedup" "nodes/refresh" "edges/move";
+    "  %-12s %13s %13s %8s %11s %9s %9s %9s %7s\n" "kind" "incr moves/s"
+    "rebld moves/s" "speedup" "nodes/rfsh" "edges/mv" "pairs/mv" "comm/mv"
+    "regens";
   let metrics =
     List.concat_map
       (fun (name, kind) ->
-        let wall_i, applied_i, stats_i, final_i = run_arm ~rebuild:false kind in
-        let wall_r, applied_r, _stats_r, final_r = run_arm ~rebuild:true kind in
+        let (wall_i, applied_i, stats_i, final_i),
+            (wall_r, applied_r, _stats_r, final_r) =
+          run_arms kind
+        in
         if applied_i <> applied_r || final_i <> final_r then
           failwith
             (Printf.sprintf
-               "micro: %s: incremental and rebuild arms diverged" name);
+               "micro: %s%s: incremental and rebuild arms diverged" prefix name);
         let ks = Solution.kind_stats stats_i kind in
         let rate applied wall =
           float_of_int applied /. Float.max wall 1e-9
@@ -941,24 +966,68 @@ let micro_move_matrix () =
         let incr_rate = rate applied_i wall_i in
         let rebuild_rate = rate applied_r wall_r in
         let speedup = incr_rate /. Float.max rebuild_rate 1e-9 in
-        Printf.printf "  %-12s %14.0f %14.0f %7.2fx %12.1f %11.1f\n" name
+        Printf.printf
+          "  %-12s %13.0f %13.0f %7.2fx %11.1f %9.1f %9.1f %9.1f %7d\n" name
           incr_rate rebuild_rate speedup
           (per ks.Solution.k_incr_nodes ks.Solution.k_incr_evals)
-          (per ks.Solution.k_edges_edited applied_i);
+          (per ks.Solution.k_edges_edited applied_i)
+          (per ks.Solution.k_pairs_emitted applied_i)
+          (per ks.Solution.k_comm_patched applied_i)
+          ks.Solution.k_pair_regens;
         [
-          (name ^ "_moves_per_s_incr", incr_rate);
-          (name ^ "_moves_per_s_rebuild", rebuild_rate);
-          (name ^ "_speedup", speedup);
-          (name ^ "_incr_evals", float_of_int ks.Solution.k_incr_evals);
-          (name ^ "_nodes_per_incr_eval",
+          (prefix ^ name ^ "_moves_per_s_incr", incr_rate);
+          (prefix ^ name ^ "_moves_per_s_rebuild", rebuild_rate);
+          (prefix ^ name ^ "_speedup", speedup);
+          (prefix ^ name ^ "_incr_evals", float_of_int ks.Solution.k_incr_evals);
+          (prefix ^ name ^ "_nodes_per_incr_eval",
            per ks.Solution.k_incr_nodes ks.Solution.k_incr_evals);
-          (name ^ "_edges_per_move",
+          (prefix ^ name ^ "_edges_per_move",
            per ks.Solution.k_edges_edited applied_i);
+          (prefix ^ name ^ "_pairs_per_move",
+           per ks.Solution.k_pairs_emitted applied_i);
+          (prefix ^ name ^ "_comm_patched_per_move",
+           per ks.Solution.k_comm_patched applied_i);
+          (prefix ^ name ^ "_pair_regens",
+           float_of_int ks.Solution.k_pair_regens);
         ])
       kinds
   in
   Printf.printf "\n";
   metrics
+
+(* The matrix on the 28-task case study, then on a >=128-node layered
+   graph: the native-delta claim is that per-move cost tracks the move
+   footprint, so the incremental-vs-rebuild gap must widen with size.
+   Layer widths are drawn randomly, so the seed is searched
+   deterministically until the generator actually crosses 128 nodes. *)
+let micro_move_matrix () =
+  let m28 =
+    micro_move_matrix_for ~tag:"" (Md.app ()) (Md.platform ())
+      (Md.platform ~n_clb:2000 ())
+  in
+  let model = Repro_taskgraph.Generators.default_impl_model in
+  (* Wide and shallow — the parallel-workload shape whose move
+     footprints stay local (a deep chain would make every downstream
+     cone the whole graph, drowning the locality the deltas buy). *)
+  let g_app =
+    let rec find seed =
+      let app =
+        Repro_taskgraph.Generators.layered ~name:"layered128"
+          (Rng.create seed) model ~layers:8 ~width:31 ~edge_probability:0.12
+          ~mean_sw_time:2.0 ~mean_kbytes:8.0
+      in
+      if App.size app >= 128 then app else find (seed + 1)
+    in
+    find 1
+  in
+  (* Size the device for a handful of tasks per context, as in the
+     case study, rather than [platform_for]'s 60%-of-total giant
+     contexts. *)
+  let g_platform =
+    Repro_arch.Platform.with_rc_size (Suite_w.platform_for g_app) 600
+  in
+  let g_alt = Repro_arch.Platform.with_rc_size g_platform 1_200 in
+  m28 @ micro_move_matrix_for ~tag:"g128" g_app g_platform g_alt
 
 let micro () =
   header "Micro-benchmarks (Bechamel, monotonic clock)";

@@ -103,6 +103,9 @@ let eval_stats_json (stats : Solution.eval_stats) =
                   ("incr_evals", num_int ks.Solution.k_incr_evals);
                   ("incr_nodes", num_int ks.Solution.k_incr_nodes);
                   ("edges_edited", num_int ks.Solution.k_edges_edited);
+                  ("pairs_emitted", num_int ks.Solution.k_pairs_emitted);
+                  ("comm_edges_patched", num_int ks.Solution.k_comm_patched);
+                  ("pair_regens", num_int ks.Solution.k_pair_regens);
                 ] ))
       Solution.move_kinds
   in
@@ -113,6 +116,9 @@ let eval_stats_json (stats : Solution.eval_stats) =
       ("incr_evals", num_int stats.Solution.incr_evals);
       ("incr_nodes", num_int stats.Solution.incr_nodes);
       ("edges_edited", num_int stats.Solution.edges_edited);
+      ("pairs_emitted", num_int stats.Solution.pairs_emitted);
+      ("comm_edges_patched", num_int stats.Solution.comm_patched);
+      ("pair_regens", num_int stats.Solution.pair_regens);
       ("by_kind", Obj by_kind);
     ]
 

@@ -48,6 +48,9 @@ type kind_stats = {
   mutable k_incr_evals : int;
   mutable k_incr_nodes : int;
   mutable k_edges_edited : int;
+  mutable k_pairs_emitted : int;
+  mutable k_comm_patched : int;
+  mutable k_pair_regens : int;
 }
 
 type eval_stats = {
@@ -56,6 +59,9 @@ type eval_stats = {
   mutable incr_evals : int;
   mutable incr_nodes : int;
   mutable edges_edited : int;
+  mutable pairs_emitted : int;
+  mutable comm_patched : int;
+  mutable pair_regens : int;
   by_kind : kind_stats array;
 }
 
@@ -66,6 +72,9 @@ let fresh_stats () =
     incr_evals = 0;
     incr_nodes = 0;
     edges_edited = 0;
+    pairs_emitted = 0;
+    comm_patched = 0;
+    pair_regens = 0;
     by_kind =
       Array.init n_kinds (fun _ ->
           {
@@ -73,6 +82,9 @@ let fresh_stats () =
             k_incr_evals = 0;
             k_incr_nodes = 0;
             k_edges_edited = 0;
+            k_pairs_emitted = 0;
+            k_comm_patched = 0;
+            k_pair_regens = 0;
           });
   }
 
@@ -87,10 +99,11 @@ type op =
   | W of int * float * float       (* node, old weight, new weight *)
   | E_add of int * int
   | E_del of int * int
-  | Comm of float * float          (* old total, new total *)
+  | Comm_set of int * float        (* app-edge index, old boundary term *)
   | Slot_alloc of int * int        (* context id, slot *)
   | Slot_free of int * int
-  | Pairs of int list * int list   (* old, new (sorted, packed u·2n+v) *)
+  | Pairs of int list * bool       (* old cache (sorted, packed u·2n+v)
+                                      and whether it was fresh *)
   | Touch of int list              (* nodes whose edge weights changed *)
 
 (* Incremental-evaluation state: a live search graph over n task nodes
@@ -99,14 +112,22 @@ type op =
    a structural mutation into an edge-delta set.  Contexts come and go
    as moves execute, so each live context id owns a slot for its
    configuration node; free slots stay isolated (no edges, weight 0)
-   and are excluded from the canonical evaluation.  [pairs] caches the
-   sorted Esw ∪ Ehw pair list the graph currently realizes, each pair
-   (u, v) packed as the int u·2n+v so the per-move re-sort and diff
-   run on immediate ints; [resync] diffs a regenerated list against
-   it.  [valid = false] keeps the
-   state alive as a storage donor only (next evaluation rebuilds);
-   [desync] flags a move whose sequencing contradicts the application
-   precedences (infeasible until undone). *)
+   and are excluded from the canonical evaluation.
+
+   Each mutator emits its own exact edge delta from the pair emitters
+   of only the chains, contexts and context adjacencies it touched
+   (see [native_resync]); the boundary-traffic total [comm] is a
+   pairwise sum tree whose terms are flipped for the edges incident to
+   rebound tasks ([incident] indexes [edges] per task).  [pairs] is a
+   verification artifact only: in [REPRO_CHECK_DELTAS] paranoid mode
+   it caches the sorted packed (u·2n+v) canonical pair list so every
+   move's emitted delta can be asserted against a regenerate-and-diff
+   reference ([pairs_fresh] tracks whether the cache is current —
+   default-mode moves stop maintaining it).
+
+   [valid = false] keeps the state alive as a storage donor only (next
+   evaluation rebuilds); [desync] flags a move whose sequencing
+   contradicts the application precedences (infeasible until undone). *)
 type incr = {
   sg : Graph.t;
   lp : Longest_path.t;
@@ -114,7 +135,16 @@ type incr = {
   slot_of : (int, int) Hashtbl.t;
   mutable free_slots : int list;
   mutable pairs : int list;
-  mutable comm : float;
+  mutable pairs_fresh : bool;
+  comm : Searchgraph.Comm.t;
+  for_app : App.t;                 (* the app [edges]/[incident] index *)
+  edges : App.edge array;          (* App.edges, indexed for [comm] *)
+  incident : int list array;       (* task -> indices into [edges] *)
+  in_edge : (int * int) list array;
+  (* task -> (src, edge index) of its application in-edges: the
+     longest-path edge-weight lookup *)
+  scratch_tbl : (int, int list) Hashtbl.t;
+  (* reused by every context-membership diff — never live across moves *)
   mutable log : op array;
   mutable log_len : int;
   mutable epoch : int;             (* bumped when the log is truncated *)
@@ -122,6 +152,19 @@ type incr = {
   mutable desync : bool;
   mutable valid : bool;
 }
+
+(* Paranoid cross-checking: regenerate the canonical pair list on every
+   structural move and assert the mutator-emitted delta equals the
+   regenerate-and-diff reference.  Read once from the environment
+   ([REPRO_CHECK_DELTAS=1]); tests toggle it in-process. *)
+let check_deltas =
+  ref
+    (match Sys.getenv_opt "REPRO_CHECK_DELTAS" with
+     | Some ("1" | "true" | "yes") -> true
+     | Some _ | None -> false)
+
+let set_check_deltas enabled = check_deltas := enabled
+let check_deltas_enabled () = !check_deltas
 
 (* assign.(v) = -(p+1) when the task runs in software on processor p
    (so -1 is the primary processor), otherwise the stable id (>= 0) of
@@ -240,7 +283,10 @@ let rollback inc ~mark =
     | E_del (u, v) ->
       if not (Longest_path.insert_edge inc.lp u v) then assert false;
       mark_dirty inc v
-    | Comm (old, _) -> inc.comm <- old
+    | Comm_set (i, old) ->
+      Searchgraph.Comm.set inc.comm i old;
+      (* The term doubles as the longest-path weight of this edge. *)
+      mark_dirty inc inc.edges.(i).App.dst
     | Slot_alloc (cid, slot) ->
       Hashtbl.remove inc.slot_of cid;
       inc.free_slots <- slot :: inc.free_slots
@@ -249,7 +295,9 @@ let rollback inc ~mark =
        | s :: rest when s = slot -> inc.free_slots <- rest
        | _ -> assert false);
       Hashtbl.replace inc.slot_of cid slot
-    | Pairs (old, _) -> inc.pairs <- old
+    | Pairs (old, fresh) ->
+      inc.pairs <- old;
+      inc.pairs_fresh <- fresh
     | Touch vs -> List.iter (mark_dirty inc) vs
   done
 
@@ -354,30 +402,38 @@ let exec_time_of t v =
     task.Task.sw_time /. Platform.processor_speed t.platform (processor_index t v)
   else (Task.impl task t.impl.(v)).Task.hw_time
 
-(* Mirror of [Searchgraph.crossing] under this solution's bindings:
-   both software -> distinct processors cross; mixed always crosses;
-   both hardware never does (ASIC bindings do not arise here). *)
+(* [Searchgraph.resource_code] read off the assignment array directly:
+   [assign.(v)] is already -(p+1) for software on processor p, and any
+   context id (>= 0) is the reconfigurable circuit, code 0.  Solutions
+   never bind tasks to an ASIC, so the coding is complete. *)
 let crossing_of t u v =
-  let a = t.assign.(u) and b = t.assign.(v) in
-  if a < 0 && b < 0 then a <> b else a < 0 || b < 0
+  let code a = if a < 0 then a else 0 in
+  code t.assign.(u) <> code t.assign.(v)
 
-(* Exact mirror of [Searchgraph.comm_cost] — same fold, same order —
-   so the incrementally-maintained total is bit-identical to what a
-   rebuild would compute (resume replay depends on it). *)
-let comm_cost_of t =
-  List.fold_left
-    (fun acc { App.src; dst; kbytes } ->
-      if crossing_of t src dst then
-        acc +. Platform.transfer_time t.platform kbytes
-      else acc)
-    0.0 (App.edges t.app)
+(* The boundary term of one application edge under this solution's
+   bindings — [Searchgraph.comm_terms] read off the indexed edge array.
+   The rebuild's [Searchgraph.Comm] tree and the incrementally patched
+   one evaluate the identical expression over identical terms, hence
+   bitwise-equal totals (resume replay depends on it). *)
+let comm_term_of t { App.src; dst; kbytes } =
+  if crossing_of t src dst then Platform.transfer_time t.platform kbytes
+  else 0.0
 
-let edge_weight_of t =
-  let n = size t in
-  fun u v ->
-    if u < n && v < n && crossing_of t u v then
-      Platform.transfer_time t.platform (App.kbytes t.app u v)
-    else 0.0
+(* Edge weights for the longest path, read off the live boundary-term
+   tree: the term of application edge [i] is already the transfer time
+   when crossing and 0 otherwise, kept current by the per-move comm
+   patch — so the innermost refresh loop scans a tiny per-task in-edge
+   list instead of hashing an (u, v) key into [App.kbytes] on every
+   predecessor visit.  Sequencing edges never appear in the index and
+   weigh 0. *)
+let edge_weight_over ~n ~in_edge comm =
+  let rec scan u l =
+    match l with
+    | [] -> 0.0
+    | (u', i) :: rest ->
+      if u' = (u : int) then Searchgraph.Comm.get comm i else scan u rest
+  in
+  fun u v -> if u < n && v < n then scan u in_edge.(v) else 0.0
 
 (* The canonical dynamic pair list (Esw ∪ Ehw) the live graph must
    realize for the current solution state, with configuration nodes
@@ -412,16 +468,111 @@ let rec diff_sorted a b =
     else if (x : int) < y then x :: diff_sorted xs b
     else diff_sorted a ys
 
-(* Re-synchronize the live search graph with the mutated solution: the
-   slot allocation follows the live context set, the regenerated pair
-   list is diffed against the cached one and applied as edge deletions
-   then insertions (each intermediate edge set is a subset of the
-   union of two acyclic sets realized over the same order-maintained
-   graph, so a genuine cycle is detected by some insertion failing —
-   never spuriously), weights are re-read eagerly, and the boundary
-   traffic is recomputed exactly when bindings changed.  [rebound]
-   lists the tasks whose binding the move touched. *)
-let resync ?(rebound = []) t kind =
+(* The per-move pair capture over the context chain: walk the list
+   once, running the intra emitter for every context in the region and
+   the GTLP emitter for every adjacency with an endpoint in it.
+   Contexts outside the region contribute only an O(1) id test —
+   their member lists are never traversed. *)
+let capture_ctx_pairs inc n in_region ctxs =
+  let slot cid = n + Hashtbl.find inc.slot_of cid in
+  let rec walk prev acc = function
+    | [] -> acc
+    | (cid, members) :: rest ->
+      let acc =
+        match prev with
+        | Some (prev_id, prev_members)
+          when in_region prev_id || in_region cid ->
+          Searchgraph.gtlp_pairs ~prev_cfg:(slot prev_id) ~prev_members
+            ~cfg:(slot cid)
+          @ acc
+        | Some _ | None -> acc
+      in
+      let acc =
+        if in_region cid then
+          Searchgraph.ehw_intra_pairs ~cfg:(slot cid) members @ acc
+        else acc
+      in
+      walk (Some (cid, members)) acc rest
+  in
+  walk None [] ctxs
+
+(* Consecutive (prev, next) neighbors of the selected tasks in a
+   software order — the tasks whose Esw adjacencies a removal or an
+   insertion at that position disturbs. *)
+let chain_neighbors order targets =
+  let rec walk prev acc = function
+    | [] -> acc
+    | v :: rest ->
+      let acc =
+        if List.mem v targets then begin
+          let acc = match prev with Some p -> p :: acc | None -> acc in
+          match rest with nx :: _ -> nx :: acc | [] -> acc
+        end
+        else acc
+      in
+      walk (Some v) acc rest
+  in
+  walk None [] order
+
+(* Consecutive context-id pairs of the execution order. *)
+let ctx_adjacencies ctxs =
+  let rec walk acc = function
+    | (a, _) :: ((b, _) :: _ as rest) -> walk ((a, b) :: acc) rest
+    | [ _ ] | [] -> acc
+  in
+  walk [] ctxs
+
+(* Symmetric difference of two lists of int pairs, sorted here with a
+   monomorphic comparator (the lists are tiny — the context adjacencies
+   a move disturbed — but this runs on every structural move). *)
+let sym_diff_pairs a b =
+  let cmp (a1, b1) (a2, b2) =
+    if a1 = (a2 : int) then Int.compare b1 b2 else Int.compare a1 a2
+  in
+  let rec walk a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | x :: xs, y :: ys ->
+      let c = cmp x y in
+      if c = 0 then walk xs ys
+      else if c < 0 then x :: walk xs b
+      else y :: walk a ys
+  in
+  walk (List.sort cmp a) (List.sort cmp b)
+
+(* Re-synchronize the live search graph with a mutated solution from
+   the move's own footprint — no global pair-list regeneration.  The
+   mutator hands over its pre-move snapshots ([old_sw] is a copy of
+   the order array, [old_ctxs] the context association list — both
+   hold immutable lists, so snapshotting is pointer copying), the
+   tasks whose binding changed ([rebound]) and the tasks around the
+   disturbed software positions ([sw_around]).
+
+   The touched region is derived by comparing the snapshots with the
+   mutated state: chains that changed (pointer inequality), contexts
+   whose member list changed, contexts created or removed, and both
+   endpoints of every context adjacency that appeared or disappeared.
+   The per-class emitters ([Searchgraph.chain_pairs_near],
+   [ehw_intra_pairs], [gtlp_pairs]) then produce the pairs owned by
+   the region before and after the mutation; their sorted-packed diff
+   is the move's exact edge delta, because pairs owned by emitters
+   outside the region are untouched by construction (the ownership
+   contract) and pairs the region captures on both sides cancel.
+
+   The delta is applied as edge deletions then insertions in packed
+   order — the same canonical order the regenerate-and-diff path
+   produced, so the downstream [Longest_path] edits are unchanged.
+   Each intermediate edge set is a subset of the union of two acyclic
+   sets realized over the same order-maintained graph, so a genuine
+   cycle is detected by some insertion failing — never spuriously.
+   Weights are re-read for rebound tasks and touched contexts only,
+   and the boundary-traffic sum tree is patched by flipping the terms
+   of the edges incident to rebound tasks.
+
+   Under [REPRO_CHECK_DELTAS] the canonical list is additionally
+   regenerated and the emitted delta asserted against the
+   regenerate-and-diff reference. *)
+let native_resync t kind ~rebound ~sw_around ~old_sw ~old_ctxs =
   t.cached <- None;
   t.last_kind <- kind;
   match t.incr with
@@ -434,34 +585,132 @@ let resync ?(rebound = []) t kind =
     let mark = inc.log_len in
     let n = size t in
     let appg = t.app.App.graph in
-    (* 1. Slots follow the live context set. *)
-    let dead =
-      Hashtbl.fold
-        (fun cid slot acc ->
-          if List.mem_assoc cid t.ctxs then acc else (cid, slot) :: acc)
-        inc.slot_of []
+    let ks = kind_stats t.stats kind in
+    (* 1. The move's footprint, from the snapshots. *)
+    let changed_procs =
+      let acc = ref [] in
+      for p = Array.length t.sw - 1 downto 0 do
+        if not (t.sw.(p) == old_sw.(p)) then acc := p :: !acc
+      done;
+      !acc
     in
+    (* Pointer equality of the association lists means the move never
+       touched the context chain: every context diff below is empty and
+       the captures reduce to the disturbed software adjacencies. *)
+    let ctx_changed = not (old_ctxs == t.ctxs) in
+    let freed, created, touched_ctxs =
+      if not ctx_changed then ([], [], [])
+      else begin
+        (* One pass over each list through the reused scratch table:
+           old members keyed by id, then the new list classifies every
+           context as created, membership-changed, or intact — what
+           stays unclaimed in the table was freed. *)
+        let old_tbl = inc.scratch_tbl in
+        Hashtbl.reset old_tbl;
+        List.iter (fun (cid, ms) -> Hashtbl.replace old_tbl cid ms) old_ctxs;
+        let created = ref [] and touched = ref [] in
+        List.iter
+          (fun (cid, ms) ->
+            match Hashtbl.find_opt old_tbl cid with
+            | None ->
+              created := (cid, ms) :: !created;
+              touched := (cid, ms) :: !touched
+            | Some old_ms ->
+              Hashtbl.remove old_tbl cid;
+              if not (old_ms == ms) && old_ms <> ms then
+                touched := (cid, ms) :: !touched)
+          t.ctxs;
+        let freed =
+          List.filter (fun (cid, _) -> Hashtbl.mem old_tbl cid) old_ctxs
+        in
+        (freed, List.rev !created, List.rev !touched)
+      end
+    in
+    let region =
+      if not ctx_changed then []
+      else
+        let adj_endpoints =
+          List.concat_map
+            (fun (a, b) -> [ a; b ])
+            (sym_diff_pairs (ctx_adjacencies old_ctxs)
+               (ctx_adjacencies t.ctxs))
+        in
+        List.sort_uniq Int.compare
+          (List.map fst touched_ctxs
+           @ List.map fst freed
+           @ adj_endpoints)
+    in
+    let in_region cid = List.mem cid region in
+    let around v = List.mem v sw_around in
+    (* 2. Before-pairs, from the snapshots (slots still pre-move). *)
+    let before_pairs =
+      List.concat_map
+        (fun p -> Searchgraph.chain_pairs_near around old_sw.(p))
+        changed_procs
+      @ (if region = [] then []
+         else capture_ctx_pairs inc n in_region old_ctxs)
+    in
+    (* 3. Slots follow the move exactly: removed contexts release
+       theirs, created contexts claim from the free list. *)
     List.iter
-      (fun (cid, slot) ->
+      (fun (cid, _) ->
+        let slot = Hashtbl.find inc.slot_of cid in
         log_push inc (Slot_free (cid, slot));
         Hashtbl.remove inc.slot_of cid;
         inc.free_slots <- slot :: inc.free_slots;
         set_weight inc (n + slot) 0.0)
-      (List.sort compare dead);
+      freed;
     List.iter
       (fun (cid, _) ->
-        if not (Hashtbl.mem inc.slot_of cid) then
-          match inc.free_slots with
-          | [] -> assert false (* cap = n >= number of non-empty contexts *)
-          | slot :: rest ->
-            inc.free_slots <- rest;
-            log_push inc (Slot_alloc (cid, slot));
-            Hashtbl.replace inc.slot_of cid slot)
-      t.ctxs;
-    (* 2. Edge delta against the cached canonical pair list. *)
-    let fresh = slot_pairs t inc in
-    let removals = diff_sorted inc.pairs fresh in
-    let additions = diff_sorted fresh inc.pairs in
+        match inc.free_slots with
+        | [] -> assert false (* cap = n >= number of non-empty contexts *)
+        | slot :: rest ->
+          inc.free_slots <- rest;
+          log_push inc (Slot_alloc (cid, slot));
+          Hashtbl.replace inc.slot_of cid slot)
+      created;
+    (* 4. After-pairs from the mutated state; the sorted diff is the
+       move's exact edge delta. *)
+    let after_pairs =
+      List.concat_map
+        (fun p -> Searchgraph.chain_pairs_near around t.sw.(p))
+        changed_procs
+      @ (if region = [] then []
+         else capture_ctx_pairs inc n in_region t.ctxs)
+    in
+    let before_packed = pack_pairs t before_pairs in
+    let after_packed = pack_pairs t after_pairs in
+    let removals = diff_sorted before_packed after_packed in
+    let additions = diff_sorted after_packed before_packed in
+    let emitted = List.length before_pairs + List.length after_pairs in
+    t.stats.pairs_emitted <- t.stats.pairs_emitted + emitted;
+    ks.k_pairs_emitted <- ks.k_pairs_emitted + emitted;
+    (* Paranoid mode: the regenerate-and-diff reference must agree with
+       the emitted delta.  [pairs] is maintained only here; a cache
+       left stale by default-mode moves is re-seeded without asserting
+       (self-healing when the mode is toggled on mid-run). *)
+    if !check_deltas then begin
+      t.stats.pair_regens <- t.stats.pair_regens + 1;
+      ks.k_pair_regens <- ks.k_pair_regens + 1;
+      let fresh = slot_pairs t inc in
+      if inc.pairs_fresh then begin
+        let want_rm = diff_sorted inc.pairs fresh in
+        let want_add = diff_sorted fresh inc.pairs in
+        if removals <> want_rm || additions <> want_add then
+          failwith
+            (Printf.sprintf
+               "Solution: %s: emitted deltas diverge from \
+                regenerate-and-diff (emitted %d-/%d+, reference %d-/%d+)"
+               (move_kind_label kind) (List.length removals)
+               (List.length additions) (List.length want_rm)
+               (List.length want_add))
+      end;
+      log_push inc (Pairs (inc.pairs, inc.pairs_fresh));
+      inc.pairs <- fresh;
+      inc.pairs_fresh <- true
+    end
+    else inc.pairs_fresh <- false;
+    (* 5. Apply the delta: deletions then insertions, packed order. *)
     let stride = 2 * n in
     let edited = ref 0 in
     List.iter
@@ -499,11 +748,10 @@ let resync ?(rebound = []) t kind =
       inc.desync <- true
     end
     else begin
-      log_push inc (Pairs (inc.pairs, fresh));
-      inc.pairs <- fresh;
-      (* 3. Weights: rebound tasks re-read their execution time (and
-         their application successors see changed edge weights); every
-         live configuration node tracks its context's area. *)
+      (* 6. Weights: rebound tasks re-read their execution time (and
+         their application successors see changed edge weights);
+         configuration nodes track their context's area — only where
+         membership changed. *)
       List.iter
         (fun v ->
           set_weight inc v (exec_time_of t v);
@@ -516,18 +764,29 @@ let resync ?(rebound = []) t kind =
           set_weight inc
             (n + Hashtbl.find inc.slot_of cid)
             (Platform.reconfiguration_time t.platform (members_clbs t members)))
-        t.ctxs;
-      (* 4. Boundary traffic changes only with bindings; recompute it
-         exactly rather than patching it. *)
+        touched_ctxs;
+      (* 7. Boundary traffic: flip the sum-tree terms of the edges
+         incident to rebound tasks — O(deg · log m), not a re-walk of
+         the application graph. *)
       if rebound <> [] then begin
-        let c = comm_cost_of t in
-        if c <> inc.comm then begin
-          log_push inc (Comm (inc.comm, c));
-          inc.comm <- c
-        end
+        let patched = ref 0 in
+        List.iter
+          (fun v ->
+            List.iter
+              (fun i ->
+                let term = comm_term_of t inc.edges.(i) in
+                let old = Searchgraph.Comm.get inc.comm i in
+                if term <> old then begin
+                  log_push inc (Comm_set (i, old));
+                  Searchgraph.Comm.set inc.comm i term;
+                  incr patched
+                end)
+              inc.incident.(v))
+          rebound;
+        t.stats.comm_patched <- t.stats.comm_patched + !patched;
+        ks.k_comm_patched <- ks.k_comm_patched + !patched
       end;
       t.stats.edges_edited <- t.stats.edges_edited + !edited;
-      let ks = kind_stats t.stats kind in
       ks.k_edges_edited <- ks.k_edges_edited + !edited
     end
 
@@ -539,25 +798,26 @@ let resync ?(rebound = []) t kind =
 let eval_from_incr t inc =
   let n = size t in
   let k = List.length t.ctxs in
-  let slot = Array.make (max k 1) 0 in
-  List.iteri (fun j (cid, _) -> slot.(j) <- Hashtbl.find inc.slot_of cid) t.ctxs;
-  let finish =
-    Array.init (n + k) (fun v ->
-        if v < n then Longest_path.finish inc.lp v
-        else Longest_path.finish inc.lp (n + slot.(v - n)))
-  in
-  let makespan = Array.fold_left Float.max 0.0 finish in
-  let initial_reconfig = if k > 0 then inc.weights.(n + slot.(0)) else 0.0 in
+  let lp_finish = Longest_path.finish_array inc.lp in
+  let finish = Array.make (n + k) 0.0 in
+  Array.blit lp_finish 0 finish 0 n;
+  let initial_reconfig = ref 0.0 in
   let dynamic_reconfig = ref 0.0 in
-  for j = 1 to k - 1 do
-    dynamic_reconfig := !dynamic_reconfig +. inc.weights.(n + slot.(j))
-  done;
+  List.iteri
+    (fun j (cid, _) ->
+      let s = n + Hashtbl.find inc.slot_of cid in
+      finish.(n + j) <- lp_finish.(s);
+      if j = 0 then initial_reconfig := inc.weights.(s)
+      else dynamic_reconfig := !dynamic_reconfig +. inc.weights.(s))
+    t.ctxs;
+  let makespan = Array.fold_left Float.max 0.0 finish in
+  let initial_reconfig = !initial_reconfig in
   Some
     {
       Searchgraph.makespan;
       initial_reconfig;
       dynamic_reconfig = !dynamic_reconfig;
-      comm = inc.comm;
+      comm = Searchgraph.Comm.total inc.comm;
       n_contexts = k;
       finish;
     }
@@ -581,8 +841,28 @@ let evaluate_full t =
     | Some _ | None ->
       (Graph.create total, Array.make total 0.0, Hashtbl.create 16, [||], None)
   in
-  List.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
-    (App.edges t.app);
+  (* The edge index and per-task incidence lists are pure functions of
+     the application — share them with the retired state instead of
+     re-walking [App.edges] (which allocates its list afresh) on every
+     rebuild. *)
+  let edges, incident, in_edge =
+    match retired with
+    | Some inc when inc.for_app == t.app ->
+      (inc.edges, inc.incident, inc.in_edge)
+    | Some _ | None ->
+      let edges = Array.of_list (App.edges t.app) in
+      let incident = Array.make n [] in
+      let in_edge = Array.make n [] in
+      for i = Array.length edges - 1 downto 0 do
+        let { App.src; dst; kbytes = _ } = edges.(i) in
+        incident.(src) <- i :: incident.(src);
+        incident.(dst) <- i :: incident.(dst);
+        in_edge.(dst) <- (src, i) :: in_edge.(dst)
+      done;
+      (edges, incident, in_edge)
+  in
+  Array.iter (fun { App.src; dst; kbytes = _ } -> Graph.add_edge g src dst)
+    edges;
   let pairs_raw =
     Searchgraph.sequencing_pairs
       ~cfg:(fun j -> n + j)
@@ -603,10 +883,11 @@ let evaluate_full t =
   for s = k to cap_of t - 1 do
     weights.(n + s) <- 0.0
   done;
+  let comm = Searchgraph.Comm.create (Array.map (comm_term_of t) edges) in
   match
     Longest_path.create ?scratch g
       ~node_weight:(fun v -> weights.(v))
-      ~edge_weight:(edge_weight_of t)
+      ~edge_weight:(edge_weight_over ~n ~in_edge comm)
   with
   | None -> None
   | Some lp ->
@@ -621,8 +902,19 @@ let evaluate_full t =
         weights;
         slot_of;
         free_slots = List.init (cap_of t - k) (fun i -> k + i);
-        pairs = pack_pairs t pairs_raw;
-        comm = comm_cost_of t;
+        (* The canonical pair cache is a verification artifact: seed it
+           only when the paranoid cross-check will read it. *)
+        pairs = (if !check_deltas then pack_pairs t pairs_raw else []);
+        pairs_fresh = !check_deltas;
+        comm;
+        for_app = t.app;
+        edges;
+        incident;
+        in_edge;
+        scratch_tbl =
+          (match retired with
+           | Some inc -> inc.scratch_tbl
+           | None -> Hashtbl.create 16);
         log;
         log_len = 0;
         epoch = 0;
@@ -727,11 +1019,29 @@ let detach t task =
     t.sw.(p) <- List.filter (fun w -> w <> task) t.sw.(p)
   end
 
+(* The tasks around the software positions a move disturbs: the moved
+   task, its chain neighbors at the source, and the insertion point's
+   old predecessor (or the old tail when appending). *)
+let sw_departure_around t task =
+  if t.assign.(task) < 0 then
+    task :: chain_neighbors t.sw.(processor_index t task) [ task ]
+  else [ task ]
+
 let move_to_sw ?(proc = 0) t ~task ~before =
   if proc < 0 || proc >= Array.length t.sw then
     invalid_arg "Solution.move_to_sw: no such processor";
   if t.assign.(task) < 0 && processor_index t task = proc then
     invalid_arg "Solution.move_to_sw: task already on that processor";
+  let old_sw = Array.copy t.sw in
+  let old_ctxs = t.ctxs in
+  let sw_around =
+    sw_departure_around t task
+    @
+    match before with
+    | Some anchor -> anchor :: chain_neighbors t.sw.(proc) [ anchor ]
+    | None ->
+      (match List.rev t.sw.(proc) with last :: _ -> [ last ] | [] -> [])
+  in
   detach t task;
   t.assign.(task) <- -(proc + 1);
   (match before with
@@ -740,7 +1050,7 @@ let move_to_sw ?(proc = 0) t ~task ~before =
      if not (List.mem anchor t.sw.(proc)) then
        invalid_arg "Solution.move_to_sw: anchor not in that processor's order";
      t.sw.(proc) <- insert_before task anchor t.sw.(proc));
-  resync ~rebound:[ task ] t Sw_migrate
+  native_resync t Sw_migrate ~rebound:[ task ] ~sw_around ~old_sw ~old_ctxs
 
 let move_to_context t ~task ~dest =
   let dest_id = t.assign.(dest) in
@@ -748,6 +1058,9 @@ let move_to_context t ~task ~dest =
     invalid_arg "Solution.move_to_context: destination not in hardware";
   if t.assign.(task) = dest_id then
     invalid_arg "Solution.move_to_context: already in that context";
+  let old_sw = Array.copy t.sw in
+  let old_ctxs = t.ctxs in
+  let sw_around = sw_departure_around t task in
   (* Detach the source task first. *)
   detach t task;
   let limit = Platform.n_clb t.platform in
@@ -774,11 +1087,14 @@ let move_to_context t ~task ~dest =
         else [ (cid, members) ])
       t.ctxs;
   assert !placed;
-  resync ~rebound:[ task ] t Ctx_migrate
+  native_resync t Ctx_migrate ~rebound:[ task ] ~sw_around ~old_sw ~old_ctxs
 
 let insert_context t ~task ~at =
   let k = List.length t.ctxs in
   if at < 0 || at > k then invalid_arg "Solution.insert_context: bad position";
+  let old_sw = Array.copy t.sw in
+  let old_ctxs = t.ctxs in
+  let sw_around = sw_departure_around t task in
   detach t task;
   let fresh = t.next_ctx in
   t.next_ctx <- t.next_ctx + 1;
@@ -791,7 +1107,7 @@ let insert_context t ~task ~at =
     | c :: rest -> c :: insert (j + 1) rest
   in
   t.ctxs <- insert 0 t.ctxs;
-  resync ~rebound:[ task ] t Ctx_create
+  native_resync t Ctx_create ~rebound:[ task ] ~sw_around ~old_sw ~old_ctxs
 
 let append_context t ~task =
   insert_context t ~task ~at:(List.length t.ctxs)
@@ -804,8 +1120,9 @@ let swap_contexts t ~at =
     | c :: rest -> c :: swap (j + 1) rest
     | [] -> assert false (* bound checked above *)
   in
+  let old_sw = t.sw and old_ctxs = t.ctxs in
   t.ctxs <- swap 0 t.ctxs;
-  resync t Ctx_swap
+  native_resync t Ctx_swap ~rebound:[] ~sw_around:[] ~old_sw ~old_ctxs
 
 let reorder_sw t ~task ~before =
   if t.assign.(task) >= 0 || t.assign.(before) >= 0 then
@@ -814,9 +1131,14 @@ let reorder_sw t ~task ~before =
   if processor_index t before <> p then
     invalid_arg "Solution.reorder_sw: tasks on different processors";
   if task <> before then begin
+    let old_sw = Array.copy t.sw in
+    let old_ctxs = t.ctxs in
+    let sw_around =
+      task :: before :: chain_neighbors t.sw.(p) [ task; before ]
+    in
     t.sw.(p) <-
       insert_before task before (List.filter (fun w -> w <> task) t.sw.(p));
-    resync t Sw_reorder
+    native_resync t Sw_reorder ~rebound:[] ~sw_around ~old_sw ~old_ctxs
   end
 
 let replace_platform t platform =

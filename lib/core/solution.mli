@@ -95,15 +95,24 @@ val evaluate : t -> Searchgraph.eval option
     structure-preserving mutation ({!set_impl}) and the structural
     moves ({!reorder_sw}, {!move_to_sw}, {!move_to_context},
     {!insert_context}/{!append_context}, {!swap_contexts}) edit it in
-    place — a handful of Esw/Ehw sequentialization edges and node
-    weights — and the next evaluation refreshes only the affected
-    downstream cones ({!Repro_sched.Longest_path.refresh}).  Every
-    edit lands in a delta log so {!save}'s undo closure restores the
-    live graph by replaying inverses.  {!replace_platform}, {!decode}
-    and cycle detection fall back to a full rebuild that recycles the
-    previous state's storage.  Incremental results are bit-identical
-    to a rebuild (the longest-path fixpoint is exact and the
-    boundary-traffic total is recomputed, not patched). *)
+    place, and the next evaluation refreshes only the affected
+    downstream cones ({!Repro_sched.Longest_path.refresh}).  Each
+    mutator emits its own exact edge delta from the per-class pair
+    emitters of the chains, contexts and context adjacencies it
+    touched ({!Repro_sched.Searchgraph.chain_pairs_near},
+    [ehw_intra_pairs], [gtlp_pairs]) — the global canonical pair list
+    is never regenerated on the move path — and the boundary-traffic
+    total is patched by flipping the sum-tree terms of the edges
+    incident to the moved tasks.  Every edit lands in a delta log so
+    {!save}'s undo closure restores the live graph by replaying
+    inverses.  {!replace_platform}, {!decode} and cycle detection fall
+    back to a full rebuild that recycles the previous state's storage.
+    Incremental results are bit-identical to a rebuild: the
+    longest-path fixpoint is exact, and the comm term is a pairwise
+    sum whose value is a pure function of the current boundary terms
+    ({!Repro_sched.Searchgraph.Comm}).  Under [REPRO_CHECK_DELTAS]
+    (see {!set_check_deltas}) every move's emitted delta is
+    additionally asserted against a regenerate-and-diff reference. *)
 
 (** {1 Evaluation statistics} *)
 
@@ -125,6 +134,9 @@ type kind_stats = {
   mutable k_incr_evals : int;
   mutable k_incr_nodes : int;
   mutable k_edges_edited : int;
+  mutable k_pairs_emitted : int;
+  mutable k_comm_patched : int;
+  mutable k_pair_regens : int;
 }
 
 type eval_stats = {
@@ -133,6 +145,14 @@ type eval_stats = {
   mutable incr_evals : int;   (** evaluations served by the fast path *)
   mutable incr_nodes : int;   (** nodes re-evaluated across refreshes *)
   mutable edges_edited : int; (** in-place edge insertions/deletions *)
+  mutable pairs_emitted : int;
+  (** pairs produced by the per-move delta emitters (before + after
+      captures) — the footprint of the native-delta path *)
+  mutable comm_patched : int;
+  (** boundary-traffic terms flipped in the comm sum tree *)
+  mutable pair_regens : int;
+  (** global canonical pair-list regenerations; 0 in the default mode
+      (only the [REPRO_CHECK_DELTAS] cross-check regenerates) *)
   by_kind : kind_stats array; (** indexed per {!move_kind} *)
 }
 
@@ -144,6 +164,16 @@ val eval_stats : t -> eval_stats
 val kind_stats : eval_stats -> move_kind -> kind_stats
 (** Evaluation work booked against the kind of the mutation that
     preceded it. *)
+
+val set_check_deltas : bool -> unit
+(** Toggle the paranoid delta cross-check ([REPRO_CHECK_DELTAS]): every
+    structural move additionally regenerates the canonical
+    sequencing-pair list and asserts the mutator-emitted edge delta
+    equals the regenerate-and-diff reference (raising [Failure] on
+    divergence).  Reads of the environment variable happen once at
+    startup; this setter lets tests flip the mode in-process. *)
+
+val check_deltas_enabled : unit -> bool
 
 val makespan : t -> float
 (** Makespan of a feasible solution; [infinity] when infeasible. *)

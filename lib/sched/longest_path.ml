@@ -1,6 +1,69 @@
 open Repro_taskgraph
-module Pqueue = Repro_util.Pqueue
 module Bitset = Repro_util.Bitset
+
+(* Zero-allocation int min-heap keyed by topological position.  Keys
+   are unique (one position per node, and the [queued] bitset pushes
+   each node at most once), so no tie-breaking stamp is needed.  The
+   generic [Pqueue] would allocate an entry record per push and an
+   option per pop — in the innermost loop of every refresh. *)
+type heap = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable hsize : int;
+}
+
+let heap_create () = { keys = [||]; vals = [||]; hsize = 0 }
+
+let heap_push h key v =
+  let cap = Array.length h.keys in
+  if h.hsize = cap then begin
+    let ncap = max 8 (2 * cap) in
+    let nk = Array.make ncap 0 and nv = Array.make ncap 0 in
+    Array.blit h.keys 0 nk 0 h.hsize;
+    Array.blit h.vals 0 nv 0 h.hsize;
+    h.keys <- nk;
+    h.vals <- nv
+  end;
+  let i = ref h.hsize in
+  h.hsize <- h.hsize + 1;
+  h.keys.(!i) <- key;
+  h.vals.(!i) <- v;
+  while !i > 0 && h.keys.(!i) < h.keys.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let k = h.keys.(!i) and x = h.vals.(!i) in
+    h.keys.(!i) <- h.keys.(p);
+    h.vals.(!i) <- h.vals.(p);
+    h.keys.(p) <- k;
+    h.vals.(p) <- x;
+    i := p
+  done
+
+(* Pop the minimum-key value; the caller checks [hsize > 0]. *)
+let heap_pop h =
+  let top = h.vals.(0) in
+  h.hsize <- h.hsize - 1;
+  if h.hsize > 0 then begin
+    h.keys.(0) <- h.keys.(h.hsize);
+    h.vals.(0) <- h.vals.(h.hsize);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < h.hsize && h.keys.(l) < h.keys.(!s) then s := l;
+      if r < h.hsize && h.keys.(r) < h.keys.(!s) then s := r;
+      if !s = !i then continue := false
+      else begin
+        let k = h.keys.(!i) and x = h.vals.(!i) in
+        h.keys.(!i) <- h.keys.(!s);
+        h.vals.(!i) <- h.vals.(!s);
+        h.keys.(!s) <- k;
+        h.vals.(!s) <- x;
+        i := !s
+      end
+    done
+  end;
+  top
 
 type t = {
   graph : Graph.t;
@@ -8,16 +71,21 @@ type t = {
   edge_weight : int -> int -> float;
   position : int array;   (* topological position of each node *)
   finish : float array;
+  queue : heap;           (* refresh worklist scratch; empty between *)
+  queued : Bitset.t;      (* calls, so reusable without clearing *)
   mutable touched : int;
 }
 
+(* Hand-rolled fold: this is the innermost loop of every refresh and
+   rebuild, and a [fold_left] closure here is one heap allocation per
+   node evaluated. *)
+let rec latest_pred t v acc = function
+  | [] -> acc
+  | u :: rest ->
+    latest_pred t v (Float.max acc (t.finish.(u) +. t.edge_weight u v)) rest
+
 let evaluate_node t v =
-  let start =
-    List.fold_left
-      (fun acc u -> Float.max acc (t.finish.(u) +. t.edge_weight u v))
-      0.0 (Graph.preds t.graph v)
-  in
-  start +. t.node_weight v
+  latest_pred t v 0.0 (Graph.preds t.graph v) +. t.node_weight v
 
 let recompute_in_order t order =
   Array.iter (fun v -> t.finish.(v) <- evaluate_node t v) order
@@ -27,17 +95,23 @@ let create ?scratch graph ~node_weight ~edge_weight =
   | None -> None
   | Some order ->
     let n = Graph.size graph in
-    let position, finish =
+    let position, finish, queue, queued =
       match scratch with
-      | Some s when Array.length s.position = n -> (s.position, s.finish)
-      | Some _ | None -> (Array.make n 0, Array.make n 0.0)
+      | Some s when Array.length s.position = n ->
+        (s.position, s.finish, s.queue, s.queued)
+      | Some _ | None ->
+        (Array.make n 0, Array.make n 0.0, heap_create (), Bitset.create n)
     in
     Array.iteri (fun i v -> position.(v) <- i) order;
-    let t = { graph; node_weight; edge_weight; position; finish; touched = n } in
+    let t =
+      { graph; node_weight; edge_weight; position; finish; queue; queued;
+        touched = n }
+    in
     recompute_in_order t order;
     Some t
 
 let finish t v = t.finish.(v)
+let finish_array t = t.finish
 let makespan t = Array.fold_left Float.max 0.0 t.finish
 
 let recompute t =
@@ -50,35 +124,39 @@ let recompute t =
 
 (* Worklist in topological order: each node is evaluated after all of
    its updated predecessors, so it is processed at most once. *)
+let push t v =
+  if not (Bitset.mem t.queued v) then begin
+    Bitset.add t.queued v;
+    heap_push t.queue t.position.(v) v
+  end
+
+let rec push_all t = function
+  | [] -> ()
+  | v :: rest ->
+    push t v;
+    push_all t rest
+
+let rec drain t =
+  if t.queue.hsize > 0 then begin
+    let v = heap_pop t.queue in
+    Bitset.remove t.queued v;
+    t.touched <- t.touched + 1;
+    let fresh = evaluate_node t v in
+    (* Exact comparison, not a tolerance: incremental refresh must
+       reach the same bitwise fixpoint as a full rebuild, or a
+       checkpoint/resume (which rebuilds cold) would diverge from the
+       warm run it is replaying. *)
+    if fresh <> t.finish.(v) then begin
+      t.finish.(v) <- fresh;
+      push_all t (Graph.succs t.graph v)
+    end;
+    drain t
+  end
+
 let refresh t dirty =
-  let queue = Pqueue.create () in
-  let queued = Bitset.create (Array.length t.position) in
-  let push v =
-    if not (Bitset.mem queued v) then begin
-      Bitset.add queued v;
-      Pqueue.push queue (float_of_int t.position.(v)) v
-    end
-  in
-  List.iter push dirty;
+  push_all t dirty;
   t.touched <- 0;
-  let rec drain () =
-    match Pqueue.pop queue with
-    | None -> ()
-    | Some (_, v) ->
-      Bitset.remove queued v;
-      t.touched <- t.touched + 1;
-      let fresh = evaluate_node t v in
-      (* Exact comparison, not a tolerance: incremental refresh must
-         reach the same bitwise fixpoint as a full rebuild, or a
-         checkpoint/resume (which rebuilds cold) would diverge from the
-         warm run it is replaying. *)
-      if fresh <> t.finish.(v) then begin
-        t.finish.(v) <- fresh;
-        List.iter push (Graph.succs t.graph v)
-      end;
-      drain ()
-  in
-  drain ()
+  drain t
 
 let touched_last_refresh t = t.touched
 

@@ -44,6 +44,11 @@ val delete_edge : t -> int -> int -> unit
 val finish : t -> int -> float
 (** Completion time of a node. *)
 
+val finish_array : t -> float array
+(** The internal completion-time store, indexed by node — a read-only
+    view for bulk consumers (one blit instead of a call per node on
+    every evaluation).  Mutating it corrupts the state. *)
+
 val makespan : t -> float
 
 val refresh : t -> int list -> unit

@@ -51,28 +51,101 @@ let context_clbs spec members =
 
 (* A transfer goes through the shared memory whenever the two tasks run
    on different resources: processor vs circuit vs ASIC, two distinct
-   processors, or two distinct ASICs. *)
+   processors, or two distinct ASICs.  The resources collapse into one
+   integer code — software on processor p is -(p+1), the (single)
+   reconfigurable circuit is 0, the a-th ASIC is a+1 — and a transfer
+   crosses exactly when the codes differ.  [Solution] mirrors the same
+   coding on its assignment array, so the two crossing predicates can
+   never drift. *)
+let resource_code binding proc_of v =
+  match binding v with
+  | Sw -> -(proc_of v + 1)
+  | Hw _ -> 0
+  | On_asic a -> a + 1
+
 let crossing spec u v =
-  match (spec.binding u, spec.binding v) with
-  | Sw, (Hw _ | On_asic _) | (Hw _ | On_asic _), Sw -> true
-  | Hw _, On_asic _ | On_asic _, Hw _ -> true
-  | Sw, Sw -> spec.proc_of u <> spec.proc_of v
-  | On_asic a, On_asic b -> a <> b
-  | Hw _, Hw _ -> false
+  resource_code spec.binding spec.proc_of u
+  <> resource_code spec.binding spec.proc_of v
+
+(* The boundary-traffic total as a balanced (segment-tree) pairwise
+   sum.  A left fold would be cheaper to write, but its value could not
+   be patched incrementally without losing bit-identity: float addition
+   is not associative, so adding and subtracting a changed term leaves
+   different low bits than a recomputed fold.  The tree makes the total
+   a pure function of the current per-edge terms under one fixed
+   association — updating a leaf and recomputing its ancestors yields
+   exactly the bits a from-scratch build over the same terms would. *)
+module Comm = struct
+  type t = { m : int; tree : float array }
+
+  let create terms =
+    let m = Array.length terms in
+    let tree = Array.make (2 * max m 1) 0.0 in
+    Array.blit terms 0 tree m m;
+    for i = m - 1 downto 1 do
+      tree.(i) <- tree.(2 * i) +. tree.((2 * i) + 1)
+    done;
+    { m; tree }
+
+  let get t i = t.tree.(t.m + i)
+
+  let set t i v =
+    if t.tree.(t.m + i) <> v then begin
+      t.tree.(t.m + i) <- v;
+      let j = ref ((t.m + i) / 2) in
+      while !j >= 1 do
+        t.tree.(!j) <- t.tree.(2 * !j) +. t.tree.((2 * !j) + 1);
+        j := !j / 2
+      done
+    end
+
+  let total t = if t.m = 0 then 0.0 else t.tree.(1)
+end
+
+(* Per-application-edge boundary terms, in [App.edges] order: the
+   transfer time when the edge crosses the HW/SW boundary, 0 otherwise.
+   Shared by the one-shot [comm_cost] below and by [Solution]'s
+   incrementally patched total (which flips individual terms as
+   bindings change) — one implementation, one association, identical
+   bits. *)
+let comm_terms ~platform ~app ~crossing =
+  Array.of_list
+    (List.map
+       (fun { App.src; dst; kbytes } ->
+         if crossing src dst then Platform.transfer_time platform kbytes
+         else 0.0)
+       (App.edges app))
 
 let comm_cost spec =
-  List.fold_left
-    (fun acc { App.src; dst; kbytes } ->
-      if crossing spec src dst then
-        acc +. Platform.transfer_time spec.platform kbytes
-      else acc)
-    0.0 (App.edges spec.app)
+  Comm.total
+    (Comm.create
+       (comm_terms ~platform:spec.platform ~app:spec.app
+          ~crossing:(crossing spec)))
 
 (* The sequentialization edge families as explicit pair lists, emitted
    in the exact order [build] inserts them.  [Solution]'s incremental
    path derives per-move edge deltas from these same generators (with a
    slot-based [cfg] labelling), so the edited live graph and a fresh
-   build can never disagree on the edge set. *)
+   build can never disagree on the edge set.
+
+   Ownership contract: every Esw/Ehw pair has exactly one emitter.
+
+   - An Esw pair (a, b) is owned by the adjacency of a and b in one
+     processor's execution order ([chain_pairs]; a task sits in at most
+     one order, so chains never share pairs).
+   - An Ehw pair (c_j, v) — configuration node before member — is owned
+     by context j alone ([ehw_intra_pairs]).
+   - An Ehw pair into c_j from the previous context — (c_{j-1}, c_j)
+     and (v, c_j) for v a member of context j-1 — is owned by the
+     adjacent context pair (j-1, j) ([gtlp_pairs]: the globally-total,
+     locally-partial order of the DRLC).
+
+   Configuration nodes are distinct from tasks and each other, so the
+   three families are mutually disjoint and the concatenated list is
+   duplicate-free.  A mutator can therefore emit the exact pair delta
+   of a move by running the emitters of only the chains, contexts and
+   adjacencies its footprint touches, before and after the mutation:
+   pairs owned by an untouched emitter are untouched. *)
 let chain_pairs order =
   let rec walk acc = function
     | a :: (b :: _ as rest) -> walk ((a, b) :: acc) rest
@@ -80,20 +153,42 @@ let chain_pairs order =
   in
   walk [] order
 
+(* Consecutive pairs of a chain with an endpoint satisfying [mem]: the
+   Esw pairs a move around one software position can have disturbed.
+   One allocation-free walk of the order — no global list, no sort. *)
+let chain_pairs_near mem order =
+  let rec walk acc = function
+    | a :: (b :: _ as rest) ->
+      walk (if mem a || mem b then (a, b) :: acc else acc) rest
+    | [ _ ] | [] -> acc
+  in
+  walk [] order
+
+let ehw_intra_pairs ~cfg members = List.map (fun v -> (cfg, v)) members
+
+let gtlp_pairs ~prev_cfg ~prev_members ~cfg =
+  (prev_cfg, cfg) :: List.map (fun v -> (v, cfg)) prev_members
+
+(* [ehw_pairs] is the canonical concatenation of the per-class
+   emitters: intra pairs of context 0, then for each j >= 1 the GTLP
+   pairs of the adjacency (j-1, j) followed by the intra pairs of j.
+   Building it from the emitters themselves keeps the global list and
+   the per-move deltas structurally incapable of drifting. *)
 let ehw_pairs ~cfg contexts =
-  let contexts = Array.of_list contexts in
-  let k = Array.length contexts in
-  let acc = ref [] in
-  let add p = acc := p :: !acc in
-  for j = 0 to k - 1 do
-    let c = cfg j in
-    if j > 0 then begin
-      add (cfg (j - 1), c);
-      List.iter (fun v -> add (v, c)) contexts.(j - 1)
-    end;
-    List.iter (fun v -> add (c, v)) contexts.(j)
-  done;
-  List.rev !acc
+  let rec walk j prev acc = function
+    | [] -> List.concat (List.rev acc)
+    | members :: rest ->
+      let c = cfg j in
+      let here =
+        match prev with
+        | None -> ehw_intra_pairs ~cfg:c members
+        | Some (prev_cfg, prev_members) ->
+          gtlp_pairs ~prev_cfg ~prev_members ~cfg:c
+          @ ehw_intra_pairs ~cfg:c members
+      in
+      walk (j + 1) (Some (c, members)) (here :: acc) rest
+  in
+  walk 0 None [] contexts
 
 let sequencing_pairs ~cfg ~sw_order ~extra_sw_orders ~contexts =
   chain_pairs sw_order

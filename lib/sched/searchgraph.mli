@@ -74,19 +74,91 @@ val context_clbs : spec -> int list -> int
 (** CLBs occupied by a context (sum over members of the chosen
     implementation). *)
 
+val resource_code : (int -> binding) -> (int -> int) -> int -> int
+(** [resource_code binding proc_of v] collapses a task's resource into
+    one integer: software on processor p is [-(p+1)], the
+    reconfigurable circuit is [0], the a-th ASIC is [a+1].  A transfer
+    crosses the shared memory exactly when the endpoint codes differ —
+    the single crossing predicate behind {!comm_cost} and [Solution]'s
+    incrementally patched boundary-traffic total. *)
+
+val crossing : spec -> int -> int -> bool
+(** [crossing spec u v] iff a transfer u → v goes through the shared
+    memory (the endpoints' {!resource_code}s differ). *)
+
+(** Boundary-traffic total as a balanced pairwise sum.  The total is a
+    pure function of the current per-edge terms under one fixed
+    association, so updating a leaf ({!Comm.set}) and reading the root
+    yields exactly the bits a from-scratch {!Comm.create} over the same
+    terms would — the property that lets [Solution] patch the comm term
+    per move while staying bit-identical to a rebuild. *)
+module Comm : sig
+  type t
+
+  val create : float array -> t
+  (** Build the sum tree over per-edge terms (index = position in
+      [App.edges] order). *)
+
+  val get : t -> int -> float
+  val set : t -> int -> float -> unit
+  (** Replace one term and recompute its O(log m) ancestor chain. *)
+
+  val total : t -> float
+end
+
+val comm_terms :
+  platform:Platform.t -> app:App.t -> crossing:(int -> int -> bool) ->
+  float array
+(** Per-application-edge boundary terms in [App.edges] order: the
+    transfer time when the edge crosses under [crossing], 0 otherwise.
+    [Comm.total (Comm.create (comm_terms ...))] is {!comm_cost}. *)
+
 val comm_cost : spec -> float
 (** Total boundary-crossing transfer time (the [comm] field of
     {!eval}); depends only on bindings and processor assignments, not
-    on implementation choices. *)
+    on implementation choices.  Computed as the {!Comm} pairwise sum of
+    {!comm_terms}. *)
+
+(** {2 Sequentialization-pair emitters}
+
+    Every Esw/Ehw pair of the search graph has exactly one owner: an
+    Esw pair belongs to the adjacency of its endpoints in one
+    processor's order; an Ehw pair [(c_j, v)] belongs to context [j]
+    alone ({!ehw_intra_pairs}); the pairs into [c_j] from the previous
+    context — [(c_{j-1}, c_j)] and [(v, c_j)] per member [v] of context
+    [j-1] — belong to the adjacent context pair ({!gtlp_pairs}).  The
+    families are mutually disjoint, so the canonical list is
+    duplicate-free, and a mutator obtains the exact pair delta of a
+    move by running only the emitters its footprint touches, before
+    and after the mutation. *)
 
 val chain_pairs : int list -> (int * int) list
 (** Consecutive pairs of a software execution order: the Esw chain
     edges, in emission order. *)
 
+val chain_pairs_near : (int -> bool) -> int list -> (int * int) list
+(** Consecutive pairs of an order with at least one endpoint selected:
+    the Esw pairs a move around the selected positions can have
+    disturbed.  One walk of the order, no global list; pair order is
+    unspecified (callers sort). *)
+
+val ehw_intra_pairs : cfg:int -> int list -> (int * int) list
+(** Pairs owned by one context: its configuration node [cfg] before
+    each member. *)
+
+val gtlp_pairs :
+  prev_cfg:int -> prev_members:int list -> cfg:int -> (int * int) list
+(** Pairs owned by an adjacent context pair: the configuration chain
+    edge [(prev_cfg, cfg)] and [(v, cfg)] for each member of the
+    earlier context — the globally-total local order of the DRLC. *)
+
 val ehw_pairs : cfg:(int -> int) -> int list list -> (int * int) list
 (** The Ehw context-sequentialization edges for the given context list,
     with configuration-node ids supplied by [cfg] (positional index →
-    node id), in the exact order {!build} inserts them. *)
+    node id), in the exact order {!build} inserts them: intra pairs of
+    context 0, then per adjacency its GTLP pairs followed by the next
+    context's intra pairs — the concatenation of the per-class
+    emitters. *)
 
 val sequencing_pairs :
   cfg:(int -> int) ->
@@ -95,8 +167,9 @@ val sequencing_pairs :
   contexts:int list list ->
   (int * int) list
 (** All Esw ∪ Ehw pairs in {!build}'s emission order.  The incremental
-    evaluator diffs two of these lists to turn a structural move into
-    an edge-delta set. *)
+    evaluator regenerates this list only in its [REPRO_CHECK_DELTAS]
+    paranoid mode, to assert the mutator-emitted deltas against a
+    regenerate-and-diff reference. *)
 
 val build :
   ?reuse:Graph.t -> spec -> Graph.t * (int -> float) * (int -> int -> float)

@@ -370,6 +370,85 @@ let qcheck_incremental_exact =
       done;
       !ok)
 
+(* Native deltas must serve every structural kind without a global
+   pair regeneration, while emitting region pairs and patching the
+   boundary terms of binding-flipping moves. *)
+let test_native_delta_counters () =
+  (* Pin the default mode: under REPRO_CHECK_DELTAS the paranoid
+     verification itself regenerates the global list, which is exactly
+     what the counters are here to prove the mutators never need. *)
+  let was = Solution.check_deltas_enabled () in
+  Solution.set_check_deltas false;
+  Fun.protect ~finally:(fun () -> Solution.set_check_deltas was) @@ fun () ->
+  let s = Solution.all_software (app ()) (platform ~n_clb:200 ()) in
+  Alcotest.(check bool) "warm" true (Solution.evaluate s <> None);
+  Solution.insert_context s ~task:1 ~at:0;
+  ignore (Solution.makespan s);
+  Solution.reorder_sw s ~task:2 ~before:0;
+  ignore (Solution.makespan s);
+  Solution.move_to_context s ~task:2 ~dest:1;
+  ignore (Solution.makespan s);
+  Solution.move_to_sw s ~task:1 ~before:(Some 3);
+  ignore (Solution.makespan s);
+  let stats = Solution.eval_stats s in
+  Alcotest.(check int) "no global pair regeneration" 0
+    stats.Solution.pair_regens;
+  Alcotest.(check bool) "mutators emitted region pairs" true
+    (stats.Solution.pairs_emitted > 0);
+  (* ctx_create rebinds task 1 across the Sw/Hw boundary: both of its
+     application edges change their crossing status. *)
+  let created = Solution.kind_stats stats Solution.Ctx_create in
+  Alcotest.(check int) "ctx_create patched both incident terms" 2
+    created.Solution.k_comm_patched;
+  Alcotest.(check int) "ctx_create regenerated nothing" 0
+    created.Solution.k_pair_regens;
+  List.iter
+    (fun kind ->
+      Alcotest.(check int) "per-kind regens stay zero" 0
+        (Solution.kind_stats stats kind).Solution.k_pair_regens)
+    [ Solution.Sw_reorder; Solution.Sw_migrate; Solution.Ctx_migrate;
+      Solution.Ctx_create ]
+
+let qcheck_paranoid_deltas =
+  (* The paranoid mode re-derives every move's pair delta from a global
+     regenerate-and-diff and faults on any mismatch, so simply driving
+     random sequences (with undo and mid-sequence codec round trips)
+     under the flag is the property. *)
+  QCheck.Test.make ~name:"paranoid delta check over random move sequences"
+    ~count:40
+    QCheck.(pair small_int (int_range 20 80))
+    (fun (seed, steps) ->
+      let was = Solution.check_deltas_enabled () in
+      Solution.set_check_deltas true;
+      Fun.protect ~finally:(fun () -> Solution.set_check_deltas was)
+        (fun () ->
+          let application = app () in
+          let plat = platform ~n_clb:200 () in
+          let rng = Rng.create (seed + 11) in
+          let s = Solution.random rng application plat in
+          let ok = ref true in
+          for _ = 1 to steps do
+            (match
+               Repro_dse.Moves.propose rng Repro_dse.Moves.fixed_architecture s
+             with
+            | Some undo -> if Rng.bernoulli rng 0.35 then undo ()
+            | None -> ());
+            (match
+               (Solution.evaluate s, Searchgraph.evaluate (Solution.spec s))
+             with
+            | None, None -> ()
+            | Some got, Some want ->
+              if got.Searchgraph.makespan <> want.Searchgraph.makespan then
+                ok := false
+            | _ -> ok := false);
+            if Rng.bernoulli rng 0.15 then begin
+              match Solution.decode application plat (Solution.encode s) with
+              | Error _ -> ok := false
+              | Ok d -> if Solution.encode d <> Solution.encode s then ok := false
+            end
+          done;
+          !ok))
+
 let test_replace_platform () =
   let s = Solution.all_software (app ()) (platform ~n_clb:100 ()) in
   Solution.append_context s ~task:3;
@@ -406,5 +485,8 @@ let suite =
     Alcotest.test_case "structural moves served incrementally" `Quick
       test_structural_moves_incremental;
     QCheck_alcotest.to_alcotest qcheck_incremental_exact;
+    Alcotest.test_case "native delta counters" `Quick
+      test_native_delta_counters;
+    QCheck_alcotest.to_alcotest qcheck_paranoid_deltas;
     Alcotest.test_case "replace platform" `Quick test_replace_platform;
   ]
