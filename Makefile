@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-full examples doc clean faultcheck
+.PHONY: all build test bench bench-smoke bench-full examples doc clean faultcheck chaoscheck
 
 all: build
 
@@ -154,6 +154,17 @@ faultcheck: build
 	  rm -rf $$spool $$clean; \
 	  echo "faultcheck lease-reclaim drill OK"; \
 	echo "faultcheck OK"
+
+# Seeded chaos drill over the fleet protocol: daemons killed mid-job,
+# corrupted checkpoint/result writes, a clock-skewed remote claim, an
+# fsck pass crashed mid-repair, then a multi-daemon drain — asserting
+# no job lost or duplicated, bit-identical resumed solutions and fsck
+# converging in one pass.  Equal seeds replay identical drills.
+chaoscheck: build
+	@set -e; for seed in 1 2 3; do \
+	  echo "chaoscheck: seed $$seed"; \
+	  dune exec -- test/chaos/chaos_main.exe $$seed; \
+	done; echo "chaoscheck OK"
 
 clean:
 	dune clean

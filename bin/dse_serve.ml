@@ -7,6 +7,8 @@
      dse-serve status ./spool               # live daemons + claims
      dse-serve submit ./spool CAMPAIGN.json # idempotent bulk enqueue
      dse-serve report ./spool CAMPAIGN.json # one aggregate JSON
+     dse-serve fsck ./spool                 # audit the spool (dry run)
+     dse-serve fsck ./spool --repair        # and enforce the invariants
 
    Any number of daemons may drain one spool: each owns a lease file
    under <spool>/daemons/ (refreshed with a monotonic sequence number)
@@ -24,6 +26,7 @@
 open Cmdliner
 module Campaign = Repro_serve.Campaign
 module Daemon = Repro_serve.Daemon
+module Fsck = Repro_serve.Fsck
 module Lease = Repro_serve.Lease
 module Spool = Repro_serve.Spool
 module Backoff = Repro_util.Backoff
@@ -31,14 +34,17 @@ module Clock = Repro_util.Clock
 module Interrupt = Repro_util.Interrupt
 module Json = Repro_util.Json_lite
 module Log = Repro_util.Log
+module Rng = Repro_util.Rng
 
 (* ---- watch (the default command) ---------------------------------- *)
 
 let watch spool_dir timeout retries no_backoff breaker_failures
     breaker_cooldown poll once max_jobs jobs checkpoint_every lease_ttl
-    daemon_id log_file =
+    daemon_id no_fsck promote_after log_file =
   Cli_common.guard @@ fun () ->
   if retries < 0 then Cli_common.fail "--retries wants a non-negative count";
+  if promote_after < 0.0 then
+    Cli_common.fail "--promote-after wants a non-negative number of seconds";
   if jobs <= 0 then Cli_common.fail "--jobs wants a positive domain count";
   if poll <= 0.0 then Cli_common.fail "--poll wants a positive interval";
   if breaker_failures <= 0 then
@@ -77,16 +83,20 @@ let watch spool_dir timeout retries no_backoff breaker_failures
       checkpoint_every;
       lease_ttl;
       daemon_id;
+      fsck = not no_fsck;
+      promote_after = (if promote_after = 0.0 then None else Some promote_after);
     }
   in
   Interrupt.install ();
   let outcome, stats = Daemon.run ~should_stop:Interrupt.pending config spool in
   Printf.printf
     "%s: %d claimed, %d completed (%d timed out), %d quarantined, %d \
-     re-queued, %d reclaimed\n"
+     re-queued, %d reclaimed, %d repaired, %d fenced\n"
     (Daemon.outcome_name outcome)
     stats.Daemon.claimed stats.Daemon.completed stats.Daemon.timed_out
-    stats.Daemon.quarantined stats.Daemon.requeued stats.Daemon.recovered;
+    stats.Daemon.quarantined stats.Daemon.requeued stats.Daemon.recovered
+    stats.Daemon.repaired
+    (stats.Daemon.fenced + stats.Daemon.fenced_late);
   match outcome with
   | Daemon.Drained -> Cli_common.exit_ok
   | Daemon.Interrupted -> Cli_common.exit_interrupted
@@ -111,8 +121,16 @@ let status spool_dir =
       |> List.length
     | exception Sys_error _ -> 0
   in
-  Printf.printf "queue: %d queued, %d claimed, %d results, %d failed\n"
-    (List.length pending) (List.length claimed)
+  let band_note =
+    match Spool.queue_depths spool with
+    | [] | [ (0, _) ] -> ""
+    | depths ->
+      Printf.sprintf " (%s)"
+        (String.concat ", "
+           (List.map (fun (k, n) -> Printf.sprintf "p%d: %d" k n) depths))
+  in
+  Printf.printf "queue: %d queued%s, %d claimed, %d results, %d failed\n"
+    (List.length pending) band_note (List.length claimed)
     (count spool.Spool.results_dir)
     (count spool.Spool.failed_dir);
   let leases = Lease.list ~dir:spool.Spool.daemons_dir in
@@ -178,15 +196,69 @@ let load_campaign path =
   | Ok campaign -> campaign
   | Error msg -> Cli_common.fail "%s" msg
 
-let submit spool_dir campaign_file =
+(* Producer-side rate shaping: when every live daemon reports its
+   breaker open, the fleet is fighting a failing dependency and fresh
+   load only deepens the backlog.  Submission pauses, Backoff-paced,
+   until a daemon recovers or the deferral budget runs out (then it
+   submits anyway — jobs queue fine on a sick fleet, they just wait). *)
+let defer_while_degraded spool ~max_defer ~seed_key =
+  if max_defer > 0.0 then begin
+    let rng = Rng.create (Hashtbl.hash seed_key) in
+    let policy =
+      { Backoff.base = 0.5; factor = 2.0; max_delay = 10.0; jitter = 0.25 }
+    in
+    let deadline = Clock.wall () +. max_defer in
+    let rec wait attempt =
+      if Spool.fleet_breaker_open ~now:(Clock.wall ()) spool then
+        if Clock.wall () >= deadline then
+          Log.warn "fleet still degraded after %.0fs; submitting anyway"
+            max_defer
+        else begin
+          let pause =
+            Float.min
+              (Backoff.delay policy rng ~attempt)
+              (Float.max 0.0 (deadline -. Clock.wall ()))
+          in
+          Log.warn
+            "fleet degraded (every live daemon's breaker is open); \
+             deferring submission %.1fs"
+            pause;
+          Unix.sleepf pause;
+          wait (attempt + 1)
+        end
+    in
+    wait 0
+  end
+
+let submit spool_dir campaign_file max_defer =
   Cli_common.guard @@ fun () ->
   let campaign = load_campaign campaign_file in
   let spool = Spool.create spool_dir in
+  Log.set_tag "dse-serve";
+  Log.configure_from_env ();
+  defer_while_degraded spool ~max_defer ~seed_key:campaign.Campaign.name;
   let { Campaign.enqueued; skipped } = Campaign.submit campaign spool in
   Printf.printf
     "campaign %s: enqueued %d, skipped %d (already queued, claimed or \
      filed)\n"
     campaign.Campaign.name (List.length enqueued) (List.length skipped);
+  Cli_common.exit_ok
+
+(* ---- fsck --------------------------------------------------------- *)
+
+let fsck spool_dir repair out =
+  Cli_common.guard @@ fun () ->
+  let spool = Spool.layout spool_dir in
+  if not (Sys.file_exists spool.Spool.jobs_dir) then
+    Cli_common.fail "%s is not a spool (no jobs/ directory)" spool_dir;
+  let audit = Fsck.run ~repair spool in
+  let json = Json.to_string (Fsck.to_json audit) in
+  (* The audit JSON is the stdout payload (pipeable, CI-archivable);
+     the human summary goes to stderr like the daemon's log lines. *)
+  (match out with
+   | None -> print_endline json
+   | Some path -> Repro_util.Atomic_io.write_string path (json ^ "\n"));
+  Printf.eprintf "%s\n%!" (Fsck.summary audit);
   Cli_common.exit_ok
 
 let report spool_dir campaign_file out =
@@ -292,6 +364,36 @@ let daemon_id_arg =
                  dash); default host-pid-nonce, unique per incarnation"
            ~docv:"ID")
 
+let no_fsck_arg =
+  Arg.(value & flag
+       & info [ "no-fsck" ]
+           ~doc:"Skip the spool-integrity repair pass the daemon \
+                 otherwise runs at startup and about once per lease \
+                 period (see $(b,dse-serve fsck))")
+
+let promote_after_arg =
+  Arg.(value & opt float 600.0
+       & info [ "promote-after" ]
+           ~doc:"Seconds a job waits in a priority band (jobs/p<k>/) \
+                 before it is promoted one band up, so low bands never \
+                 starve; 0 disables aging promotion"
+           ~docv:"SECS")
+
+let max_defer_arg =
+  Arg.(value & opt float 60.0
+       & info [ "max-defer" ]
+           ~doc:"Longest the submission defers (Backoff-paced) while \
+                 the fleet is degraded — every live daemon's circuit \
+                 breaker open; 0 submits immediately regardless"
+           ~docv:"SECS")
+
+let repair_arg =
+  Arg.(value & flag
+       & info [ "repair" ]
+           ~doc:"Enforce the invariants (remove orphans, quarantine \
+                 damaged files, clean finished claims) instead of the \
+                 default dry run")
+
 let log_arg =
   Arg.(value & opt (some string) None
        & info [ "log" ]
@@ -310,7 +412,7 @@ let watch_term =
   Term.(const watch $ spool_arg $ timeout_arg $ retries_arg $ no_backoff_arg
         $ breaker_failures_arg $ breaker_cooldown_arg $ poll_arg $ once_arg
         $ max_jobs_arg $ jobs_arg $ checkpoint_every_arg $ lease_ttl_arg
-        $ daemon_id_arg $ log_arg)
+        $ daemon_id_arg $ no_fsck_arg $ promote_after_arg $ log_arg)
 
 let watch_cmd =
   let doc = "drain the spool as one daemon of the fleet (the default)" in
@@ -324,7 +426,14 @@ let status_cmd =
 let submit_cmd =
   let doc = "idempotently enqueue a campaign manifest's jobs" in
   Cmd.v (Cmd.info "submit" ~doc ~exits:Cli_common.exits)
-    Term.(const submit $ spool_arg $ campaign_arg)
+    Term.(const submit $ spool_arg $ campaign_arg $ max_defer_arg)
+
+let fsck_cmd =
+  let doc =
+    "audit the spool's on-disk invariants (dry run); --repair enforces them"
+  in
+  Cmd.v (Cmd.info "fsck" ~doc ~exits:Cli_common.exits)
+    Term.(const fsck $ spool_arg $ repair_arg $ out_arg)
 
 let report_cmd =
   let doc = "fold a campaign's results into one aggregate report JSON" in
@@ -336,7 +445,7 @@ let doc = "fleet-safe spool of exploration jobs with supervision"
 let group_cmd =
   Cmd.group ~default:watch_term
     (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits)
-    [ watch_cmd; status_cmd; submit_cmd; report_cmd ]
+    [ watch_cmd; status_cmd; submit_cmd; report_cmd; fsck_cmd ]
 
 (* The historical shape stays valid: [dse-serve SPOOL --once ...]
    (spool first, no subcommand).  A first argument that is a known
@@ -346,7 +455,7 @@ let legacy_cmd =
   Cmd.v (Cmd.info "dse-serve" ~doc ~exits:Cli_common.exits) watch_term
 
 let () =
-  let subcommands = [ "watch"; "status"; "submit"; "report" ] in
+  let subcommands = [ "watch"; "status"; "submit"; "report"; "fsck" ] in
   let grouped =
     Array.length Sys.argv < 2
     || List.mem Sys.argv.(1) subcommands

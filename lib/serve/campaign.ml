@@ -3,7 +3,7 @@ module Json = Repro_util.Json_lite
 
 type predicate = All_filed | All_results
 
-type entry = { name : string; job : Job.t; text : string }
+type entry = { name : string; job : Job.t; text : string; priority : int }
 
 type t = { name : string; predicate : predicate; entries : entry list }
 
@@ -72,11 +72,26 @@ let of_json text =
             Error (Printf.sprintf "campaign job name %S appears twice" entry_name)
           else Ok ()
         in
-        (* The job spec is the entry minus its campaign-level name,
-           re-rendered canonically: what submit writes is exactly what
-           was validated. *)
+        let* priority =
+          match Json.find entry_fields "priority" with
+          | None -> Ok 0
+          | Some v -> (
+            match Json.get_int v with
+            | Some k when k >= 0 && k <= 9 -> Ok k
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "campaign job #%d field \"priority\" wants an integer 0..9"
+                   index))
+        in
+        (* The job spec is the entry minus its campaign-level fields
+           (name, priority band), re-rendered canonically: what submit
+           writes is exactly what was validated. *)
         let spec =
-          Json.Obj (List.filter (fun (k, _) -> k <> "name") entry_fields)
+          Json.Obj
+            (List.filter
+               (fun (k, _) -> k <> "name" && k <> "priority")
+               entry_fields)
         in
         let text = Json.to_string spec in
         let* job =
@@ -85,7 +100,8 @@ let of_json text =
           | Error msg ->
             Error (Printf.sprintf "campaign job %S: %s" entry_name msg)
         in
-        build (entry_name :: seen) ({ name = entry_name; job; text } :: acc)
+        build (entry_name :: seen)
+          ({ name = entry_name; job; text; priority } :: acc)
           (index + 1) rest
     in
     build [] [] 0 jobs
@@ -113,13 +129,14 @@ let submit t spool =
         let n = file_name entry in
         let exists path = Sys.file_exists path in
         if
-          exists (Spool.job_path spool n)
+          Spool.find_queued spool n <> None
           || exists (Spool.work_path spool n)
           || exists (Spool.result_path spool n)
           || exists (Spool.failed_path spool n)
         then (enq, entry.name :: skip)
         else begin
-          Atomic_io.write_string (Spool.job_path spool n) (entry.text ^ "\n");
+          Spool.enqueue ~priority:entry.priority spool ~name:n
+            ~text:(entry.text ^ "\n");
           (entry.name :: enq, skip)
         end)
       ([], []) t.entries
@@ -132,6 +149,7 @@ type job_state =
   | Queued
   | Claimed of string option
   | Filed of (string * Json.t) list
+  | Damaged of string
   | Quarantined of (string * Json.t) list
   | Missing
 
@@ -144,15 +162,17 @@ let state_of spool (entry : entry) =
       (match Spool.read_claim_stamp spool n with
        | Ok stamp -> Json.str_field stamp "owner"
        | Error _ -> None)
-  else if Sys.file_exists (Spool.job_path spool n) then Queued
-  else if Sys.file_exists (Spool.result_path spool n) then
-    Filed
-      (match
-         Result.bind (Atomic_io.read_file (Spool.result_path spool n))
-           Json.parse_obj
-       with
-       | Ok fields -> fields
-       | Error _ -> [])
+  else if Spool.find_queued spool n <> None then Queued
+  else if Sys.file_exists (Spool.result_path spool n) then (
+    (* A result that does not parse is damage, not completion: the
+       report must say so (and never raise), and the done predicate
+       must not count the job finished. *)
+    match
+      Result.bind (Atomic_io.read_file (Spool.result_path spool n))
+        Json.parse_obj
+    with
+    | Ok fields -> Filed fields
+    | Error msg -> Damaged msg)
   else if Sys.file_exists (Spool.failed_path spool n) then
     Quarantined
       (match
@@ -184,6 +204,7 @@ let report spool t =
   let queued = count (function Queued -> true | _ -> false) in
   let claimed = count (function Claimed _ -> true | _ -> false) in
   let quarantined = count (function Quarantined _ -> true | _ -> false) in
+  let damaged = count (function Damaged _ -> true | _ -> false) in
   let missing = count (function Missing -> true | _ -> false) in
   let done_ =
     List.for_all
@@ -215,6 +236,8 @@ let report spool t =
                "attempts"; "solution"; "degraded_restarts";
              ]
              fields
+       | Damaged error ->
+         base @ [ ("state", Str "damaged"); ("error", Str error) ]
        | Quarantined fields ->
          base
          @ [ ("state", Str "quarantined") ]
@@ -258,6 +281,7 @@ let report spool t =
       ("timed_out", num_int (filed_status "timed-out"));
       ("degraded", num_int (filed_status "degraded"));
       ("quarantined", num_int quarantined);
+      ("damaged", num_int damaged);
       ("missing", num_int missing);
       ("done", Bool done_);
       ("jobs", Arr (List.map job_json states));

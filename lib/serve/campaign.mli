@@ -13,10 +13,14 @@
     }
     v}
     Each entry is a {!Job} object plus a unique ["name"] that becomes
-    the spool file name ([jobs/<name>.json]).  Every entry is
-    validated up front with the job parser, so a manifest naming a
-    poison job is rejected as a whole with a one-line message naming
-    the entry — a campaign never half-enqueues.
+    the spool file name ([jobs/<name>.json]) and an optional
+    ["priority"] band 0..9 (0, the default, is [jobs/] itself and the
+    most urgent; band k >= 1 enqueues into [jobs/p<k>/], claimed after
+    every higher band — {!Spool.promote_aged} keeps low bands from
+    starving).  Every entry is validated up front with the job parser,
+    so a manifest naming a poison job is rejected as a whole with a
+    one-line message naming the entry — a campaign never
+    half-enqueues.
 
     {!submit} is idempotent: re-run any number of times, it enqueues
     only the jobs with no queued, claimed or filed counterpart, so an
@@ -36,6 +40,7 @@ type entry = {
   name : string;   (** unique job base name within the campaign *)
   job : Job.t;     (** the validated spec *)
   text : string;   (** canonical job JSON written to [jobs/] *)
+  priority : int;  (** target band, 0 (default, highest) .. 9 *)
 }
 
 type t = {
@@ -60,9 +65,10 @@ type submission = {
 }
 
 val submit : t -> Spool.t -> submission
-(** Idempotent enqueue: an entry is written only when none of
-    [jobs/], [work/], [results/], [failed/] holds its file.  Entries
-    are checked in manifest order; names are returned in that order. *)
+(** Idempotent enqueue: an entry is written (into its priority band)
+    only when none of [jobs/] (any band), [work/], [results/],
+    [failed/] holds its file.  Entries are checked in manifest order;
+    names are returned in that order. *)
 
 type job_state =
   | Queued
@@ -70,6 +76,11 @@ type job_state =
       (** owner lease id from the claim stamp, when stamped *)
   | Filed of (string * Repro_util.Json_lite.t) list
       (** the result JSON's fields *)
+  | Damaged of string
+      (** a result file exists but does not parse (torn or zero-byte
+          write); the payload is the one-line parse error.  Counted
+          separately, never as done — [dse-serve fsck] repairs or
+          explains these. *)
   | Quarantined of (string * Repro_util.Json_lite.t) list
       (** the reason JSON's fields (empty when unreadable) *)
   | Missing  (** never submitted, or spool files removed *)
@@ -82,7 +93,7 @@ val state_of : Spool.t -> entry -> job_state
 val report : Spool.t -> t -> Repro_util.Json_lite.t
 (** The aggregate report object: campaign name, per-state counts
     (queued / claimed / completed / timed-out / degraded /
-    quarantined / missing), a ["done"] verdict from the manifest's
+    quarantined / damaged / missing), a ["done"] verdict from the manifest's
     predicate, a ["jobs"] array with one status object per entry
     (result fields — best_cost, makespan, solution CRC, attempts —
     folded in for filed jobs; reason, daemon_id, attempts for

@@ -23,6 +23,8 @@ type config = {
   checkpoint_every : int;
   lease_ttl : float;
   daemon_id : string option;
+  fsck : bool;
+  promote_after : float option;
 }
 
 let default_config =
@@ -39,6 +41,8 @@ let default_config =
     checkpoint_every = 2_000;
     lease_ttl = 30.0;
     daemon_id = None;
+    fsck = true;
+    promote_after = Some 600.0;
   }
 
 type stats = {
@@ -51,6 +55,12 @@ type stats = {
   mutable fenced : int;
       (* results aborted at the commit point because the claim was
          reclaimed from under this daemon (stall past the lease ttl) *)
+  mutable fenced_late : int;
+      (* commits that landed inside the write window while the claim
+         changed hands: the result stands (byte-identical by
+         determinism), no claim-side file was touched *)
+  mutable repaired : int;
+      (* fsck findings this daemon repaired on its audit ticks *)
 }
 
 type outcome = Drained | Interrupted
@@ -317,6 +327,8 @@ let status_fields spool stats breaker ~state =
     ("requeued", num_int stats.requeued);
     ("recovered", num_int stats.recovered);
     ("fenced", num_int stats.fenced);
+    ("fenced_late", num_int stats.fenced_late);
+    ("repaired", num_int stats.repaired);
     ( "breaker",
       Str (Backoff.Breaker.state_name (Backoff.Breaker.state breaker)) );
     ( "consecutive_failures",
@@ -342,6 +354,8 @@ let run ?(should_stop = fun () -> false) config spool =
       requeued = 0;
       recovered = 0;
       fenced = 0;
+      fenced_late = 0;
+      repaired = 0;
     }
   in
   let breaker =
@@ -355,12 +369,43 @@ let run ?(should_stop = fun () -> false) config spool =
      a lease period has elapsed (even while busy) and on every idle
      tick — so a daemon that dies mid-job is healed by any surviving
      peer within about one lease period, not only at the next daemon
-     startup.  Live peers' stamped claims are never touched. *)
+     startup.  Live peers' stamped claims are never touched.  The
+     ledger rides along: observed peer seqs accumulate across ticks,
+     so a clock-skewed remote daemon that stops refreshing is declared
+     dead one ttl window after this daemon first saw its last seq. *)
+  let ledger = Lease.Ledger.create () in
   let last_reclaim = ref neg_infinity in
+  (* fsck (integrity) composes with reclaim (liveness) on the same
+     cadence, but keeps its own stamp: reclaim also runs on every idle
+     tick, and a full audit per poll tick would tax large spools. *)
+  let last_fsck = ref neg_infinity in
+  let fsck_now () =
+    if config.fsck && Clock.wall () -. !last_fsck >= config.lease_ttl then begin
+      last_fsck := Clock.wall ();
+      let audit = Fsck.run ~repair:true spool in
+      let applied =
+        List.length (List.filter (fun f -> f.Fsck.applied) audit.Fsck.findings)
+      in
+      stats.repaired <- stats.repaired + applied;
+      if audit.Fsck.findings <> [] then
+        Log.warn
+          ~fields:[ ("spool", Json.Str spool.Spool.root) ]
+          "%s" (Fsck.summary audit)
+    end
+  in
   let reclaim_now () =
     last_reclaim := Clock.wall ();
+    fsck_now ();
+    (match config.promote_after with
+     | None -> ()
+     | Some after ->
+       List.iter
+         (fun name ->
+           Log.info ~fields:[ ("job", Json.Str name) ]
+             "aged job promoted one priority band")
+         (Spool.promote_aged ~now:(Clock.wall ()) ~after spool));
     let requeued =
-      Spool.reclaim ~self:(Lease.id lease) ~now:(Clock.wall ())
+      Spool.reclaim ~self:(Lease.id lease) ~ledger ~now:(Clock.wall ())
         ~grace:config.lease_ttl spool
     in
     stats.recovered <- stats.recovered + List.length requeued;
@@ -445,30 +490,38 @@ let run ?(should_stop = fun () -> false) config spool =
                 this lease at this claim's sequence number, the job was
                 reclaimed from under us mid-run and someone else owns
                 it — drop our result instead of clobbering theirs. *)
-             if
-               Spool.finish_fenced ~keep_checkpoints:(status = "timed-out")
-                 spool name ~owner:lease ~claim_seq ~result_json:json
-             then begin
-               Backoff.Breaker.success breaker;
-               stats.completed <- stats.completed + 1;
-               if status = "timed-out" then
-                 stats.timed_out <- stats.timed_out + 1;
-               Log.info
-                 ~fields:
-                   [
-                     ("job", Json.Str (Filename.remove_extension name));
-                     ("status", Json.Str status);
-                   ]
-                 "job finished"
-             end
-             else begin
-               stats.fenced <- stats.fenced + 1;
-               Log.warn
-                 ~fields:[ ("job", Json.Str (Filename.remove_extension name)) ]
-                 "fencing check failed at result-write time: the claim was \
-                  reclaimed mid-run (lease seq moved on); result dropped, \
-                  the current owner's run stands"
-             end
+             (match
+                Spool.finish_fenced ~keep_checkpoints:(status = "timed-out")
+                  spool name ~owner:lease ~claim_seq ~result_json:json
+              with
+              | Spool.Committed ->
+                Backoff.Breaker.success breaker;
+                stats.completed <- stats.completed + 1;
+                if status = "timed-out" then
+                  stats.timed_out <- stats.timed_out + 1;
+                Log.info
+                  ~fields:
+                    [
+                      ("job", Json.Str (Filename.remove_extension name));
+                      ("status", Json.Str status);
+                    ]
+                  "job finished"
+              | Spool.Fenced ->
+                stats.fenced <- stats.fenced + 1;
+                Log.warn
+                  ~fields:
+                    [ ("job", Json.Str (Filename.remove_extension name)) ]
+                  "fencing check failed at result-write time: the claim was \
+                   reclaimed mid-run (lease seq moved on); result dropped, \
+                   the current owner's run stands"
+              | Spool.Fenced_late ->
+                stats.fenced_late <- stats.fenced_late + 1;
+                Log.warn
+                  ~fields:
+                    [ ("job", Json.Str (Filename.remove_extension name)) ]
+                  "claim changed hands inside the commit window: the filed \
+                   result stands (byte-identical by determinism) but the new \
+                   owner's claim files were left untouched")
            | Poison { reason; attempts } ->
              Spool.quarantine ~owner:lease ~attempts spool name ~reason;
              Backoff.Breaker.failure breaker;

@@ -53,12 +53,19 @@ type config = {
   checkpoint_every : int;       (** iterations between checkpoints *)
   lease_ttl : float;            (** lease freshness window, seconds *)
   daemon_id : string option;    (** explicit lease id; default unique *)
+  fsck : bool;                  (** run an {!Fsck} repair pass at
+                                    startup and about once per lease
+                                    period *)
+  promote_after : float option; (** age a job must sit in a band
+                                    before {!Spool.promote_aged}
+                                    lifts it; [None] disables *)
 }
 
 val default_config : config
 (** No timeout, 1 retry with default backoff, breaker 5/30 s, 1 s
     poll, watch mode, 1 domain, checkpoint every 2000 iterations,
-    30 s lease ttl, auto-generated daemon id. *)
+    30 s lease ttl, auto-generated daemon id, fsck on, aging
+    promotion after 600 s. *)
 
 type stats = {
   mutable claimed : int;
@@ -72,6 +79,13 @@ type stats = {
                                    the claim stamp no longer carried
                                    this lease's claim-time sequence
                                    number ({!Spool.finish_fenced}) *)
+  mutable fenced_late : int;   (** commits that landed while the claim
+                                   changed hands inside the write
+                                   window ([Spool.Fenced_late]): the
+                                   result stands, the new owner's
+                                   claim files were left untouched *)
+  mutable repaired : int;      (** fsck findings repaired on this
+                                   daemon's audit ticks *)
 }
 
 type outcome = Drained | Interrupted

@@ -1,0 +1,62 @@
+(** The spool auditor: [dse-serve fsck].
+
+    Scans [jobs/] (every priority band), [work/], [results/],
+    [failed/] and [daemons/] for the on-disk invariants DESIGN.md §5
+    asserts, and — under [~repair:true] — enforces them.  fsck owns
+    {e integrity}: damaged or truncated job JSON and checkpoints
+    (CRC-verified via {!Repro_util.Checkpoint.inspect}), orphaned
+    claim stamps and reason sidecars, claim/lease seq mismatches,
+    torn results, jobs filed in two outcome directories, stale
+    atomic-write temp files.  {e Liveness} — whose claims belong to
+    dead daemons — stays with {!Spool.reclaim}; the daemon runs both
+    on the same tick, and the split means fsck needs no lease and is
+    safe to run, continuously and idempotently, beside a working
+    fleet.
+
+    Repairs converge in one pass: a second run over a repaired spool
+    reports nothing, except report-only findings (states with no safe
+    repair, e.g. a damaged result whose job spec is gone — the
+    campaign report counts those as [damaged]).  An armed
+    [Fault.Fsck] point with index [k] fires {e before} the [k]-th
+    repair of a pass, the chaos drill's mid-fsck crash site. *)
+
+type remedy =
+  | Remove  (** delete the offending file *)
+  | Quarantine  (** move to [failed/] with a [reason.json] *)
+  | Cleanup  (** finished-claim cleanup: drop work copy, stamp, ckpts *)
+  | Report  (** no safe repair; listed in every audit until resolved *)
+
+val remedy_name : remedy -> string
+
+type finding = {
+  path : string;  (** relative to the spool root *)
+  invariant : string;  (** e.g. ["orphan-stamp"], ["torn-result"] *)
+  detail : string;  (** one line *)
+  remedy : remedy;
+  applied : bool;  (** the remedy ran (always false in a dry run) *)
+}
+
+type audit = {
+  root : string;
+  repair : bool;
+  scanned : int;  (** files examined *)
+  findings : finding list;  (** scan order *)
+}
+
+val run : ?repair:bool -> ?now:float -> Spool.t -> audit
+(** One audit pass; [repair] defaults to false (dry run — the
+    filesystem is not touched).  [now] (default wall clock) ages the
+    stale-temp check. *)
+
+val clean : audit -> bool
+(** No findings. *)
+
+val counts : audit -> (string * int) list
+(** Findings per invariant, sorted. *)
+
+val to_json : audit -> Repro_util.Json_lite.t
+(** The machine-readable audit object: [spool], [repair], [scanned],
+    [clean], per-invariant [counts], and the [findings] array. *)
+
+val summary : audit -> string
+(** One human line: totals and per-invariant counts. *)

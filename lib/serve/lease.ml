@@ -206,3 +206,43 @@ let alive ~now (v : view) =
   (* A dead pid on our own host short-circuits the ttl wait: the
      daemon is provably gone, its claims are reclaimable now. *)
   && (v.host <> Lazy.force hostname || pid_alive v.pid)
+
+(* ---- cross-host death detection: the observation ledger ----------- *)
+
+(* [alive] trusts the peer's own [updated] stamp, which is written with
+   the peer's wall clock — a skewed remote host can stamp itself into
+   the future and look fresh forever, and its pid is unreachable from
+   here so the dead-pid shortcut never applies.  The ledger removes
+   that trust: the observer records, in its OWN clock, when it first
+   saw each peer's current seq.  A live daemon refreshes at ttl/3, so
+   over any window of one full ttl (observer time) a live peer's seq
+   advances at least once.  Contrapositive: a seq stagnant for a full
+   ttl of observer-local time means the peer stopped writing — it is
+   dead or partitioned, and its lease contract (refresh within ttl or
+   lose your claims) is broken either way.  The argument never reads
+   the peer's clock, so it is immune to skew. *)
+module Ledger = struct
+  type entry = { seq : int; since : float }
+  type t = (string, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 7
+
+  let observe (ledger : t) ~now (v : view) =
+    match Hashtbl.find_opt ledger v.id with
+    | Some e when e.seq = v.seq -> ()
+    | _ -> Hashtbl.replace ledger v.id { seq = v.seq; since = now }
+
+  (* Only meaningful after [observe v] in the same pass: a view whose
+     seq the ledger has never seen is, by definition, fresh. *)
+  let stalled (ledger : t) ~now (v : view) =
+    match Hashtbl.find_opt ledger v.id with
+    | Some e -> e.seq = v.seq && now -. e.since >= v.ttl
+    | None -> false
+
+  let observed (ledger : t) id =
+    Option.map (fun e -> (e.seq, e.since)) (Hashtbl.find_opt ledger id)
+end
+
+let alive_observed ~ledger ~now (v : view) =
+  Ledger.observe ledger ~now v;
+  alive ~now v && not (Ledger.stalled ledger ~now v)

@@ -88,3 +88,40 @@ val list : dir:string -> (string * (view, string) result) list
 val alive : now:float -> view -> bool
 (** Not released, [updated] younger than [ttl] and — for a local-host
     lease — the pid still exists. *)
+
+(** Cross-host death detection.  {!alive} trusts the peer's [updated]
+    stamp, written with the {e peer's} wall clock: a clock-skewed
+    remote daemon can stamp itself into the future and look fresh
+    forever, and its pid is unreachable so the dead-pid shortcut never
+    applies.  The ledger judges liveness in the {e observer's} clock
+    instead: it records when this process first saw each peer's
+    current seq.  A live daemon refreshes at ttl/3, so across any
+    window of one full ttl of observer time a live peer's seq advances
+    at least once; a seq stagnant for a full ttl therefore proves the
+    peer stopped writing — dead or partitioned, its lease contract is
+    broken either way — without ever reading the peer's clock.  Fresh
+    observers conservatively wait out one full window before declaring
+    anyone stalled. *)
+module Ledger : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> now:float -> view -> unit
+  (** Record [view.seq]; the [since] stamp resets whenever the seq
+      advances (or regresses — any change proves a write). *)
+
+  val stalled : t -> now:float -> view -> bool
+  (** The seq recorded for [view.id] equals [view.seq] and was first
+      observed at least [view.ttl] seconds ago (observer clock).
+      [false] for a never-observed peer. *)
+
+  val observed : t -> string -> (int * float) option
+  (** [(seq, since)] recorded for an id, for tests and reports. *)
+end
+
+val alive_observed : ledger:Ledger.t -> now:float -> view -> bool
+(** {!Ledger.observe}, then [alive ~now v && not (stalled ...)]: the
+    liveness predicate {!Spool.reclaim} uses when given a ledger, so a
+    skewed remote daemon's claims are reclaimed one ttl window after
+    it stops refreshing. *)

@@ -47,8 +47,65 @@ let list_jobs dir =
     List.sort compare jobs
   | exception Sys_error _ -> []
 
-let pending t = list_jobs t.jobs_dir
+(* Priority bands.  Band 0 is [jobs/] itself — every pre-band spool is
+   a one-band spool — and [jobs/p<k>/] (k >= 1) holds lower-priority
+   work.  Claim order is band, then name within a band; [promote_aged]
+   keeps low bands from starving. *)
+let band_dir t k =
+  if k = 0 then t.jobs_dir
+  else Filename.concat t.jobs_dir (Printf.sprintf "p%d" k)
+
+let band_of_entry entry =
+  let n = String.length entry in
+  if n < 2 || entry.[0] <> 'p' then None
+  else
+    match int_of_string_opt (String.sub entry 1 (n - 1)) with
+    | Some k when k >= 1 -> Some k
+    | _ -> None
+
+let bands t =
+  let extra =
+    match Sys.readdir t.jobs_dir with
+    | exception Sys_error _ -> []
+    | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun entry ->
+             match band_of_entry entry with
+             | Some k when Sys.is_directory (Filename.concat t.jobs_dir entry)
+               ->
+               Some k
+             | _ -> None)
+      |> List.sort compare
+  in
+  0 :: extra
+
+(* Highest band first; a name queued in two bands (an fsck finding)
+   surfaces once, at its highest priority — exactly the copy [claim]
+   would take. *)
+let pending_banded t =
+  let seen = Hashtbl.create 16 in
+  List.concat_map
+    (fun k ->
+      List.filter_map
+        (fun name ->
+          if Hashtbl.mem seen name then None
+          else begin
+            Hashtbl.replace seen name ();
+            Some (k, name)
+          end)
+        (list_jobs (band_dir t k)))
+    (bands t)
+
+let pending t = List.map snd (pending_banded t)
 let in_work t = list_jobs t.work_dir
+
+let queue_depths t =
+  List.filter_map
+    (fun k ->
+      match List.length (list_jobs (band_dir t k)) with
+      | 0 when k > 0 -> None
+      | n -> Some (k, n))
+    (bands t)
 
 let job_path t name = Filename.concat t.jobs_dir name
 let work_path t name = Filename.concat t.work_dir name
@@ -74,34 +131,100 @@ let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
    reclaim distinguish "owned by a live daemon" from "orphaned by a
    dead one". *)
 let claim ?owner t name =
-  match Unix.rename (job_path t name) (work_path t name) with
-  | () ->
-    (match owner with
-     | None -> ()
-     | Some lease ->
-       let open Json in
-       Atomic_io.write_string (claim_stamp_path t name)
-         (obj
-            [
-              ("owner", Str (Lease.id lease));
-              ("seq", num_int (Lease.seq lease));
-              ("claimed_at", Num (Clock.wall ()));
-            ]
-         ^ "\n"));
-    true
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> false
+  let stamp band =
+    match owner with
+    | None -> ()
+    | Some lease ->
+      let open Json in
+      Atomic_io.write_string (claim_stamp_path t name)
+        (obj
+           [
+             ("owner", Str (Lease.id lease));
+             ("seq", num_int (Lease.seq lease));
+             ("claimed_at", Num (Clock.wall ()));
+             (* Recorded so unclaim/reclaim re-queue the job into the
+                band it came from; legacy stamps without it mean 0. *)
+             ("band", num_int band);
+           ]
+        ^ "\n")
+  in
+  let rec try_bands = function
+    | [] -> false
+    | k :: rest -> (
+      match
+        Unix.rename (Filename.concat (band_dir t k) name) (work_path t name)
+      with
+      | () ->
+        stamp k;
+        true
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> try_bands rest)
+  in
+  try_bands (bands t)
 
 let read_claim_stamp t name =
   Result.bind (Atomic_io.read_file (claim_stamp_path t name)) Json.parse_obj
+
+let claim_band t name =
+  match read_claim_stamp t name with
+  | Ok fields -> Option.value ~default:0 (Json.int_field fields "band")
+  | Error _ -> 0
 
 (* Stamp first, rename second: once the job is back in [jobs/] another
    daemon may claim and stamp it instantly, and that fresh stamp must
    never be the one we remove. *)
 let unclaim t name =
+  let band = claim_band t name in
   remove_if_exists (claim_stamp_path t name);
-  match Unix.rename (work_path t name) (job_path t name) with
+  let dest = Filename.concat (band_dir t band) name in
+  if band > 0 then mkdir_p (band_dir t band);
+  match Unix.rename (work_path t name) dest with
   | () -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let enqueue ?(priority = 0) t ~name ~text =
+  if priority < 0 then invalid_arg "Spool.enqueue: negative priority";
+  let dir = band_dir t priority in
+  mkdir_p dir;
+  Atomic_io.write_string (Filename.concat dir name) text
+
+let find_queued t name =
+  List.find_opt (fun k -> Sys.file_exists (Filename.concat (band_dir t k) name))
+    (bands t)
+
+(* Aging promotion: a job queued in band k >= 1 for [after] seconds
+   moves one band up (p1 promotes into jobs/ itself), and its mtime is
+   reset so it queues a full [after] in the new band before moving
+   again.  Low bands therefore reach band 0 in bounded time — k *
+   [after] — no matter how fast high-priority work arrives. *)
+let promote_aged ~now ~after t =
+  if not (Float.is_finite after && after > 0.0) then
+    invalid_arg "Spool.promote_aged: after wants to be positive";
+  List.concat_map
+    (fun k ->
+      if k = 0 then []
+      else
+        List.filter_map
+          (fun name ->
+            let src = Filename.concat (band_dir t k) name in
+            let dest = Filename.concat (band_dir t (k - 1)) name in
+            match Unix.stat src with
+            | exception Unix.Unix_error _ -> None
+            | stat ->
+              if now -. stat.Unix.st_mtime < after then None
+                (* A same-name copy above us wins; fsck reports the
+                   duplicate, promotion must not clobber it. *)
+              else if Sys.file_exists dest then None
+              else begin
+                mkdir_p (band_dir t (k - 1));
+                match Unix.rename src dest with
+                | () ->
+                  (try Unix.utimes dest 0.0 0.0
+                   with Unix.Unix_error _ -> ());
+                  Some name
+                | exception Unix.Unix_error _ -> None
+              end)
+          (list_jobs (band_dir t k)))
+    (bands t)
 
 let read_claimed t name = Atomic_io.read_file (work_path t name)
 
@@ -145,28 +268,70 @@ let finish ?(keep_checkpoints = false) t name ~result_json =
   remove_if_exists (claim_stamp_path t name);
   remove_if_exists (work_path t name)
 
-(* The fencing token, checked at the commit point.  A daemon that
-   stalled long enough for a peer's [reclaim] to re-queue (and a third
-   daemon to re-claim) its job must not overwrite that fresher run's
-   result: immediately before writing, the claim stamp is re-read and
-   must still name this lease as owner with the sequence number
-   captured at claim time.  Any mismatch — stamp gone, different
-   owner, different seq (every lease refresh bumps it, so even a
-   reissue to the same daemon id is caught) — aborts the write and
-   reports [false]; nothing under [results/] or [work/] is touched,
-   so the current owner finishes undisturbed and the job is never
-   lost.  A small TOCTOU window between this read and the result
-   rename remains (see DESIGN.md); the atomic write keeps it benign. *)
-let finish_fenced ?keep_checkpoints t name ~owner ~claim_seq ~result_json =
-  let fence_holds =
+(* The fencing token, checked on BOTH sides of the commit point.  A
+   daemon that stalled long enough for a peer's [reclaim] to re-queue
+   (and a third daemon to re-claim) its job must not disturb that
+   fresher run: the claim stamp is re-read immediately before the
+   result write and must still name this lease as owner with the
+   sequence number captured at claim time — any mismatch (stamp gone,
+   different owner, different seq; every lease refresh bumps it, so
+   even a reissue to the same daemon id is caught) aborts before
+   anything is written ([Fenced]).  The old read-then-rename TOCTOU —
+   the stamp changing between that check and the write — is now
+   detected and rolled back rather than accepted: after the atomic
+   result write the stamp is read AGAIN, and on a mismatch no claim-
+   side file (stamp, work copy, checkpoints) is touched, so the new
+   owner keeps everything it needs; the already-landed result stays
+   (it is byte-identical to what the new owner will produce — jobs are
+   pure functions of spec and seed) and the caller counts the event as
+   [Fenced_late].  What remains is only the irreducible residue of a
+   rename-only protocol: a reclaim that passed its result-existence
+   check just before our write can still re-queue the finished job,
+   costing one redundant deterministic re-execution — never a lost
+   job, never divergent results (see DESIGN.md §5).
+   [after_write] is test instrumentation: it runs inside the window,
+   between the result write and the re-check. *)
+type commit = Committed | Fenced | Fenced_late
+
+let committed = function Committed -> true | Fenced | Fenced_late -> false
+
+let commit_name = function
+  | Committed -> "committed"
+  | Fenced -> "fenced"
+  | Fenced_late -> "fenced-late"
+
+let finish_fenced ?(keep_checkpoints = false) ?(after_write = fun () -> ()) t
+    name ~owner ~claim_seq ~result_json =
+  let fence_holds () =
     match read_claim_stamp t name with
     | Error _ -> false
     | Ok fields ->
       Json.str_field fields "owner" = Some (Lease.id owner)
       && Json.int_field fields "seq" = Some claim_seq
   in
-  if fence_holds then finish ?keep_checkpoints t name ~result_json;
-  fence_holds
+  if not (fence_holds ()) then Fenced
+  else begin
+    Atomic_io.write_string (result_path t name) (result_json ^ "\n");
+    after_write ();
+    if fence_holds () then begin
+      if not keep_checkpoints then remove_checkpoints t name;
+      remove_if_exists (claim_stamp_path t name);
+      remove_if_exists (work_path t name);
+      Committed
+    end
+    else begin
+      match read_claim_stamp t name with
+      | Error _ ->
+        (* The stamp is gone, not replaced: a peer saw the result we
+           just filed and ran the finished-claim cleanup (reclaim or
+           fsck) concurrently — it completed our commit for us.  The
+           claim did not change hands.  Touch nothing: the peer owns
+           the cleanup, and any half-done remainder is swept by the
+           next reclaim tick (the result is on file). *)
+        Committed
+      | Ok _ -> Fenced_late
+    end
+  end
 
 let quarantine ?owner ?attempts t name ~reason =
   let open Json in
@@ -233,7 +398,18 @@ let sweep_orphan_temps ~now ~grace t =
           | exception Unix.Unix_error _ -> ())
       entries
 
-let reclaim ?self ~now ~grace t =
+(* A result only counts as finished work when it parses: a torn or
+   zero-byte result (writer killed outside the atomic-write protocol,
+   disk damage) must not make reclaim delete the work copy and
+   checkpoints — that would lose the job.  Torn results fall through
+   to the stamp rules (the rerun's finish atomically replaces them);
+   fsck reports and repairs the damage explicitly. *)
+let result_ok t name =
+  match Atomic_io.read_file (result_path t name) with
+  | Error _ -> false
+  | Ok text -> Result.is_ok (Json.parse_obj text)
+
+let reclaim ?self ?ledger ~now ~grace t =
   sweep_orphan_temps ~now ~grace t;
   let leases = Hashtbl.create 7 in
   List.iter
@@ -242,9 +418,20 @@ let reclaim ?self ~now ~grace t =
       | Ok (v : Lease.view) -> Hashtbl.replace leases v.Lease.id v
       | Error _ -> ())
     (Lease.list ~dir:t.daemons_dir);
+  (* Feed every peer's seq to the ledger each pass, so a skewed remote
+     daemon starts its stall window the first time we see it, not the
+     first time we examine one of its claims. *)
+  (match ledger with
+   | None -> ()
+   | Some l -> Hashtbl.iter (fun _ v -> Lease.Ledger.observe l ~now v) leases);
+  let peer_alive view =
+    match ledger with
+    | None -> Lease.alive ~now view
+    | Some ledger -> Lease.alive_observed ~ledger ~now view
+  in
   List.filter_map
     (fun name ->
-      if Sys.file_exists (result_path t name) then begin
+      if Sys.file_exists (result_path t name) && result_ok t name then begin
         (* Finished before the crash, only the claim cleanup was lost. *)
         remove_checkpoints t name;
         remove_if_exists (claim_stamp_path t name);
@@ -264,7 +451,7 @@ let reclaim ?self ~now ~grace t =
           | Some owner when Some owner = self -> None
           | Some owner -> (
             match Hashtbl.find_opt leases owner with
-            | Some view when Lease.alive ~now view -> None
+            | Some view when peer_alive view -> None
             | Some _ | None -> requeue ())
           | None -> requeue ())
         | Error _ -> (
@@ -281,6 +468,26 @@ let reclaim ?self ~now ~grace t =
 let recover t = reclaim ~now:(Clock.wall ()) ~grace:0.0 t
 
 let queue_depth t = List.length (pending t)
+
+(* Producer-side rate shaping reads the fleet's health straight from
+   the lease heartbeats: the fleet is degraded when at least one
+   daemon is alive and EVERY live daemon reports its breaker open.
+   An empty fleet is not degraded — submissions queue for daemons yet
+   to start — and a single healthy daemon clears the signal. *)
+let fleet_breaker_open ~now t =
+  let live =
+    List.filter_map
+      (fun (_file, view) ->
+        match view with
+        | Ok (v : Lease.view) when Lease.alive ~now v -> Some v
+        | Ok _ | Error _ -> None)
+      (Lease.list ~dir:t.daemons_dir)
+  in
+  live <> []
+  && List.for_all
+       (fun (v : Lease.view) ->
+         Json.str_field v.Lease.fields "breaker" = Some "open")
+       live
 
 let write_heartbeat t fields =
   Atomic_io.write_string (heartbeat_path t) (Json.obj fields ^ "\n")

@@ -49,6 +49,7 @@ let inspect path =
   let* contents = Atomic_io.read_file path in
   let* header, payload =
     match String.index_opt contents '\n' with
+    | None when contents = "" -> Error (path ^ ": empty checkpoint file")
     | Some i ->
       Ok
         ( String.sub contents 0 i,

@@ -1,19 +1,21 @@
-type site = Eval | Worker | Job | Lease
+type site = Eval | Worker | Job | Lease | Fsck
 
 let site_name = function
   | Eval -> "eval"
   | Worker -> "worker"
   | Job -> "job"
   | Lease -> "lease"
+  | Fsck -> "fsck"
 
 let site_of_name = function
   | "eval" -> Some Eval
   | "worker" -> Some Worker
   | "job" -> Some Job
   | "lease" -> Some Lease
+  | "fsck" -> Some Fsck
   | _ -> None
 
-let site_names = "eval|worker|job|lease"
+let site_names = "eval|worker|job|lease|fsck"
 
 exception Injected of string
 

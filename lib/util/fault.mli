@@ -5,10 +5,14 @@
     the process-wide count of solution evaluations, [Worker] indexes
     the work items of a [Parallel.map], [Job] indexes the jobs a
     [dse-serve] daemon claims — an armed [Job] point crashes the daemon
-    mid-queue, the hook the service fault drills use — and [Lease]
+    mid-queue, the hook the service fault drills use — [Lease]
     indexes a daemon's lease refreshes, so an armed point kills a
     daemon {e while it holds its lease} (and possibly a claimed job),
-    the window the fleet reclaim drills exercise.  Points marked
+    the window the fleet reclaim drills exercise — and [Fsck] indexes
+    the repairs an [Fsck.run ~repair:true] pass applies, so an armed
+    point crashes the auditor {e mid-repair}, the window the chaos
+    drill uses to prove fsck is idempotent under its own crashes.
+    Points marked
     {e transient}
     fire exactly once and then heal — the hook [Parallel.map_retry]
     uses to prove bounded-retry recovery.
@@ -20,7 +24,7 @@
     [site:index[:transient]] entries, e.g.
     [REPRO_FAULTS="worker:3,eval:120:transient"]. *)
 
-type site = Eval | Worker | Job | Lease
+type site = Eval | Worker | Job | Lease | Fsck
 
 exception Injected of string
 (** Raised at an armed point; the payload names the site and index. *)

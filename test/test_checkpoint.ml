@@ -111,6 +111,40 @@ let test_bad_magic_and_version () =
   Atomic_io.write_string path "garbage";
   expect_error path ~kind:"k" "no header"
 
+let test_inspect_damage_diagnostics () =
+  (* fsck inspects arbitrary bytes claiming to be checkpoints: every
+     damage shape must come back as a one-line [Error], never an
+     exception — a zero-byte file (a non-atomic writer killed at
+     open), a header cut mid-line (truncated at the disk-full mark),
+     and a complete header with the payload missing. *)
+  List.iter
+    (fun (what, bytes) ->
+      with_temp @@ fun path ->
+      Atomic_io.write_string path bytes;
+      match Checkpoint.inspect path with
+      | Ok _ -> Alcotest.failf "%s: inspect accepted damage" what
+      | Error msg ->
+        Alcotest.(check bool) (what ^ ": one-line error") false
+          (String.contains msg '\n');
+        Alcotest.(check bool) (what ^ ": error names the file") true
+          (String.length msg > String.length path
+           && String.sub msg 0 (String.length path) = path)
+      | exception e ->
+        Alcotest.failf "%s: inspect raised %s" what (Printexc.to_string e))
+    [
+      ("zero-byte file", "");
+      ("mid-header truncation", "REPRO-CKPT 1 dse-en");
+      ("header only, payload gone", "REPRO-CKPT 1 k 9 00000000\n");
+    ];
+  (* And the zero-byte shape is told apart from mere header damage. *)
+  with_temp @@ fun path ->
+  Atomic_io.write_string path "";
+  match Checkpoint.inspect path with
+  | Error msg ->
+    Alcotest.(check string) "empty-file diagnostic"
+      (path ^ ": empty checkpoint file") msg
+  | Ok _ -> Alcotest.fail "empty file accepted"
+
 let test_invalid_kind_rejected () =
   with_temp @@ fun path ->
   Alcotest.check_raises "space in kind"
@@ -132,6 +166,8 @@ let suite =
     Alcotest.test_case "truncated file rejected" `Quick test_truncated;
     Alcotest.test_case "bad magic/version rejected" `Quick
       test_bad_magic_and_version;
+    Alcotest.test_case "inspect damage diagnostics are one-liners" `Quick
+      test_inspect_damage_diagnostics;
     Alcotest.test_case "invalid kind rejected" `Quick
       test_invalid_kind_rejected;
   ]

@@ -162,7 +162,7 @@ let test_spec_error_fixtures () =
     [
       ( "bogus:3",
         "Fault.arm: bad fault point \"bogus:3\": unknown site \"bogus\" \
-         (want eval|worker|job|lease)" );
+         (want eval|worker|job|lease|fsck)" );
       ( "worker:-2",
         "Fault.arm: bad fault point \"worker:-2\": negative index -2" );
       ( "worker:soon",

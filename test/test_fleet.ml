@@ -376,6 +376,17 @@ let test_fleet_contention () =
       Alcotest.(check string) "daemon drained" "drained" (Daemon.outcome_name o))
     [ o1; o2; o3 ];
   let sum f = f s1 + f s2 + f s3 in
+  Printf.eprintf
+    "contention sums: claimed %d completed %d quarantined %d requeued %d \
+     recovered %d fenced %d fenced_late %d repaired %d\n%!"
+    (sum (fun s -> s.Daemon.claimed))
+    (sum (fun s -> s.Daemon.completed))
+    (sum (fun s -> s.Daemon.quarantined))
+    (sum (fun s -> s.Daemon.requeued))
+    (sum (fun s -> s.Daemon.recovered))
+    (sum (fun s -> s.Daemon.fenced))
+    (sum (fun s -> s.Daemon.fenced_late))
+    (sum (fun s -> s.Daemon.repaired));
   Alcotest.(check int) "every job claimed exactly once" (n + 1)
     (sum (fun s -> s.Daemon.claimed));
   Alcotest.(check int) "all real jobs completed" n

@@ -1,0 +1,641 @@
+(* The robustness layer: priority bands with aging promotion, the
+   cross-host observation ledger, the fleet breaker signal, the
+   detect-and-rollback commit window, and the fsck spool auditor. *)
+
+module Atomic_io = Repro_util.Atomic_io
+module Checkpoint = Repro_util.Checkpoint
+module Clock = Repro_util.Clock
+module Json = Repro_util.Json_lite
+module Campaign = Repro_serve.Campaign
+module Fsck = Repro_serve.Fsck
+module Lease = Repro_serve.Lease
+module Spool = Repro_serve.Spool
+
+let with_spool f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-fsck-%d-%06x" (Unix.getpid ())
+         (Random.bits () land 0xffffff))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () -> f (Spool.create root))
+
+let write path text = Atomic_io.write_string path text
+
+(* A fabricated peer lease: reclaim and the breaker only ever read the
+   file, so a hand-written one stands in for a remote daemon. *)
+let write_lease spool ~id ~host ?(seq = 0) ~ttl ~updated ?(extra = []) () =
+  write
+    (Filename.concat spool.Spool.daemons_dir (id ^ ".json"))
+    (Json.obj
+       ([
+          ("id", Json.Str id);
+          ("host", Json.Str host);
+          ("pid", Json.num_int 4242);
+          ("seq", Json.num_int seq);
+          ("ttl", Json.Num ttl);
+          ("updated", Json.Num updated);
+        ]
+       @ extra)
+    ^ "\n")
+
+(* ---- priority bands ----------------------------------------------- *)
+
+let test_band_claim_order () =
+  with_spool @@ fun spool ->
+  Spool.enqueue spool ~priority:2 ~name:"a.json" ~text:"{}";
+  Spool.enqueue spool ~name:"b.json" ~text:"{}";
+  Spool.enqueue spool ~priority:1 ~name:"c.json" ~text:"{}";
+  Spool.enqueue spool ~name:"d.json" ~text:"{}";
+  Alcotest.(check (list int)) "bands present" [ 0; 1; 2 ] (Spool.bands spool);
+  Alcotest.(check (list string)) "claim order: band then name"
+    [ "b.json"; "d.json"; "c.json"; "a.json" ]
+    (Spool.pending spool);
+  Alcotest.(check (list (pair int string))) "banded listing"
+    [ (0, "b.json"); (0, "d.json"); (1, "c.json"); (2, "a.json") ]
+    (Spool.pending_banded spool);
+  Alcotest.(check (list (pair int int))) "per-band depths"
+    [ (0, 2); (1, 1); (2, 1) ]
+    (Spool.queue_depths spool);
+  Alcotest.(check (option int)) "find_queued low band" (Some 2)
+    (Spool.find_queued spool "a.json");
+  Alcotest.(check (option int)) "find_queued band 0" (Some 0)
+    (Spool.find_queued spool "b.json");
+  Alcotest.(check (option int)) "find_queued absent" None
+    (Spool.find_queued spool "zz.json");
+  (* claim finds a name whatever band holds it. *)
+  Alcotest.(check bool) "claim reaches band 1" true
+    (Spool.claim spool "c.json");
+  Alcotest.(check (option int)) "claimed job left its band" None
+    (Spool.find_queued spool "c.json");
+  Alcotest.(check (list string)) "claimed into work/" [ "c.json" ]
+    (Spool.in_work spool);
+  match Spool.enqueue spool ~priority:(-1) ~name:"n.json" ~text:"{}" with
+  | () -> Alcotest.fail "negative priority accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_unclaim_restores_band () =
+  with_spool @@ fun spool ->
+  let lease =
+    Lease.acquire ~id:"band-d" ~dir:spool.Spool.daemons_dir ~ttl:60.0 ()
+  in
+  Spool.enqueue spool ~priority:2 ~name:"x.json" ~text:"{}";
+  Alcotest.(check bool) "claimed" true (Spool.claim ~owner:lease spool "x.json");
+  (match Spool.read_claim_stamp spool "x.json" with
+   | Error msg -> Alcotest.fail msg
+   | Ok stamp ->
+     Alcotest.(check (option int)) "stamp records the band" (Some 2)
+       (Json.int_field stamp "band"));
+  Spool.unclaim spool "x.json";
+  Alcotest.(check (option int)) "unclaim returns to the recorded band"
+    (Some 2)
+    (Spool.find_queued spool "x.json");
+  Alcotest.(check (list string)) "work/ empty" [] (Spool.in_work spool)
+
+let test_promote_aged () =
+  with_spool @@ fun spool ->
+  let now = Clock.wall () in
+  Spool.enqueue spool ~priority:2 ~name:"a.json" ~text:"{}";
+  Spool.enqueue spool ~priority:1 ~name:"b.json" ~text:"{}";
+  Alcotest.(check (list string)) "young jobs stay put" []
+    (Spool.promote_aged ~now ~after:3600.0 spool);
+  (* Aged past the threshold: each job climbs exactly one band. *)
+  Alcotest.(check (list string)) "aged jobs climb one band"
+    [ "b.json"; "a.json" ]
+    (Spool.promote_aged ~now:(now +. 7200.0) ~after:3600.0 spool);
+  Alcotest.(check (option int)) "band 2 reached band 1" (Some 1)
+    (Spool.find_queued spool "a.json");
+  Alcotest.(check (option int)) "band 1 reached band 0" (Some 0)
+    (Spool.find_queued spool "b.json");
+  (* The rename reset the age clock: an immediate pass moves nothing. *)
+  Alcotest.(check (list string)) "promotion resets the age clock" []
+    (Spool.promote_aged ~now:(Clock.wall ()) ~after:3600.0 spool);
+  (* A same-name copy in the destination band blocks promotion — fsck
+     reports the duplicate; promotion must not clobber either copy. *)
+  Spool.enqueue spool ~priority:1 ~name:"b.json" ~text:"{\"other\": 1}";
+  let promoted = Spool.promote_aged ~now:(now +. 7200.0) ~after:3600.0 spool in
+  Alcotest.(check bool) "occupied destination blocks promotion" false
+    (List.mem "b.json" promoted);
+  Alcotest.(check bool) "blocked copy stays in its band" true
+    (Sys.file_exists (Filename.concat (Spool.band_dir spool 1) "b.json"));
+  match Spool.promote_aged ~now ~after:0.0 spool with
+  | _ -> Alcotest.fail "non-positive after accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---- cross-host observation ledger -------------------------------- *)
+
+let peer ?(id = "peer") ?(ttl = 1.0) ~seq ~updated () =
+  {
+    Lease.id;
+    host = "elsewhere";
+    pid = 1;
+    seq;
+    ttl;
+    updated;
+    released = false;
+    fields = [];
+  }
+
+let test_ledger_stall_detection () =
+  let ledger = Lease.Ledger.create () in
+  Alcotest.(check bool) "never-observed peer is not stalled" false
+    (Lease.Ledger.stalled ledger ~now:100.0 (peer ~seq:5 ~updated:100.0 ()));
+  Lease.Ledger.observe ledger ~now:100.0 (peer ~seq:5 ~updated:100.0 ());
+  Alcotest.(check (option (pair int (float 1e-9)))) "observation recorded"
+    (Some (5, 100.0))
+    (Lease.Ledger.observed ledger "peer");
+  Alcotest.(check bool) "within the window: not stalled" false
+    (Lease.Ledger.stalled ledger ~now:100.5 (peer ~seq:5 ~updated:100.5 ()));
+  Alcotest.(check bool) "seq stagnant a full ttl: stalled" true
+    (Lease.Ledger.stalled ledger ~now:101.0 (peer ~seq:5 ~updated:101.0 ()));
+  (* Any seq change proves a write and resets the window. *)
+  Lease.Ledger.observe ledger ~now:101.0 (peer ~seq:6 ~updated:101.0 ());
+  Alcotest.(check bool) "advanced seq resets the stall clock" false
+    (Lease.Ledger.stalled ledger ~now:101.5 (peer ~seq:6 ~updated:101.5 ()))
+
+let test_alive_observed_defeats_clock_skew () =
+  (* The peer stamps itself far into the future: [alive] trusts the
+     stamp and says live forever; the ledger judges in observer time
+     and declares it dead one ttl after its seq stops moving. *)
+  let skewed now = peer ~seq:3 ~updated:(now +. 1.0e6) () in
+  Alcotest.(check bool) "plain alive is fooled by the skewed stamp" true
+    (Lease.alive ~now:200.0 (skewed 200.0));
+  let ledger = Lease.Ledger.create () in
+  Alcotest.(check bool) "first observation: conservatively live" true
+    (Lease.alive_observed ~ledger ~now:200.0 (skewed 200.0));
+  Alcotest.(check bool) "still inside the window" true
+    (Lease.alive_observed ~ledger ~now:200.9 (skewed 200.9));
+  Alcotest.(check bool) "stagnant seq past one ttl: dead" false
+    (Lease.alive_observed ~ledger ~now:201.1 (skewed 201.1))
+
+let test_reclaim_with_ledger_heals_skewed_claim () =
+  with_spool @@ fun spool ->
+  let now = Clock.wall () in
+  (* A remote daemon with a future-skewed clock claimed a job, then
+     died.  Its pid is unreachable and its lease looks eternally
+     fresh: without the ledger the claim is stuck forever. *)
+  write_lease spool ~id:"skew-remote" ~host:"chaos-remote" ~seq:3 ~ttl:0.5
+    ~updated:(now +. 1.0e6) ();
+  write (Spool.work_path spool "skew.json") "{}";
+  write
+    (Spool.claim_stamp_path spool "skew.json")
+    (Json.obj
+       [
+         ("owner", Json.Str "skew-remote");
+         ("seq", Json.num_int 3);
+         ("claimed_at", Json.Num now);
+         ("band", Json.num_int 1);
+       ]
+    ^ "\n");
+  Alcotest.(check (list string)) "ledger-less reclaim trusts the skewed stamp"
+    []
+    (Spool.reclaim ~self:"me" ~now:(now +. 100.0) ~grace:0.5 spool);
+  let ledger = Lease.Ledger.create () in
+  Alcotest.(check (list string)) "first observed pass waits out the window" []
+    (Spool.reclaim ~self:"me" ~ledger ~now ~grace:0.5 spool);
+  Alcotest.(check (list string)) "stagnant seq past one ttl: re-queued"
+    [ "skew.json" ]
+    (Spool.reclaim ~self:"me" ~ledger ~now:(now +. 0.6) ~grace:0.5 spool);
+  Alcotest.(check (option int)) "re-queued into its recorded band" (Some 1)
+    (Spool.find_queued spool "skew.json");
+  Alcotest.(check (list string)) "work/ clean" [] (Spool.in_work spool)
+
+(* ---- fleet breaker signal ----------------------------------------- *)
+
+let test_fleet_breaker_open () =
+  with_spool @@ fun spool ->
+  let now = Clock.wall () in
+  Alcotest.(check bool) "empty fleet is healthy" false
+    (Spool.fleet_breaker_open ~now spool);
+  write_lease spool ~id:"open-d" ~host:"elsewhere" ~ttl:60.0 ~updated:now
+    ~extra:[ ("breaker", Json.Str "open") ]
+    ();
+  Alcotest.(check bool) "every live daemon degraded: open" true
+    (Spool.fleet_breaker_open ~now spool);
+  write_lease spool ~id:"ok-d" ~host:"elsewhere" ~ttl:60.0 ~updated:now ();
+  Alcotest.(check bool) "one healthy daemon clears the signal" false
+    (Spool.fleet_breaker_open ~now spool);
+  (* The healthy daemon's lease expires: only the degraded one is
+     live again. *)
+  write_lease spool ~id:"ok-d" ~host:"elsewhere" ~ttl:0.01
+    ~updated:(now -. 10.0) ();
+  Alcotest.(check bool) "dead leases do not vote" true
+    (Spool.fleet_breaker_open ~now spool);
+  write_lease spool ~id:"open-d" ~host:"elsewhere" ~ttl:0.01
+    ~updated:(now -. 10.0)
+    ~extra:[ ("breaker", Json.Str "open") ]
+    ();
+  Alcotest.(check bool) "a fleet of dead daemons is just empty" false
+    (Spool.fleet_breaker_open ~now spool)
+
+(* ---- the commit window: detect-and-rollback ----------------------- *)
+
+let test_finish_fenced_late () =
+  with_spool @@ fun spool ->
+  let dir = spool.Spool.daemons_dir in
+  let a = Lease.acquire ~id:"fl-a" ~dir ~ttl:60.0 () in
+  let b = Lease.acquire ~id:"fl-b" ~dir ~ttl:60.0 () in
+  Spool.enqueue spool ~name:"job.json" ~text:"{}";
+  Alcotest.(check bool) "A claims" true (Spool.claim ~owner:a spool "job.json");
+  let claim_seq = Lease.seq a in
+  write (Spool.checkpoint_path spool "job.json") "scratch";
+  (* The irreducible race, forced deterministically: the claim changes
+     hands INSIDE A's commit window — after A's atomic result write,
+     before its post-write fence re-check. *)
+  let commit =
+    Spool.finish_fenced spool "job.json" ~owner:a ~claim_seq
+      ~result_json:"{\"status\": \"complete\"}"
+      ~after_write:(fun () ->
+        Spool.unclaim spool "job.json";
+        Alcotest.(check bool) "B re-claims inside the window" true
+          (Spool.claim ~owner:b spool "job.json"))
+  in
+  Alcotest.(check string) "detected as a late fence" "fenced-late"
+    (Spool.commit_name commit);
+  Alcotest.(check bool) "not committed" false (Spool.committed commit);
+  (* The result stands (byte-identical to what B will produce), but no
+     claim-side file was touched: B finishes undisturbed. *)
+  Alcotest.(check bool) "result filed" true
+    (Spool.result_ok spool "job.json");
+  Alcotest.(check (list string)) "B's claim intact" [ "job.json" ]
+    (Spool.in_work spool);
+  (match Spool.read_claim_stamp spool "job.json" with
+   | Error msg -> Alcotest.fail msg
+   | Ok stamp ->
+     Alcotest.(check (option string)) "stamp still names B" (Some "fl-b")
+       (Json.str_field stamp "owner"));
+  Alcotest.(check bool) "checkpoint kept for B" true
+    (Sys.file_exists (Spool.checkpoint_path spool "job.json"));
+  (* B's own commit goes through cleanly. *)
+  Alcotest.(check string) "B commits" "committed"
+    (Spool.commit_name
+       (Spool.finish_fenced spool "job.json" ~owner:b
+          ~claim_seq:(Lease.seq b)
+          ~result_json:"{\"status\": \"complete\"}"));
+  Alcotest.(check (list string)) "work/ clean after B" [] (Spool.in_work spool)
+
+(* The opposite in-window race: no hand-over — a peer's reclaim saw
+   the just-filed result and ran the finished-claim cleanup inside the
+   commit window.  The stamp is gone (not replaced), and that is still
+   a commit, never a lost fence. *)
+let test_finish_fenced_peer_cleanup_commits () =
+  with_spool @@ fun spool ->
+  let dir = spool.Spool.daemons_dir in
+  let a = Lease.acquire ~id:"pc-a" ~dir ~ttl:60.0 () in
+  Spool.enqueue spool ~name:"job.json" ~text:"{}";
+  Alcotest.(check bool) "A claims" true (Spool.claim ~owner:a spool "job.json");
+  let claim_seq = Lease.seq a in
+  let commit =
+    Spool.finish_fenced spool "job.json" ~owner:a ~claim_seq
+      ~result_json:"{\"status\": \"complete\"}"
+      ~after_write:(fun () ->
+        (* The peer's cleanup: result exists, so reclaim removes the
+           claim-side files. *)
+        ignore
+          (Spool.reclaim ~now:(Clock.wall ()) ~grace:60.0 spool
+            : string list))
+  in
+  Alcotest.(check string) "peer cleanup inside the window is a commit"
+    "committed"
+    (Spool.commit_name commit);
+  Alcotest.(check bool) "result filed" true (Spool.result_ok spool "job.json");
+  Alcotest.(check (list string)) "work/ clean" [] (Spool.in_work spool)
+
+(* ---- fsck --------------------------------------------------------- *)
+
+let find_invariant audit invariant =
+  List.filter (fun f -> f.Fsck.invariant = invariant) audit.Fsck.findings
+
+let check_counts what audit expected =
+  Alcotest.(check (list (pair string int))) what expected (Fsck.counts audit)
+
+(* One spool wearing every repairable kind of damage at once. *)
+let break_spool spool =
+  let daemons = spool.Spool.daemons_dir in
+  (* orphan-stamp: a claim stamp whose job file is gone. *)
+  write (Spool.claim_stamp_path spool "ghost.json") "{}";
+  (* damaged-stamp: a stamp that does not parse. *)
+  write (Spool.work_path spool "ds.json") "{}";
+  write (Spool.claim_stamp_path spool "ds.json") "not json";
+  (* seq-regression: a stamp ahead of its owner's lease seq. *)
+  write (Spool.work_path spool "seqr.json") "{}";
+  write
+    (Spool.claim_stamp_path spool "seqr.json")
+    (Json.obj
+       [
+         ("owner", Json.Str "seq-d");
+         ("seq", Json.num_int 9);
+         ("claimed_at", Json.Num 0.0);
+       ]
+    ^ "\n");
+  write_lease spool ~id:"seq-d" ~host:"elsewhere" ~seq:2 ~ttl:60.0
+    ~updated:(Clock.wall ()) ();
+  (* damaged-job: a queued spec no rerun could ever load, plus the
+     zero-byte shape a torn producer write leaves. *)
+  Spool.enqueue spool ~name:"bad.json" ~text:"not json";
+  Spool.enqueue spool ~priority:1 ~name:"zero.json" ~text:"";
+  (* damaged-checkpoint beside a live claim. *)
+  write (Spool.work_path spool "run.json") "{}";
+  write (Spool.checkpoint_path spool "run.json") "garbage";
+  (* torn-result shadowing a queued copy. *)
+  Spool.enqueue spool ~name:"torn.json" ~text:"{}";
+  write (Spool.result_path spool "torn.json") "{\"torn\": ";
+  (* duplicate-outcome: filed in results/ and failed/ both. *)
+  write (Spool.result_path spool "dup.json") "{\"status\": \"complete\"}\n";
+  write (Spool.failed_path spool "dup.json") "{}";
+  write (Spool.failed_path spool "dup.reason.json") "{}";
+  (* finished-claim: result filed, only the cleanup was lost. *)
+  write (Spool.work_path spool "done.json") "{}";
+  Checkpoint.save (Spool.checkpoint_path spool "done.json") ~kind:"test" "p";
+  write (Spool.result_path spool "done.json") "{\"status\": \"complete\"}\n";
+  (* orphan-checkpoint / orphan-reason: sidecars with no job left. *)
+  write (Filename.concat spool.Spool.work_dir "gone.ckpt") "x";
+  write (Spool.failed_path spool "lonely.reason.json") "{}";
+  (* duplicate-band and duplicate-queue, identical copies. *)
+  Spool.enqueue spool ~name:"same.json" ~text:"{\"a\": 1}";
+  Spool.enqueue spool ~priority:1 ~name:"same.json" ~text:"{\"a\": 1}";
+  write (Spool.work_path spool "cq.json") "{}";
+  Spool.enqueue spool ~name:"cq.json" ~text:"{}";
+  (* damaged-lease and a stale atomic-write temp. *)
+  write (Filename.concat daemons "broken.json") "not json";
+  write (Filename.concat spool.Spool.work_dir "w.tmp.42") "partial"
+
+let expected_counts =
+  [
+    ("damaged-checkpoint", 1);
+    ("damaged-job", 2);
+    ("damaged-lease", 1);
+    ("damaged-stamp", 1);
+    ("duplicate-band", 1);
+    ("duplicate-outcome", 1);
+    ("duplicate-queue", 1);
+    ("finished-claim", 1);
+    ("orphan-checkpoint", 1);
+    ("orphan-reason", 1);
+    ("orphan-stamp", 1);
+    ("seq-regression", 1);
+    ("stale-temp", 1);
+    ("torn-result", 1);
+  ]
+
+let test_fsck_clean_spool () =
+  with_spool @@ fun spool ->
+  let audit = Fsck.run spool in
+  Alcotest.(check bool) "fresh spool is clean" true (Fsck.clean audit);
+  Alcotest.(check string) "clean summary"
+    "fsck: clean (0 file(s) scanned)" (Fsck.summary audit)
+
+(* A producer-built spool is just jobs/ — quarantine must create
+   failed/ itself rather than crash, and a dry run must not. *)
+let test_fsck_repair_bare_producer_spool () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-fsck-bare-%d-%06x" (Unix.getpid ())
+         (Random.bits () land 0xffffff))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () ->
+      let spool = Spool.layout root in
+      Unix.mkdir root 0o755;
+      Unix.mkdir spool.Spool.jobs_dir 0o755;
+      write (Filename.concat spool.Spool.jobs_dir "bad.json") "not json";
+      let dry = Fsck.run spool in
+      Alcotest.(check bool) "dry run finds the damaged job" false
+        (Fsck.clean dry);
+      Alcotest.(check bool) "dry run creates no failed/" false
+        (Sys.file_exists spool.Spool.failed_dir);
+      let audit = Fsck.run ~repair:true spool in
+      Alcotest.(check bool) "repair applied" true
+        (List.for_all
+           (fun (f : Fsck.finding) -> f.applied)
+           audit.Fsck.findings);
+      Alcotest.(check bool) "job quarantined into a fresh failed/" true
+        (Sys.file_exists (Spool.failed_path spool "bad.json"));
+      Alcotest.(check bool) "re-audit clean" true
+        (Fsck.clean (Fsck.run spool)))
+
+let test_fsck_dry_run_touches_nothing () =
+  with_spool @@ fun spool ->
+  break_spool spool;
+  let now = Clock.wall () +. 3600.0 in
+  let audit = Fsck.run ~now spool in
+  check_counts "every invariant found" audit expected_counts;
+  List.iter
+    (fun (f : Fsck.finding) ->
+      Alcotest.(check bool) (f.Fsck.path ^ " not applied") false f.Fsck.applied)
+    audit.Fsck.findings;
+  (* Spot-check the filesystem is untouched. *)
+  Alcotest.(check bool) "damaged job still queued" true
+    (Spool.find_queued spool "bad.json" = Some 0);
+  Alcotest.(check bool) "torn result still on disk" true
+    (Sys.file_exists (Spool.result_path spool "torn.json"));
+  Alcotest.(check bool) "orphan stamp still on disk" true
+    (Sys.file_exists (Spool.claim_stamp_path spool "ghost.json"));
+  (* The machine-readable audit carries the same verdict. *)
+  match Fsck.to_json audit with
+  | Json.Obj fields ->
+    Alcotest.(check (option bool)) "audit json not clean" (Some false)
+      (Json.bool_field fields "clean");
+    Alcotest.(check (option bool)) "audit json dry run" (Some false)
+      (Json.bool_field fields "repair")
+  | _ -> Alcotest.fail "audit json is not an object"
+
+let test_fsck_repair_converges_in_one_pass () =
+  with_spool @@ fun spool ->
+  break_spool spool;
+  let now = Clock.wall () +. 3600.0 in
+  let audit = Fsck.run ~repair:true ~now spool in
+  check_counts "repair pass finds the same set" audit expected_counts;
+  List.iter
+    (fun (f : Fsck.finding) ->
+      Alcotest.(check bool) (f.Fsck.path ^ " applied") true f.Fsck.applied)
+    audit.Fsck.findings;
+  (* Post-conditions of the individual repairs. *)
+  Alcotest.(check bool) "damaged queued job quarantined" true
+    (Sys.file_exists (Spool.failed_path spool "bad.json"));
+  Alcotest.(check bool) "quarantine reason recorded" true
+    (Sys.file_exists (Spool.failed_path spool "bad.reason.json"));
+  Alcotest.(check (option int)) "damaged job left the queue" None
+    (Spool.find_queued spool "bad.json");
+  Alcotest.(check bool) "torn result removed" false
+    (Sys.file_exists (Spool.result_path spool "torn.json"));
+  Alcotest.(check (option int)) "its queued copy survives" (Some 0)
+    (Spool.find_queued spool "torn.json");
+  Alcotest.(check bool) "parsed result wins the duplicate outcome" true
+    (Spool.result_ok spool "dup.json");
+  Alcotest.(check bool) "quarantined duplicate removed" false
+    (Sys.file_exists (Spool.failed_path spool "dup.json"));
+  Alcotest.(check bool) "finished claim cleaned up" false
+    (Sys.file_exists (Spool.work_path spool "done.json"));
+  Alcotest.(check bool) "its result kept" true
+    (Spool.result_ok spool "done.json");
+  Alcotest.(check bool) "damaged checkpoint removed" false
+    (Sys.file_exists (Spool.checkpoint_path spool "run.json"));
+  Alcotest.(check bool) "its claim survives as stamp-less" true
+    (Sys.file_exists (Spool.work_path spool "run.json"));
+  Alcotest.(check (option int)) "identical band duplicate collapsed" (Some 0)
+    (Spool.find_queued spool "same.json");
+  Alcotest.(check (option int)) "queued copy of a claim removed" None
+    (Spool.find_queued spool "cq.json");
+  Alcotest.(check bool) "claimed copy survives" true
+    (Sys.file_exists (Spool.work_path spool "cq.json"));
+  (* Idempotence: the repaired spool audits clean. *)
+  let again = Fsck.run ~now spool in
+  Alcotest.(check (list (pair string int))) "second pass finds nothing" []
+    (Fsck.counts again);
+  Alcotest.(check bool) "second pass clean" true (Fsck.clean again)
+
+let test_fsck_reports_unrepairable_result () =
+  with_spool @@ fun spool ->
+  (* A damaged result whose job spec is gone: nothing safe to repair —
+     report-only, and it persists across repair passes so every audit
+     keeps naming it until a human resolves it. *)
+  write (Spool.result_path spool "lost.json") "not json";
+  let audit = Fsck.run ~repair:true spool in
+  (match find_invariant audit "damaged-result" with
+   | [ f ] ->
+     Alcotest.(check string) "report remedy" "report"
+       (Fsck.remedy_name f.Fsck.remedy);
+     Alcotest.(check bool) "never applied" false f.Fsck.applied
+   | fs -> Alcotest.failf "want one damaged-result, got %d" (List.length fs));
+  Alcotest.(check bool) "file left in place" true
+    (Sys.file_exists (Spool.result_path spool "lost.json"));
+  let again = Fsck.run ~repair:true spool in
+  Alcotest.(check int) "still reported on the next pass" 1
+    (List.length (find_invariant again "damaged-result"))
+
+(* ---- campaign: damaged results and priority bands ----------------- *)
+
+let parsed text =
+  match Campaign.of_json text with
+  | Ok t -> t
+  | Error msg -> Alcotest.fail msg
+
+let test_campaign_damaged_results () =
+  with_spool @@ fun spool ->
+  let t =
+    parsed
+      "{\"campaign\": \"dmg\", \"jobs\": [\n\
+      \  {\"name\": \"d1\", \"app\": \"sobel\"},\n\
+      \  {\"name\": \"d2\", \"app\": \"sobel\"},\n\
+      \  {\"name\": \"d3\", \"app\": \"sobel\"}\n\
+       ]}"
+  in
+  (* Zero-byte and truncated result files — what a hard kill mid-write
+     leaves when the write was not atomic (or the disk filled). *)
+  write (Spool.result_path spool "d1.json") "";
+  write (Spool.result_path spool "d2.json") "{\"status\": \"comp";
+  write (Spool.result_path spool "d3.json") "{\"status\": \"complete\"}\n";
+  let report =
+    match Campaign.report spool t with
+    | Json.Obj fields -> fields
+    | _ -> Alcotest.fail "report is not an object"
+  in
+  Alcotest.(check (option int)) "damaged counted" (Some 2)
+    (Json.int_field report "damaged");
+  Alcotest.(check (option int)) "parsed result still completes" (Some 1)
+    (Json.int_field report "completed");
+  Alcotest.(check (option bool)) "damaged results are never done"
+    (Some false)
+    (Json.bool_field report "done");
+  match Json.find report "jobs" with
+  | Some (Json.Arr jobs) ->
+    let state name =
+      List.find_map
+        (function
+          | Json.Obj f when Json.str_field f "job" = Some name ->
+            Some (Json.str_field f "state", Json.str_field f "error")
+          | _ -> None)
+        jobs
+    in
+    (match state "d1" with
+     | Some (Some "damaged", Some err) ->
+       Alcotest.(check bool) "error is one line" false
+         (String.contains err '\n')
+     | _ -> Alcotest.fail "zero-byte result not reported damaged");
+    (match state "d2" with
+     | Some (Some "damaged", Some _) -> ()
+     | _ -> Alcotest.fail "truncated result not reported damaged")
+  | _ -> Alcotest.fail "report lost the jobs array"
+
+let test_campaign_priority_bands () =
+  with_spool @@ fun spool ->
+  let t =
+    parsed
+      "{\"campaign\": \"banded\", \"jobs\": [\n\
+      \  {\"name\": \"urgent\", \"app\": \"sobel\"},\n\
+      \  {\"name\": \"bulk\", \"app\": \"sobel\", \"priority\": 2}\n\
+       ]}"
+  in
+  (match t.Campaign.entries with
+   | [ e1; e2 ] ->
+     Alcotest.(check int) "default band" 0 e1.Campaign.priority;
+     Alcotest.(check int) "explicit band" 2 e2.Campaign.priority;
+     Alcotest.(check bool) "priority stripped from the written spec" true
+       (match Json.parse_obj e2.Campaign.text with
+        | Ok fields -> Json.find fields "priority" = None
+        | Error _ -> false)
+   | _ -> Alcotest.fail "entry count");
+  let s = Campaign.submit t spool in
+  Alcotest.(check (list string)) "both enqueued" [ "urgent"; "bulk" ]
+    s.Campaign.enqueued;
+  Alcotest.(check (option int)) "urgent in band 0" (Some 0)
+    (Spool.find_queued spool "urgent.json");
+  Alcotest.(check (option int)) "bulk in band 2" (Some 2)
+    (Spool.find_queued spool "bulk.json");
+  (* Re-submit sees the banded copy: idempotence crosses bands. *)
+  let again = Campaign.submit t spool in
+  Alcotest.(check (list string)) "re-submit skips both" [ "urgent"; "bulk" ]
+    again.Campaign.skipped;
+  match
+    Campaign.of_json
+      "{\"campaign\": \"c\", \"jobs\": [{\"name\": \"x\", \"app\": \
+       \"sobel\", \"priority\": 12}]}"
+  with
+  | Ok _ -> Alcotest.fail "out-of-range priority accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error names the range" true
+      (let needle = "0..9" in
+     let nh = String.length msg and nn = String.length needle in
+     let rec scan i = i + nn <= nh && (String.sub msg i nn = needle || scan (i + 1)) in
+     scan 0)
+
+let suite =
+  [
+    Alcotest.test_case "claim order: band then name" `Quick
+      test_band_claim_order;
+    Alcotest.test_case "unclaim returns to the recorded band" `Quick
+      test_unclaim_restores_band;
+    Alcotest.test_case "aging promotion climbs one band and resets" `Quick
+      test_promote_aged;
+    Alcotest.test_case "ledger detects a stagnant peer seq" `Quick
+      test_ledger_stall_detection;
+    Alcotest.test_case "observed liveness defeats clock skew" `Quick
+      test_alive_observed_defeats_clock_skew;
+    Alcotest.test_case "reclaim with ledger heals a skewed remote claim"
+      `Quick test_reclaim_with_ledger_heals_skewed_claim;
+    Alcotest.test_case "fleet breaker: all live daemons must agree" `Quick
+      test_fleet_breaker_open;
+    Alcotest.test_case "late fence detected inside the commit window" `Quick
+      test_finish_fenced_late;
+    Alcotest.test_case "peer cleanup inside the commit window commits" `Quick
+      test_finish_fenced_peer_cleanup_commits;
+    Alcotest.test_case "fsck: fresh spool audits clean" `Quick
+      test_fsck_clean_spool;
+    Alcotest.test_case "fsck: repair works on a bare producer spool" `Quick
+      test_fsck_repair_bare_producer_spool;
+    Alcotest.test_case "fsck: dry run reports and touches nothing" `Quick
+      test_fsck_dry_run_touches_nothing;
+    Alcotest.test_case "fsck: repair converges in one pass" `Quick
+      test_fsck_repair_converges_in_one_pass;
+    Alcotest.test_case "fsck: unrepairable damage stays reported" `Quick
+      test_fsck_reports_unrepairable_result;
+    Alcotest.test_case "campaign counts damaged results, never done" `Quick
+      test_campaign_damaged_results;
+    Alcotest.test_case "campaign submits into priority bands" `Quick
+      test_campaign_priority_bands;
+  ]

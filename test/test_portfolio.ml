@@ -374,9 +374,10 @@ let test_finish_fenced () =
   Lease.refresh a;
   (* A refresh bumps the lease seq but not the stamp: the fence
      compares against the claim-time snapshot, so it still holds. *)
-  Alcotest.(check bool) "fenced finish commits" true
-    (Spool.finish_fenced spool "j1.json" ~owner:a ~claim_seq:seq_a
-       ~result_json:{|{"ok": 1}|});
+  Alcotest.(check string) "fenced finish commits" "committed"
+    (Spool.commit_name
+       (Spool.finish_fenced spool "j1.json" ~owner:a ~claim_seq:seq_a
+          ~result_json:{|{"ok": 1}|}));
   Alcotest.(check bool) "result landed" true
     (Sys.file_exists (Spool.result_path spool "j1.json"));
   (* Stolen claim: B re-claims after a reclaim, so A's commit must
@@ -392,16 +393,18 @@ let test_finish_fenced () =
   Alcotest.(check bool) "B re-claims j2" true
     (Spool.claim ~owner:b spool "j2.json");
   let seq_b = Lease.seq b in
-  Alcotest.(check bool) "A's stale commit is fenced off" false
-    (Spool.finish_fenced spool "j2.json" ~owner:a ~claim_seq:seq_a2
-       ~result_json:{|{"stale": 1}|});
+  Alcotest.(check string) "A's stale commit is fenced off" "fenced"
+    (Spool.commit_name
+       (Spool.finish_fenced spool "j2.json" ~owner:a ~claim_seq:seq_a2
+          ~result_json:{|{"stale": 1}|}));
   Alcotest.(check bool) "no result was written by the loser" false
     (Sys.file_exists (Spool.result_path spool "j2.json"));
   Alcotest.(check bool) "B's claim survives" true
     (Sys.file_exists (Spool.work_path spool "j2.json"));
   Alcotest.(check bool) "B's own commit still goes through" true
-    (Spool.finish_fenced spool "j2.json" ~owner:b ~claim_seq:seq_b
-       ~result_json:{|{"ok": 2}|});
+    (Spool.committed
+       (Spool.finish_fenced spool "j2.json" ~owner:b ~claim_seq:seq_b
+          ~result_json:{|{"ok": 2}|}));
   match Atomic_io.read_file (Spool.result_path spool "j2.json") with
   | Ok text ->
     Alcotest.(check bool) "the surviving result is B's" true
